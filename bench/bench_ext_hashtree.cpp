@@ -1,0 +1,134 @@
+// Extension ablation: candidate-structure comparison for support counting.
+//
+// NOT a figure of the target paper (see DESIGN.md source-text note): the
+// paper stores candidates in hash lines; the classic alternative is the
+// Agrawal-Srikant hash tree, and the shared-memory Apriori literature adds
+// short-circuited subset checking on top. This bench mines L2 first, then
+// counts the candidate 3-itemsets with:
+//
+//   - hash-line table probing (enumerate k-subsets, hash each), the
+//     structure the paper's remote-memory system swaps;
+//   - hash-tree counting with and without short-circuiting (pruning subtree
+//     descents that cannot complete a k-subset).
+//
+// Short-circuiting's benefit grows with transaction size and with k, which
+// is why the sweep raises |T|.
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "common/flags.hpp"
+#include "common/table.hpp"
+#include "mining/apriori.hpp"
+#include "mining/generator.hpp"
+#include "mining/hash_tree.hpp"
+
+using namespace rms;
+using namespace rms::mining;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv, {{"csv", "write results to this CSV path"}});
+
+  TablePrinter table(
+      "Extension: candidate-structure ablation for pass-3 counting "
+      "(not a paper figure)",
+      {"workload", "C3", "hash-line [s]", "tree+sc [s]", "tree no-sc [s]",
+       "comparisons saved"});
+
+  struct Workload {
+    std::string name;
+    double avg_tx;
+    std::int64_t txs;
+    double minsup;
+  };
+  for (const Workload& w : {Workload{"T10.D50K", 10, 50'000, 0.004},
+                            Workload{"T15.D30K", 15, 30'000, 0.006},
+                            Workload{"T20.D20K", 20, 20'000, 0.008}}) {
+    QuestParams p;
+    p.num_transactions = w.txs;
+    p.num_items = 1000;
+    p.avg_transaction_size = w.avg_tx;
+    p.num_patterns = 300;
+    p.seed = 77;
+    TransactionDb db = QuestGenerator(p).generate();
+    std::fprintf(stderr, "[ext] workload %s...\n", w.name.c_str());
+
+    // Mine through pass 2 to obtain L2, then form candidate 3-itemsets.
+    AprioriOptions opt;
+    opt.max_k = 2;
+    const AprioriResult mined = apriori(db, w.minsup, opt);
+    if (mined.large_by_k.size() < 2) continue;
+    const std::vector<Itemset> c3 =
+        generate_candidates(mined.large_by_k[1]);
+    if (c3.empty()) {
+      std::fprintf(stderr, "[ext] %s: no candidate 3-itemsets, skipped\n",
+                   w.name.c_str());
+      continue;
+    }
+
+    const auto keep = [&](Item it) {
+      Itemset s;
+      s.push_back(it);
+      return mined.support.count(s) != 0;
+    };
+
+    HashLineTable lines(1 << 16);
+    HashTree tree_sc(3, 64, 8);
+    HashTree tree_plain(3, 64, 8);
+    for (const Itemset& c : c3) {
+      lines.insert(c);
+      tree_sc.insert(c);
+      tree_plain.insert(c);
+    }
+
+    auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t t = 0; t < db.size(); ++t) {
+      for_each_k_subset(db.tx(t), 3, keep,
+                        [&](const Itemset& s) { (void)lines.probe(s); });
+    }
+    const double line_s = seconds_since(t0);
+
+    t0 = std::chrono::steady_clock::now();
+    for (std::size_t t = 0; t < db.size(); ++t) {
+      tree_sc.count_transaction(db.tx(t), true);
+    }
+    const double sc_s = seconds_since(t0);
+
+    t0 = std::chrono::steady_clock::now();
+    for (std::size_t t = 0; t < db.size(); ++t) {
+      tree_plain.count_transaction(db.tx(t), false);
+    }
+    const double plain_s = seconds_since(t0);
+
+    const double saved =
+        tree_plain.comparisons() == 0
+            ? 0.0
+            : 100.0 * (1.0 - static_cast<double>(tree_sc.comparisons()) /
+                                 static_cast<double>(tree_plain.comparisons()));
+    table.add_row(
+        {w.name,
+         TablePrinter::integer(static_cast<std::int64_t>(c3.size())),
+         TablePrinter::num(line_s, 3), TablePrinter::num(sc_s, 3),
+         TablePrinter::num(plain_s, 3), TablePrinter::num(saved, 1) + "%"});
+  }
+  table.print();
+  const std::string csv = flags.get("csv", "");
+  if (!csv.empty() && table.write_csv(csv)) {
+    std::printf("(csv written to %s)\n", csv.c_str());
+  }
+  std::printf(
+      "\nshort-circuiting prunes descents that cannot complete a k-subset; "
+      "only boundary positions qualify, so the relative savings shrink as "
+      "|T| grows and grow with k (the SC'96 literature adds further "
+      "leaf-level checks to reach ~25-60%% at higher iterations).\n");
+  return 0;
+}

@@ -1,0 +1,183 @@
+// Microbenchmarks (google-benchmark) for the substrate primitives: event
+// loop, channels, resources, network transfers, disk model, and the mining
+// hot paths. These bound how much real time the table/figure harnesses
+// spend per simulated operation.
+#include <benchmark/benchmark.h>
+
+#include "cluster/cluster.hpp"
+#include "disk/disk.hpp"
+#include "mining/apriori.hpp"
+#include "mining/candidate_gen.hpp"
+#include "mining/generator.hpp"
+#include "mining/hash_line_table.hpp"
+#include "net/network.hpp"
+#include "sim/channel.hpp"
+#include "sim/process.hpp"
+#include "sim/resource.hpp"
+#include "sim/simulation.hpp"
+
+namespace {
+
+using namespace rms;
+
+void BM_SimTimeoutEvents(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim;
+    auto proc = [](sim::Simulation& s, int n) -> sim::Process {
+      for (int i = 0; i < n; ++i) co_await s.timeout(usec(1));
+    };
+    sim.spawn(proc(sim, 10'000));
+    sim.run();
+    benchmark::DoNotOptimize(sim.executed_events());
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_SimTimeoutEvents);
+
+void BM_ChannelPingPong(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim;
+    sim::Channel<int> a(sim), b(sim);
+    auto ping = [](sim::Channel<int>& out, sim::Channel<int>& in,
+                   int n) -> sim::Process {
+      for (int i = 0; i < n; ++i) {
+        out.send(i);
+        (void)co_await in.recv();
+      }
+    };
+    auto pong = [](sim::Channel<int>& in, sim::Channel<int>& out,
+                   int n) -> sim::Process {
+      for (int i = 0; i < n; ++i) {
+        const int v = co_await in.recv();
+        out.send(v);
+      }
+    };
+    sim.spawn(ping(a, b, 5'000));
+    sim.spawn(pong(a, b, 5'000));
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_ChannelPingPong);
+
+void BM_ResourceContention(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim;
+    sim::Resource res(sim, 1);
+    auto worker = [](sim::Simulation& s, sim::Resource& r, int n) -> sim::Process {
+      for (int i = 0; i < n; ++i) {
+        auto lease = co_await r.acquire();
+        co_await s.timeout(usec(1));
+      }
+    };
+    for (int w = 0; w < 4; ++w) sim.spawn(worker(sim, res, 1'000));
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 4'000);
+}
+BENCHMARK(BM_ResourceContention);
+
+void BM_NetworkMessages(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim;
+    net::Network net(sim, 2, net::LinkParams::atm155());
+    std::int64_t delivered = 0;
+    net.set_delivery(1, [&](net::Message) { ++delivered; });
+    for (int i = 0; i < 2'000; ++i) {
+      net.send(net::Message::make(0, 1, 0, 4096, i));
+    }
+    sim.run();
+    benchmark::DoNotOptimize(delivered);
+  }
+  state.SetItemsProcessed(state.iterations() * 2'000);
+}
+BENCHMARK(BM_NetworkMessages);
+
+void BM_DiskRandomReads(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim;
+    disk::Disk d(sim, disk::DiskParams::barracuda_7200());
+    auto proc = [](disk::Disk& dd, int n) -> sim::Process {
+      for (int i = 0; i < n; ++i) {
+        co_await dd.read(4096, disk::Access::kRandom);
+      }
+    };
+    sim.spawn(proc(d, 2'000));
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 2'000);
+}
+BENCHMARK(BM_DiskRandomReads);
+
+void BM_ItemsetHash(benchmark::State& state) {
+  mining::Itemset s{17, 4211};
+  std::uint64_t acc = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(acc += s.hash());
+  }
+}
+BENCHMARK(BM_ItemsetHash);
+
+void BM_SubsetEnumeration(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<mining::Item> tx(n);
+  for (std::size_t i = 0; i < n; ++i) tx[i] = static_cast<mining::Item>(i * 3);
+  const auto keep = [](mining::Item) { return true; };
+  std::uint64_t count = 0;
+  for (auto _ : state) {
+    mining::for_each_k_subset({tx.data(), tx.size()}, 2, keep,
+                              [&](const mining::Itemset&) { ++count; });
+  }
+  benchmark::DoNotOptimize(count);
+  state.SetItemsProcessed(static_cast<std::int64_t>(count));
+}
+BENCHMARK(BM_SubsetEnumeration)->Arg(10)->Arg(20);
+
+void BM_HashLineProbe(benchmark::State& state) {
+  mining::HashLineTable table(1 << 14);
+  for (mining::Item a = 0; a < 256; ++a) {
+    for (mining::Item b = a + 1; b < a + 33; ++b) {
+      table.insert(mining::Itemset{a, b});
+    }
+  }
+  mining::Item a = 0;
+  for (auto _ : state) {
+    a = (a + 1) % 256;
+    benchmark::DoNotOptimize(table.probe(mining::Itemset{a, a + 7}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HashLineProbe);
+
+void BM_CandidateGeneration(benchmark::State& state) {
+  std::vector<mining::Itemset> l1;
+  for (mining::Item i = 0; i < 1000; ++i) {
+    mining::Itemset s;
+    s.push_back(i);
+    l1.push_back(s);
+  }
+  for (auto _ : state) {
+    std::int64_t n = mining::count_candidates(l1);
+    benchmark::DoNotOptimize(n);
+    state.SetItemsProcessed(n);
+  }
+}
+BENCHMARK(BM_CandidateGeneration);
+
+void BM_QuestGeneration(benchmark::State& state) {
+  mining::QuestParams p;
+  p.num_transactions = 10'000;
+  p.num_items = 1000;
+  p.seed = 3;
+  for (auto _ : state) {
+    mining::QuestGenerator gen(p);
+    mining::TransactionDb db = gen.generate();
+    benchmark::DoNotOptimize(db.total_items());
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_QuestGeneration);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,183 @@
+// hash_join: ad-hoc query processing on the same remote-memory machinery.
+//
+// The paper motivates the cluster for "data mining and ad hoc query
+// processing in databases"; this example is the second domain: a
+// distributed counting hash join R ⋈ S. Build-side tuples are hashed into
+// the same per-node hash-line stores the miner uses (entries encode
+// (join key, row tag)); when the build side exceeds the per-node memory
+// limit, lines spill to memory-available nodes exactly like candidate
+// itemsets, and probe-side lookups fault them back (`count_matches`, a read
+// query one-way updates cannot answer).
+//
+//   $ hash_join [--build-rows 40000] [--probe-rows 40000] [--limit-kb 192]
+//
+// Output compares join cardinality against an in-memory reference and
+// reports the remote-memory traffic the spill produced, under both remote
+// swapping and local-disk swapping.
+#include <cstdio>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "common/flags.hpp"
+#include "common/rng.hpp"
+#include "core/availability.hpp"
+#include "core/hash_line_store.hpp"
+#include "core/memory_server.hpp"
+#include "sim/process.hpp"
+#include "sim/simulation.hpp"
+
+using namespace rms;
+
+namespace {
+
+struct Row {
+  mining::Item key = 0;
+  std::uint32_t row_id = 0;
+};
+
+struct JoinWorld {
+  static constexpr std::size_t kAppNodes = 4;
+  static constexpr std::size_t kMemNodes = 4;
+  static constexpr std::size_t kLinesPerNode = 512;
+
+  sim::Simulation sim;
+  std::unique_ptr<cluster::Cluster> cl;
+  std::vector<std::unique_ptr<core::MemoryServer>> servers;
+  std::unique_ptr<core::AvailabilityTable> table;
+  std::vector<std::unique_ptr<core::HashLineStore>> stores;
+
+  explicit JoinWorld(core::SwapPolicy policy, std::int64_t limit) {
+    cluster::ClusterConfig ccfg;
+    ccfg.num_nodes = kAppNodes + kMemNodes;
+    cl = std::make_unique<cluster::Cluster>(sim, ccfg);
+    std::vector<net::NodeId> mem_ids;
+    for (std::size_t m = 0; m < kMemNodes; ++m) {
+      const auto id = static_cast<net::NodeId>(kAppNodes + m);
+      mem_ids.push_back(id);
+      servers.push_back(std::make_unique<core::MemoryServer>(cl->node(id)));
+      sim.spawn(servers.back()->serve());
+    }
+    table = std::make_unique<core::AvailabilityTable>(mem_ids);
+    for (net::NodeId id : mem_ids) {
+      table->update(core::AvailabilityInfo{id, 32 << 20, 1}, 0);
+    }
+    for (std::size_t n = 0; n < kAppNodes; ++n) {
+      core::HashLineStore::Config scfg;
+      scfg.num_lines = kLinesPerNode;
+      scfg.memory_limit_bytes = limit;
+      scfg.policy = limit < 0 ? core::SwapPolicy::kNoLimit : policy;
+      stores.push_back(std::make_unique<core::HashLineStore>(
+          cl->node(static_cast<net::NodeId>(n)), scfg, table.get()));
+    }
+  }
+
+  // Key -> (owner node, local line).
+  std::pair<std::size_t, core::LineId> place(mining::Item key) const {
+    const std::uint64_t h = (key * 0x9e3779b97f4a7c15ULL) >> 16;
+    const std::size_t gline = h % (kLinesPerNode * kAppNodes);
+    return {gline % kAppNodes,
+            static_cast<core::LineId>(gline / kAppNodes)};
+  }
+};
+
+// Build-table entry for one R row: {join key, tagged row id}. A plain
+// function because GCC 12 miscompiles initializer-list construction inside
+// coroutines ("array used as initializer").
+mining::Itemset make_entry(mining::Item key, std::uint32_t row_id) {
+  mining::Itemset s;
+  s.push_back(key);
+  s.push_back(1'000'000u + row_id);
+  return s;
+}
+
+sim::Process run_join(JoinWorld& w, const std::vector<Row>& build,
+                      const std::vector<Row>& probe, std::uint64_t& output,
+                      bool& done) {
+  // Build phase: insert R tuples, partitioned by key hash (each entry is
+  // {key, tagged row id} so entries within a line stay unique).
+  for (const Row& r : build) {
+    const auto placed = w.place(r.key);
+    co_await w.stores[placed.first]->insert(placed.second,
+                                            make_entry(r.key, r.row_id));
+  }
+  for (auto& s : w.stores) s->set_phase(core::HashLineStore::Phase::kCount);
+
+  // Probe phase: count matches per S tuple (a counting join).
+  for (const Row& r : probe) {
+    const auto placed = w.place(r.key);
+    output += co_await w.stores[placed.first]->count_matches(placed.second,
+                                                             r.key);
+  }
+  done = true;
+}
+
+std::vector<Row> make_rows(std::int64_t n, std::uint32_t keys,
+                           std::uint64_t seed) {
+  Pcg32 rng(seed);
+  std::vector<Row> rows;
+  rows.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    // Zipf-ish skew: a quarter of the rows hit a hot tenth of the keys.
+    const mining::Item key = rng.bernoulli(0.25)
+                                 ? rng.below(keys / 10 + 1)
+                                 : rng.below(keys);
+    rows.push_back(Row{key, static_cast<std::uint32_t>(i)});
+  }
+  return rows;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv,
+              {{"build-rows", "build-side rows (default 40000)"},
+               {"probe-rows", "probe-side rows (default 40000)"},
+               {"keys", "distinct join keys (default 5000)"},
+               {"limit-kb", "per-node build-table limit (default 192)"}});
+  const std::int64_t n_build = flags.get_int("build-rows", 40'000);
+  const std::int64_t n_probe = flags.get_int("probe-rows", 40'000);
+  const auto keys = static_cast<std::uint32_t>(flags.get_int("keys", 5000));
+  const std::int64_t limit = flags.get_int("limit-kb", 192) * 1000;
+
+  const std::vector<Row> build = make_rows(n_build, keys, 11);
+  const std::vector<Row> probe = make_rows(n_probe, keys, 22);
+
+  // In-memory reference.
+  std::unordered_map<mining::Item, std::uint64_t> ref_counts;
+  for (const Row& r : build) ++ref_counts[r.key];
+  std::uint64_t expected = 0;
+  for (const Row& r : probe) {
+    const auto it = ref_counts.find(r.key);
+    if (it != ref_counts.end()) expected += it->second;
+  }
+  std::printf("R ⋈ S reference cardinality: %llu (%lld x %lld rows, %u keys)\n",
+              static_cast<unsigned long long>(expected),
+              static_cast<long long>(n_build),
+              static_cast<long long>(n_probe), keys);
+
+  for (core::SwapPolicy policy :
+       {core::SwapPolicy::kRemoteSwap, core::SwapPolicy::kDiskSwap}) {
+    JoinWorld w(policy, limit);
+    std::uint64_t output = 0;
+    bool done = false;
+    w.sim.spawn(run_join(w, build, probe, output, done));
+    w.sim.run();
+    RMS_CHECK_MSG(done, "join did not complete");
+
+    std::int64_t faults = 0;
+    for (auto& s : w.stores) faults += s->pagefaults();
+    std::printf(
+        "%-12s join output %llu (%s), %.1f virtual s, %lld pagefaults\n",
+        core::to_string(policy), static_cast<unsigned long long>(output),
+        output == expected ? "exact" : "MISMATCH!",
+        to_seconds(w.sim.now()), static_cast<long long>(faults));
+    if (output != expected) return 1;
+  }
+  std::printf(
+      "\nthe build table spilled past %lld kB/node into remote memory (or "
+      "disk) and every probe still found exactly its matches -- the same "
+      "machinery, a different data-intensive application.\n",
+      static_cast<long long>(limit / 1000));
+  return 0;
+}

@@ -1,0 +1,74 @@
+#include "cluster/cluster.hpp"
+
+namespace rms::cluster {
+
+// Reply tags live above all service tags; each node hands them out
+// round-robin from its own window so concurrent RPCs never collide.
+namespace {
+constexpr Tag kReplyTagBase = 1 << 20;
+constexpr Tag kReplyTagWindow = 1 << 10;
+}  // namespace
+
+Node::Node(Cluster& cluster, NodeId id)
+    : cluster_(cluster),
+      id_(id),
+      mailbox_(cluster.sim()),
+      cpu_(std::make_unique<sim::Resource>(cluster.sim(), 1)),
+      next_reply_tag_(kReplyTagBase + id * kReplyTagWindow) {
+  const ClusterConfig& cfg = cluster.config();
+  const auto seed = cfg.seed ^ (0x9e37u + static_cast<std::uint64_t>(id));
+  data_disk_ = std::make_unique<disk::Disk>(cluster.sim(), cfg.data_disk, seed);
+  swap_disk_ =
+      std::make_unique<disk::Disk>(cluster.sim(), cfg.swap_disk, seed * 31);
+}
+
+sim::Simulation& Node::sim() { return cluster_.sim(); }
+
+const CostModel& Node::costs() const { return cluster_.config().costs; }
+
+sim::Task<> Node::compute(Time t) {
+  RMS_CHECK(t >= 0);
+  auto lease = co_await cpu_->acquire();
+  co_await sim().timeout(t);
+}
+
+void Node::send(net::Message msg) {
+  RMS_CHECK(msg.src == id_);
+  stats_.bump("node.messages_sent");
+  if (msg.dst == id_) {
+    // Loopback: no wire, straight into the local mailbox.
+    stats_.bump("node.loopback_messages");
+    mailbox_.deliver(std::move(msg));
+    return;
+  }
+  cluster_.network().send(std::move(msg));
+}
+
+sim::Task<net::Message> Node::request(net::Message msg) {
+  const Tag reply_tag = next_reply_tag_;
+  // Wrap within this node's private window.
+  next_reply_tag_ = kReplyTagBase + id_ * kReplyTagWindow +
+                    (next_reply_tag_ - kReplyTagBase - id_ * kReplyTagWindow +
+                     1) % kReplyTagWindow;
+  msg.reply_tag = reply_tag;
+  send(std::move(msg));
+  net::Message response = co_await mailbox_.recv(reply_tag);
+  co_return response;
+}
+
+Cluster::Cluster(sim::Simulation& sim, ClusterConfig config)
+    : sim_(sim),
+      config_(std::move(config)),
+      network_(sim, config_.num_nodes, config_.link) {
+  RMS_CHECK(config_.num_nodes >= 1);
+  nodes_.reserve(config_.num_nodes);
+  for (std::size_t i = 0; i < config_.num_nodes; ++i) {
+    nodes_.push_back(std::make_unique<Node>(*this, static_cast<NodeId>(i)));
+    Node* node = nodes_.back().get();
+    network_.set_delivery(static_cast<NodeId>(i), [node](net::Message m) {
+      node->mailbox().deliver(std::move(m));
+    });
+  }
+}
+
+}  // namespace rms::cluster

@@ -1,0 +1,3 @@
+#include "cluster/mailbox.hpp"
+
+// Header-only; anchors the TU in the library target.

@@ -1,0 +1,53 @@
+// Mailbox: tag-demultiplexed message reception for one cluster node.
+//
+// The network delivers raw messages; the mailbox routes them into per-tag
+// channels so independent services on a node (swap server, monitor client,
+// HPA counter, ...) can block on their own traffic — the simulated
+// equivalent of the paper's per-purpose TLI transport endpoints.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "net/network.hpp"
+#include "sim/channel.hpp"
+#include "sim/simulation.hpp"
+
+namespace rms::cluster {
+
+class Mailbox {
+ public:
+  explicit Mailbox(sim::Simulation& sim) : sim_(sim) {}
+
+  /// Network delivery hook (also used for loopback sends).
+  void deliver(net::Message msg) { chan(msg.tag).send(std::move(msg)); }
+
+  /// Awaitable receive of the next message carrying `tag`.
+  auto recv(net::Tag tag) { return chan(tag).recv(); }
+
+  /// Non-blocking receive.
+  std::optional<net::Message> try_recv(net::Tag tag) {
+    return chan(tag).try_recv();
+  }
+
+  std::size_t pending(net::Tag tag) { return chan(tag).pending(); }
+
+ private:
+  sim::Channel<net::Message>& chan(net::Tag tag) {
+    auto it = channels_.find(tag);
+    if (it == channels_.end()) {
+      it = channels_
+               .emplace(tag,
+                        std::make_unique<sim::Channel<net::Message>>(sim_))
+               .first;
+    }
+    return *it->second;
+  }
+
+  sim::Simulation& sim_;
+  std::unordered_map<net::Tag, std::unique_ptr<sim::Channel<net::Message>>>
+      channels_;
+};
+
+}  // namespace rms::cluster

@@ -1,0 +1,37 @@
+// Lightweight runtime checks, enabled in all build types.
+//
+// The simulator is a research instrument: violated invariants must abort
+// loudly rather than silently corrupt an experiment, including in Release
+// builds (P.6/P.7 of the C++ Core Guidelines: make run-time errors checkable
+// and catch them early).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rms::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "RMS_CHECK failed: %s\n  at %s:%d\n  %s\n", expr, file,
+               line, msg == nullptr ? "" : msg);
+  std::abort();
+}
+
+}  // namespace rms::detail
+
+/// Abort with a diagnostic if `expr` is false. Always on.
+#define RMS_CHECK(expr)                                                \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::rms::detail::check_failed(#expr, __FILE__, __LINE__, nullptr); \
+    }                                                                  \
+  } while (false)
+
+/// RMS_CHECK with an explanatory message.
+#define RMS_CHECK_MSG(expr, msg)                                   \
+  do {                                                              \
+    if (!(expr)) {                                                  \
+      ::rms::detail::check_failed(#expr, __FILE__, __LINE__, msg); \
+    }                                                               \
+  } while (false)

@@ -1,0 +1,123 @@
+// Deterministic random number generation.
+//
+// Every stochastic component of the simulator (workload generator, disk seek
+// jitter, itemset corruption, ...) draws from its own explicitly-seeded
+// stream so that experiments are bit-reproducible and adding randomness to
+// one component never perturbs another.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace rms {
+
+/// PCG32 (O'Neill): small, fast, statistically solid, and fully portable —
+/// unlike std::mt19937 it has a tiny state and trivially seedable streams.
+class Pcg32 {
+ public:
+  using result_type = std::uint32_t;
+
+  /// `seed` selects the starting point, `stream` selects one of 2^63
+  /// independent sequences.
+  explicit Pcg32(std::uint64_t seed = 0x853c49e6748fea9bULL,
+                 std::uint64_t stream = 0xda3e39cb94b95bdbULL) {
+    state_ = 0;
+    inc_ = (stream << 1u) | 1u;
+    (void)next();
+    state_ += seed;
+    (void)next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() { return next(); }
+
+  /// Uniform in [0, bound). Uses Lemire-style rejection to avoid modulo bias.
+  std::uint32_t below(std::uint32_t bound) {
+    RMS_CHECK(bound > 0);
+    const std::uint32_t threshold = (-bound) % bound;
+    for (;;) {
+      const std::uint32_t r = next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    RMS_CHECK(lo <= hi);
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    // Two draws to cover 64-bit spans.
+    const std::uint64_t r = (static_cast<std::uint64_t>(next()) << 32) | next();
+    return lo + static_cast<std::int64_t>(r % span);
+  }
+
+  /// True with probability `p`.
+  bool bernoulli(double p) { return uniform01() < p; }
+
+  /// Uniform double in [0, 1) with full 53-bit resolution.
+  double uniform01() {
+    const std::uint64_t r = (static_cast<std::uint64_t>(next()) << 32) | next();
+    return static_cast<double>(r >> 11) * 0x1.0p-53;
+  }
+
+  /// Poisson-distributed value with the given mean (Knuth for small means,
+  /// normal approximation clamped at zero for large ones).
+  std::uint32_t poisson(double mean);
+
+  /// Exponentially distributed value with the given mean.
+  double exponential(double mean);
+
+  /// Standard normal via Box-Muller (one value per call; simple > fast here).
+  double normal();
+
+ private:
+  result_type next() {
+    const std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    const auto xorshifted =
+        static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+    const auto rot = static_cast<std::uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((-rot) & 31u));
+  }
+
+  std::uint64_t state_;
+  std::uint64_t inc_;
+};
+
+inline double Pcg32::exponential(double mean) {
+  // Inverse CDF; guard against log(0).
+  double u = uniform01();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * __builtin_log(u);
+}
+
+inline double Pcg32::normal() {
+  double u1 = uniform01();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double u2 = uniform01();
+  return __builtin_sqrt(-2.0 * __builtin_log(u1)) *
+         __builtin_cos(6.283185307179586 * u2);
+}
+
+inline std::uint32_t Pcg32::poisson(double mean) {
+  RMS_CHECK(mean >= 0.0);
+  if (mean < 30.0) {
+    const double limit = __builtin_exp(-mean);
+    double prod = uniform01();
+    std::uint32_t n = 0;
+    while (prod > limit) {
+      prod *= uniform01();
+      ++n;
+    }
+    return n;
+  }
+  const double v = mean + __builtin_sqrt(mean) * normal();
+  return v <= 0.0 ? 0u : static_cast<std::uint32_t>(v + 0.5);
+}
+
+}  // namespace rms

@@ -1,0 +1,4 @@
+#include "common/stats.hpp"
+
+// Header-only today; this TU anchors the library target and keeps room for
+// heavier reporting (percentile digests) without touching the header.

@@ -1,0 +1,177 @@
+// Counters and summary statistics collected during a simulation run.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/time.hpp"
+
+namespace rms {
+
+/// Running summary of a stream of samples (count / sum / min / max / mean).
+/// Used for latency and queue-length observations; cheap enough to keep per
+/// node and per device.
+class Summary {
+ public:
+  void add(double v) {
+    if (count_ == 0) {
+      min_ = max_ = v;
+    } else {
+      min_ = std::min(min_, v);
+      max_ = std::max(max_, v);
+    }
+    sum_ += v;
+    ++count_;
+  }
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double mean() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+
+  void merge(const Summary& other) {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+      *this = other;
+      return;
+    }
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    sum_ += other.sum_;
+    count_ += other.count_;
+  }
+
+ private:
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-memory latency histogram with logarithmic buckets (2% resolution)
+/// supporting percentile queries. Values are expected in milliseconds but
+/// any positive unit works; zero/negative values land in the first bucket.
+class Histogram {
+ public:
+  void add(double v) {
+    ++total_;
+    summary_.add(v);
+    ++buckets_[bucket_of(v)];
+  }
+
+  std::uint64_t count() const { return total_; }
+  const Summary& summary() const { return summary_; }
+
+  /// Value at percentile p in [0, 1]; returns the bucket's representative
+  /// value (upper edge), 0 if empty.
+  double percentile(double p) const {
+    if (total_ == 0) return 0.0;
+    RMS_CHECK(p >= 0.0 && p <= 1.0);
+    const auto target = static_cast<std::uint64_t>(
+        p * static_cast<double>(total_ - 1)) + 1;
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      seen += buckets_[b];
+      if (seen >= target) return upper_edge(b);
+    }
+    return upper_edge(kBuckets - 1);
+  }
+
+  void merge(const Histogram& other) {
+    total_ += other.total_;
+    summary_.merge(other.summary_);
+    for (std::size_t b = 0; b < kBuckets; ++b) buckets_[b] += other.buckets_[b];
+  }
+
+ private:
+  // Buckets span [kMin, kMin * kGrowth^kBuckets): 1 us .. ~1000 s in ms
+  // units at 7% growth.
+  static constexpr double kMin = 1e-3;
+  static constexpr double kGrowth = 1.07;
+  static constexpr std::size_t kBuckets = 310;
+
+  static std::size_t bucket_of(double v) {
+    if (v <= kMin) return 0;
+    const double idx =
+        __builtin_log(v / kMin) / __builtin_log(kGrowth);
+    const auto b = static_cast<std::size_t>(idx) + 1;
+    return b >= kBuckets ? kBuckets - 1 : b;
+  }
+  static double upper_edge(std::size_t b) {
+    return kMin * __builtin_exp(static_cast<double>(b) *
+                                __builtin_log(kGrowth));
+  }
+
+  std::uint64_t total_ = 0;
+  Summary summary_;
+  std::array<std::uint64_t, kBuckets> buckets_{};
+};
+
+/// A named bag of counters and summaries. Components hold a `StatsRegistry`
+/// and tests/benches read it after the run; names are stable identifiers
+/// (e.g. "pagefaults", "swap_out_bytes").
+class StatsRegistry {
+ public:
+  /// Increment a named counter.
+  void bump(const std::string& name, std::int64_t delta = 1) {
+    counters_[name] += delta;
+  }
+
+  /// Record a named sample.
+  void sample(const std::string& name, double v) { summaries_[name].add(v); }
+
+  /// Record a named sample into a percentile histogram (heavier than
+  /// `sample`; use for latency distributions worth quantiles).
+  void record(const std::string& name, double v) { histograms_[name].add(v); }
+
+  std::int64_t counter(const std::string& name) const {
+    const auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+
+  const Summary& summary(const std::string& name) const {
+    static const Summary kEmpty;
+    const auto it = summaries_.find(name);
+    return it == summaries_.end() ? kEmpty : it->second;
+  }
+
+  const Histogram& histogram(const std::string& name) const {
+    static const Histogram kEmpty;
+    const auto it = histograms_.find(name);
+    return it == histograms_.end() ? kEmpty : it->second;
+  }
+
+  const std::map<std::string, std::int64_t>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, Summary>& summaries() const {
+    return summaries_;
+  }
+
+  void merge(const StatsRegistry& other) {
+    for (const auto& [k, v] : other.counters_) counters_[k] += v;
+    for (const auto& [k, v] : other.summaries_) summaries_[k].merge(v);
+    for (const auto& [k, v] : other.histograms_) histograms_[k].merge(v);
+  }
+
+  void clear() {
+    counters_.clear();
+    summaries_.clear();
+    histograms_.clear();
+  }
+
+ private:
+  std::map<std::string, std::int64_t> counters_;
+  std::map<std::string, Summary> summaries_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace rms

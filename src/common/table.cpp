@@ -1,0 +1,82 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/check.hpp"
+
+namespace rms {
+
+TablePrinter::TablePrinter(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {
+  RMS_CHECK(!columns_.empty());
+}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  RMS_CHECK_MSG(cells.size() == columns_.size(),
+                "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::print() const {
+  std::vector<std::size_t> width(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    width[c] = columns_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  std::printf("\n%s\n", title_.c_str());
+  auto rule = [&] {
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      std::printf("+-");
+      for (std::size_t i = 0; i < width[c]; ++i) std::printf("-");
+      std::printf("-");
+    }
+    std::printf("+\n");
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      std::printf("| %-*s ", static_cast<int>(width[c]), cells[c].c_str());
+    }
+    std::printf("|\n");
+  };
+  rule();
+  line(columns_);
+  rule();
+  for (const auto& row : rows_) line(row);
+  rule();
+}
+
+bool TablePrinter::write_csv(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      std::fprintf(f, "%s%s", cells[c].c_str(),
+                   c + 1 == cells.size() ? "\n" : ",");
+    }
+  };
+  emit(columns_);
+  for (const auto& row : rows_) emit(row);
+  std::fclose(f);
+  return true;
+}
+
+std::string TablePrinter::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TablePrinter::integer(std::int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  return buf;
+}
+
+}  // namespace rms

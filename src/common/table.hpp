@@ -1,0 +1,39 @@
+// Fixed-width console table printer used by the experiment harnesses.
+//
+// Every bench binary reproduces one table or figure from the paper and prints
+// it in the same row/series layout; this helper keeps that output aligned and
+// can mirror rows to a CSV file for plotting.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace rms {
+
+class TablePrinter {
+ public:
+  /// `title` is printed above the header, e.g. "Figure 3: execution time...".
+  explicit TablePrinter(std::string title, std::vector<std::string> columns);
+
+  /// Append one row; cells are preformatted strings.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render the table to stdout.
+  void print() const;
+
+  /// Write the table (header + rows) as CSV to `path`. Returns false if the
+  /// file could not be opened.
+  bool write_csv(const std::string& path) const;
+
+  /// Format helpers for cells.
+  static std::string num(double v, int precision = 1);
+  static std::string integer(std::int64_t v);
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rms

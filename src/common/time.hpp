@@ -1,0 +1,39 @@
+// Virtual time for the cluster simulator.
+//
+// All simulated timestamps and durations are integer nanoseconds. Integer
+// time keeps the discrete-event kernel deterministic across platforms and
+// makes equality comparisons in tests exact.
+#pragma once
+
+#include <cstdint>
+
+namespace rms {
+
+/// A point in virtual time or a duration, in nanoseconds.
+using Time = std::int64_t;
+
+inline constexpr Time kNanosecond = 1;
+inline constexpr Time kMicrosecond = 1000 * kNanosecond;
+inline constexpr Time kMillisecond = 1000 * kMicrosecond;
+inline constexpr Time kSecond = 1000 * kMillisecond;
+
+/// Construct durations readably: `usec(12)`, `msec(3)`, `sec(5)`.
+constexpr Time nsec(std::int64_t n) { return n; }
+constexpr Time usec(std::int64_t n) { return n * kMicrosecond; }
+constexpr Time msec(std::int64_t n) { return n * kMillisecond; }
+constexpr Time sec(std::int64_t n) { return n * kSecond; }
+
+/// Convert a virtual duration to floating-point seconds (for reports only).
+constexpr double to_seconds(Time t) { return static_cast<double>(t) / 1e9; }
+
+/// Convert a virtual duration to floating-point milliseconds.
+constexpr double to_millis(Time t) { return static_cast<double>(t) / 1e6; }
+
+/// Duration of transmitting `bytes` at `bits_per_second` (rounded up).
+constexpr Time transmit_time(std::int64_t bytes, std::int64_t bits_per_second) {
+  // bytes * 8 bits / (bits/s) seconds -> nanoseconds.
+  const std::int64_t bits = bytes * 8;
+  return (bits * kSecond + bits_per_second - 1) / bits_per_second;
+}
+
+}  // namespace rms

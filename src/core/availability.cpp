@@ -1,0 +1,94 @@
+#include "core/availability.hpp"
+
+namespace rms::core {
+
+AvailabilityTable::AvailabilityTable(std::vector<net::NodeId> memory_nodes)
+    : memory_nodes_(std::move(memory_nodes)) {
+  for (net::NodeId n : memory_nodes_) entries_.emplace(n, Entry{});
+}
+
+bool AvailabilityTable::update(const AvailabilityInfo& info, Time now) {
+  const auto it = entries_.find(info.node);
+  RMS_CHECK_MSG(it != entries_.end(),
+                "availability report from an unregistered node");
+  Entry& e = it->second;
+  if (e.valid && info.seq <= e.seq) return false;  // stale broadcast
+  e.available = info.available_bytes;
+  e.seq = info.seq;
+  e.updated = now;
+  e.valid = true;
+  return true;
+}
+
+std::int64_t AvailabilityTable::available(net::NodeId node) const {
+  const auto it = entries_.find(node);
+  if (it == entries_.end() || !it->second.valid) return 0;
+  return it->second.available;
+}
+
+std::optional<net::NodeId> AvailabilityTable::choose_destination(
+    std::int64_t bytes_needed, net::NodeId exclude) {
+  if (memory_nodes_.empty()) return std::nullopt;
+  for (std::size_t i = 0; i < memory_nodes_.size(); ++i) {
+    const std::size_t at = (cursor_ + i) % memory_nodes_.size();
+    const net::NodeId n = memory_nodes_[at];
+    if (n == exclude) continue;
+    if (available(n) >= bytes_needed) {
+      cursor_ = (at + 1) % memory_nodes_.size();
+      return n;
+    }
+  }
+  return std::nullopt;
+}
+
+void AvailabilityTable::debit(net::NodeId node, std::int64_t bytes) {
+  const auto it = entries_.find(node);
+  if (it == entries_.end() || !it->second.valid) return;
+  it->second.available =
+      it->second.available >= bytes ? it->second.available - bytes : 0;
+}
+
+sim::Process availability_monitor(cluster::Node& node, MonitorConfig config) {
+  sim::Simulation& sim = node.sim();
+  std::uint64_t seq = 0;
+  for (;;) {
+    // Read the kernel statistics (the paper's `netstat -k`).
+    co_await node.compute(node.costs().monitor_sample);
+    const std::int64_t avail = node.memory().available();
+    ++seq;
+    for (net::NodeId dst : config.subscribers) {
+      node.send_to(dst, kAvailInfo, kAvailabilityInfoBytes,
+                   AvailabilityInfo{node.id(), avail, seq});
+    }
+    node.stats().bump("monitor.broadcasts");
+    co_await sim.timeout(config.interval);
+  }
+}
+
+sim::Process availability_client(cluster::Node& node, AvailabilityTable& table,
+                                 ClientConfig config,
+                                 ShortageHandler on_shortage) {
+  // Tracks which shortage events were already handled so one withdrawal
+  // does not trigger a migration per broadcast.
+  std::unordered_map<net::NodeId, bool> short_handled;
+  for (;;) {
+    net::Message msg = co_await node.mailbox().recv(kAvailInfo);
+    const auto& info = msg.as<AvailabilityInfo>();
+    co_await node.compute(node.costs().context_switch);
+    if (!table.update(info, node.sim().now())) continue;
+    node.stats().bump("client.availability_updates");
+
+    const bool is_short =
+        info.available_bytes < config.shortage_threshold_bytes;
+    bool& handled = short_handled[info.node];
+    if (is_short && !handled) {
+      handled = true;
+      node.stats().bump("client.shortage_events");
+      if (on_shortage) co_await on_shortage(info.node);
+    } else if (!is_short) {
+      handled = false;  // node recovered; re-arm
+    }
+  }
+}
+
+}  // namespace rms::core

@@ -1,0 +1,92 @@
+// Dynamic decision mechanism for remote memory availability (§4.2, Fig. 2).
+//
+// Memory-available nodes run an AvailabilityMonitor process that samples the
+// node's free memory every `interval` (the paper uses `netstat -k` on a 3 s
+// period) and broadcasts it to all application execution nodes. Each
+// application node runs an availability client process that keeps the last
+// report per memory node in an AvailabilityTable — the paper's shared-memory
+// segment — which swap-destination choice and migration policy read.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "core/protocol.hpp"
+#include "sim/process.hpp"
+#include "sim/task.hpp"
+
+namespace rms::core {
+
+class AvailabilityTable {
+ public:
+  /// `memory_nodes`: the candidate memory-available nodes, in preference
+  /// order for the round-robin destination scan.
+  explicit AvailabilityTable(std::vector<net::NodeId> memory_nodes);
+
+  /// Record a monitor broadcast; stale (out-of-order) reports are dropped.
+  /// Returns true if the entry changed.
+  bool update(const AvailabilityInfo& info, Time now);
+
+  /// Last reported available bytes (0 until the first report arrives — an
+  /// unknown node is never chosen as a swap destination).
+  std::int64_t available(net::NodeId node) const;
+
+  /// Pick a destination with at least `bytes_needed` reported available,
+  /// round-robin across qualifying nodes so that consecutive swap-outs
+  /// spread over all memory-available nodes. Returns nullopt if nobody
+  /// qualifies. `exclude` removes a node from consideration (the shorted
+  /// holder during migration).
+  std::optional<net::NodeId> choose_destination(std::int64_t bytes_needed,
+                                                net::NodeId exclude = -1);
+
+  /// Debit a local estimate after choosing a destination, so many swap-outs
+  /// between two monitor reports do not all pile onto one node.
+  void debit(net::NodeId node, std::int64_t bytes);
+
+  const std::vector<net::NodeId>& memory_nodes() const {
+    return memory_nodes_;
+  }
+
+ private:
+  struct Entry {
+    std::int64_t available = 0;
+    std::uint64_t seq = 0;
+    Time updated = -1;
+    bool valid = false;
+  };
+
+  std::vector<net::NodeId> memory_nodes_;
+  std::unordered_map<net::NodeId, Entry> entries_;
+  std::size_t cursor_ = 0;  // round-robin position
+};
+
+struct MonitorConfig {
+  Time interval = sec(3);  // the paper's default sampling period
+  std::vector<net::NodeId> subscribers;  // application execution nodes
+};
+
+/// The monitor process running on a memory-available node. Spawn once per
+/// memory node; runs until simulation teardown.
+sim::Process availability_monitor(cluster::Node& node, MonitorConfig config);
+
+struct ClientConfig {
+  /// A memory node reporting less than this is "short" and triggers the
+  /// migration callback (§4.2: new processes began using its memory).
+  std::int64_t shortage_threshold_bytes = 256 << 10;
+};
+
+/// Shortage callback: invoked (and awaited) when a memory node's report
+/// drops below the threshold. Typically HashLineStore::migrate_away.
+using ShortageHandler = std::function<sim::Task<>(net::NodeId holder)>;
+
+/// The client process running on an application execution node: receives
+/// kAvailInfo broadcasts, refreshes `table`, and drives migration when a
+/// holder runs short. Spawn once per application node.
+sim::Process availability_client(cluster::Node& node, AvailabilityTable& table,
+                                 ClientConfig config,
+                                 ShortageHandler on_shortage);
+
+}  // namespace rms::core

@@ -1,0 +1,575 @@
+#include "core/hash_line_store.hpp"
+
+#include <algorithm>
+
+namespace rms::core {
+
+HashLineStore::HashLineStore(cluster::Node& node, Config config,
+                             AvailabilityTable* avail)
+    : node_(node),
+      config_(config),
+      avail_(avail),
+      eviction_rng_(config.eviction_seed,
+                    static_cast<std::uint64_t>(node.id()) * 2 + 1) {
+  RMS_CHECK(config_.num_lines > 0);
+  if (uses_remote_memory(config_.policy)) {
+    RMS_CHECK_MSG(avail_ != nullptr,
+                  "remote policies need an AvailabilityTable");
+  }
+  lines_.resize(config_.num_lines);
+}
+
+void HashLineStore::set_phase(Phase phase) { phase_ = phase; }
+
+std::size_t HashLineStore::lines_at(net::NodeId holder) const {
+  const auto it = lines_by_holder_.find(holder);
+  return it == lines_by_holder_.end() ? 0 : it->second.size();
+}
+
+void HashLineStore::check_invariants() const {
+  // Byte accounting and per-line state.
+  std::int64_t resident = 0;
+  std::int64_t total = 0;
+  std::size_t entries = 0;
+  std::size_t in_vec = 0;
+  for (std::size_t i = 0; i < lines_.size(); ++i) {
+    const Line& l = lines_[i];
+    total += l.bytes;
+    if (l.where == Where::kResident) {
+      resident += l.bytes;
+      RMS_CHECK_MSG(l.bytes == static_cast<std::int64_t>(l.entries.size()) *
+                                    mining::Itemset::kAccountedBytes,
+                    "resident line bytes out of sync with entries");
+      entries += l.entries.size();
+    } else {
+      RMS_CHECK_MSG(l.entries.empty(), "non-resident line keeps content");
+    }
+    const bool in_residency_vec = l.vec_pos >= 0;
+    if (in_residency_vec) {
+      ++in_vec;
+      RMS_CHECK(static_cast<std::size_t>(l.vec_pos) < resident_vec_.size());
+      RMS_CHECK_MSG(resident_vec_[static_cast<std::size_t>(l.vec_pos)] ==
+                        static_cast<LineId>(i),
+                    "residency vector position out of sync");
+      RMS_CHECK_MSG(l.where == Where::kResident && l.bytes > 0,
+                    "only non-empty resident lines live in the LRU");
+    } else {
+      RMS_CHECK_MSG(l.lru_prev < 0 && l.lru_next < 0 &&
+                        lru_head_ != static_cast<LineId>(i) &&
+                        lru_tail_ != static_cast<LineId>(i),
+                    "line outside the residency vector is linked in the LRU");
+    }
+  }
+  RMS_CHECK_MSG(in_vec == resident_vec_.size(),
+                "residency vector holds unknown lines");
+  RMS_CHECK_MSG(resident == resident_bytes_, "resident byte counter drifted");
+
+  // Walk the LRU list: must visit exactly the residency-vector members.
+  std::size_t walked = 0;
+  LineId prev = -1;
+  for (LineId id = lru_head_; id >= 0;
+       id = lines_[static_cast<std::size_t>(id)].lru_next) {
+    const Line& l = lines_[static_cast<std::size_t>(id)];
+    RMS_CHECK_MSG(l.lru_prev == static_cast<std::int32_t>(prev),
+                  "LRU back-link broken");
+    RMS_CHECK_MSG(l.vec_pos >= 0, "LRU member missing from residency vector");
+    prev = id;
+    ++walked;
+    RMS_CHECK_MSG(walked <= resident_vec_.size() + 1, "LRU list cycles");
+  }
+  RMS_CHECK_MSG(prev == lru_tail_, "LRU tail out of sync");
+  RMS_CHECK_MSG(walked == resident_vec_.size(),
+                "LRU list and residency vector diverge");
+}
+
+// ---------------------------------------------------------------------------
+// LRU maintenance
+// ---------------------------------------------------------------------------
+
+void HashLineStore::lru_push_front(LineId id) {
+  Line& l = line(id);
+  l.lru_prev = -1;
+  l.lru_next = static_cast<std::int32_t>(lru_head_);
+  if (lru_head_ >= 0) line(lru_head_).lru_prev = static_cast<std::int32_t>(id);
+  lru_head_ = id;
+  if (lru_tail_ < 0) lru_tail_ = id;
+
+  l.vec_pos = static_cast<std::int32_t>(resident_vec_.size());
+  resident_vec_.push_back(id);
+}
+
+void HashLineStore::lru_remove(LineId id) {
+  Line& l = line(id);
+  if (l.lru_prev >= 0) {
+    line(l.lru_prev).lru_next = l.lru_next;
+  } else if (lru_head_ == id) {
+    lru_head_ = l.lru_next;
+  }
+  if (l.lru_next >= 0) {
+    line(l.lru_next).lru_prev = l.lru_prev;
+  } else if (lru_tail_ == id) {
+    lru_tail_ = l.lru_prev;
+  }
+  l.lru_prev = l.lru_next = -1;
+
+  // Swap-remove from the residency vector.
+  RMS_CHECK(l.vec_pos >= 0);
+  const auto pos = static_cast<std::size_t>(l.vec_pos);
+  const LineId moved = resident_vec_.back();
+  resident_vec_[pos] = moved;
+  line(moved).vec_pos = static_cast<std::int32_t>(pos);
+  resident_vec_.pop_back();
+  l.vec_pos = -1;
+}
+
+void HashLineStore::lru_touch(LineId id) {
+  if (config_.eviction != EvictionPolicy::kLru) return;  // FIFO/Random
+  if (lru_head_ == id) return;
+  // Relink to the front; residency-vector position is order-independent.
+  Line& l = line(id);
+  if (l.lru_prev >= 0) {
+    line(l.lru_prev).lru_next = l.lru_next;
+  }
+  if (l.lru_next >= 0) {
+    line(l.lru_next).lru_prev = l.lru_prev;
+  } else if (lru_tail_ == id) {
+    lru_tail_ = l.lru_prev;
+  }
+  l.lru_prev = -1;
+  l.lru_next = static_cast<std::int32_t>(lru_head_);
+  if (lru_head_ >= 0) line(lru_head_).lru_prev = static_cast<std::int32_t>(id);
+  lru_head_ = id;
+  if (lru_tail_ < 0) lru_tail_ = id;
+}
+
+LineId HashLineStore::pick_victim(LineId pinned) {
+  if (config_.eviction == EvictionPolicy::kRandom) {
+    if (resident_vec_.empty()) return -1;
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      const LineId id = resident_vec_[eviction_rng_.below(
+          static_cast<std::uint32_t>(resident_vec_.size()))];
+      if (id != pinned) return id;
+    }
+    // The pinned line keeps being drawn (tiny residency): fall back to any
+    // other resident line.
+    for (LineId id : resident_vec_) {
+      if (id != pinned) return id;
+    }
+    return -1;
+  }
+  // LRU and FIFO both evict from the list tail (FIFO never reorders it).
+  LineId victim = lru_back();
+  if (victim == pinned) {
+    const std::int32_t prev = line(victim).lru_prev;
+    victim = prev;
+  }
+  return victim;
+}
+
+// ---------------------------------------------------------------------------
+// Public operations
+// ---------------------------------------------------------------------------
+
+sim::Task<> HashLineStore::insert(LineId id, const mining::Itemset& itemset) {
+  Line& l = line(id);
+  while (l.where == Where::kMigrating) {
+    co_await migration_trigger(id).wait();
+  }
+  if (l.where != Where::kResident) {
+    // Build-phase insert into an evicted line: bring it home first (simple
+    // swapping applies during candidate generation under every policy).
+    co_await fault_in(id);
+  }
+  // Invariant: a line is in the LRU list iff it is resident and non-empty.
+  const bool was_empty = (l.bytes == 0);
+  l.entries.push_back(mining::CountedItemset{itemset, 0});
+  l.bytes += mining::Itemset::kAccountedBytes;
+  resident_bytes_ += mining::Itemset::kAccountedBytes;
+  total_bytes_ += mining::Itemset::kAccountedBytes;
+  ++size_;
+  if (was_empty) {
+    lru_push_front(id);
+  } else {
+    lru_touch(id);
+  }
+  if (over_limit()) co_await enforce_limit(id);
+}
+
+sim::Task<> HashLineStore::probe(LineId id, const mining::Itemset& itemset) {
+  Line& l = line(id);
+
+  while (l.where == Where::kMigrating) {
+    if (phase_ == Phase::kCount && config_.policy == SwapPolicy::kRemoteUpdate) {
+      // Buffer the update until the line settles at its new holder.
+      pending_updates_[id].push_back(itemset);
+      ++updates_sent_;  // counted as an update operation (it becomes one)
+      co_return;
+    }
+    co_await migration_trigger(id).wait();
+  }
+
+  bool faulted = false;
+  switch (l.where) {
+    case Where::kResident:
+      break;
+    case Where::kRemote: {
+      if (phase_ == Phase::kCount &&
+          config_.policy == SwapPolicy::kRemoteUpdate) {
+        queue_update(id, itemset);
+        if (update_batches_[l.holder].bytes >= config_.message_block_bytes) {
+          co_await send_update_batch(l.holder);
+        }
+        co_return;
+      }
+      co_await fault_in(id);
+      faulted = true;
+      break;
+    }
+    case Where::kDisk: {
+      co_await fault_in(id);
+      faulted = true;
+      break;
+    }
+    case Where::kFaulting:
+    case Where::kMigrating:
+      RMS_CHECK_MSG(false, "concurrent mutation of a hash line");
+  }
+
+  for (mining::CountedItemset& e : l.entries) {
+    if (e.items == itemset) {
+      ++e.count;
+      break;
+    }
+  }
+  if (l.bytes > 0) lru_touch(id);  // empty lines never enter the LRU
+  if (faulted && over_limit()) co_await enforce_limit(id);
+}
+
+sim::Task<std::uint32_t> HashLineStore::count_matches(LineId id,
+                                                      mining::Item key) {
+  Line& l = line(id);
+  while (l.where == Where::kMigrating) {
+    co_await migration_trigger(id).wait();
+  }
+  bool faulted = false;
+  if (l.where != Where::kResident) {
+    co_await fault_in(id);
+    faulted = true;
+  }
+  std::uint32_t matches = 0;
+  for (const mining::CountedItemset& e : l.entries) {
+    if (!e.items.empty() && e.items.front() == key) ++matches;
+  }
+  if (l.bytes > 0) lru_touch(id);
+  if (faulted && over_limit()) co_await enforce_limit(id);
+  co_return matches;
+}
+
+sim::Task<> HashLineStore::flush_updates() {
+  // Collect holders first: sending mutates the map.
+  std::vector<net::NodeId> holders;
+  for (const auto& [holder, batch] : update_batches_) {
+    if (!batch.request.updates.empty()) holders.push_back(holder);
+  }
+  std::sort(holders.begin(), holders.end());
+  for (net::NodeId h : holders) co_await send_update_batch(h);
+}
+
+sim::Task<> HashLineStore::collect(
+    const std::function<void(const mining::CountedItemset&)>& fn) {
+  // Settle in-flight migrations, then push out any buffered updates.
+  for (LineId id = 0; id < static_cast<LineId>(lines_.size()); ++id) {
+    if (line(id).where == Where::kMigrating) {
+      co_await migration_trigger(id).wait();
+    }
+  }
+  co_await flush_updates();
+
+  // Fetch remote lines home, holder by holder (updates already sent to a
+  // holder are applied before its fetch: same-pair FIFO plus a sequential
+  // server loop).
+  std::vector<net::NodeId> holders;
+  for (const auto& [holder, ids] : lines_by_holder_) {
+    if (!ids.empty()) holders.push_back(holder);
+  }
+  std::sort(holders.begin(), holders.end());
+  for (net::NodeId holder : holders) {
+    MemRequest req;
+    req.kind = MemRequest::Kind::kFetch;
+    req.owner = node_.id();
+    req.fetch_min_count = config_.fetch_filter_min_count;
+    net::Message reply = co_await node_.request(net::Message::make(
+        node_.id(), holder, kMemService, 32, std::move(req)));
+    const auto& rep = reply.as<MemReply>();
+    co_await node_.compute(node_.costs().per_message_cpu);
+    for (const LinePayload& payload : rep.lines) {
+      Line& l = line(payload.line_id);
+      RMS_CHECK(l.where == Where::kRemote && l.holder == holder);
+      l.entries = payload.entries;
+      l.where = Where::kResident;
+      l.holder = -1;
+      resident_bytes_ += l.bytes;
+      lru_push_front(payload.line_id);
+    }
+    lines_by_holder_[holder].clear();
+  }
+
+  // Disk lines stream back sequentially (the swap area is contiguous).
+  for (LineId id = 0; id < static_cast<LineId>(lines_.size()); ++id) {
+    Line& l = line(id);
+    if (l.where != Where::kDisk) continue;
+    co_await node_.swap_disk().read(
+        std::max<std::int64_t>(l.bytes, config_.message_block_bytes),
+        disk::Access::kSequential);
+    const auto it = disk_store_.find(id);
+    RMS_CHECK(it != disk_store_.end());
+    l.entries = std::move(it->second);
+    disk_store_.erase(it);
+    l.where = Where::kResident;
+    resident_bytes_ += l.bytes;
+    lru_push_front(id);
+  }
+
+  for (const Line& l : lines_) {
+    RMS_CHECK(l.where == Where::kResident);
+    for (const mining::CountedItemset& e : l.entries) fn(e);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Eviction and faulting
+// ---------------------------------------------------------------------------
+
+net::NodeId HashLineStore::pick_destination(std::int64_t bytes) {
+  RMS_CHECK(avail_ != nullptr);
+  const auto dest =
+      avail_->choose_destination(bytes + config_.destination_headroom_bytes);
+  RMS_CHECK_MSG(dest.has_value(),
+                "no memory-available node can accept a swapped line");
+  avail_->debit(*dest, bytes);
+  return *dest;
+}
+
+sim::Task<> HashLineStore::enforce_limit(LineId pinned) {
+  while (over_limit()) {
+    const LineId victim = pick_victim(pinned);
+    if (victim < 0) break;  // only the pinned line is resident
+    co_await evict(victim);
+  }
+}
+
+sim::Task<> HashLineStore::evict(LineId id) {
+  Line& l = line(id);
+  RMS_CHECK(l.where == Where::kResident);
+  RMS_CHECK(l.bytes > 0);
+  ++swap_outs_;
+  lru_remove(id);
+  resident_bytes_ -= l.bytes;
+
+  switch (config_.policy) {
+    case SwapPolicy::kNoLimit:
+      RMS_CHECK_MSG(false, "eviction under kNoLimit");
+      break;
+
+    case SwapPolicy::kDiskSwap: {
+      // Write-behind to the contiguous swap area: sequential, and the probe
+      // that triggered the eviction waits for the write to be queued, like
+      // a dirty-page writeback under memory pressure.
+      disk_store_[id] = std::move(l.entries);
+      l.entries.clear();
+      l.where = Where::kDisk;
+      node_.stats().bump("store.disk_swap_out");
+      co_await node_.swap_disk().write(
+          std::max<std::int64_t>(l.bytes, config_.message_block_bytes),
+          disk::Access::kSequential);
+      break;
+    }
+
+    case SwapPolicy::kRemoteSwap:
+    case SwapPolicy::kRemoteUpdate: {
+      const net::NodeId dest = pick_destination(l.bytes);
+      MemRequest req;
+      req.kind = MemRequest::Kind::kSwapOut;
+      req.owner = node_.id();
+      LinePayload payload;
+      payload.line_id = id;
+      payload.entries = std::move(l.entries);
+      payload.accounted_bytes = l.bytes;
+      req.lines.push_back(std::move(payload));
+      l.entries.clear();
+      l.where = Where::kRemote;
+      l.holder = dest;
+      lines_by_holder_[dest].insert(id);
+      node_.stats().bump("store.remote_swap_out");
+      // One-way push, padded to a message block (§5.1); the sender only
+      // pays its protocol-stack cost.
+      node_.send_to(dest, kMemService, config_.message_block_bytes,
+                    std::move(req));
+      co_await node_.compute(node_.costs().per_message_cpu);
+      break;
+    }
+  }
+}
+
+sim::Task<> HashLineStore::fault_in(LineId id) {
+  Line& l = line(id);
+  ++pagefaults_;
+  node_.stats().bump("store.pagefaults");
+  const Time started = node_.sim().now();
+
+  if (l.where == Where::kRemote) {
+    const net::NodeId holder = l.holder;
+    l.where = Where::kFaulting;
+    MemRequest req;
+    req.kind = MemRequest::Kind::kSwapIn;
+    req.owner = node_.id();
+    req.line_id = id;
+    net::Message reply = co_await node_.request(net::Message::make(
+        node_.id(), holder, kMemService, 32, std::move(req)));
+    const auto& rep = reply.as<MemReply>();
+    RMS_CHECK(rep.lines.size() == 1 && rep.lines[0].line_id == id);
+    co_await node_.compute(node_.costs().per_message_cpu);
+    l.entries = rep.lines[0].entries;
+    lines_by_holder_[holder].erase(id);
+  } else {
+    RMS_CHECK(l.where == Where::kDisk);
+    l.where = Where::kFaulting;
+    co_await node_.swap_disk().read(
+        std::max<std::int64_t>(l.bytes, config_.message_block_bytes),
+        disk::Access::kRandom);
+    const auto it = disk_store_.find(id);
+    RMS_CHECK(it != disk_store_.end());
+    l.entries = std::move(it->second);
+    disk_store_.erase(it);
+  }
+
+  l.where = Where::kResident;
+  l.holder = -1;
+  resident_bytes_ += l.bytes;
+  lru_push_front(id);
+  const double fault_ms = to_millis(node_.sim().now() - started);
+  node_.stats().sample("store.fault_ms", fault_ms);
+  node_.stats().record("store.fault_ms", fault_ms);
+}
+
+// ---------------------------------------------------------------------------
+// Remote updates
+// ---------------------------------------------------------------------------
+
+void HashLineStore::queue_update(LineId id, const mining::Itemset& itemset) {
+  const net::NodeId holder = line(id).holder;
+  UpdateBatch& batch = update_batches_[holder];
+  if (batch.request.updates.empty()) {
+    batch.request.kind = MemRequest::Kind::kUpdateBatch;
+    batch.request.owner = node_.id();
+  }
+  batch.request.updates.push_back(UpdateOp{id, itemset});
+  batch.bytes += config_.update_op_bytes;
+  ++updates_sent_;
+}
+
+sim::Task<> HashLineStore::send_update_batch(net::NodeId holder) {
+  UpdateBatch& batch = update_batches_[holder];
+  if (batch.request.updates.empty()) co_return;
+  const std::int64_t bytes = batch.bytes;
+  MemRequest req = std::move(batch.request);
+  batch.request = MemRequest{};
+  batch.bytes = 0;
+  node_.stats().bump("store.update_batches");
+  node_.send_to(holder, kMemService, bytes, std::move(req));
+  co_await node_.compute(node_.costs().per_message_cpu);
+}
+
+// ---------------------------------------------------------------------------
+// Migration (application side)
+// ---------------------------------------------------------------------------
+
+sim::Trigger& HashLineStore::migration_trigger(LineId id) {
+  auto& slot = migration_waits_[id];
+  if (!slot) slot = std::make_unique<sim::Trigger>(node_.sim());
+  return *slot;
+}
+
+sim::Task<> HashLineStore::migrate_away(net::NodeId holder) {
+  const auto it = lines_by_holder_.find(holder);
+  if (it == lines_by_holder_.end() || it->second.empty()) co_return;
+
+  // 1. Mark this node's lines as migrating FIRST; from here on probes
+  //    buffer (remote update) or wait on the line trigger (simple
+  //    swapping), so no new update can target the old holder.
+  std::vector<LineId> marked;
+  std::int64_t marked_bytes = 0;
+  for (LineId id : it->second) {
+    Line& l = line(id);
+    if (l.where == Where::kFaulting) {
+      // A swap-in is in flight for this line; it was requested before the
+      // directive will arrive (same-pair FIFO), so the holder answers the
+      // fault first and the line comes home by itself.
+      continue;
+    }
+    RMS_CHECK(l.where == Where::kRemote);
+    l.where = Where::kMigrating;
+    marked.push_back(id);
+    marked_bytes += l.bytes;
+  }
+  if (marked.empty()) co_return;
+  std::sort(marked.begin(), marked.end());
+
+  // 2. Updates already queued for the old holder must precede the directive
+  //    (same-pair FIFO keeps them ahead of it on the wire). With the lines
+  //    marked, nothing can refill this batch behind our back.
+  co_await send_update_batch(holder);
+
+  const net::NodeId dest = pick_destination(marked_bytes);
+  MemRequest req;
+  req.kind = MemRequest::Kind::kMigrateDirective;
+  req.owner = node_.id();
+  req.migrate_dest = dest;
+  req.migrate_lines = marked;
+
+  node_.stats().bump("store.migrations_initiated");
+  net::Message reply = co_await node_.request(net::Message::make(
+      node_.id(), holder, kMemService,
+      16 + 8 * static_cast<std::int64_t>(marked.size()), std::move(req)));
+  const auto& rep = reply.as<MemReply>();
+
+  // 3. Re-point the management table: probes only faulted lines out of a
+  //    kMigrating state via the trigger, so every marked line must have
+  //    moved with the directive.
+  RMS_CHECK_MSG(rep.migrated.size() == marked.size(),
+                "holder lost track of migrating lines");
+  auto& old_set = lines_by_holder_[holder];
+  auto& new_set = lines_by_holder_[dest];
+  for (LineId id : marked) {
+    Line& l = line(id);
+    RMS_CHECK(l.where == Where::kMigrating);
+    l.where = Where::kRemote;
+    l.holder = dest;
+    old_set.erase(id);
+    new_set.insert(id);
+  }
+  lines_migrated_ += static_cast<std::int64_t>(marked.size());
+
+  // 4. Flush updates buffered while the lines were in flight, then wake any
+  //    probe blocked on a migrating line.
+  for (LineId id : marked) {
+    const auto pend = pending_updates_.find(id);
+    if (pend != pending_updates_.end()) {
+      for (const mining::Itemset& s : pend->second) {
+        --updates_sent_;  // queue_update will count it again
+        queue_update(id, s);
+      }
+      pending_updates_.erase(pend);
+      if (update_batches_[dest].bytes >= config_.message_block_bytes) {
+        co_await send_update_batch(dest);
+      }
+    }
+    const auto trig = migration_waits_.find(id);
+    if (trig != migration_waits_.end()) {
+      trig->second->fire();
+      migration_waits_.erase(trig);
+    }
+  }
+}
+
+}  // namespace rms::core

@@ -1,0 +1,207 @@
+// HashLineStore: the memory-limited candidate-itemset store on an
+// application execution node — the heart of the paper's contribution.
+//
+// It keeps the node's share of the distributed hash-line table under a
+// configurable memory-usage limit (the paper's 12–15 MB sweeps). Accounted
+// memory is 24 bytes per candidate itemset. When an insert or swap-in pushes
+// residency over the limit, LRU-selected hash lines are evicted through the
+// active SwapPolicy:
+//
+//   kDiskSwap      — line written to the local swap disk; a later probe
+//                    faults it back in (>= 13 ms on the 7,200 rpm model).
+//   kRemoteSwap    — line pushed to a memory-available node chosen from the
+//                    AvailabilityTable; a probe faults it back (~2.3 ms).
+//   kRemoteUpdate  — during the counting phase an evicted line stays fixed
+//                    remotely and probes become one-way, batched update
+//                    messages (§4.4) — no fault round-trips, no thrashing.
+//
+// The store also owns the application side of migration (§4.2): when the
+// availability client reports a holder short of memory, `migrate_away`
+// flushes pending traffic, directs the holder to push this node's lines to a
+// fresh destination, and re-points the memory-management table on completion.
+//
+// Threading discipline: one logical mutator (the HPA build/count process)
+// plus the availability client calling `migrate_away`; the line-state
+// machine (kFaulting / kMigrating) makes that interleaving safe.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "common/rng.hpp"
+#include "core/availability.hpp"
+#include "core/policy.hpp"
+#include "core/protocol.hpp"
+#include "mining/hash_line_table.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+
+namespace rms::core {
+
+class HashLineStore {
+ public:
+  struct Config {
+    std::size_t num_lines = 1;            // local hash lines on this node
+    std::int64_t memory_limit_bytes = -1; // -1: no limit
+    SwapPolicy policy = SwapPolicy::kNoLimit;
+    /// Victim selection (the paper uses LRU, §4.3).
+    EvictionPolicy eviction = EvictionPolicy::kLru;
+    std::uint64_t eviction_seed = 0x11ce;  // for EvictionPolicy::kRandom
+    std::int64_t message_block_bytes = 4096;  // swap unit on the wire (§5.1)
+    std::int64_t update_op_bytes = 16;        // line id + itemset in a batch
+    /// Headroom a destination must report before receiving a line.
+    std::int64_t destination_headroom_bytes = 64 << 10;
+    /// "Remote determination": when > 0, end-of-pass fetches ask the
+    /// memory servers to drop entries below this support count before
+    /// shipping lines home (extension; 0 = fetch everything).
+    std::uint32_t fetch_filter_min_count = 0;
+  };
+
+  /// kBuild: candidate generation (inserts; remote lines fault back even
+  /// under kRemoteUpdate). kCount: support counting (probes; kRemoteUpdate
+  /// switches to one-way updates). The paper applies the update interface
+  /// "to the itemsets counting phase" only (§4.4).
+  enum class Phase { kBuild, kCount };
+
+  HashLineStore(cluster::Node& node, Config config, AvailabilityTable* avail);
+
+  HashLineStore(const HashLineStore&) = delete;
+  HashLineStore& operator=(const HashLineStore&) = delete;
+
+  void set_phase(Phase phase);
+  Phase phase() const { return phase_; }
+
+  /// Register a candidate in local line `line` (build phase). May evict.
+  sim::Task<> insert(LineId line, const mining::Itemset& itemset);
+
+  /// Support-count probe (count phase). Resident lines are probed in place;
+  /// non-resident lines fault or emit a remote update per the policy.
+  sim::Task<> probe(LineId line, const mining::Itemset& itemset);
+
+  /// Read query: number of entries in `line` whose first item equals `key`
+  /// (the hash-join probe: entries encode keyed tuples). Reads need the
+  /// data, so non-resident lines fault in under every policy — one-way
+  /// remote updates cannot answer them.
+  sim::Task<std::uint32_t> count_matches(LineId line, mining::Item key);
+
+  /// Send all partially-filled update batches (end of counting phase).
+  sim::Task<> flush_updates();
+
+  /// Bring every line's final contents home and stream its entries. Used by
+  /// the large-itemset determination step; the memory limit is not enforced
+  /// while collecting (the counting structures are torn down right after).
+  sim::Task<> collect(
+      const std::function<void(const mining::CountedItemset&)>& fn);
+
+  /// Migration (availability client callback): move this node's lines away
+  /// from `holder` to a destination chosen from the availability table.
+  sim::Task<> migrate_away(net::NodeId holder);
+
+  // ---- Introspection ----
+  std::int64_t resident_bytes() const { return resident_bytes_; }
+  std::int64_t total_bytes() const { return total_bytes_; }
+  std::size_t size() const { return size_; }
+  std::int64_t pagefaults() const { return pagefaults_; }
+  std::int64_t swap_outs() const { return swap_outs_; }
+  std::int64_t updates_sent() const { return updates_sent_; }
+  std::int64_t lines_migrated() const { return lines_migrated_; }
+  std::size_t lines_at(net::NodeId holder) const;
+
+  /// Debug helper: verify the internal invariants (LRU list <-> residency
+  /// vector consistency, byte accounting, location bookkeeping). Aborts on
+  /// violation; O(num_lines). Property tests call this between operations.
+  void check_invariants() const;
+  /// Accounted bytes of one line (kept while the line is swapped out).
+  std::int64_t line_bytes(LineId id) const {
+    RMS_CHECK(id >= 0 && static_cast<std::size_t>(id) < lines_.size());
+    return lines_[static_cast<std::size_t>(id)].bytes;
+  }
+  const Config& config() const { return config_; }
+
+ private:
+  enum class Where : std::uint8_t {
+    kResident,
+    kRemote,
+    kDisk,
+    kFaulting,   // synchronous swap-in in flight
+    kMigrating,  // holder executing a migration directive
+  };
+
+  struct Line {
+    mining::HashLine entries;  // meaningful only when resident
+    Where where = Where::kResident;
+    net::NodeId holder = -1;
+    std::int64_t bytes = 0;  // accounted bytes, kept while away
+    std::int32_t lru_prev = -1;
+    std::int32_t lru_next = -1;
+    std::int32_t vec_pos = -1;  // index into resident_vec_
+  };
+
+  struct UpdateBatch {
+    MemRequest request;
+    std::int64_t bytes = 0;
+  };
+
+  Line& line(LineId id) {
+    RMS_CHECK(id >= 0 && static_cast<std::size_t>(id) < lines_.size());
+    return lines_[static_cast<std::size_t>(id)];
+  }
+
+  // Residency list over non-empty resident lines. Under LRU the head is
+  // the most recently used line; under FIFO insertion order is kept
+  // (touch is a no-op); Random samples the side vector.
+  void lru_push_front(LineId id);
+  void lru_remove(LineId id);
+  void lru_touch(LineId id);
+  LineId lru_back() const { return lru_tail_; }
+  LineId pick_victim(LineId pinned);
+
+  bool over_limit() const {
+    return config_.memory_limit_bytes >= 0 &&
+           resident_bytes_ > config_.memory_limit_bytes;
+  }
+
+  /// Evict LRU lines (never `pinned`) until within the limit.
+  sim::Task<> enforce_limit(LineId pinned);
+  sim::Task<> evict(LineId id);
+  sim::Task<> fault_in(LineId id);
+  void queue_update(LineId id, const mining::Itemset& itemset);
+  sim::Task<> send_update_batch(net::NodeId holder);
+  net::NodeId pick_destination(std::int64_t bytes);
+  sim::Trigger& migration_trigger(LineId id);
+
+  cluster::Node& node_;
+  Config config_;
+  AvailabilityTable* avail_;
+  Phase phase_ = Phase::kBuild;
+
+  std::vector<Line> lines_;
+  LineId lru_head_ = -1;
+  LineId lru_tail_ = -1;
+  std::vector<LineId> resident_vec_;  // for EvictionPolicy::kRandom
+  Pcg32 eviction_rng_;
+
+  std::int64_t resident_bytes_ = 0;
+  std::int64_t total_bytes_ = 0;
+  std::size_t size_ = 0;
+
+  // Location bookkeeping for migration and collection.
+  std::unordered_map<net::NodeId, std::unordered_set<LineId>> lines_by_holder_;
+  std::unordered_map<LineId, mining::HashLine> disk_store_;
+  std::unordered_map<net::NodeId, UpdateBatch> update_batches_;
+  std::unordered_map<LineId, std::vector<mining::Itemset>> pending_updates_;
+  std::unordered_map<LineId, std::unique_ptr<sim::Trigger>> migration_waits_;
+
+  std::int64_t pagefaults_ = 0;
+  std::int64_t swap_outs_ = 0;
+  std::int64_t updates_sent_ = 0;
+  std::int64_t lines_migrated_ = 0;
+};
+
+}  // namespace rms::core

@@ -1,0 +1,189 @@
+#include "core/memory_server.hpp"
+
+#include <algorithm>
+
+namespace rms::core {
+
+MemoryServer::MemoryServer(cluster::Node& node, Config config)
+    : node_(node), config_(config) {}
+
+void MemoryServer::adopt_line(net::NodeId owner, LinePayload line) {
+  const std::uint64_t k = key(owner, line.line_id);
+  RMS_CHECK_MSG(store_.find(k) == store_.end(),
+                "line swapped out twice without a swap-in");
+  stored_bytes_ += line.accounted_bytes;
+  node_.memory().donated_bytes += line.accounted_bytes;
+  lines_by_owner_[owner].insert(line.line_id);
+  store_.emplace(k, std::move(line));
+}
+
+LinePayload MemoryServer::release_line(net::NodeId owner, LineId id) {
+  const auto it = store_.find(key(owner, id));
+  RMS_CHECK_MSG(it != store_.end(), "swap-in for a line this node not hold");
+  LinePayload line = std::move(it->second);
+  store_.erase(it);
+  stored_bytes_ -= line.accounted_bytes;
+  node_.memory().donated_bytes -= line.accounted_bytes;
+  lines_by_owner_[owner].erase(id);
+  return line;
+}
+
+sim::Process MemoryServer::serve() {
+  for (;;) {
+    net::Message msg = co_await node_.mailbox().recv(kMemService);
+    co_await handle(msg);
+  }
+}
+
+sim::Task<> MemoryServer::handle(net::Message msg) {
+  const auto& req = msg.as<MemRequest>();
+  const cluster::CostModel& costs = node_.costs();
+
+  switch (req.kind) {
+    case MemRequest::Kind::kSwapOut: {
+      // "At the memory available node, the received contents are allocated
+      // and written in its main memory" (§4.3).
+      co_await node_.compute(costs.swap_service);
+      for (const LinePayload& line : req.lines) {
+        adopt_line(req.owner, line);
+      }
+      node_.stats().bump("server.swap_out",
+                         static_cast<std::int64_t>(req.lines.size()));
+      break;
+    }
+
+    case MemRequest::Kind::kSwapIn: {
+      co_await node_.compute(costs.swap_service);
+      MemReply reply;
+      reply.lines.push_back(release_line(req.owner, req.line_id));
+      node_.stats().bump("server.swap_in");
+      node_.reply(msg, config_.message_block_bytes, std::move(reply));
+      break;
+    }
+
+    case MemRequest::Kind::kUpdateBatch: {
+      // One-way remote updates (§4.4): search each target line for the
+      // probed itemset and increment its counter on a match.
+      co_await node_.compute(
+          costs.per_message_cpu +
+          costs.per_update_apply *
+              static_cast<std::int64_t>(req.updates.size()));
+      for (const UpdateOp& op : req.updates) {
+        const auto it = store_.find(key(req.owner, op.line_id));
+        RMS_CHECK_MSG(it != store_.end(), "remote update for an absent line");
+        for (mining::CountedItemset& e : it->second.entries) {
+          if (e.items == op.itemset) {
+            ++e.count;
+            break;
+          }
+        }
+      }
+      node_.stats().bump("server.updates_applied",
+                         static_cast<std::int64_t>(req.updates.size()));
+      break;
+    }
+
+    case MemRequest::Kind::kFetch: {
+      // End-of-pass collection: return and drop every line of this owner.
+      // With fetch_min_count set ("remote determination"), sub-threshold
+      // entries are filtered server-side and never cross the wire.
+      MemReply reply;
+      const auto it = lines_by_owner_.find(req.owner);
+      std::int64_t bytes = 0;
+      if (it != lines_by_owner_.end()) {
+        const std::vector<LineId> ids(it->second.begin(), it->second.end());
+        for (LineId id : ids) {
+          LinePayload line = release_line(req.owner, id);
+          if (req.fetch_min_count > 0) {
+            std::erase_if(line.entries,
+                          [&](const mining::CountedItemset& e) {
+                            return e.count < req.fetch_min_count;
+                          });
+            line.accounted_bytes =
+                static_cast<std::int64_t>(line.entries.size()) *
+                mining::Itemset::kAccountedBytes;
+            node_.stats().bump("server.filtered_fetch_lines");
+          }
+          bytes += line.accounted_bytes;
+          reply.lines.push_back(std::move(line));
+        }
+      }
+      // Bulk streaming: cheaper per line than individual swap service.
+      co_await node_.compute(
+          costs.per_message_cpu +
+          (costs.per_update_apply *
+           static_cast<std::int64_t>(reply.lines.size())));
+      node_.stats().bump("server.fetches");
+      node_.reply(msg, std::max<std::int64_t>(bytes, 64), std::move(reply));
+      break;
+    }
+
+    case MemRequest::Kind::kMigrateDirective: {
+      co_await handle_migrate_directive(msg);
+      break;
+    }
+
+    case MemRequest::Kind::kMigrateData: {
+      co_await node_.compute(costs.swap_service);
+      for (const LinePayload& line : req.lines) {
+        adopt_line(req.owner, line);
+      }
+      node_.stats().bump("server.migrate_in",
+                         static_cast<std::int64_t>(req.lines.size()));
+      node_.reply(msg, 16, MemReply{});
+      break;
+    }
+  }
+}
+
+sim::Task<> MemoryServer::handle_migrate_directive(const net::Message& msg) {
+  // "The memory available node migrates its contents to other memory
+  // available nodes according to the direction" (§4.2). Lines are batched
+  // into message blocks and pushed to the destination server; each block is
+  // acknowledged so the owner only re-points its management table once the
+  // data is safely adopted.
+  const auto& req = msg.as<MemRequest>();
+  const cluster::CostModel& costs = node_.costs();
+  RMS_CHECK(req.migrate_dest >= 0 && req.migrate_dest != node_.id());
+
+  MemReply done;
+  MemRequest block;
+  block.kind = MemRequest::Kind::kMigrateData;
+  block.owner = req.owner;
+  std::int64_t block_bytes = 0;
+
+  auto flush_block = [&]() -> sim::Task<> {
+    if (block.lines.empty()) co_return;
+    net::Message data = net::Message::make(
+        node_.id(), req.migrate_dest, kMemService,
+        std::max<std::int64_t>(block_bytes, 64), std::move(block));
+    block = MemRequest{};
+    block.kind = MemRequest::Kind::kMigrateData;
+    block.owner = req.owner;
+    block_bytes = 0;
+    (void)co_await node_.request(std::move(data));  // wait for adoption ack
+  };
+
+  for (LineId id : req.migrate_lines) {
+    if (store_.find(key(req.owner, id)) == store_.end()) {
+      // The owner faulted this line back between composing the directive
+      // and its arrival; nothing to move.
+      continue;
+    }
+    co_await node_.compute(costs.per_update_apply);
+    LinePayload line = release_line(req.owner, id);
+    block_bytes += std::max<std::int64_t>(line.accounted_bytes, 16);
+    done.migrated.push_back(id);
+    block.lines.push_back(std::move(line));
+    if (block_bytes >= config_.message_block_bytes) co_await flush_block();
+  }
+  co_await flush_block();
+
+  node_.stats().bump("server.migrations");
+  node_.stats().bump("server.lines_migrated",
+                     static_cast<std::int64_t>(done.migrated.size()));
+  node_.reply(msg, 16 + 8 * static_cast<std::int64_t>(done.migrated.size()),
+              std::move(done));
+}
+
+}  // namespace rms::core

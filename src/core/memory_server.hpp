@@ -1,0 +1,63 @@
+// MemoryServer: the process running on a memory-available node that lends
+// its RAM to application execution nodes (§4.2–4.4).
+//
+// It stores swapped-out hash lines keyed by (owner application node, line
+// id), answers swap-in faults, applies one-way remote-update batches, hands
+// complete line sets back at end of pass (kFetch), and executes migration
+// directives by pushing an owner's lines to another memory-available node.
+//
+// Requests are handled strictly one at a time — the single 200 MHz CPU — so
+// a small memory-node pool saturates exactly like the paper's Figure 3.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "cluster/cluster.hpp"
+#include "core/protocol.hpp"
+#include "sim/process.hpp"
+#include "sim/task.hpp"
+
+namespace rms::core {
+
+class MemoryServer {
+ public:
+  struct Config {
+    std::int64_t message_block_bytes = 4096;  // swap unit on the wire (§5.1)
+  };
+
+  explicit MemoryServer(cluster::Node& node) : MemoryServer(node, Config{}) {}
+  MemoryServer(cluster::Node& node, Config config);
+
+  MemoryServer(const MemoryServer&) = delete;
+  MemoryServer& operator=(const MemoryServer&) = delete;
+
+  /// The service loop; spawn exactly once.
+  sim::Process serve();
+
+  /// Introspection for tests and reports.
+  std::size_t stored_lines() const { return store_.size(); }
+  std::int64_t stored_bytes() const { return stored_bytes_; }
+  cluster::Node& node() { return node_; }
+
+ private:
+  static std::uint64_t key(net::NodeId owner, LineId line) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(owner))
+            << 40) ^
+           static_cast<std::uint64_t>(line);
+  }
+
+  sim::Task<> handle(net::Message msg);
+  sim::Task<> handle_migrate_directive(const net::Message& msg);
+  void adopt_line(net::NodeId owner, LinePayload line);
+  LinePayload release_line(net::NodeId owner, LineId id);
+
+  cluster::Node& node_;
+  Config config_;
+  std::unordered_map<std::uint64_t, LinePayload> store_;
+  std::unordered_map<net::NodeId, std::unordered_set<LineId>> lines_by_owner_;
+  std::int64_t stored_bytes_ = 0;
+};
+
+}  // namespace rms::core

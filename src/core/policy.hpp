@@ -1,0 +1,56 @@
+// Swap policies for over-limit candidate memory (§4 and §5 of the paper).
+#pragma once
+
+#include <string>
+
+namespace rms::core {
+
+enum class SwapPolicy {
+  /// Application nodes have enough memory; the monitor still runs (the
+  /// paper's baseline in Figure 3, "no memory usage limit").
+  kNoLimit,
+  /// Swap evicted hash lines to the local SCSI disk (the paper's Figure 4
+  /// baseline, "swapping out to hard disks").
+  kDiskSwap,
+  /// Dynamic remote memory acquisition with simple swapping (§4.3): evicted
+  /// lines go to a memory-available node; a fault swaps the line back in.
+  kRemoteSwap,
+  /// Dynamic remote memory acquisition with remote update operations (§4.4):
+  /// once a line is swapped out it is *fixed* on the remote node during the
+  /// counting phase and accessed via one-way update messages.
+  kRemoteUpdate,
+};
+
+inline const char* to_string(SwapPolicy p) {
+  switch (p) {
+    case SwapPolicy::kNoLimit: return "no-limit";
+    case SwapPolicy::kDiskSwap: return "disk-swap";
+    case SwapPolicy::kRemoteSwap: return "remote-swap";
+    case SwapPolicy::kRemoteUpdate: return "remote-update";
+  }
+  return "?";
+}
+
+inline bool uses_remote_memory(SwapPolicy p) {
+  return p == SwapPolicy::kRemoteSwap || p == SwapPolicy::kRemoteUpdate;
+}
+
+/// Victim selection for over-limit eviction. The paper uses LRU ("the hash
+/// line swapped out is selected using a LRU algorithm", §4.3); FIFO and
+/// Random are provided for the ablation bench.
+enum class EvictionPolicy {
+  kLru,
+  kFifo,
+  kRandom,
+};
+
+inline const char* to_string(EvictionPolicy p) {
+  switch (p) {
+    case EvictionPolicy::kLru: return "lru";
+    case EvictionPolicy::kFifo: return "fifo";
+    case EvictionPolicy::kRandom: return "random";
+  }
+  return "?";
+}
+
+}  // namespace rms::core

@@ -1,0 +1,80 @@
+// Wire protocol between application execution nodes and memory-available
+// nodes (Figure 2 of the paper).
+//
+// One service tag per role keeps each server a single blocking loop:
+//   kMemService   — swap-out / swap-in / update / fetch / migration traffic
+//                   handled by the MemoryServer process on memory nodes;
+//   kAvailInfo    — periodic availability broadcasts from monitor processes
+//                   to the client processes on application nodes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mining/hash_line_table.hpp"
+#include "mining/itemset.hpp"
+#include "net/network.hpp"
+
+namespace rms::core {
+
+inline constexpr net::Tag kMemService = 100;
+inline constexpr net::Tag kAvailInfo = 110;
+
+/// Global hash-line id (bucket index in the distributed candidate table).
+using LineId = std::int64_t;
+
+/// A hash line in flight: the swap unit (§4.3 — "the unit of swapping
+/// operation is a hash line").
+struct LinePayload {
+  LineId line_id = -1;
+  mining::HashLine entries;
+  std::int64_t accounted_bytes = 0;
+};
+
+/// One remote update operation (§4.4): probe `itemset` in line `line_id`,
+/// incrementing its counter if it is a registered candidate.
+struct UpdateOp {
+  LineId line_id = -1;
+  mining::Itemset itemset;
+};
+
+struct MemRequest {
+  enum class Kind {
+    kSwapOut,           // one-way: store lines[]
+    kSwapIn,            // rpc: return and erase line_id
+    kUpdateBatch,       // one-way: apply updates[]
+    kFetch,             // rpc: return and erase every line owned by `owner`
+    kMigrateDirective,  // rpc from app node: push my lines to migrate_dest
+    kMigrateData,       // rpc between servers: adopt lines[]
+  };
+
+  Kind kind = Kind::kSwapOut;
+  net::NodeId owner = -1;  // application node owning the lines
+  LineId line_id = -1;     // kSwapIn
+  /// kFetch option ("remote determination"): when > 0 the server drops
+  /// entries below this support count before shipping lines home, so the
+  /// end-of-pass transfer carries only potential large itemsets.
+  std::uint32_t fetch_min_count = 0;
+  std::vector<LinePayload> lines;     // kSwapOut / kMigrateData
+  std::vector<UpdateOp> updates;      // kUpdateBatch
+  net::NodeId migrate_dest = -1;      // kMigrateDirective
+  std::vector<LineId> migrate_lines;  // kMigrateDirective
+};
+
+struct MemReply {
+  bool ok = true;
+  std::vector<LinePayload> lines;  // kSwapIn (1) / kFetch (n)
+  std::vector<LineId> migrated;    // kMigrateDirective: lines actually moved
+};
+
+/// Monitor broadcast payload: "the process broadcasts it to all application
+/// execution nodes" (§4.2).
+struct AvailabilityInfo {
+  net::NodeId node = -1;
+  std::int64_t available_bytes = 0;
+  std::uint64_t seq = 0;  // monotonic per monitor, late messages ignored
+};
+
+inline constexpr std::int64_t kAvailabilityInfoBytes = 24;
+
+}  // namespace rms::core

@@ -1,0 +1,71 @@
+// Mechanical disk model: seek + rotational latency + media transfer, with a
+// single FCFS arm.
+//
+// The paper's baseline swaps candidate hash lines to a local SCSI disk and
+// argues from drive specifications: a Seagate Barracuda (7,200 rpm) averages
+// 8.8 ms seek + 4.2 ms rotational wait (>= 13.0 ms per random read); even a
+// HITACHI DK3E1T (12,000 rpm) needs ~7.5 ms. Those two presets plus the IDE
+// data disk (WD Caviar 32500) are provided; unit tests pin their means.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/time.hpp"
+#include "sim/resource.hpp"
+#include "sim/simulation.hpp"
+#include "sim/task.hpp"
+
+namespace rms::disk {
+
+struct DiskParams {
+  std::string model;
+  Time avg_seek = msec(9);            // mean random seek
+  Time full_rotation = msec(8);       // one revolution (60 s / rpm)
+  std::int64_t transfer_bps = 80'000'000;  // media rate, bits/s
+  Time controller_overhead = usec(500);
+
+  /// Seagate Barracuda 4.3 GB, 7,200 rpm SCSI (the paper's swap device).
+  static DiskParams barracuda_7200();
+  /// HITACHI DK3E1T, 12,000 rpm (the paper's "fastest disk" reference).
+  static DiskParams dk3e1t_12000();
+  /// WD Caviar 32500 IDE (holds each node's transaction data file).
+  static DiskParams caviar_ide();
+};
+
+enum class Access { kRandom, kSequential };
+
+class Disk {
+ public:
+  Disk(sim::Simulation& sim, DiskParams params, std::uint64_t seed = 0x5eed);
+
+  /// Blocking read: acquires the arm, pays positioning + transfer time.
+  /// Sequential access skips the seek and rotational wait (the head is
+  /// already positioned from the previous block).
+  sim::Task<> read(std::int64_t bytes, Access access);
+
+  /// Blocking write; mechanically identical in this model.
+  sim::Task<> write(std::int64_t bytes, Access access);
+
+  /// Expected service time of one random access of `bytes` (no queueing):
+  /// avg seek + half rotation + transfer + controller.
+  Time expected_random_access(std::int64_t bytes) const;
+
+  const DiskParams& params() const { return params_; }
+  StatsRegistry& stats() { return stats_; }
+  const StatsRegistry& stats() const { return stats_; }
+
+ private:
+  sim::Task<> access(std::int64_t bytes, Access access, const char* op);
+  Time positioning_time(Access access);
+
+  sim::Simulation& sim_;
+  DiskParams params_;
+  sim::Resource arm_;
+  Pcg32 rng_;
+  StatsRegistry stats_;
+};
+
+}  // namespace rms::disk

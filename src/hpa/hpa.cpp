@@ -1,0 +1,700 @@
+#include "hpa/hpa.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "core/availability.hpp"
+#include "core/hash_line_store.hpp"
+#include "core/memory_server.hpp"
+#include "core/protocol.hpp"
+#include "sim/process.hpp"
+#include "sim/simulation.hpp"
+#include "sim/sync.hpp"
+
+namespace rms::hpa {
+namespace {
+
+using cluster::Node;
+using mining::Itemset;
+using net::NodeId;
+
+constexpr net::Tag kPass1Counts = 200;
+constexpr net::Tag kCountData = 201;
+constexpr net::Tag kLargeExchange = 202;
+
+/// Counting-phase payload: a 4 KB message block of k-itemsets, or the
+/// end-of-stream marker a sender broadcasts after finishing its scan.
+struct CountMsg {
+  std::vector<Itemset> itemsets;
+  bool eos = false;
+};
+
+struct Pass1Counts {
+  std::vector<std::uint32_t> counts;
+};
+
+struct LargeList {
+  std::vector<mining::CountedItemset> larges;
+};
+
+/// Charge CPU in chunks: accumulates logical operations and converts them
+/// into one `compute` await per `chunk` operations, keeping the event count
+/// proportional to messages/faults instead of probes.
+class CpuCharger {
+ public:
+  CpuCharger(Node& node, Time per_op, std::int64_t chunk = 8192)
+      : node_(node), per_op_(per_op), chunk_(chunk) {}
+
+  sim::Task<> add(std::int64_t ops) {
+    pending_ += ops;
+    if (pending_ >= chunk_) co_await flush();
+  }
+
+  sim::Task<> flush() {
+    if (pending_ > 0) {
+      const Time t = per_op_ * pending_;
+      pending_ = 0;
+      co_await node_.compute(t);
+    }
+  }
+
+ private:
+  Node& node_;
+  Time per_op_;
+  std::int64_t chunk_;
+  std::int64_t pending_ = 0;
+};
+
+class Runner {
+ public:
+  explicit Runner(const HpaConfig& cfg) : cfg_(cfg) {
+    RMS_CHECK(cfg_.app_nodes >= 1);
+    RMS_CHECK(cfg_.hash_lines >= cfg_.app_nodes);
+    RMS_CHECK(cfg_.min_support > 0 && cfg_.min_support <= 1.0);
+    RMS_CHECK_MSG(cfg_.memory_limit_bytes < 0 ||
+                      cfg_.policy != core::SwapPolicy::kNoLimit,
+                  "a memory limit needs a swap policy");
+    RMS_CHECK_MSG(!uses_remote_memory_policy() || cfg_.memory_nodes > 0,
+                  "remote policies need at least one memory-available node");
+  }
+
+  bool uses_remote_memory_policy() const {
+    return cfg_.memory_limit_bytes >= 0 && core::uses_remote_memory(cfg_.policy);
+  }
+
+  HpaResult run();
+
+ private:
+  // ---- topology helpers ----
+  NodeId app_id(std::size_t idx) const { return static_cast<NodeId>(idx); }
+  NodeId mem_id(std::size_t idx) const {
+    return static_cast<NodeId>(cfg_.app_nodes + idx);
+  }
+  std::size_t global_line(const Itemset& s) const {
+    return static_cast<std::size_t>(s.hash() % cfg_.hash_lines);
+  }
+
+  // Line ownership. Uniform: line mod app_nodes. Weighted: line ids are
+  // uniform hash buckets, so splitting each block of kWeightResolution
+  // consecutive residues by the integer cuts reproduces the requested
+  // proportions exactly per block.
+  static constexpr std::size_t kWeightResolution = 10'000;
+
+  std::size_t owner_of_line(std::size_t gline) const {
+    if (cuts_.empty()) return gline % cfg_.app_nodes;
+    const std::size_t r = gline % kWeightResolution;
+    std::size_t owner = 0;
+    while (r >= cuts_[owner + 1]) ++owner;
+    return owner;
+  }
+  core::LineId local_line(std::size_t gline) const {
+    if (cuts_.empty()) {
+      return static_cast<core::LineId>(gline / cfg_.app_nodes);
+    }
+    const std::size_t q = gline / kWeightResolution;
+    const std::size_t r = gline % kWeightResolution;
+    const std::size_t owner = owner_of_line(gline);
+    const std::size_t width = cuts_[owner + 1] - cuts_[owner];
+    return static_cast<core::LineId>(q * width + (r - cuts_[owner]));
+  }
+  std::size_t local_line_count(std::size_t idx) const {
+    if (cuts_.empty()) {
+      return (cfg_.hash_lines + cfg_.app_nodes - 1 - idx) / cfg_.app_nodes;
+    }
+    return (cfg_.hash_lines / kWeightResolution) *
+           (cuts_[idx + 1] - cuts_[idx]);
+  }
+
+  void build_partition_cuts() {
+    if (cfg_.partition_weights.empty()) return;
+    RMS_CHECK_MSG(cfg_.partition_weights.size() == cfg_.app_nodes,
+                  "partition_weights must have one entry per app node");
+    RMS_CHECK_MSG(cfg_.hash_lines % kWeightResolution == 0,
+                  "weighted partitioning needs hash_lines % 10000 == 0");
+    double total = 0;
+    for (double w : cfg_.partition_weights) {
+      RMS_CHECK(w > 0);
+      total += w;
+    }
+    cuts_.assign(cfg_.app_nodes + 1, 0);
+    double cum = 0;
+    for (std::size_t i = 0; i < cfg_.app_nodes; ++i) {
+      cum += cfg_.partition_weights[i];
+      cuts_[i + 1] = static_cast<std::size_t>(
+          cum / total * static_cast<double>(kWeightResolution) + 0.5);
+      RMS_CHECK_MSG(cuts_[i + 1] > cuts_[i],
+                    "partition weight too small for the resolution");
+    }
+    cuts_.back() = kWeightResolution;
+  }
+
+  // ---- processes ----
+  sim::Process app_main(std::size_t idx);
+  sim::Process count_sender(std::size_t idx, std::size_t k);
+  sim::Process count_receiver(std::size_t idx, std::size_t k);
+  sim::Process coordinator();
+
+  sim::Task<> pass1(std::size_t idx);
+  sim::Task<> build_store(std::size_t idx, std::size_t k);
+  sim::Task<> determine_large(std::size_t idx, std::size_t k);
+
+  void generate_candidates(std::size_t k);
+  void finish_pass_report(std::size_t k);
+
+  const HpaConfig& cfg_;
+  std::vector<std::size_t> cuts_;  // weighted-partition residue cuts
+  sim::Simulation sim_;
+  std::unique_ptr<cluster::Cluster> cluster_;
+  std::unique_ptr<sim::Barrier> barrier_;
+
+  mining::TransactionDb generated_db_;
+  const mining::TransactionDb* db_ = nullptr;
+  std::vector<mining::TransactionDb> partitions_;
+  std::uint32_t min_count_ = 1;
+
+  std::vector<std::unique_ptr<core::AvailabilityTable>> avail_;
+  std::vector<std::unique_ptr<core::HashLineStore>> stores_;
+  std::vector<std::unique_ptr<core::MemoryServer>> servers_;
+
+  // Canonical global mining state. Every node receives the same exchanged
+  // messages; the canonical copy avoids holding one merged copy per node.
+  std::vector<char> is_large1_;
+  std::vector<Itemset> global_large_prev_;
+  std::vector<std::vector<std::pair<core::LineId, Itemset>>> cand_by_owner_;
+  std::int64_t total_candidates_ = 0;
+
+  HpaResult result_;
+  Time pass_start_ = 0;
+  Time build_start_ = 0;
+  Time count_start_ = 0;
+  Time determine_start_ = 0;
+  Time determine_end_ = 0;
+  bool mining_done_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Pass 1: local item counting + all-to-all count exchange.
+// ---------------------------------------------------------------------------
+
+sim::Task<> Runner::pass1(std::size_t idx) {
+  Node& node = cluster_->node(app_id(idx));
+  const mining::TransactionDb& part = partitions_[idx];
+  const cluster::CostModel& costs = cfg_.cluster.costs;
+
+  std::vector<std::uint32_t> counts(cfg_.workload.num_items, 0);
+
+  // Scan the local partition from the data disk in 64 KB blocks.
+  const std::int64_t bytes_per_tx =
+      part.empty() ? 1 : std::max<std::int64_t>(1, part.approx_bytes() /
+                              static_cast<std::int64_t>(part.size()));
+  std::int64_t pending_bytes = 0;
+  CpuCharger parse(node, costs.per_tx_parse);
+  for (std::size_t t = 0; t < part.size(); ++t) {
+    pending_bytes += bytes_per_tx;
+    if (pending_bytes >= cfg_.io_block_bytes) {
+      co_await node.data_disk().read(cfg_.io_block_bytes,
+                                     disk::Access::kSequential);
+      pending_bytes = 0;
+    }
+    for (mining::Item it : part.tx(t)) {
+      RMS_CHECK(it < counts.size());
+      ++counts[it];
+    }
+    co_await parse.add(1);
+  }
+  if (pending_bytes > 0) {
+    co_await node.data_disk().read(pending_bytes, disk::Access::kSequential);
+  }
+  co_await parse.flush();
+
+  // Exchange partial counts all-to-all; every node ends with global counts.
+  const std::int64_t payload =
+      static_cast<std::int64_t>(counts.size()) * 4;
+  for (std::size_t j = 0; j < cfg_.app_nodes; ++j) {
+    if (j == idx) continue;
+    node.send_to(app_id(j), kPass1Counts, payload, Pass1Counts{counts});
+    co_await node.compute(costs.per_message_cpu);
+  }
+  std::vector<std::uint32_t> total = counts;
+  for (std::size_t j = 0; j + 1 < cfg_.app_nodes; ++j) {
+    net::Message msg = co_await node.mailbox().recv(kPass1Counts);
+    const auto& remote = msg.as<Pass1Counts>();
+    RMS_CHECK(remote.counts.size() == total.size());
+    co_await node.compute(costs.per_message_cpu);
+    for (std::size_t i = 0; i < total.size(); ++i) total[i] += remote.counts[i];
+  }
+
+  // Determine L1 (identical on every node); node 0 records the canonical
+  // copy and the pass report.
+  if (idx == 0) {
+    is_large1_.assign(total.size(), 0);
+    global_large_prev_.clear();
+    for (std::size_t i = 0; i < total.size(); ++i) {
+      if (total[i] >= min_count_) {
+        is_large1_[i] = 1;
+        Itemset s;
+        s.push_back(static_cast<mining::Item>(i));
+        global_large_prev_.push_back(s);
+        result_.mined.support.emplace(s, total[i]);
+      }
+    }
+    result_.mined.large_by_k.push_back(global_large_prev_);
+
+    PassReport rep;
+    rep.k = 1;
+    rep.candidates_global = static_cast<std::int64_t>(total.size());
+    rep.large_global = static_cast<std::int64_t>(global_large_prev_.size());
+    result_.passes.push_back(std::move(rep));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Candidate generation (canonical) and store build (per node).
+// ---------------------------------------------------------------------------
+
+void Runner::generate_candidates(std::size_t k) {
+  // Real HPA: every node scans the full candidate stream and keeps its own
+  // share. The scan itself is identical on all nodes, so it is executed
+  // once here; each node is charged the full scan in virtual time.
+  cand_by_owner_.assign(cfg_.app_nodes, {});
+  total_candidates_ = 0;
+  mining::for_each_candidate(global_large_prev_, [&](const Itemset& c) {
+    ++total_candidates_;
+    const std::size_t gline = global_line(c);
+    cand_by_owner_[owner_of_line(gline)].emplace_back(local_line(gline), c);
+  });
+
+  PassReport rep;
+  rep.k = k;
+  rep.candidates_global = total_candidates_;
+  rep.candidates_per_node.resize(cfg_.app_nodes);
+  for (std::size_t i = 0; i < cfg_.app_nodes; ++i) {
+    rep.candidates_per_node[i] =
+        static_cast<std::int64_t>(cand_by_owner_[i].size());
+  }
+  result_.passes.push_back(std::move(rep));
+}
+
+sim::Task<> Runner::build_store(std::size_t idx, std::size_t k) {
+  Node& node = cluster_->node(app_id(idx));
+  const cluster::CostModel& costs = cfg_.cluster.costs;
+
+  core::HashLineStore::Config scfg;
+  scfg.num_lines = local_line_count(idx);
+  scfg.memory_limit_bytes = cfg_.memory_limit_bytes;
+  scfg.policy = cfg_.memory_limit_bytes < 0 ? core::SwapPolicy::kNoLimit
+                                            : cfg_.policy;
+  scfg.eviction = cfg_.eviction;
+  scfg.message_block_bytes = cfg_.message_block_bytes;
+  if (cfg_.remote_determination) scfg.fetch_filter_min_count = min_count_;
+  stores_[idx] = std::make_unique<core::HashLineStore>(node, scfg,
+                                                       avail_[idx].get());
+
+  // Full candidate-stream scan (hash + destination test for every
+  // candidate, §2.2 step 1).
+  co_await node.compute(costs.per_candidate_gen * total_candidates_);
+
+  // Insert this node's share into the (possibly limited) store.
+  core::HashLineStore& store = *stores_[idx];
+  CpuCharger charge(node, costs.per_probe);
+  auto& own = cand_by_owner_[idx];
+  for (const auto& [line, itemset] : own) {
+    co_await store.insert(line, itemset);
+    co_await charge.add(1);
+  }
+  co_await charge.flush();
+  own.clear();
+  own.shrink_to_fit();
+  (void)k;
+}
+
+// ---------------------------------------------------------------------------
+// Counting phase: sender scans and ships k-itemsets; receiver probes.
+// ---------------------------------------------------------------------------
+
+sim::Process Runner::count_sender(std::size_t idx, std::size_t k) {
+  Node& node = cluster_->node(app_id(idx));
+  const mining::TransactionDb& part = partitions_[idx];
+  const cluster::CostModel& costs = cfg_.cluster.costs;
+
+  const std::int64_t itemset_wire_bytes = static_cast<std::int64_t>(k) * 4 + 4;
+  const std::size_t batch_capacity = static_cast<std::size_t>(
+      std::max<std::int64_t>(1, cfg_.message_block_bytes / itemset_wire_bytes));
+
+  std::vector<std::vector<Itemset>> batches(cfg_.app_nodes);
+  for (auto& b : batches) b.reserve(batch_capacity);
+
+  auto flush = [&](std::size_t owner) -> sim::Task<> {
+    if (batches[owner].empty()) co_return;
+    CountMsg msg;
+    msg.itemsets = std::move(batches[owner]);
+    batches[owner].clear();
+    batches[owner].reserve(batch_capacity);
+    const auto bytes = static_cast<std::int64_t>(msg.itemsets.size()) *
+                       itemset_wire_bytes;
+    node.send_to(app_id(owner), kCountData, bytes, std::move(msg));
+    co_await node.compute(costs.per_message_cpu);
+  };
+
+  const auto keep = [this](mining::Item it) {
+    return it < is_large1_.size() && is_large1_[it] != 0;
+  };
+
+  const std::int64_t bytes_per_tx =
+      part.empty() ? 1 : std::max<std::int64_t>(1, part.approx_bytes() /
+                              static_cast<std::int64_t>(part.size()));
+  std::int64_t pending_bytes = 0;
+  CpuCharger gen(node, costs.per_itemset_generate);
+  CpuCharger parse(node, costs.per_tx_parse);
+  std::vector<Itemset> scratch;
+
+  for (std::size_t t = 0; t < part.size(); ++t) {
+    pending_bytes += bytes_per_tx;
+    if (pending_bytes >= cfg_.io_block_bytes) {
+      co_await node.data_disk().read(cfg_.io_block_bytes,
+                                     disk::Access::kSequential);
+      pending_bytes = 0;
+    }
+    co_await parse.add(1);
+
+    scratch.clear();
+    mining::for_each_k_subset(part.tx(t), k, keep,
+                              [&](const Itemset& s) { scratch.push_back(s); });
+    co_await gen.add(static_cast<std::int64_t>(scratch.size()));
+    for (const Itemset& s : scratch) {
+      const std::size_t owner = owner_of_line(global_line(s));
+      batches[owner].push_back(s);
+      if (batches[owner].size() >= batch_capacity) co_await flush(owner);
+    }
+  }
+  if (pending_bytes > 0) {
+    co_await node.data_disk().read(pending_bytes, disk::Access::kSequential);
+  }
+  co_await parse.flush();
+  co_await gen.flush();
+
+  // Flush stragglers, then broadcast end-of-stream (FIFO per destination
+  // keeps every data block ahead of the marker).
+  for (std::size_t owner = 0; owner < cfg_.app_nodes; ++owner) {
+    co_await flush(owner);
+  }
+  for (std::size_t owner = 0; owner < cfg_.app_nodes; ++owner) {
+    CountMsg eos;
+    eos.eos = true;
+    node.send_to(app_id(owner), kCountData, 16, std::move(eos));
+    co_await node.compute(costs.per_message_cpu);
+  }
+}
+
+sim::Process Runner::count_receiver(std::size_t idx, std::size_t k) {
+  Node& node = cluster_->node(app_id(idx));
+  const cluster::CostModel& costs = cfg_.cluster.costs;
+  core::HashLineStore& store = *stores_[idx];
+
+  std::size_t eos_seen = 0;
+  while (eos_seen < cfg_.app_nodes) {
+    net::Message msg = co_await node.mailbox().recv(kCountData);
+    const auto& data = msg.as<CountMsg>();
+    if (data.eos) {
+      ++eos_seen;
+      continue;
+    }
+    co_await node.compute(costs.per_message_cpu +
+                          costs.per_probe *
+                              static_cast<std::int64_t>(data.itemsets.size()));
+    for (const Itemset& s : data.itemsets) {
+      const std::size_t gline = global_line(s);
+      RMS_CHECK(owner_of_line(gline) == idx);
+      co_await store.probe(local_line(gline), s);
+    }
+  }
+  (void)k;
+}
+
+// ---------------------------------------------------------------------------
+// Large-itemset determination and exchange.
+// ---------------------------------------------------------------------------
+
+sim::Task<> Runner::determine_large(std::size_t idx, std::size_t k) {
+  Node& node = cluster_->node(app_id(idx));
+  const cluster::CostModel& costs = cfg_.cluster.costs;
+  core::HashLineStore& store = *stores_[idx];
+
+  // Bring every line home and pick local large itemsets.
+  LargeList local;
+  co_await store.collect([&](const mining::CountedItemset& e) {
+    if (e.count >= min_count_) local.larges.push_back(e);
+  });
+  co_await node.compute(costs.per_probe *
+                        static_cast<std::int64_t>(store.size()));
+
+  // Broadcast local larges; await everyone else's (§2.2 step 3).
+  const std::int64_t entry_bytes = static_cast<std::int64_t>(k) * 4 + 8;
+  const std::int64_t payload = std::max<std::int64_t>(
+      16, entry_bytes * static_cast<std::int64_t>(local.larges.size()));
+  for (std::size_t j = 0; j < cfg_.app_nodes; ++j) {
+    if (j == idx) continue;
+    node.send_to(app_id(j), kLargeExchange, payload, LargeList{local.larges});
+    co_await node.compute(costs.per_message_cpu);
+  }
+
+  std::vector<mining::CountedItemset> global = std::move(local.larges);
+  for (std::size_t j = 0; j + 1 < cfg_.app_nodes; ++j) {
+    net::Message msg = co_await node.mailbox().recv(kLargeExchange);
+    const auto& remote = msg.as<LargeList>();
+    co_await node.compute(costs.per_message_cpu);
+    global.insert(global.end(), remote.larges.begin(), remote.larges.end());
+  }
+
+  std::sort(global.begin(), global.end(),
+            [](const mining::CountedItemset& a,
+               const mining::CountedItemset& b) { return a.items < b.items; });
+
+  if (idx == 0) {
+    // Record the canonical global large set for pass k.
+    global_large_prev_.clear();
+    std::vector<Itemset> large_k;
+    for (const mining::CountedItemset& e : global) {
+      large_k.push_back(e.items);
+      result_.mined.support.emplace(e.items, e.count);
+    }
+    global_large_prev_ = large_k;
+    result_.mined.large_by_k.push_back(std::move(large_k));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Per-node main process and coordinator.
+// ---------------------------------------------------------------------------
+
+void Runner::finish_pass_report(std::size_t k) {
+  PassReport& rep = result_.passes.back();
+  RMS_CHECK(rep.k == k);
+  rep.large_global =
+      static_cast<std::int64_t>(result_.mined.large_by_k.back().size());
+  rep.duration = sim_.now() - pass_start_;
+  rep.build_time = count_start_ - build_start_;
+  rep.count_time = determine_start_ - count_start_;
+  rep.determine_time = determine_end_ - determine_start_;
+  rep.pagefaults_per_node.resize(cfg_.app_nodes);
+  rep.swap_outs_per_node.resize(cfg_.app_nodes);
+  rep.updates_per_node.resize(cfg_.app_nodes);
+  for (std::size_t i = 0; i < cfg_.app_nodes; ++i) {
+    rep.pagefaults_per_node[i] = stores_[i]->pagefaults();
+    rep.swap_outs_per_node[i] = stores_[i]->swap_outs();
+    rep.updates_per_node[i] = stores_[i]->updates_sent();
+  }
+}
+
+sim::Process Runner::app_main(std::size_t idx) {
+  // Let the first availability broadcasts land before any swap decision.
+  co_await sim_.timeout(msec(10));
+  co_await barrier_->arrive();
+
+  if (idx == 0) pass_start_ = sim_.now();
+  co_await pass1(idx);
+  co_await barrier_->arrive();
+  if (idx == 0) {
+    result_.passes.back().duration = sim_.now() - pass_start_;
+  }
+
+  for (std::size_t k = 2; k <= cfg_.max_k; ++k) {
+    // Node 0 checks global termination; all nodes see the same state.
+    if (global_large_prev_.empty()) break;
+
+    co_await barrier_->arrive();
+    if (idx == 0) {
+      pass_start_ = sim_.now();
+      generate_candidates(k);
+    }
+    co_await barrier_->arrive();
+    if (total_candidates_ == 0) {
+      // The sequential miner records nothing for a candidate-less pass;
+      // mirror that so results compare exactly.
+      if (idx == 0) {
+        result_.passes.pop_back();
+        global_large_prev_.clear();
+      }
+      co_await barrier_->arrive();
+      break;
+    }
+
+    if (idx == 0) build_start_ = sim_.now();
+    co_await build_store(idx, k);
+    co_await barrier_->arrive();
+
+    if (idx == 0) count_start_ = sim_.now();
+    stores_[idx]->set_phase(core::HashLineStore::Phase::kCount);
+    sim::Process sender = sim_.spawn(count_sender(idx, k));
+    sim::Process receiver = sim_.spawn(count_receiver(idx, k));
+    co_await sender;
+    co_await receiver;
+    co_await barrier_->arrive();
+
+    if (idx == 0) determine_start_ = sim_.now();
+    co_await determine_large(idx, k);
+    co_await barrier_->arrive();
+    if (idx == 0) determine_end_ = sim_.now();
+
+    if (idx == 0) finish_pass_report(k);
+    co_await barrier_->arrive();
+    stores_[idx].reset();
+  }
+
+  co_await barrier_->arrive();
+  if (idx == 0) {
+    result_.total_time = sim_.now();
+    mining_done_ = true;
+  }
+}
+
+sim::Process Runner::coordinator() {
+  // Poll cheaply for completion, then halt the world (monitors and servers
+  // run forever by design).
+  while (!mining_done_) {
+    co_await sim_.timeout(msec(100));
+  }
+  sim_.request_stop();
+}
+
+// ---------------------------------------------------------------------------
+// Top-level run.
+// ---------------------------------------------------------------------------
+
+HpaResult Runner::run() {
+  // World construction.
+  build_partition_cuts();
+  cluster::ClusterConfig ccfg = cfg_.cluster;
+  ccfg.num_nodes = cfg_.app_nodes + cfg_.memory_nodes;
+  cluster_ = std::make_unique<cluster::Cluster>(sim_, ccfg);
+  barrier_ = std::make_unique<sim::Barrier>(sim_, cfg_.app_nodes);
+
+  if (cfg_.shared_db != nullptr) {
+    db_ = cfg_.shared_db;
+  } else {
+    mining::QuestGenerator gen(cfg_.workload);
+    generated_db_ = gen.generate();
+    db_ = &generated_db_;
+  }
+  RMS_CHECK(!db_->empty());
+  partitions_ = db_->partition(cfg_.app_nodes);
+  min_count_ = static_cast<std::uint32_t>(std::max<std::int64_t>(
+      1,
+      static_cast<std::int64_t>(cfg_.min_support *
+                                    static_cast<double>(db_->size()) +
+                                0.5)));
+  result_.mined.num_transactions = static_cast<std::int64_t>(db_->size());
+  result_.mined.min_count = min_count_;
+
+  // Memory-available nodes: servers + monitors.
+  std::vector<NodeId> memory_ids;
+  std::vector<NodeId> app_ids;
+  for (std::size_t i = 0; i < cfg_.memory_nodes; ++i)
+    memory_ids.push_back(mem_id(i));
+  for (std::size_t i = 0; i < cfg_.app_nodes; ++i) app_ids.push_back(app_id(i));
+
+  servers_.resize(cfg_.memory_nodes);
+  for (std::size_t i = 0; i < cfg_.memory_nodes; ++i) {
+    Node& node = cluster_->node(mem_id(i));
+    servers_[i] = std::make_unique<core::MemoryServer>(
+        node, core::MemoryServer::Config{cfg_.message_block_bytes});
+    sim_.spawn(servers_[i]->serve());
+    sim_.spawn(core::availability_monitor(
+        node, core::MonitorConfig{cfg_.monitor_interval, app_ids}));
+  }
+
+  // Application nodes: availability clients with the migration hook.
+  avail_.resize(cfg_.app_nodes);
+  stores_.resize(cfg_.app_nodes);
+  for (std::size_t i = 0; i < cfg_.app_nodes; ++i) {
+    avail_[i] = std::make_unique<core::AvailabilityTable>(memory_ids);
+    core::ClientConfig clcfg;
+    clcfg.shortage_threshold_bytes = cfg_.shortage_threshold_bytes;
+    sim_.spawn(core::availability_client(
+        cluster_->node(app_id(i)), *avail_[i], clcfg,
+        [this, i](NodeId holder) -> sim::Task<> {
+          if (stores_[i]) co_await stores_[i]->migrate_away(holder);
+        }));
+  }
+
+  // Fault injection: withdrawals of memory-available nodes (Figure 5).
+  for (const HpaConfig::Withdrawal& w : cfg_.withdrawals) {
+    RMS_CHECK(w.memory_node_index < cfg_.memory_nodes);
+    Node& victim = cluster_->node(mem_id(w.memory_node_index));
+    sim_.call_at(w.at, [&victim] {
+      victim.memory().external_bytes = victim.memory().total_bytes;
+    });
+  }
+
+  for (std::size_t i = 0; i < cfg_.app_nodes; ++i) {
+    sim_.spawn(app_main(i));
+  }
+  sim_.spawn(coordinator());
+  sim_.run();
+  RMS_CHECK_MSG(mining_done_, "simulation drained before mining finished");
+
+  // Assemble mining metadata and merged statistics.
+  for (std::size_t p = 0; p < result_.passes.size(); ++p) {
+    result_.mined.passes.push_back(mining::PassInfo{
+        result_.passes[p].k, result_.passes[p].candidates_global,
+        result_.passes[p].large_global});
+  }
+  for (std::size_t i = 0; i < cluster_->size(); ++i) {
+    Node& node = cluster_->node(static_cast<NodeId>(i));
+    result_.stats.merge(node.stats());
+    result_.stats.merge(node.data_disk().stats());
+    result_.stats.merge(node.swap_disk().stats());
+  }
+  result_.stats.merge(cluster_->network().stats());
+
+  // Destroy still-suspended daemon frames (monitors, servers) while the
+  // cluster objects their locals reference are alive.
+  sim_.shutdown();
+  return result_;
+}
+
+}  // namespace
+
+HpaResult run_hpa(const HpaConfig& config) {
+  Runner runner(config);
+  return runner.run();
+}
+
+std::vector<double> paper_table3_weights() {
+  return {602559, 641243, 582149, 614412, 604851, 596359, 622679, 607629};
+}
+
+std::int64_t PassReport::max_pagefaults() const {
+  std::int64_t m = 0;
+  for (std::int64_t f : pagefaults_per_node) m = std::max(m, f);
+  return m;
+}
+
+const PassReport* HpaResult::pass(std::size_t k) const {
+  for (const PassReport& p : passes) {
+    if (p.k == k) return &p;
+  }
+  return nullptr;
+}
+
+}  // namespace rms::hpa

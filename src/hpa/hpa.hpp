@@ -1,0 +1,112 @@
+// Hash Partitioned Apriori (HPA) on the simulated ATM-connected PC cluster.
+//
+// This is the paper's application (§2.2, §3.3): candidate itemsets are
+// partitioned across application execution nodes by a hash function; during
+// the counting phase each node scans its local transaction partition, forms
+// k-itemsets, and ships each to the owner node in 4 KB message blocks; the
+// owner probes its hash-line store — which is where the memory limit and
+// the remote-memory machinery of core:: take over.
+//
+// One call to `run_hpa` builds the whole world (cluster, disks, monitors,
+// memory servers), mines to completion, and returns both the mining result
+// (bit-comparable with the sequential miner) and the per-pass timing and
+// fault statistics the paper's tables and figures are built from.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "common/stats.hpp"
+#include "core/policy.hpp"
+#include "mining/apriori.hpp"
+#include "mining/generator.hpp"
+
+namespace rms::hpa {
+
+struct HpaConfig {
+  std::size_t app_nodes = 8;      // the paper's evaluation uses 8 (§5.1)
+  std::size_t memory_nodes = 16;  // maximum memory-available nodes
+
+  mining::QuestParams workload = mining::QuestParams::paper_experiment();
+  double min_support = 0.001;  // paper experiment: 0.1%
+
+  std::size_t hash_lines = 800'000;        // global candidate hash lines
+  std::int64_t message_block_bytes = 4096; // §5.1
+  std::int64_t io_block_bytes = 65536;     // §5.1
+
+  /// Per-node memory usage limit for candidate itemsets; -1 disables.
+  std::int64_t memory_limit_bytes = -1;
+  core::SwapPolicy policy = core::SwapPolicy::kNoLimit;
+  /// Victim selection for evictions (paper: LRU; others for ablation).
+  core::EvictionPolicy eviction = core::EvictionPolicy::kLru;
+  /// Extension: memory servers filter sub-threshold entries out of
+  /// end-of-pass fetches ("remote determination"), shrinking the collect
+  /// transfer. Off by default (the paper ships lines back whole).
+  bool remote_determination = false;
+
+  /// Relative share of hash lines owned by each application node. Empty:
+  /// uniform (line mod app_nodes). The paper's hash function produced a
+  /// ~10% spread (Table 3); `paper_table3_weights()` reproduces those
+  /// proportions so skew-dependent effects (the busiest node still swapping
+  /// at the 15 MB limit) appear. Requires hash_lines % 10000 == 0.
+  std::vector<double> partition_weights;
+
+  Time monitor_interval = sec(3);
+  std::int64_t shortage_threshold_bytes = 256 << 10;
+  std::size_t max_k = mining::Itemset::kMaxK;
+
+  cluster::ClusterConfig cluster;  // costs/link/disks; num_nodes is derived
+
+  /// Fault injection for the migration experiment (Figure 5): at time `at`,
+  /// memory-available node #`memory_node_index` loses all its free memory.
+  struct Withdrawal {
+    std::size_t memory_node_index = 0;
+    Time at = 0;
+  };
+  std::vector<Withdrawal> withdrawals;
+
+  /// Reuse a pre-generated database (the benches sweep many configurations
+  /// over one workload); when null the workload parameters generate one.
+  const mining::TransactionDb* shared_db = nullptr;
+};
+
+struct PassReport {
+  std::size_t k = 0;
+  std::int64_t candidates_global = 0;  // paper Table 2 "C"
+  std::int64_t large_global = 0;       // paper Table 2 "L"
+  Time duration = 0;                   // virtual pass time (max across nodes)
+  // Phase breakdown (barrier-to-barrier; zero for pass 1):
+  Time build_time = 0;      // candidate generation + store population
+  Time count_time = 0;      // transaction scan + distributed probing
+  Time determine_time = 0;  // collection + large-itemset exchange
+  std::vector<std::int64_t> candidates_per_node;  // paper Table 3
+  std::vector<std::int64_t> pagefaults_per_node;
+  std::vector<std::int64_t> swap_outs_per_node;
+  std::vector<std::int64_t> updates_per_node;
+
+  std::int64_t max_pagefaults() const;  // paper Table 4 "Max"
+};
+
+struct HpaResult {
+  std::vector<PassReport> passes;
+  Time total_time = 0;
+
+  /// Mining output in the same shape as the sequential miner, for equality
+  /// checks and rule derivation.
+  mining::AprioriResult mined;
+
+  /// Merged counters from every node, network and disk.
+  StatsRegistry stats;
+
+  const PassReport* pass(std::size_t k) const;
+};
+
+HpaResult run_hpa(const HpaConfig& config);
+
+/// The candidate-partition proportions the paper observed across its 8
+/// application nodes (Table 3: 602,559 ... 607,629 of 4,871,881).
+std::vector<double> paper_table3_weights();
+
+}  // namespace rms::hpa

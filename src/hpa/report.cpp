@@ -1,0 +1,48 @@
+#include "hpa/report.hpp"
+
+#include <cstdio>
+
+#include "common/table.hpp"
+
+namespace rms::hpa {
+
+void print_report(const HpaResult& result) {
+  TablePrinter t("HPA run: per-pass summary",
+                 {"pass", "candidates C", "large L", "time [s]",
+                  "pagefaults(max node)", "swap-outs", "updates"});
+  for (const PassReport& p : result.passes) {
+    std::int64_t swaps = 0;
+    std::int64_t updates = 0;
+    for (std::int64_t v : p.swap_outs_per_node) swaps += v;
+    for (std::int64_t v : p.updates_per_node) updates += v;
+    t.add_row({TablePrinter::integer(static_cast<std::int64_t>(p.k)),
+               TablePrinter::integer(p.candidates_global),
+               TablePrinter::integer(p.large_global),
+               TablePrinter::num(to_seconds(p.duration), 2),
+               TablePrinter::integer(p.max_pagefaults()),
+               TablePrinter::integer(swaps), TablePrinter::integer(updates)});
+  }
+  t.print();
+  std::printf("total virtual time: %.2f s\n", to_seconds(result.total_time));
+}
+
+std::string describe(const HpaConfig& config) {
+  // Decimal megabytes, the paper's accounting (DESIGN.md §4).
+  const std::string limit =
+      config.memory_limit_bytes < 0
+          ? "none"
+          : TablePrinter::num(
+                static_cast<double>(config.memory_limit_bytes) / 1e6, 1) +
+                "MB";
+  char buf[256];
+  std::snprintf(
+      buf, sizeof(buf),
+      "%zu app nodes, %zu memory nodes, policy=%s, limit=%s, D=%lld, minsup=%.4f",
+      config.app_nodes, config.memory_nodes, core::to_string(config.policy),
+      limit.c_str(),
+      static_cast<long long>(config.workload.num_transactions),
+      config.min_support);
+  return buf;
+}
+
+}  // namespace rms::hpa

@@ -1,0 +1,15 @@
+// Human-readable run reports for examples and experiment harnesses.
+#pragma once
+
+#include "hpa/hpa.hpp"
+
+namespace rms::hpa {
+
+/// Print per-pass candidate/large counts and timings plus swap statistics
+/// (the quick view examples show after a run).
+void print_report(const HpaResult& result);
+
+/// Describe a configuration in one line (policy, limit, node counts).
+std::string describe(const HpaConfig& config);
+
+}  // namespace rms::hpa

@@ -1,0 +1,79 @@
+#include "mining/apriori.hpp"
+
+#include <algorithm>
+
+namespace rms::mining {
+
+AprioriResult apriori(const TransactionDb& db, double minsup,
+                      const AprioriOptions& options) {
+  RMS_CHECK(minsup > 0.0 && minsup <= 1.0);
+  RMS_CHECK(!db.empty());
+
+  AprioriResult res;
+  res.num_transactions = static_cast<std::int64_t>(db.size());
+  res.min_count = static_cast<std::uint32_t>(std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(minsup * static_cast<double>(db.size()) +
+                                   0.5)));
+
+  // ---- Pass 1: item supports by direct array count. ----
+  Item max_item = 0;
+  for (std::size_t t = 0; t < db.size(); ++t) {
+    for (Item it : db.tx(t)) max_item = std::max(max_item, it);
+  }
+  std::vector<std::uint32_t> item_count(static_cast<std::size_t>(max_item) + 1,
+                                        0);
+  for (std::size_t t = 0; t < db.size(); ++t) {
+    for (Item it : db.tx(t)) ++item_count[it];
+  }
+
+  std::vector<Itemset> large_prev;
+  std::vector<char> is_large1(item_count.size(), 0);
+  for (Item it = 0; it < item_count.size(); ++it) {
+    if (item_count[it] >= res.min_count) {
+      Itemset s;
+      s.push_back(it);
+      large_prev.push_back(s);
+      is_large1[it] = 1;
+      res.support.emplace(s, item_count[it]);
+    }
+  }
+  res.passes.push_back(PassInfo{
+      1, static_cast<std::int64_t>(item_count.size()),
+      static_cast<std::int64_t>(large_prev.size())});
+  res.large_by_k.push_back(large_prev);
+
+  const auto keep = [&](Item it) {
+    return it < is_large1.size() && is_large1[it] != 0;
+  };
+
+  // ---- Passes k >= 2. ----
+  for (std::size_t k = 2; k <= options.max_k && !large_prev.empty(); ++k) {
+    HashLineTable table(options.hash_lines);
+    for_each_candidate(large_prev, [&](const Itemset& c) { table.insert(c); });
+    if (table.size() == 0) break;
+
+    for (std::size_t t = 0; t < db.size(); ++t) {
+      for_each_k_subset(db.tx(t), k, keep,
+                        [&](const Itemset& s) { (void)table.probe(s); });
+    }
+
+    std::vector<Itemset> large_k;
+    table.for_each([&](const CountedItemset& e) {
+      if (e.count >= res.min_count) {
+        large_k.push_back(e.items);
+        res.support.emplace(e.items, e.count);
+      }
+    });
+    std::sort(large_k.begin(), large_k.end());
+
+    res.passes.push_back(PassInfo{k,
+                                  static_cast<std::int64_t>(table.size()),
+                                  static_cast<std::int64_t>(large_k.size())});
+    res.large_by_k.push_back(large_k);
+    large_prev = std::move(large_k);
+  }
+
+  return res;
+}
+
+}  // namespace rms::mining

@@ -1,0 +1,81 @@
+// Sequential Apriori miner (Agrawal–Srikant), the reference algorithm the
+// paper parallelizes. Used directly by examples and as ground truth for the
+// HPA cluster runs: every swap policy must produce byte-identical large
+// itemsets.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "mining/candidate_gen.hpp"
+#include "mining/hash_line_table.hpp"
+#include "mining/itemset.hpp"
+#include "mining/transaction_db.hpp"
+
+namespace rms::mining {
+
+/// Enumerate the size-k subsets of sorted `items`, streaming each as an
+/// Itemset. Items are filtered through `keep` first (pass-1 pruning: only
+/// large-1 items can appear in a large k-itemset).
+template <typename Keep, typename Fn>
+void for_each_k_subset(std::span<const Item> items, std::size_t k,
+                       const Keep& keep, Fn&& fn) {
+  RMS_CHECK(k >= 1 && k <= Itemset::kMaxK);
+  std::vector<Item> filtered;
+  filtered.reserve(items.size());
+  for (Item it : items) {
+    if (keep(it)) filtered.push_back(it);
+  }
+  if (filtered.size() < k) return;
+
+  // Iterative combination walk over `filtered`.
+  std::vector<std::size_t> idx(k);
+  for (std::size_t i = 0; i < k; ++i) idx[i] = i;
+  for (;;) {
+    Itemset s;
+    for (std::size_t i = 0; i < k; ++i) s.push_back(filtered[idx[i]]);
+    fn(s);
+    // Advance.
+    std::size_t pos = k;
+    while (pos > 0) {
+      --pos;
+      if (idx[pos] != pos + filtered.size() - k) break;
+      if (pos == 0) return;
+    }
+    if (idx[pos] == pos + filtered.size() - k) return;
+    ++idx[pos];
+    for (std::size_t i = pos + 1; i < k; ++i) idx[i] = idx[i - 1] + 1;
+  }
+}
+
+struct PassInfo {
+  std::size_t k = 0;
+  std::int64_t candidates = 0;  // paper Table 2 "C"
+  std::int64_t large = 0;       // paper Table 2 "L"
+};
+
+struct AprioriResult {
+  std::vector<PassInfo> passes;
+  /// Every large itemset (all sizes) with its absolute support count.
+  std::unordered_map<Itemset, std::uint32_t, ItemsetHash> support;
+  /// Large itemsets grouped by size; index 0 holds the 1-itemsets.
+  std::vector<std::vector<Itemset>> large_by_k;
+  std::int64_t num_transactions = 0;
+
+  /// Minimum-support threshold used (absolute count).
+  std::uint32_t min_count = 0;
+};
+
+struct AprioriOptions {
+  /// Hash lines for the candidate table (paper: 800,000 total).
+  std::size_t hash_lines = 1 << 16;
+  std::size_t max_k = Itemset::kMaxK;
+};
+
+/// Mine all large itemsets with support >= minsup (fraction of |db|).
+AprioriResult apriori(const TransactionDb& db, double minsup,
+                      const AprioriOptions& options = {});
+
+}  // namespace rms::mining

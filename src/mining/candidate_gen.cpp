@@ -1,0 +1,18 @@
+#include "mining/candidate_gen.hpp"
+
+namespace rms::mining {
+
+std::vector<Itemset> generate_candidates(
+    const std::vector<Itemset>& large_prev) {
+  std::vector<Itemset> out;
+  for_each_candidate(large_prev, [&](const Itemset& c) { out.push_back(c); });
+  return out;
+}
+
+std::int64_t count_candidates(const std::vector<Itemset>& large_prev) {
+  std::int64_t n = 0;
+  for_each_candidate(large_prev, [&](const Itemset&) { ++n; });
+  return n;
+}
+
+}  // namespace rms::mining

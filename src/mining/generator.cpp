@@ -1,0 +1,141 @@
+#include "mining/generator.hpp"
+
+#include <algorithm>
+
+namespace rms::mining {
+
+QuestParams QuestParams::paper_experiment(double scale) {
+  QuestParams p;
+  p.num_transactions =
+      static_cast<std::int64_t>(1'000'000 * scale + 0.5);
+  p.num_items = 5'000;
+  p.avg_transaction_size = 10.0;
+  p.avg_pattern_size = 4.0;
+  p.num_patterns = 2'000;
+  p.seed = 20000501;
+  return p;
+}
+
+QuestParams QuestParams::paper_table2(double scale) {
+  QuestParams p;
+  p.num_transactions =
+      static_cast<std::int64_t>(10'000'000 * scale + 0.5);
+  p.num_items = 5'000;
+  p.avg_transaction_size = 10.0;
+  p.avg_pattern_size = 4.0;
+  p.num_patterns = 2'000;
+  p.seed = 19970301;
+  return p;
+}
+
+QuestGenerator::QuestGenerator(QuestParams params)
+    : params_(params), rng_(params.seed, 0x9e3779b97f4a7c15ULL) {
+  RMS_CHECK(params_.num_items >= 2);
+  RMS_CHECK(params_.num_patterns >= 1);
+  RMS_CHECK(params_.avg_transaction_size >= 1.0);
+  RMS_CHECK(params_.avg_pattern_size >= 1.0);
+  build_patterns();
+}
+
+void QuestGenerator::build_patterns() {
+  patterns_.resize(static_cast<std::size_t>(params_.num_patterns));
+  std::vector<Item> prev;
+  double total_weight = 0.0;
+  cumulative_weight_.reserve(patterns_.size());
+  for (auto& pat : patterns_) {
+    // Pattern length: Poisson around the mean, at least 1.
+    std::size_t len = std::max<std::uint32_t>(
+        1, rng_.poisson(params_.avg_pattern_size));
+    len = std::min<std::size_t>(len, Itemset::kMaxK);
+
+    // Share an exponentially-distributed fraction of items with the previous
+    // pattern (customer behaviours overlap), fill the rest uniformly.
+    std::size_t shared = 0;
+    if (!prev.empty()) {
+      const double frac =
+          std::min(1.0, rng_.exponential(params_.correlation));
+      shared = std::min(prev.size(),
+                        static_cast<std::size_t>(frac * static_cast<double>(len)));
+    }
+    std::vector<Item> items;
+    items.reserve(len);
+    for (std::size_t i = 0; i < shared; ++i) {
+      items.push_back(prev[rng_.below(static_cast<std::uint32_t>(prev.size()))]);
+    }
+    while (items.size() < len) {
+      items.push_back(rng_.below(params_.num_items));
+    }
+    std::sort(items.begin(), items.end());
+    items.erase(std::unique(items.begin(), items.end()), items.end());
+    pat.items = items;
+    prev = items;
+
+    // Corruption level ~ clipped normal(mean, 0.1).
+    pat.corruption = std::clamp(
+        params_.corruption_mean + 0.1 * rng_.normal(), 0.0, 1.0);
+
+    // Pattern weight ~ exponential(1), later normalized by roulette lookup.
+    total_weight += rng_.exponential(1.0);
+    cumulative_weight_.push_back(total_weight);
+  }
+}
+
+std::size_t QuestGenerator::pick_pattern() {
+  const double r = rng_.uniform01() * cumulative_weight_.back();
+  const auto it = std::lower_bound(cumulative_weight_.begin(),
+                                   cumulative_weight_.end(), r);
+  return static_cast<std::size_t>(it - cumulative_weight_.begin());
+}
+
+std::vector<Item> QuestGenerator::next_transaction() {
+  const std::size_t target = std::max<std::uint32_t>(
+      1, rng_.poisson(params_.avg_transaction_size));
+
+  std::vector<Item> tx;
+  tx.reserve(target + Itemset::kMaxK);
+
+  // A pattern deferred from the previous transaction goes in first.
+  if (!carry_.empty()) {
+    tx.insert(tx.end(), carry_.begin(), carry_.end());
+    carry_.clear();
+  }
+
+  int stall_guard = 64;  // pathological corruption could loop forever
+  while (tx.size() < target && stall_guard-- > 0) {
+    const Pattern& pat = patterns_[pick_pattern()];
+    std::vector<Item> picked;
+    picked.reserve(pat.items.size());
+    for (Item item : pat.items) {
+      if (!rng_.bernoulli(pat.corruption)) picked.push_back(item);
+    }
+    if (picked.empty()) continue;
+    if (tx.size() + picked.size() > target && !tx.empty()) {
+      // Oversized: half the time the pattern still goes in, half the time it
+      // is deferred to the next transaction (Agrawal–Srikant).
+      if (rng_.bernoulli(0.5)) {
+        tx.insert(tx.end(), picked.begin(), picked.end());
+      } else {
+        carry_ = std::move(picked);
+      }
+      break;
+    }
+    tx.insert(tx.end(), picked.begin(), picked.end());
+  }
+  if (tx.empty()) {
+    tx.push_back(rng_.below(params_.num_items));
+  }
+  std::sort(tx.begin(), tx.end());
+  tx.erase(std::unique(tx.begin(), tx.end()), tx.end());
+  return tx;
+}
+
+TransactionDb QuestGenerator::generate() {
+  TransactionDb db;
+  for (std::int64_t i = 0; i < params_.num_transactions; ++i) {
+    const std::vector<Item> tx = next_transaction();
+    db.add(tx);
+  }
+  return db;
+}
+
+}  // namespace rms::mining

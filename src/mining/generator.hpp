@@ -1,0 +1,67 @@
+// Synthetic basket-data generator (Agrawal–Srikant, VLDB'94 §2.4.3 — the
+// IBM Quest generator the paper used to produce its transaction files).
+//
+// The generator first draws a table of "potential maximal itemsets"
+// (customer behaviour patterns) and then assembles each transaction from a
+// weighted mixture of those patterns, corrupting them to model partial
+// purchases. Workloads are named like the literature: Txx = average
+// transaction size, Iyy = average pattern size, Dzz = transaction count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "mining/itemset.hpp"
+#include "mining/transaction_db.hpp"
+
+namespace rms::mining {
+
+struct QuestParams {
+  std::int64_t num_transactions = 100'000;  // D
+  std::uint32_t num_items = 5'000;          // N
+  double avg_transaction_size = 10.0;       // |T|
+  double avg_pattern_size = 4.0;            // |I|
+  std::int64_t num_patterns = 2'000;        // |L|
+  double correlation = 0.5;   // fraction of items shared with previous pattern
+  double corruption_mean = 0.5;  // mean per-pattern corruption level
+  std::uint64_t seed = 20000501;  // IPPS 2000 vintage
+
+  /// The paper's experiment workload (§5.1): 1 M tx, 5,000 items — scaled
+  /// by `scale` on the transaction count only (candidate volume is governed
+  /// by minimum support, not D; see DESIGN.md §2).
+  static QuestParams paper_experiment(double scale = 0.1);
+
+  /// The paper's Table 2 workload (§3.3): 10 M tx, 5,000 items.
+  static QuestParams paper_table2(double scale = 0.01);
+};
+
+class QuestGenerator {
+ public:
+  explicit QuestGenerator(QuestParams params);
+
+  /// Generate the whole database.
+  TransactionDb generate();
+
+  /// Generate a single transaction (exposed for tests and streaming use).
+  std::vector<Item> next_transaction();
+
+  const QuestParams& params() const { return params_; }
+
+ private:
+  struct Pattern {
+    std::vector<Item> items;      // sorted
+    double corruption = 0.5;      // probability an item is dropped
+  };
+
+  void build_patterns();
+  std::size_t pick_pattern();
+
+  QuestParams params_;
+  Pcg32 rng_;
+  std::vector<Pattern> patterns_;
+  std::vector<double> cumulative_weight_;  // for roulette selection
+  std::vector<Item> carry_;  // pattern deferred to the next transaction
+};
+
+}  // namespace rms::mining

@@ -1,0 +1,3 @@
+#include "mining/hash_line_table.hpp"
+
+// Header-only; anchors the TU in the library target.

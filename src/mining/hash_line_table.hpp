@@ -1,0 +1,94 @@
+// HashLineTable: the paper's candidate-itemset structure.
+//
+// "During the execution of HPA, itemsets are kept in memory as linked
+// structures that are classified by a hash function ... all itemsets having
+// the same hash value are assigned to the same hash line" (§3.3). A hash
+// line is therefore both the lookup bucket and — crucially — the unit of
+// swapping in the remote-memory system (§4.3).
+//
+// This class is the *plain* (memory-resident) table used by the sequential
+// miner; core::HashLineStore wraps the same line layout with the memory
+// limit, LRU and swap policies.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+#include "mining/itemset.hpp"
+
+namespace rms::mining {
+
+/// One hash line: the itemsets sharing a hash value, with their counters.
+using HashLine = std::vector<CountedItemset>;
+
+class HashLineTable {
+ public:
+  explicit HashLineTable(std::size_t num_lines) : lines_(num_lines) {
+    RMS_CHECK(num_lines > 0);
+  }
+
+  std::size_t num_lines() const { return lines_.size(); }
+
+  std::size_t line_of(const Itemset& s) const {
+    return static_cast<std::size_t>(s.hash() % lines_.size());
+  }
+
+  /// Register a candidate (count starts at `count`). Duplicate inserts are
+  /// a logic error upstream and are checked.
+  void insert(const Itemset& s, std::uint32_t count = 0) {
+    HashLine& line = lines_[line_of(s)];
+    for (const CountedItemset& e : line) {
+      RMS_CHECK_MSG(!(e.items == s), "duplicate candidate insert");
+    }
+    line.push_back(CountedItemset{s, count});
+    ++size_;
+  }
+
+  /// Support-count probe: if `s` is a registered candidate, increment its
+  /// counter and return true.
+  bool probe(const Itemset& s) {
+    for (CountedItemset& e : lines_[line_of(s)]) {
+      if (e.items == s) {
+        ++e.count;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Current count of a candidate, or -1 if not registered.
+  std::int64_t count_of(const Itemset& s) const {
+    for (const CountedItemset& e : lines_[line_of(s)]) {
+      if (e.items == s) return e.count;
+    }
+    return -1;
+  }
+
+  const HashLine& line(std::size_t i) const {
+    RMS_CHECK(i < lines_.size());
+    return lines_[i];
+  }
+
+  /// Total registered candidates.
+  std::size_t size() const { return size_; }
+
+  /// Paper-style accounted memory (24 bytes per candidate itemset).
+  std::int64_t accounted_bytes() const {
+    return static_cast<std::int64_t>(size_) * Itemset::kAccountedBytes;
+  }
+
+  /// Visit every (itemset, count).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const HashLine& line : lines_) {
+      for (const CountedItemset& e : line) fn(e);
+    }
+  }
+
+ private:
+  std::vector<HashLine> lines_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace rms::mining

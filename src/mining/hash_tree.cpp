@@ -1,0 +1,100 @@
+#include "mining/hash_tree.hpp"
+
+namespace rms::mining {
+
+HashTree::HashTree(std::size_t k, std::size_t fanout,
+                   std::size_t leaf_capacity)
+    : k_(k), fanout_(fanout), leaf_capacity_(leaf_capacity) {
+  RMS_CHECK(k_ >= 1 && k_ <= Itemset::kMaxK);
+  RMS_CHECK(fanout_ >= 2);
+  RMS_CHECK(leaf_capacity_ >= 1);
+}
+
+void HashTree::insert(const Itemset& candidate) {
+  RMS_CHECK(candidate.size() == k_);
+  insert_into(root_, 0, candidate);
+  ++size_;
+}
+
+void HashTree::insert_into(Node& node, std::size_t depth,
+                           const Itemset& candidate) {
+  Node* n = &node;
+  std::size_t d = depth;
+  while (!n->leaf) {
+    n = n->children[hash_item(candidate[d])].get();
+    ++d;
+  }
+  n->bucket.push_back(CountedItemset{candidate, 0});
+  // Interior nodes hash on the item at their depth, so a leaf can only
+  // split while depth < k.
+  if (n->bucket.size() > leaf_capacity_ && d < k_) split(*n, d);
+}
+
+void HashTree::split(Node& node, std::size_t depth) {
+  std::vector<CountedItemset> bucket = std::move(node.bucket);
+  node.bucket.clear();
+  node.leaf = false;
+  node.children.resize(fanout_);
+  for (auto& c : node.children) c = std::make_unique<Node>();
+  for (CountedItemset& e : bucket) {
+    Node& child = *node.children[hash_item(e.items[depth])];
+    child.bucket.push_back(std::move(e));
+  }
+  // A skewed hash may leave one child overfull; split recursively.
+  for (auto& c : node.children) {
+    if (c->bucket.size() > leaf_capacity_ && depth + 1 < k_) {
+      split(*c, depth + 1);
+    }
+  }
+}
+
+void HashTree::count_transaction(std::span<const Item> tx,
+                                 bool short_circuit) {
+  if (tx.size() < k_) return;
+  count_in(root_, tx, 0, 0, short_circuit);
+}
+
+void HashTree::count_in(Node& node, std::span<const Item> tx,
+                        std::size_t start, std::size_t depth,
+                        bool short_circuit) {
+  if (node.leaf) {
+    for (CountedItemset& e : node.bucket) {
+      ++comparisons_;
+      // The path already matched items [0, depth) by hash value; verify the
+      // full candidate against the transaction suffix.
+      if (e.items.subset_of(tx.data(), tx.data() + tx.size())) ++e.count;
+    }
+    return;
+  }
+  // Descend on each remaining transaction item. With short-circuiting, stop
+  // once too few items remain to complete a k-subset.
+  const std::size_t needed = k_ - depth;
+  const std::size_t limit =
+      short_circuit && tx.size() >= needed ? tx.size() - needed + 1
+                                           : tx.size();
+  // Visit each child at most once per distinct hash value.
+  std::vector<char> visited(fanout_, 0);
+  for (std::size_t i = start; i < limit; ++i) {
+    const std::size_t h = hash_item(tx[i]);
+    if (visited[h] != 0) continue;
+    visited[h] = 1;
+    count_in(*node.children[h], tx, i + 1, depth + 1, short_circuit);
+  }
+}
+
+std::vector<CountedItemset> HashTree::entries() const {
+  std::vector<CountedItemset> out;
+  out.reserve(size_);
+  collect(root_, out);
+  return out;
+}
+
+void HashTree::collect(const Node& node, std::vector<CountedItemset>& out) const {
+  if (node.leaf) {
+    out.insert(out.end(), node.bucket.begin(), node.bucket.end());
+    return;
+  }
+  for (const auto& c : node.children) collect(*c, out);
+}
+
+}  // namespace rms::mining

@@ -1,0 +1,66 @@
+// Hash tree for candidate support counting (Agrawal–Srikant VLDB'94).
+//
+// EXTENSION MODULE — the target paper stores candidates in hash lines; the
+// hash tree is the classic alternative and the subject of the shared-memory
+// optimization literature. It is included for the ablation bench
+// (`bench_ext_hashtree`) comparing the two structures and measuring the
+// effect of short-circuited subset checking (skipping subtree descents that
+// cannot produce a match because too few transaction items remain).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/check.hpp"
+#include "mining/itemset.hpp"
+
+namespace rms::mining {
+
+class HashTree {
+ public:
+  /// `k` is the candidate size; `fanout` the interior hash width; leaves
+  /// split once they exceed `leaf_capacity` (unless already at depth k).
+  HashTree(std::size_t k, std::size_t fanout = 32,
+           std::size_t leaf_capacity = 16);
+
+  void insert(const Itemset& candidate);
+
+  /// Increment the count of every candidate contained in the (sorted)
+  /// transaction. With `short_circuit`, descents that cannot complete a
+  /// k-subset are pruned.
+  void count_transaction(std::span<const Item> tx, bool short_circuit = true);
+
+  /// Collect all (itemset, count) entries.
+  std::vector<CountedItemset> entries() const;
+
+  std::size_t size() const { return size_; }
+
+  /// Number of candidate-vs-transaction comparisons performed so far — the
+  /// metric the short-circuiting ablation reports.
+  std::uint64_t comparisons() const { return comparisons_; }
+
+ private:
+  struct Node {
+    bool leaf = true;
+    std::vector<CountedItemset> bucket;            // when leaf
+    std::vector<std::unique_ptr<Node>> children;   // when interior
+  };
+
+  std::size_t hash_item(Item it) const { return it % fanout_; }
+  void insert_into(Node& node, std::size_t depth, const Itemset& candidate);
+  void split(Node& node, std::size_t depth);
+  void count_in(Node& node, std::span<const Item> tx, std::size_t start,
+                std::size_t depth, bool short_circuit);
+  void collect(const Node& node, std::vector<CountedItemset>& out) const;
+
+  std::size_t k_;
+  std::size_t fanout_;
+  std::size_t leaf_capacity_;
+  std::size_t size_ = 0;
+  std::uint64_t comparisons_ = 0;
+  Node root_;
+};
+
+}  // namespace rms::mining

@@ -1,0 +1,18 @@
+#include "mining/itemset.hpp"
+
+#include <cstdio>
+
+namespace rms::mining {
+
+std::string Itemset::to_string() const {
+  std::string out = "{";
+  for (std::size_t i = 0; i < size_; ++i) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%s%u", i == 0 ? "" : ",", items_[i]);
+    out += buf;
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace rms::mining

@@ -1,0 +1,138 @@
+// Itemset: a small sorted set of item ids, stored inline.
+//
+// Association-rule mining manipulates millions of these, so the type is a
+// fixed-capacity value (no heap): up to kMaxK items plus a length byte.
+// Itemsets are always kept sorted ascending, which makes the Apriori join
+// step and subset tests linear.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/check.hpp"
+
+namespace rms::mining {
+
+using Item = std::uint32_t;
+
+class Itemset {
+ public:
+  static constexpr std::size_t kMaxK = 8;
+
+  Itemset() = default;
+
+  /// From a sorted, duplicate-free list.
+  Itemset(std::initializer_list<Item> items) {
+    for (Item it : items) push_back(it);
+  }
+
+  /// Append an item greater than the current maximum.
+  void push_back(Item item) {
+    RMS_CHECK_MSG(size_ < kMaxK, "itemset capacity exceeded");
+    RMS_CHECK_MSG(size_ == 0 || items_[size_ - 1] < item,
+                  "items must be appended in ascending order");
+    items_[size_++] = item;
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  Item operator[](std::size_t i) const {
+    RMS_CHECK(i < size_);
+    return items_[i];
+  }
+  Item front() const { return (*this)[0]; }
+  Item back() const { return (*this)[size_ - 1]; }
+
+  const Item* begin() const { return items_.data(); }
+  const Item* end() const { return items_.data() + size_; }
+
+  /// The k-1 prefix (for the Apriori join).
+  Itemset prefix() const {
+    RMS_CHECK(size_ > 0);
+    Itemset p;
+    for (std::size_t i = 0; i + 1 < size_; ++i) p.push_back(items_[i]);
+    return p;
+  }
+
+  /// Itemset with element `drop` removed (for prune / rule generation).
+  Itemset without(std::size_t drop) const {
+    RMS_CHECK(drop < size_);
+    Itemset r;
+    for (std::size_t i = 0; i < size_; ++i) {
+      if (i != drop) r.push_back(items_[i]);
+    }
+    return r;
+  }
+
+  /// Itemset extended by one larger item.
+  Itemset with(Item item) const {
+    Itemset r = *this;
+    r.push_back(item);
+    return r;
+  }
+
+  /// True if *this is a subset of the sorted range [b, e).
+  bool subset_of(const Item* b, const Item* e) const {
+    const Item* p = b;
+    for (std::size_t i = 0; i < size_; ++i) {
+      while (p != e && *p < items_[i]) ++p;
+      if (p == e || *p != items_[i]) return false;
+      ++p;
+    }
+    return true;
+  }
+
+  bool operator==(const Itemset& o) const {
+    if (size_ != o.size_) return false;
+    for (std::size_t i = 0; i < size_; ++i) {
+      if (items_[i] != o.items_[i]) return false;
+    }
+    return true;
+  }
+
+  bool operator<(const Itemset& o) const {
+    const std::size_t n = size_ < o.size_ ? size_ : o.size_;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (items_[i] != o.items_[i]) return items_[i] < o.items_[i];
+    }
+    return size_ < o.size_;
+  }
+
+  /// Stable 64-bit hash (FNV-1a over the items); identical across runs and
+  /// platforms, so candidate partitioning is reproducible.
+  std::uint64_t hash() const {
+    std::uint64_t h = 1469598103934665603ULL;
+    for (std::size_t i = 0; i < size_; ++i) {
+      h ^= items_[i];
+      h *= 1099511628211ULL;
+      h ^= h >> 29;
+    }
+    return h;
+  }
+
+  /// Paper's memory accounting: each candidate itemset occupies 24 bytes
+  /// (structure area + data area, §5.1), independent of k.
+  static constexpr std::int64_t kAccountedBytes = 24;
+
+  std::string to_string() const;
+
+ private:
+  std::array<Item, kMaxK> items_{};
+  std::uint8_t size_ = 0;
+};
+
+struct ItemsetHash {
+  std::size_t operator()(const Itemset& s) const {
+    return static_cast<std::size_t>(s.hash());
+  }
+};
+
+/// A counted candidate: the unit the paper's hash lines store (24 bytes of
+/// accounted memory per entry).
+struct CountedItemset {
+  Itemset items;
+  std::uint32_t count = 0;
+};
+
+}  // namespace rms::mining

@@ -1,0 +1,61 @@
+#include "mining/rules.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace rms::mining {
+
+std::string Rule::to_string() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "  (sup %.4f, conf %.3f)", support,
+                confidence);
+  return antecedent.to_string() + " => " + consequent.to_string() + buf;
+}
+
+std::vector<Rule> derive_rules(const AprioriResult& mined,
+                               double min_confidence) {
+  RMS_CHECK(min_confidence > 0.0 && min_confidence <= 1.0);
+  std::vector<Rule> rules;
+  const double n = static_cast<double>(mined.num_transactions);
+
+  for (std::size_t k = 2; k <= mined.large_by_k.size(); ++k) {
+    for (const Itemset& z : mined.large_by_k[k - 1]) {
+      const auto z_it = mined.support.find(z);
+      RMS_CHECK(z_it != mined.support.end());
+      const double z_count = z_it->second;
+
+      // Every non-empty proper subset is an antecedent candidate; subsets of
+      // a large itemset are large, so their supports are already known.
+      const auto mask_limit = static_cast<std::uint32_t>(1u << z.size());
+      for (std::uint32_t mask = 1; mask + 1 < mask_limit; ++mask) {
+        Itemset ante;
+        Itemset cons;
+        for (std::size_t i = 0; i < z.size(); ++i) {
+          if ((mask >> i) & 1u) {
+            ante.push_back(z[i]);
+          } else {
+            cons.push_back(z[i]);
+          }
+        }
+        const auto a_it = mined.support.find(ante);
+        RMS_CHECK_MSG(a_it != mined.support.end(),
+                      "subset of a large itemset must be large");
+        const double conf = z_count / static_cast<double>(a_it->second);
+        if (conf >= min_confidence) {
+          rules.push_back(Rule{ante, cons, z_count / n, conf});
+        }
+      }
+    }
+  }
+
+  std::sort(rules.begin(), rules.end(), [](const Rule& a, const Rule& b) {
+    if (a.confidence != b.confidence) return a.confidence > b.confidence;
+    if (a.support != b.support) return a.support > b.support;
+    if (a.antecedent < b.antecedent) return true;
+    if (b.antecedent < a.antecedent) return false;
+    return a.consequent < b.consequent;
+  });
+  return rules;
+}
+
+}  // namespace rms::mining

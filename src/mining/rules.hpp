@@ -1,0 +1,30 @@
+// Association-rule derivation from mined large itemsets.
+//
+// The paper mines large itemsets and notes that "association rules that
+// satisfy user-specified minimum confidence can be derived from these large
+// itemsets" (§2.1); this module performs that final step (the classic
+// "if customers buy A and B then 90% of them also buy C" output).
+#pragma once
+
+#include <vector>
+
+#include "mining/apriori.hpp"
+#include "mining/itemset.hpp"
+
+namespace rms::mining {
+
+struct Rule {
+  Itemset antecedent;   // "customers buy A and B"
+  Itemset consequent;   // "... also buy C"
+  double support = 0;   // fraction of transactions containing A ∪ C
+  double confidence = 0;  // supp(A ∪ C) / supp(A)
+
+  std::string to_string() const;
+};
+
+/// Derive every rule with confidence >= `min_confidence` from the mining
+/// result. Rules are sorted by descending confidence, then support.
+std::vector<Rule> derive_rules(const AprioriResult& mined,
+                               double min_confidence);
+
+}  // namespace rms::mining

@@ -1,0 +1,23 @@
+#include "mining/transaction_db.hpp"
+
+namespace rms::mining {
+
+void TransactionDb::add(std::span<const Item> items) {
+  for (std::size_t i = 1; i < items.size(); ++i) {
+    RMS_CHECK_MSG(items[i - 1] < items[i],
+                  "transaction items must be sorted and unique");
+  }
+  items_.insert(items_.end(), items.begin(), items.end());
+  offsets_.push_back(items_.size());
+}
+
+std::vector<TransactionDb> TransactionDb::partition(std::size_t parts) const {
+  RMS_CHECK(parts > 0);
+  std::vector<TransactionDb> out(parts);
+  for (std::size_t i = 0; i < size(); ++i) {
+    out[i % parts].add(tx(i));
+  }
+  return out;
+}
+
+}  // namespace rms::mining

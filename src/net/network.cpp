@@ -1,0 +1,152 @@
+#include "net/network.hpp"
+
+namespace rms::net {
+
+LinkParams LinkParams::atm155() {
+  // 155.52 Mbps SONET payload; ATM 48/53 cell efficiency and TCP/IP over
+  // LLC/SNAP bring point-to-point goodput to the ~120 Mbps the paper
+  // measures. Propagation covers UTP wire, AN1000-20 switching and the
+  // Solaris TLI/TCP stacks: calibrated so a small-message RTT is ~0.5 ms.
+  LinkParams p;
+  p.bandwidth_bps = 120'000'000;
+  p.propagation = usec(240);
+  p.header_bytes = 48;
+  return p;
+}
+
+LinkParams LinkParams::atm155_lossy(double loss_rate,
+                                    Time retransmit_timeout) {
+  LinkParams p = atm155();
+  RMS_CHECK(loss_rate >= 0.0 && loss_rate < 1.0);
+  p.loss_rate = loss_rate;
+  p.retransmit_timeout = retransmit_timeout;
+  return p;
+}
+
+LinkParams LinkParams::ethernet10() {
+  LinkParams p;
+  p.bandwidth_bps = 9'000'000;
+  p.propagation = usec(400);
+  p.header_bytes = 26;
+  return p;
+}
+
+Network::Network(sim::Simulation& sim, std::size_t num_nodes,
+                 LinkParams params)
+    : sim_(sim),
+      params_(params),
+      delivery_(num_nodes),
+      loss_rng_(0xca11ab1e, 0x1c) {
+  RMS_CHECK(num_nodes > 0);
+  RMS_CHECK(params_.bandwidth_bps > 0);
+  RMS_CHECK(params_.loss_rate >= 0.0 && params_.loss_rate < 1.0);
+  tx_ports_.reserve(num_nodes);
+  for (std::size_t i = 0; i < num_nodes; ++i) {
+    tx_ports_.push_back(std::make_unique<sim::Resource>(sim_, 1));
+  }
+}
+
+Network::PairState& Network::pair(NodeId src, NodeId dst) {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
+      static_cast<std::uint32_t>(dst);
+  return pairs_[key];
+}
+
+void Network::set_delivery(NodeId node, DeliveryFn fn) {
+  RMS_CHECK(node >= 0 && static_cast<std::size_t>(node) < delivery_.size());
+  delivery_[static_cast<std::size_t>(node)] = std::move(fn);
+}
+
+Time Network::transmission_time(std::int64_t payload_bytes) const {
+  return transmit_time(payload_bytes + params_.header_bytes,
+                       params_.bandwidth_bps);
+}
+
+void Network::send(Message msg) {
+  RMS_CHECK(msg.src >= 0 &&
+            static_cast<std::size_t>(msg.src) < tx_ports_.size());
+  RMS_CHECK(msg.dst >= 0 &&
+            static_cast<std::size_t>(msg.dst) < delivery_.size());
+  RMS_CHECK_MSG(msg.src != msg.dst, "loopback messages bypass the network");
+  stats_.bump("net.messages");
+  stats_.bump("net.payload_bytes", msg.payload_bytes);
+  stats_.bump("net.wire_bytes", msg.payload_bytes + params_.header_bytes);
+  sim_.spawn(transfer(std::move(msg)));
+}
+
+void Network::broadcast(NodeId src, Tag tag, std::int64_t payload_bytes,
+                        const std::function<std::any(NodeId)>& body_for) {
+  for (std::size_t n = 0; n < delivery_.size(); ++n) {
+    const auto dst = static_cast<NodeId>(n);
+    if (dst == src || !delivery_[n]) continue;
+    Message m;
+    m.src = src;
+    m.dst = dst;
+    m.tag = tag;
+    m.payload_bytes = payload_bytes;
+    m.body = body_for(dst);
+    send(std::move(m));
+  }
+}
+
+sim::Process Network::transfer(Message msg) {
+  // Assign the per-pair sequence number up front: FIFO order is defined by
+  // send order, and retransmissions must not leapfrog later messages.
+  const std::uint64_t seq = pair(msg.src, msg.dst).next_send++;
+
+  auto& port = *tx_ports_[static_cast<std::size_t>(msg.src)];
+  Time backoff = params_.retransmit_timeout;
+  int doublings = 0;
+  for (;;) {
+    // Serialize through the sender's switch port, then cut through the
+    // switch.
+    {
+      auto lease = co_await port.acquire();
+      co_await sim_.timeout(transmission_time(msg.payload_bytes));
+    }
+    co_await sim_.timeout(params_.propagation);
+    if (params_.loss_rate <= 0.0 ||
+        !loss_rng_.bernoulli(params_.loss_rate)) {
+      break;  // attempt survived
+    }
+    // Lost in the switch: wait out the retransmission timer and try again
+    // (coarse TCP timers with exponential backoff, as on the real cluster).
+    stats_.bump("net.retransmissions");
+    co_await sim_.timeout(backoff);
+    if (doublings < params_.max_backoff_doublings) {
+      backoff *= 2;
+      ++doublings;
+    }
+  }
+  arrive(std::move(msg), seq);
+}
+
+void Network::arrive(Message msg, std::uint64_t seq) {
+  PairState& ps = pair(msg.src, msg.dst);
+  if (seq != ps.next_deliver) {
+    // Out of order (an earlier message of this pair is still being
+    // retransmitted): buffer until the stream catches up.
+    stats_.bump("net.reordered");
+    ps.reorder.emplace(seq, std::move(msg));
+    return;
+  }
+  ++ps.next_deliver;
+  deliver_now(std::move(msg));
+  while (!ps.reorder.empty() &&
+         ps.reorder.begin()->first == ps.next_deliver) {
+    Message next = std::move(ps.reorder.begin()->second);
+    ps.reorder.erase(ps.reorder.begin());
+    ++ps.next_deliver;
+    deliver_now(std::move(next));
+  }
+}
+
+void Network::deliver_now(Message msg) {
+  auto& deliver = delivery_[static_cast<std::size_t>(msg.dst)];
+  RMS_CHECK_MSG(static_cast<bool>(deliver),
+                "message sent to a node with no delivery hook");
+  deliver(std::move(msg));
+}
+
+}  // namespace rms::net

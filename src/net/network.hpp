@@ -1,0 +1,154 @@
+// Star-topology network model of the ATM-connected PC cluster.
+//
+// Every node hangs off one switch port (the paper's 128-port HITACHI
+// AN1000-20, 155 Mbps UTP-5 per port). A message:
+//
+//   1. serializes through the sender's TX port at the effective bandwidth
+//      (155 Mbps raw minus ATM cell + LLC/SNAP + TCP/IP overhead ~= 120 Mbps,
+//      the point-to-point throughput the paper measures),
+//   2. crosses the switch with a fixed propagation + protocol-stack latency
+//      (calibrated so a small-message round trip is ~0.5 ms, §5.2),
+//   3. is delivered to the destination's mailbox.
+//
+// Cells cut through the switch, so transmission time is charged once —
+// matching the paper's Table 4 decomposition (RTT 0.5 ms + 0.3 ms for a 4 KB
+// block). Receiver-side contention is modelled where it physically lives in
+// this system: the memory server's per-request service time.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/time.hpp"
+#include "sim/process.hpp"
+#include "sim/resource.hpp"
+#include "sim/simulation.hpp"
+
+namespace rms::net {
+
+/// Tags identify the logical service a message belongs to (like MPI tags).
+using Tag = std::int32_t;
+using NodeId = std::int32_t;
+
+struct Message {
+  NodeId src = -1;
+  NodeId dst = -1;
+  Tag tag = 0;
+  Tag reply_tag = -1;              // >= 0 when the sender awaits a reply
+  std::int64_t payload_bytes = 0;  // application payload (wire adds headers)
+  std::any body;                   // holds std::shared_ptr<const T>
+
+  /// Attach a typed body; the payload byte count is the *simulated* size.
+  template <typename T>
+  static Message make(NodeId src, NodeId dst, Tag tag, std::int64_t bytes,
+                      T value) {
+    Message m;
+    m.src = src;
+    m.dst = dst;
+    m.tag = tag;
+    m.payload_bytes = bytes;
+    m.body = std::make_shared<const T>(std::move(value));
+    return m;
+  }
+
+  template <typename T>
+  const T& as() const {
+    const auto* p = std::any_cast<std::shared_ptr<const T>>(&body);
+    RMS_CHECK_MSG(p != nullptr, "message body type mismatch");
+    return **p;
+  }
+
+  bool has_body() const { return body.has_value(); }
+};
+
+struct LinkParams {
+  /// Effective per-port goodput after ATM/LLC/TCP overheads.
+  std::int64_t bandwidth_bps = 120'000'000;
+  /// One-way fixed latency: wire + switch + protocol stacks on both ends.
+  Time propagation = usec(240);
+  /// Per-message header bytes added on the wire (TCP/IP + LLC/SNAP).
+  std::int64_t header_bytes = 48;
+
+  // --- TCP-style reliability (the authors' companion work [2][21] tunes
+  // --- exactly this on the real cluster). loss_rate = 0 bypasses the
+  // --- machinery entirely.
+  /// Probability that one transmission attempt is lost (cell drops in the
+  /// switch under UBR traffic, §3.2).
+  double loss_rate = 0.0;
+  /// Retransmission timeout after a lost attempt. Solaris' coarse TCP
+  /// timers (200 ms) are the paper-era default; the companion work shows
+  /// what tuning it buys.
+  Time retransmit_timeout = msec(200);
+  /// Exponential backoff cap (doublings).
+  int max_backoff_doublings = 6;
+
+  /// The paper's measured constants for the pilot system.
+  static LinkParams atm155();
+  /// atm155 with transmission losses and a configurable RTO.
+  static LinkParams atm155_lossy(double loss_rate,
+                                 Time retransmit_timeout = msec(200));
+  /// A 10Base-T Ethernet alternative (the cluster's control network) for
+  /// what-if comparisons.
+  static LinkParams ethernet10();
+};
+
+class Network {
+ public:
+  using DeliveryFn = std::function<void(Message)>;
+
+  Network(sim::Simulation& sim, std::size_t num_nodes, LinkParams params);
+
+  /// Register the destination-side delivery hook for a node (the cluster
+  /// node's mailbox). Must be set before traffic reaches the node.
+  void set_delivery(NodeId node, DeliveryFn fn);
+
+  /// Asynchronous send; the message is delivered after TX serialization and
+  /// propagation. Messages between the same (src, dst) pair keep FIFO order.
+  void send(Message msg);
+
+  /// Unicast-fanout broadcast from `src` to every other node (the paper's
+  /// monitor processes broadcast availability this way over the TLI mesh).
+  void broadcast(NodeId src, Tag tag, std::int64_t payload_bytes,
+                 const std::function<std::any(NodeId)>& body_for);
+
+  std::size_t num_nodes() const { return tx_ports_.size(); }
+  const LinkParams& params() const { return params_; }
+
+  /// Time to clock `payload_bytes` (+headers) through one port.
+  Time transmission_time(std::int64_t payload_bytes) const;
+
+  StatsRegistry& stats() { return stats_; }
+  const StatsRegistry& stats() const { return stats_; }
+
+ private:
+  sim::Process transfer(Message msg);
+  void arrive(Message msg, std::uint64_t seq);
+  void deliver_now(Message msg);
+
+  /// In-order delivery state per (src, dst) pair — the TCP byte-stream
+  /// guarantee our protocols (FIFO swap/update ordering) rely on.
+  struct PairState {
+    std::uint64_t next_send = 0;
+    std::uint64_t next_deliver = 0;
+    std::map<std::uint64_t, Message> reorder;  // arrived out of order
+  };
+  PairState& pair(NodeId src, NodeId dst);
+
+  sim::Simulation& sim_;
+  LinkParams params_;
+  std::vector<std::unique_ptr<sim::Resource>> tx_ports_;
+  std::vector<DeliveryFn> delivery_;
+  std::unordered_map<std::uint64_t, PairState> pairs_;
+  Pcg32 loss_rng_;
+  StatsRegistry stats_;
+};
+
+}  // namespace rms::net

@@ -1,0 +1,81 @@
+// Channel<T>: an unbounded, awaitable FIFO mailbox between processes.
+//
+// send() never blocks (the simulated transports impose their own flow
+// control through net::Network / sim::Resource); recv() suspends the caller
+// until a value arrives. Values are delivered in send order, and a waiting
+// receiver is woken through the event queue so same-instant interleavings
+// stay deterministic.
+#pragma once
+
+#include <coroutine>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "common/check.hpp"
+#include "sim/simulation.hpp"
+
+namespace rms::sim {
+
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(Simulation& sim) : sim_(sim) {}
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Deposit a value; wakes the longest-waiting receiver, if any.
+  void send(T value) {
+    if (!waiters_.empty()) {
+      RecvAwaiter* w = waiters_.front();
+      waiters_.pop_front();
+      w->value.emplace(std::move(value));
+      sim_.schedule_now(w->handle);
+      return;
+    }
+    items_.push_back(std::move(value));
+  }
+
+  /// Awaitable receive; resumes with the next value in FIFO order.
+  auto recv() { return RecvAwaiter{this}; }
+
+  /// Non-blocking receive: returns nullopt if the queue is empty.
+  std::optional<T> try_recv() {
+    if (items_.empty()) return std::nullopt;
+    T v = std::move(items_.front());
+    items_.pop_front();
+    return v;
+  }
+
+  std::size_t pending() const { return items_.size(); }
+  std::size_t waiting_receivers() const { return waiters_.size(); }
+
+ private:
+  struct RecvAwaiter {
+    Channel* ch = nullptr;
+    std::optional<T> value{};
+    std::coroutine_handle<> handle{};
+
+    bool await_ready() {
+      if (ch->items_.empty()) return false;
+      value.emplace(std::move(ch->items_.front()));
+      ch->items_.pop_front();
+      return true;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      handle = h;
+      ch->waiters_.push_back(this);
+    }
+    T await_resume() {
+      RMS_CHECK(value.has_value());
+      return std::move(*value);
+    }
+  };
+
+  Simulation& sim_;
+  std::deque<T> items_;
+  std::deque<RecvAwaiter*> waiters_;
+};
+
+}  // namespace rms::sim

@@ -1,0 +1,4 @@
+#include "sim/process.hpp"
+
+// Process is header-only; this TU exists so the module has a home in the
+// library target and a place for future non-inline diagnostics.

@@ -1,0 +1,115 @@
+// Process: the coroutine type for simulation activities.
+//
+// A process is any coroutine returning `Process`. It starts suspended;
+// `Simulation::spawn` schedules its first step at the current virtual time.
+// Co_awaiting a Process suspends the awaiter until that process finishes
+// (join). The coroutine frame self-destroys on completion; join handles
+// outlive it through a small shared control block.
+//
+// Example:
+//   sim::Process server(sim::Simulation& sim, sim::Channel<int>& in) {
+//     for (;;) {
+//       int request = co_await in.recv();
+//       co_await sim.timeout(msec(2));  // service time
+//       ...
+//     }
+//   }
+#pragma once
+
+#include <coroutine>
+#include <memory>
+#include <vector>
+
+#include "common/check.hpp"
+#include "sim/simulation.hpp"
+
+namespace rms::sim {
+
+struct Simulation::ProcessState {
+  std::coroutine_handle<> handle;  // null once the frame is gone
+  Simulation* sim = nullptr;
+  bool started = false;
+  bool done = false;
+  std::vector<std::coroutine_handle<>> joiners;
+
+  ~ProcessState() {
+    // A process that was never spawned still owns its frame.
+    if (handle && !started) handle.destroy();
+  }
+};
+
+class Process {
+ public:
+  using State = Simulation::ProcessState;
+
+  struct promise_type {
+    // Weak so the frame does not keep its own control block alive: an
+    // unspawned Process must reclaim the frame when the last handle drops
+    // (the Simulation owns a strong reference for every spawned process).
+    std::weak_ptr<State> state;
+
+    Process get_return_object() {
+      auto st = std::make_shared<State>();
+      st->handle = std::coroutine_handle<promise_type>::from_promise(*this);
+      state = st;
+      return Process{std::move(st)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<promise_type> h) noexcept {
+        // Mark completion and wake joiners through the scheduler (never
+        // resume inline: determinism requires all wakeups to be ordered by
+        // the event queue), then reclaim the frame.
+        const std::shared_ptr<State> st = h.promise().state.lock();
+        RMS_CHECK_MSG(st != nullptr,
+                      "running process lost its control block");
+        st->done = true;
+        st->handle = nullptr;
+        if (!st->joiners.empty()) {
+          RMS_CHECK_MSG(st->sim != nullptr, "joined process was never spawned");
+          for (auto j : st->joiners) st->sim->schedule_now(j);
+          st->joiners.clear();
+        }
+        h.destroy();
+      }
+      void await_resume() const noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void return_void() {}
+    [[noreturn]] void unhandled_exception() {
+      // Simulation processes must handle their own errors; an escaping
+      // exception would leave the virtual world in an undefined state.
+      RMS_CHECK_MSG(false, "exception escaped a sim::Process");
+      __builtin_unreachable();
+    }
+  };
+
+  /// True once the coroutine has run to completion.
+  bool done() const { return state_->done; }
+
+  /// Join: suspend until this process completes. Completed processes resume
+  /// immediately.
+  auto operator co_await() const {
+    struct Awaiter {
+      std::shared_ptr<State> st;
+      bool await_ready() const noexcept { return st->done; }
+      void await_suspend(std::coroutine_handle<> h) {
+        RMS_CHECK_MSG(st->started, "co_await on a process that was not spawned");
+        st->joiners.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{state_};
+  }
+
+ private:
+  friend class Simulation;
+  explicit Process(std::shared_ptr<State> st) : state_(std::move(st)) {}
+
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace rms::sim

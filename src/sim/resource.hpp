@@ -1,0 +1,117 @@
+// Resource: a counted FCFS server — the queueing primitive behind disk arms,
+// network ports and memory-server CPUs.
+//
+// `co_await res.acquire()` returns an RAII Lease; destroying the lease hands
+// the slot to the next waiter (through the event queue). With capacity 1
+// this is exactly the FCFS single-server queue whose contention produces the
+// paper's "memory available node becomes the bottleneck" effect (Figure 3).
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/time.hpp"
+#include "sim/simulation.hpp"
+
+namespace rms::sim {
+
+class Resource;
+
+/// RAII ownership of one resource slot.
+class Lease {
+ public:
+  Lease() = default;
+  explicit Lease(Resource* r) : res_(r) {}
+  Lease(Lease&& o) noexcept : res_(std::exchange(o.res_, nullptr)) {}
+  Lease& operator=(Lease&& o) noexcept {
+    if (this != &o) {
+      release();
+      res_ = std::exchange(o.res_, nullptr);
+    }
+    return *this;
+  }
+  Lease(const Lease&) = delete;
+  Lease& operator=(const Lease&) = delete;
+  ~Lease() { release(); }
+
+  /// Release early (idempotent).
+  void release();
+
+  bool holds() const { return res_ != nullptr; }
+
+ private:
+  Resource* res_ = nullptr;
+};
+
+class Resource {
+ public:
+  Resource(Simulation& sim, std::int64_t capacity)
+      : sim_(sim), capacity_(capacity) {
+    RMS_CHECK(capacity_ > 0);
+  }
+
+  Resource(const Resource&) = delete;
+  Resource& operator=(const Resource&) = delete;
+
+  /// Awaitable acquire; resumes holding a Lease.
+  auto acquire() { return AcquireAwaiter{this}; }
+
+  std::int64_t capacity() const { return capacity_; }
+  std::int64_t in_use() const { return in_use_; }
+  std::size_t queue_length() const { return waiters_.size(); }
+
+  /// Total completed acquisitions (for utilization accounting in tests).
+  std::uint64_t total_acquired() const { return total_acquired_; }
+
+ private:
+  friend class Lease;
+
+  struct AcquireAwaiter {
+    Resource* res;
+    bool await_ready() {
+      if (res->in_use_ < res->capacity_) {
+        ++res->in_use_;
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      res->waiters_.push_back(h);
+    }
+    Lease await_resume() {
+      // Slot was counted either in await_ready or transferred by release().
+      ++res->total_acquired_;
+      return Lease{res};
+    }
+  };
+
+  void release_slot() {
+    if (!waiters_.empty()) {
+      // Transfer the slot directly to the next waiter; in_use_ unchanged.
+      auto h = waiters_.front();
+      waiters_.pop_front();
+      sim_.schedule_now(h);
+      return;
+    }
+    RMS_CHECK(in_use_ > 0);
+    --in_use_;
+  }
+
+  Simulation& sim_;
+  std::int64_t capacity_;
+  std::int64_t in_use_ = 0;
+  std::uint64_t total_acquired_ = 0;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+inline void Lease::release() {
+  if (res_ != nullptr) {
+    Resource* r = std::exchange(res_, nullptr);
+    r->release_slot();
+  }
+}
+
+}  // namespace rms::sim

@@ -1,0 +1,97 @@
+// Synchronization primitives built on the kernel: one-shot Trigger and
+// reusable counting Barrier. HPA's per-pass phase changes use Barrier; fault
+// injection and shutdown use Trigger.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+#include "sim/simulation.hpp"
+
+namespace rms::sim {
+
+/// One-shot broadcast event. Awaiters suspend until fire(); awaiting a fired
+/// trigger resumes immediately.
+class Trigger {
+ public:
+  explicit Trigger(Simulation& sim) : sim_(sim) {}
+
+  Trigger(const Trigger&) = delete;
+  Trigger& operator=(const Trigger&) = delete;
+
+  void fire() {
+    if (fired_) return;
+    fired_ = true;
+    for (auto h : waiters_) sim_.schedule_now(h);
+    waiters_.clear();
+  }
+
+  bool fired() const { return fired_; }
+
+  auto wait() {
+    struct Awaiter {
+      Trigger* t;
+      bool await_ready() const noexcept { return t->fired_; }
+      void await_suspend(std::coroutine_handle<> h) {
+        t->waiters_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+ private:
+  Simulation& sim_;
+  bool fired_ = false;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/// Reusable counting barrier for `parties` processes. The Nth arrival wakes
+/// everyone and resets the barrier for the next phase (generation counter
+/// guards against same-instant re-entry).
+class Barrier {
+ public:
+  Barrier(Simulation& sim, std::size_t parties)
+      : sim_(sim), parties_(parties) {
+    RMS_CHECK(parties_ > 0);
+  }
+
+  Barrier(const Barrier&) = delete;
+  Barrier& operator=(const Barrier&) = delete;
+
+  auto arrive() {
+    struct Awaiter {
+      Barrier* b;
+      bool await_ready() {
+        if (b->arrived_ + 1 == b->parties_) {
+          // Last arrival: release the cohort and pass through.
+          b->arrived_ = 0;
+          ++b->generation_;
+          for (auto h : b->waiters_) b->sim_.schedule_now(h);
+          b->waiters_.clear();
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        ++b->arrived_;
+        b->waiters_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+  std::uint64_t generation() const { return generation_; }
+
+ private:
+  Simulation& sim_;
+  std::size_t parties_;
+  std::size_t arrived_ = 0;
+  std::uint64_t generation_ = 0;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+}  // namespace rms::sim

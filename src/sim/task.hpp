@@ -1,0 +1,128 @@
+// Task<T>: a lazy, awaitable sub-operation within a Process.
+//
+// Process is the unit of concurrency (spawned, scheduled); Task is the unit
+// of composition (a blocking sub-call such as a disk access or an RPC).
+// `co_await disk.read(...)` starts the task inline via symmetric transfer,
+// and the task resumes its caller when it finishes — all on the same virtual
+// timeline, with no extra scheduler round-trips.
+//
+// Lifetime: a Task must be awaited exactly once; the temporary returned by
+// the callee lives in the awaiting coroutine's frame for the duration of the
+// await-expression, which is exactly the task's lifetime.
+#pragma once
+
+#include <coroutine>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace rms::sim {
+
+template <typename T = void>
+class [[nodiscard]] Task;
+
+namespace detail {
+
+struct TaskPromiseBase {
+  std::coroutine_handle<> continuation;
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+
+  struct FinalAwaiter {
+    bool await_ready() const noexcept { return false; }
+    template <typename Promise>
+    std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<Promise> h) noexcept {
+      // Hand control straight back to the awaiter (symmetric transfer).
+      auto cont = h.promise().continuation;
+      return cont ? cont : std::noop_coroutine();
+    }
+    void await_resume() const noexcept {}
+  };
+  FinalAwaiter final_suspend() noexcept { return {}; }
+
+  [[noreturn]] void unhandled_exception() {
+    RMS_CHECK_MSG(false, "exception escaped a sim::Task");
+    __builtin_unreachable();
+  }
+};
+
+}  // namespace detail
+
+template <typename T>
+class [[nodiscard]] Task {
+ public:
+  struct promise_type : detail::TaskPromiseBase {
+    T value{};
+
+    Task get_return_object() {
+      return Task{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    void return_value(T v) { value = std::move(v); }
+  };
+
+  Task(Task&& o) noexcept : h_(std::exchange(o.h_, nullptr)) {}
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  Task& operator=(Task&&) = delete;
+  ~Task() {
+    if (h_) h_.destroy();
+  }
+
+  auto operator co_await() && {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> h;
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) {
+        h.promise().continuation = cont;
+        return h;  // start the task now
+      }
+      T await_resume() { return std::move(h.promise().value); }
+    };
+    RMS_CHECK_MSG(h_ && !h_.done(), "Task awaited twice or moved-from");
+    return Awaiter{h_};
+  }
+
+ private:
+  explicit Task(std::coroutine_handle<promise_type> h) : h_(h) {}
+  std::coroutine_handle<promise_type> h_;
+};
+
+template <>
+class [[nodiscard]] Task<void> {
+ public:
+  struct promise_type : detail::TaskPromiseBase {
+    Task get_return_object() {
+      return Task{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    void return_void() {}
+  };
+
+  Task(Task&& o) noexcept : h_(std::exchange(o.h_, nullptr)) {}
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  Task& operator=(Task&&) = delete;
+  ~Task() {
+    if (h_) h_.destroy();
+  }
+
+  auto operator co_await() && {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> h;
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) {
+        h.promise().continuation = cont;
+        return h;
+      }
+      void await_resume() const noexcept {}
+    };
+    RMS_CHECK_MSG(h_ && !h_.done(), "Task awaited twice or moved-from");
+    return Awaiter{h_};
+  }
+
+ private:
+  explicit Task(std::coroutine_handle<promise_type> h) : h_(h) {}
+  std::coroutine_handle<promise_type> h_;
+};
+
+}  // namespace rms::sim

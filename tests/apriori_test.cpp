@@ -1,0 +1,191 @@
+// Sequential Apriori tests: hand-checkable cases, a brute-force cross-check
+// on random workloads, and structural invariants (downward closure, pass
+// monotonicity).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "common/rng.hpp"
+#include "mining/apriori.hpp"
+#include "mining/generator.hpp"
+
+namespace rms::mining {
+namespace {
+
+TransactionDb tiny_db() {
+  // Classic example: 4 transactions over items {1..5}.
+  TransactionDb db;
+  const std::vector<std::vector<Item>> txs = {
+      {1, 3, 4}, {2, 3, 5}, {1, 2, 3, 5}, {2, 5}};
+  for (const auto& t : txs) db.add({t.data(), t.size()});
+  return db;
+}
+
+TEST(Apriori, TinyExampleMatchesHandComputation) {
+  // minsup 50% of 4 = 2 transactions.
+  const AprioriResult r = apriori(tiny_db(), 0.5);
+  ASSERT_GE(r.large_by_k.size(), 3u);
+
+  // L1 = {1},{2},{3},{5} (item 4 appears once).
+  EXPECT_EQ(r.large_by_k[0].size(), 4u);
+  EXPECT_EQ(r.support.at(Itemset{1}), 2u);
+  EXPECT_EQ(r.support.at(Itemset{2}), 3u);
+  EXPECT_EQ(r.support.at(Itemset{3}), 3u);
+  EXPECT_EQ(r.support.at(Itemset{5}), 3u);
+  EXPECT_EQ(r.support.count(Itemset{4}), 0u);
+
+  // L2 = {1,3},{2,3},{2,5},{3,5}.
+  EXPECT_EQ(r.large_by_k[1].size(), 4u);
+  EXPECT_EQ(r.support.at(Itemset{1, 3}), 2u);
+  EXPECT_EQ(r.support.at(Itemset{2, 3}), 2u);
+  EXPECT_EQ(r.support.at(Itemset{2, 5}), 3u);
+  EXPECT_EQ(r.support.at(Itemset{3, 5}), 2u);
+
+  // L3 = {2,3,5}.
+  EXPECT_EQ(r.large_by_k[2].size(), 1u);
+  EXPECT_EQ(r.support.at(Itemset{2, 3, 5}), 2u);
+}
+
+TEST(Apriori, MinCountRounding) {
+  const AprioriResult r = apriori(tiny_db(), 0.5);
+  EXPECT_EQ(r.min_count, 2u);
+  EXPECT_EQ(r.num_transactions, 4);
+}
+
+TEST(Apriori, PassInfoTracksCandidatesAndLarges) {
+  const AprioriResult r = apriori(tiny_db(), 0.5);
+  ASSERT_GE(r.passes.size(), 3u);
+  EXPECT_EQ(r.passes[0].k, 1u);
+  EXPECT_EQ(r.passes[0].large, 4);
+  EXPECT_EQ(r.passes[1].k, 2u);
+  EXPECT_EQ(r.passes[1].candidates, 6);  // C(4,2)
+  EXPECT_EQ(r.passes[1].large, 4);
+  EXPECT_EQ(r.passes[2].candidates, 1);  // only {2,3,5} joins+survives prune
+  EXPECT_EQ(r.passes[2].large, 1);
+}
+
+// Brute force: count every itemset of size <= 3 directly.
+std::map<std::vector<Item>, std::uint32_t> brute_force(const TransactionDb& db,
+                                                       std::size_t max_k) {
+  std::map<std::vector<Item>, std::uint32_t> counts;
+  for (std::size_t t = 0; t < db.size(); ++t) {
+    auto tx = db.tx(t);
+    const std::size_t n = tx.size();
+    // size-1..max_k subsets via bitmask (transactions are small).
+    RMS_CHECK(n <= 20);
+    for (std::uint32_t mask = 1; mask < (1u << n); ++mask) {
+      const auto bits = static_cast<std::size_t>(__builtin_popcount(mask));
+      if (bits == 0 || bits > max_k) continue;
+      std::vector<Item> subset;
+      for (std::size_t i = 0; i < n; ++i) {
+        if ((mask >> i) & 1u) subset.push_back(tx[i]);
+      }
+      ++counts[subset];
+    }
+  }
+  return counts;
+}
+
+TEST(Apriori, MatchesBruteForceOnRandomWorkloads) {
+  for (std::uint64_t seed : {11u, 22u, 33u}) {
+    QuestParams p;
+    p.num_transactions = 400;
+    p.num_items = 40;
+    p.avg_transaction_size = 6;
+    p.avg_pattern_size = 3;
+    p.num_patterns = 12;
+    p.seed = seed;
+    TransactionDb db = QuestGenerator(p).generate();
+
+    const double minsup = 0.05;
+    AprioriOptions opt;
+    opt.max_k = 3;
+    const AprioriResult mined = apriori(db, minsup, opt);
+    const auto truth = brute_force(db, 3);
+    const auto min_count = mined.min_count;
+
+    // Every brute-force-large itemset must be mined with the exact count.
+    std::size_t expected_large = 0;
+    for (const auto& [items, count] : truth) {
+      if (count < min_count) continue;
+      ++expected_large;
+      Itemset s;
+      for (Item i : items) s.push_back(i);
+      const auto it = mined.support.find(s);
+      ASSERT_NE(it, mined.support.end()) << s.to_string() << " seed " << seed;
+      EXPECT_EQ(it->second, count) << s.to_string();
+    }
+    // And nothing extra.
+    EXPECT_EQ(mined.support.size(), expected_large) << "seed " << seed;
+  }
+}
+
+TEST(Apriori, DownwardClosureHolds) {
+  QuestParams p;
+  p.num_transactions = 2000;
+  p.num_items = 100;
+  p.seed = 5;
+  TransactionDb db = QuestGenerator(p).generate();
+  const AprioriResult r = apriori(db, 0.02);
+  for (const auto& [itemset, count] : r.support) {
+    EXPECT_GE(count, r.min_count);
+    if (itemset.size() < 2) continue;
+    for (std::size_t d = 0; d < itemset.size(); ++d) {
+      const Itemset sub = itemset.without(d);
+      const auto it = r.support.find(sub);
+      ASSERT_NE(it, r.support.end())
+          << sub.to_string() << " subset of " << itemset.to_string();
+      EXPECT_GE(it->second, count);  // anti-monotone support
+    }
+  }
+}
+
+TEST(Apriori, HigherSupportMinesSubset) {
+  QuestParams p;
+  p.num_transactions = 2000;
+  p.num_items = 100;
+  p.seed = 6;
+  TransactionDb db = QuestGenerator(p).generate();
+  const AprioriResult low = apriori(db, 0.02);
+  const AprioriResult high = apriori(db, 0.05);
+  EXPECT_LT(high.support.size(), low.support.size());
+  for (const auto& [itemset, count] : high.support) {
+    const auto it = low.support.find(itemset);
+    ASSERT_NE(it, low.support.end());
+    EXPECT_EQ(it->second, count);
+  }
+}
+
+TEST(Apriori, HashLineCountIsIrrelevantToResults) {
+  QuestParams p;
+  p.num_transactions = 1000;
+  p.num_items = 60;
+  p.seed = 9;
+  TransactionDb db = QuestGenerator(p).generate();
+  AprioriOptions few;
+  few.hash_lines = 7;
+  AprioriOptions many;
+  many.hash_lines = 1 << 18;
+  const AprioriResult a = apriori(db, 0.03, few);
+  const AprioriResult b = apriori(db, 0.03, many);
+  ASSERT_EQ(a.support.size(), b.support.size());
+  for (const auto& [itemset, count] : a.support) {
+    EXPECT_EQ(b.support.at(itemset), count);
+  }
+}
+
+TEST(Apriori, PassCountsShapeLikeTable2) {
+  // The paper's Table 2 shape: C explodes in pass 2, then collapses.
+  QuestParams p = QuestParams::paper_table2(0.002);  // 20k transactions
+  TransactionDb db = QuestGenerator(p).generate();
+  const AprioriResult r = apriori(db, 0.007);
+  ASSERT_GE(r.passes.size(), 2u);
+  const std::int64_t l1 = r.passes[0].large;
+  EXPECT_EQ(r.passes[1].candidates, l1 * (l1 - 1) / 2);
+  EXPECT_GT(r.passes[1].candidates, 100 * std::max<std::int64_t>(
+                                              1, r.passes[1].large));
+}
+
+}  // namespace
+}  // namespace rms::mining

@@ -1,0 +1,190 @@
+// Availability mechanism tests: table semantics, monitor broadcasting at the
+// configured interval, client updates, and shortage-handler arming.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "core/availability.hpp"
+#include "sim/process.hpp"
+#include "sim/simulation.hpp"
+
+namespace rms::core {
+namespace {
+
+TEST(AvailabilityTable, UpdateAndStaleness) {
+  AvailabilityTable t({10, 11});
+  EXPECT_EQ(t.available(10), 0);
+  EXPECT_TRUE(t.update(AvailabilityInfo{10, 5 << 20, 1}, msec(1)));
+  EXPECT_EQ(t.available(10), 5 << 20);
+  // Stale (same seq) report is dropped.
+  EXPECT_FALSE(t.update(AvailabilityInfo{10, 9 << 20, 1}, msec(2)));
+  EXPECT_EQ(t.available(10), 5 << 20);
+  EXPECT_TRUE(t.update(AvailabilityInfo{10, 9 << 20, 2}, msec(3)));
+  EXPECT_EQ(t.available(10), 9 << 20);
+}
+
+TEST(AvailabilityTable, ChooseRoundRobinsOverQualifyingNodes) {
+  AvailabilityTable t({5, 6, 7});
+  t.update(AvailabilityInfo{5, 10 << 20, 1}, 0);
+  t.update(AvailabilityInfo{6, 10 << 20, 1}, 0);
+  t.update(AvailabilityInfo{7, 10 << 20, 1}, 0);
+  std::vector<net::NodeId> picks;
+  for (int i = 0; i < 6; ++i) picks.push_back(*t.choose_destination(1 << 20));
+  EXPECT_EQ(picks, (std::vector<net::NodeId>{5, 6, 7, 5, 6, 7}));
+}
+
+TEST(AvailabilityTable, ChooseSkipsShortAndExcludedNodes) {
+  AvailabilityTable t({5, 6, 7});
+  t.update(AvailabilityInfo{5, 1 << 10, 1}, 0);  // too small
+  t.update(AvailabilityInfo{6, 10 << 20, 1}, 0);
+  t.update(AvailabilityInfo{7, 10 << 20, 1}, 0);
+  EXPECT_EQ(*t.choose_destination(1 << 20), 6);
+  EXPECT_EQ(*t.choose_destination(1 << 20, /*exclude=*/7), 6);
+  EXPECT_EQ(*t.choose_destination(1 << 20), 7);
+}
+
+TEST(AvailabilityTable, ChooseReturnsNulloptWhenNobodyQualifies) {
+  AvailabilityTable t({5});
+  EXPECT_FALSE(t.choose_destination(1).has_value());  // never reported
+  t.update(AvailabilityInfo{5, 100, 1}, 0);
+  EXPECT_FALSE(t.choose_destination(1000).has_value());
+  EXPECT_TRUE(t.choose_destination(50).has_value());
+}
+
+TEST(AvailabilityTable, DebitReducesEstimateUntilNextReport) {
+  AvailabilityTable t({5});
+  t.update(AvailabilityInfo{5, 1 << 20, 1}, 0);
+  t.debit(5, 1 << 19);
+  EXPECT_EQ(t.available(5), 1 << 19);
+  t.debit(5, 1 << 20);  // clamps at zero
+  EXPECT_EQ(t.available(5), 0);
+  t.update(AvailabilityInfo{5, 2 << 20, 2}, 0);
+  EXPECT_EQ(t.available(5), 2 << 20);
+}
+
+TEST(Availability, MonitorBroadcastsAtInterval) {
+  sim::Simulation sim;
+  cluster::ClusterConfig cfg;
+  cfg.num_nodes = 3;  // node 2 monitors; nodes 0, 1 subscribe
+  cluster::Cluster cl(sim, cfg);
+
+  MonitorConfig mcfg;
+  mcfg.interval = sec(3);
+  mcfg.subscribers = {0, 1};
+  sim.spawn(availability_monitor(cl.node(2), mcfg));
+
+  std::vector<std::pair<Time, std::int64_t>> reports;
+  auto listener = [](sim::Simulation& s, cluster::Node& n,
+                     std::vector<std::pair<Time, std::int64_t>>& out)
+      -> sim::Process {
+    for (;;) {
+      net::Message m = co_await n.mailbox().recv(kAvailInfo);
+      out.emplace_back(s.now(), m.as<AvailabilityInfo>().available_bytes);
+    }
+  };
+  sim.spawn(listener(sim, cl.node(0), reports));
+
+  sim.run_until(sec(10));
+  ASSERT_EQ(reports.size(), 4u);  // t~0, 3, 6, 9
+  EXPECT_LT(reports[0].first, msec(5));
+  EXPECT_NEAR(static_cast<double>(reports[1].first), static_cast<double>(sec(3)),
+              static_cast<double>(msec(5)));
+  EXPECT_EQ(reports[0].second, cl.node(2).memory().available());
+}
+
+TEST(Availability, MonitorReportsWithdrawal) {
+  sim::Simulation sim;
+  cluster::ClusterConfig cfg;
+  cfg.num_nodes = 2;
+  cluster::Cluster cl(sim, cfg);
+
+  MonitorConfig mcfg;
+  mcfg.interval = sec(1);
+  mcfg.subscribers = {0};
+  sim.spawn(availability_monitor(cl.node(1), mcfg));
+
+  std::vector<std::int64_t> seen;
+  auto listener = [](cluster::Node& n, std::vector<std::int64_t>& out)
+      -> sim::Process {
+    for (;;) {
+      net::Message m = co_await n.mailbox().recv(kAvailInfo);
+      out.push_back(m.as<AvailabilityInfo>().available_bytes);
+    }
+  };
+  sim.spawn(listener(cl.node(0), seen));
+
+  // Withdraw the node's memory at t = 1.5 s.
+  sim.call_at(msec(1500), [&] {
+    cl.node(1).memory().external_bytes = cl.node(1).memory().total_bytes;
+  });
+  sim.run_until(sec(4));
+  ASSERT_GE(seen.size(), 3u);
+  EXPECT_GT(seen[0], 0);
+  EXPECT_GT(seen[1], 0);
+  EXPECT_EQ(seen[2], 0);  // first tick after withdrawal
+}
+
+TEST(Availability, ClientUpdatesTableAndFiresShortageOnce) {
+  sim::Simulation sim;
+  cluster::ClusterConfig cfg;
+  cfg.num_nodes = 2;
+  cluster::Cluster cl(sim, cfg);
+
+  AvailabilityTable table({1});
+  int shortage_calls = 0;
+  ClientConfig ccfg;
+  ccfg.shortage_threshold_bytes = 1 << 20;
+  sim.spawn(availability_client(
+      cl.node(0), table, ccfg,
+      [&](net::NodeId holder) -> sim::Task<> {
+        EXPECT_EQ(holder, 1);
+        ++shortage_calls;
+        co_return;
+      }));
+
+  MonitorConfig mcfg;
+  mcfg.interval = sec(1);
+  mcfg.subscribers = {0};
+  sim.spawn(availability_monitor(cl.node(1), mcfg));
+
+  sim.call_at(msec(1500), [&] {
+    cl.node(1).memory().external_bytes = cl.node(1).memory().total_bytes;
+  });
+  sim.run_until(sec(6));
+
+  EXPECT_GT(table.available(1), -1);
+  EXPECT_EQ(table.available(1), 0);
+  // Several shortage broadcasts arrived but the handler fired once.
+  EXPECT_EQ(shortage_calls, 1);
+  EXPECT_GT(cl.node(0).stats().counter("client.availability_updates"), 2);
+}
+
+TEST(Availability, ShortageRearmsAfterRecovery) {
+  sim::Simulation sim;
+  cluster::ClusterConfig cfg;
+  cfg.num_nodes = 2;
+  cluster::Cluster cl(sim, cfg);
+
+  AvailabilityTable table({1});
+  int shortage_calls = 0;
+  ClientConfig ccfg;
+  ccfg.shortage_threshold_bytes = 1 << 20;
+  sim.spawn(availability_client(cl.node(0), table, ccfg,
+                                [&](net::NodeId) -> sim::Task<> {
+                                  ++shortage_calls;
+                                  co_return;
+                                }));
+  MonitorConfig mcfg;
+  mcfg.interval = sec(1);
+  mcfg.subscribers = {0};
+  sim.spawn(availability_monitor(cl.node(1), mcfg));
+
+  auto& mem = cl.node(1).memory();
+  sim.call_at(msec(1500), [&] { mem.external_bytes = mem.total_bytes; });
+  sim.call_at(msec(3500), [&] { mem.external_bytes = 0; });  // recovery
+  sim.call_at(msec(5500), [&] { mem.external_bytes = mem.total_bytes; });
+  sim.run_until(sec(8));
+  EXPECT_EQ(shortage_calls, 2);
+}
+
+}  // namespace
+}  // namespace rms::core

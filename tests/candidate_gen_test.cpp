@@ -1,0 +1,163 @@
+// Candidate generation (join + prune) tests, including the paper's exact
+// pass-2 combinatorics: |L1| = 3122 must yield C2 = 4,871,881.
+#include <gtest/gtest.h>
+
+#include "mining/apriori.hpp"
+#include "mining/candidate_gen.hpp"
+
+namespace rms::mining {
+namespace {
+
+std::vector<Itemset> singletons(std::initializer_list<Item> items) {
+  std::vector<Itemset> out;
+  for (Item i : items) {
+    Itemset s;
+    s.push_back(i);
+    out.push_back(s);
+  }
+  return out;
+}
+
+TEST(CandidateGen, Pass2IsAllPairs) {
+  const auto cands = generate_candidates(singletons({1, 4, 7, 9}));
+  ASSERT_EQ(cands.size(), 6u);
+  EXPECT_EQ(cands[0], (Itemset{1, 4}));
+  EXPECT_EQ(cands[5], (Itemset{7, 9}));
+}
+
+TEST(CandidateGen, EmptyInputYieldsNothing) {
+  EXPECT_TRUE(generate_candidates({}).empty());
+  EXPECT_EQ(count_candidates({}), 0);
+}
+
+TEST(CandidateGen, SingleItemsetYieldsNothing) {
+  EXPECT_TRUE(generate_candidates(singletons({5})).empty());
+}
+
+TEST(CandidateGen, JoinRequiresSharedPrefix) {
+  // L2 = {1,2},{1,3},{2,3} -> join gives {1,2,3} (from {1,2}+{1,3});
+  // {2,3} pairs with nothing sharing its first item.
+  const std::vector<Itemset> l2 = {{1, 2}, {1, 3}, {2, 3}};
+  const auto cands = generate_candidates(l2);
+  ASSERT_EQ(cands.size(), 1u);
+  EXPECT_EQ(cands[0], (Itemset{1, 2, 3}));
+}
+
+TEST(CandidateGen, PruneRemovesCandidatesWithNonLargeSubsets) {
+  // {1,2},{1,3},{1,4},{2,3}: join produces {1,2,3},{1,2,4},{1,3,4}.
+  // {1,2,3} survives (all 2-subsets large); {1,2,4} dies ({2,4} not large);
+  // {1,3,4} dies ({3,4} not large).
+  const std::vector<Itemset> l2 = {{1, 2}, {1, 3}, {1, 4}, {2, 3}};
+  const auto cands = generate_candidates(l2);
+  ASSERT_EQ(cands.size(), 1u);
+  EXPECT_EQ(cands[0], (Itemset{1, 2, 3}));
+}
+
+TEST(CandidateGen, CandidatesAreSortedItemsets) {
+  const std::vector<Itemset> l2 = {{1, 2}, {1, 5}, {1, 9}};
+  for (const Itemset& c : generate_candidates(l2)) {
+    for (std::size_t i = 1; i < c.size(); ++i) EXPECT_LT(c[i - 1], c[i]);
+  }
+}
+
+TEST(CandidateGen, PaperPass2Combinatorics) {
+  // §5.1: 4,871,881 candidate 2-itemsets = C(3122, 2), i.e. |L1| = 3122.
+  std::vector<Itemset> l1;
+  for (Item i = 0; i < 3122; ++i) {
+    Itemset s;
+    s.push_back(i);
+    l1.push_back(s);
+  }
+  EXPECT_EQ(count_candidates(l1), 4'871'881);
+}
+
+TEST(CandidateGen, Table2Pass2Combinatorics) {
+  // Table 2: 522,753 candidate 2-itemsets = C(1023, 2), i.e. |L1| = 1023.
+  std::vector<Itemset> l1;
+  for (Item i = 0; i < 1023; ++i) {
+    Itemset s;
+    s.push_back(i);
+    l1.push_back(s);
+  }
+  EXPECT_EQ(count_candidates(l1), 522'753);
+}
+
+TEST(SubsetEnumeration, EnumeratesAllCombinations) {
+  const Item tx[] = {2, 4, 6, 8};
+  const auto keep_all = [](Item) { return true; };
+  std::vector<std::string> got;
+  for_each_k_subset({tx, 4}, 2, keep_all,
+                    [&](const Itemset& s) { got.push_back(s.to_string()); });
+  EXPECT_EQ(got, (std::vector<std::string>{"{2,4}", "{2,6}", "{2,8}", "{4,6}",
+                                           "{4,8}", "{6,8}"}));
+}
+
+TEST(SubsetEnumeration, KEqualsSizeYieldsWholeTransaction) {
+  const Item tx[] = {1, 2, 3};
+  const auto keep_all = [](Item) { return true; };
+  int calls = 0;
+  for_each_k_subset({tx, 3}, 3, keep_all, [&](const Itemset& s) {
+    ++calls;
+    EXPECT_EQ(s, (Itemset{1, 2, 3}));
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(SubsetEnumeration, KLargerThanSizeYieldsNothing) {
+  const Item tx[] = {1, 2};
+  const auto keep_all = [](Item) { return true; };
+  int calls = 0;
+  for_each_k_subset({tx, 2}, 3, keep_all, [&](const Itemset&) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(SubsetEnumeration, FilterPrunesBeforeEnumeration) {
+  const Item tx[] = {1, 2, 3, 4, 5};
+  const auto keep_odd = [](Item it) { return it % 2 == 1; };
+  std::vector<std::string> got;
+  for_each_k_subset({tx, 5}, 2, keep_odd,
+                    [&](const Itemset& s) { got.push_back(s.to_string()); });
+  EXPECT_EQ(got, (std::vector<std::string>{"{1,3}", "{1,5}", "{3,5}"}));
+}
+
+TEST(SubsetEnumeration, FilterAllOutYieldsNothing) {
+  const Item tx[] = {1, 2, 3};
+  const auto keep_none = [](Item) { return false; };
+  int calls = 0;
+  for_each_k_subset({tx, 3}, 1, keep_none, [&](const Itemset&) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(SubsetEnumeration, CountMatchesBinomial) {
+  std::vector<Item> tx;
+  for (Item i = 0; i < 12; ++i) tx.push_back(i * 3);
+  const auto keep_all = [](Item) { return true; };
+  for (std::size_t k = 1; k <= 5; ++k) {
+    std::int64_t calls = 0;
+    for_each_k_subset({tx.data(), tx.size()}, k, keep_all,
+                      [&](const Itemset&) { ++calls; });
+    // C(12, k)
+    std::int64_t expect = 1;
+    for (std::size_t i = 0; i < k; ++i) {
+      expect = expect * static_cast<std::int64_t>(12 - i) /
+               static_cast<std::int64_t>(i + 1);
+    }
+    EXPECT_EQ(calls, expect) << "k=" << k;
+  }
+}
+
+TEST(CandidateGen, StreamAndMaterializeAgree) {
+  const std::vector<Itemset> l2 = {{1, 2}, {1, 3}, {2, 3}, {2, 4}};
+  const auto materialized = generate_candidates(l2);
+  std::vector<Itemset> streamed;
+  for_each_candidate(l2, [&](const Itemset& c) { streamed.push_back(c); });
+  EXPECT_EQ(materialized.size(), streamed.size());
+  for (std::size_t i = 0; i < materialized.size(); ++i) {
+    EXPECT_EQ(materialized[i], streamed[i]);
+  }
+  EXPECT_EQ(count_candidates(l2),
+            static_cast<std::int64_t>(materialized.size()));
+}
+
+}  // namespace
+}  // namespace rms::mining

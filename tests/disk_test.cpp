@@ -1,0 +1,107 @@
+// Disk model tests: mean random-access latency pinned to the paper's quoted
+// drive characteristics, FCFS arm behaviour, and sequential-access speedup.
+#include <gtest/gtest.h>
+
+#include "disk/disk.hpp"
+#include "sim/process.hpp"
+#include "sim/simulation.hpp"
+
+namespace rms::disk {
+namespace {
+
+// Run `n` random reads of `bytes` and return the mean latency in ms.
+double mean_random_read_ms(const DiskParams& params, int n,
+                           std::int64_t bytes) {
+  sim::Simulation sim;
+  Disk d(sim, params);
+  auto proc = [](sim::Simulation&, Disk& disk, int count,
+                 std::int64_t b) -> sim::Process {
+    for (int i = 0; i < count; ++i) {
+      co_await disk.read(b, Access::kRandom);
+    }
+  };
+  sim.spawn(proc(sim, d, n, bytes));
+  sim.run();
+  return d.stats().summary("disk.read.latency_ms").mean();
+}
+
+TEST(Disk, Barracuda7200RandomReadAtLeast13ms) {
+  // §5.2: "it takes at least 13.0 msec in average to read data from
+  // 7,200 rpm hard disks".
+  const double ms = mean_random_read_ms(DiskParams::barracuda_7200(), 4000, 4096);
+  EXPECT_GT(ms, 12.0);
+  EXPECT_LT(ms, 14.5);
+}
+
+TEST(Disk, Dk3e1t12000RandomReadAround7_5ms) {
+  // §5.2: "7.5 msec even with the fastest 12,000 rpm hard disks".
+  const double ms = mean_random_read_ms(DiskParams::dk3e1t_12000(), 4000, 4096);
+  EXPECT_GT(ms, 6.8);
+  EXPECT_LT(ms, 8.4);
+}
+
+TEST(Disk, ExpectedRandomAccessMatchesSpecArithmetic) {
+  sim::Simulation sim;
+  Disk d(sim, DiskParams::barracuda_7200());
+  // 8.8 ms seek + 4.17 ms half rotation + transfer + controller.
+  const double ms = to_millis(d.expected_random_access(4096));
+  EXPECT_GT(ms, 12.9);
+  EXPECT_LT(ms, 13.6);
+}
+
+TEST(Disk, SequentialSkipsPositioning) {
+  sim::Simulation sim;
+  Disk d(sim, DiskParams::barracuda_7200());
+  Time t_seq = 0;
+  auto proc = [](sim::Simulation& s, Disk& disk, Time& out) -> sim::Process {
+    const Time start = s.now();
+    for (int i = 0; i < 100; ++i) {
+      co_await disk.read(65536, Access::kSequential);
+    }
+    out = s.now() - start;
+  };
+  sim.spawn(proc(sim, d, t_seq));
+  sim.run();
+  // 100 x 64 KB at 120 Mbps media rate + controller: well under 1 s; random
+  // positioning would have added ~1.3 s alone.
+  EXPECT_LT(t_seq, msec(600));
+  EXPECT_GT(t_seq, msec(100));
+}
+
+TEST(Disk, ArmIsFcfsAcrossProcesses) {
+  sim::Simulation sim;
+  Disk d(sim, DiskParams::barracuda_7200());
+  std::vector<int> done_order;
+  auto reader = [](Disk& disk, std::vector<int>& out, int id) -> sim::Process {
+    co_await disk.read(4096, Access::kRandom);
+    out.push_back(id);
+  };
+  for (int i = 0; i < 4; ++i) sim.spawn(reader(d, done_order, i));
+  sim.run();
+  EXPECT_EQ(done_order, (std::vector<int>{0, 1, 2, 3}));
+  // Serialized: total time ~ sum of four independent accesses.
+  EXPECT_GT(sim.now(), msec(4 * 9));
+}
+
+TEST(Disk, WritesAreCountedSeparately) {
+  sim::Simulation sim;
+  Disk d(sim, DiskParams::caviar_ide());
+  auto proc = [](Disk& disk) -> sim::Process {
+    co_await disk.write(8192, Access::kSequential);
+    co_await disk.read(4096, Access::kRandom);
+  };
+  sim.spawn(proc(d));
+  sim.run();
+  EXPECT_EQ(d.stats().counter("disk.write.count"), 1);
+  EXPECT_EQ(d.stats().counter("disk.read.count"), 1);
+  EXPECT_EQ(d.stats().counter("disk.write.bytes"), 8192);
+}
+
+TEST(Disk, DeterministicAcrossRuns) {
+  const double a = mean_random_read_ms(DiskParams::barracuda_7200(), 500, 4096);
+  const double b = mean_random_read_ms(DiskParams::barracuda_7200(), 500, 4096);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace rms::disk

@@ -1,0 +1,72 @@
+// Hash-line table tests: insert/probe semantics and the paper's 24-byte
+// memory accounting.
+#include <gtest/gtest.h>
+
+#include "mining/hash_line_table.hpp"
+
+namespace rms::mining {
+namespace {
+
+TEST(HashLineTable, ProbeIncrementsOnlyRegisteredCandidates) {
+  HashLineTable t(64);
+  t.insert(Itemset{1, 2});
+  t.insert(Itemset{2, 3});
+
+  EXPECT_TRUE(t.probe(Itemset{1, 2}));
+  EXPECT_TRUE(t.probe(Itemset{1, 2}));
+  EXPECT_FALSE(t.probe(Itemset{1, 3}));  // not a candidate
+
+  EXPECT_EQ(t.count_of(Itemset{1, 2}), 2);
+  EXPECT_EQ(t.count_of(Itemset{2, 3}), 0);
+  EXPECT_EQ(t.count_of(Itemset{1, 3}), -1);
+}
+
+TEST(HashLineTable, LineOfIsHashModLines) {
+  HashLineTable t(17);
+  const Itemset s{4, 9};
+  EXPECT_EQ(t.line_of(s), s.hash() % 17);
+  EXPECT_LT(t.line_of(s), 17u);
+}
+
+TEST(HashLineTable, CollidingItemsetsShareALine) {
+  // With one line everything collides; probes must still distinguish
+  // itemsets within the line (the "linked structures" of §3.3).
+  HashLineTable t(1);
+  t.insert(Itemset{1});
+  t.insert(Itemset{2});
+  t.insert(Itemset{3});
+  EXPECT_EQ(t.line(0).size(), 3u);
+  EXPECT_TRUE(t.probe(Itemset{2}));
+  EXPECT_EQ(t.count_of(Itemset{2}), 1);
+  EXPECT_EQ(t.count_of(Itemset{1}), 0);
+}
+
+TEST(HashLineTable, AccountedBytesIs24PerCandidate) {
+  HashLineTable t(8);
+  for (Item i = 0; i < 10; ++i) t.insert(Itemset{i, i + 100});
+  EXPECT_EQ(t.size(), 10u);
+  EXPECT_EQ(t.accounted_bytes(), 240);
+}
+
+TEST(HashLineTable, ForEachVisitsEverything) {
+  HashLineTable t(4);
+  t.insert(Itemset{1, 2}, 5);
+  t.insert(Itemset{3, 4}, 7);
+  std::int64_t total = 0;
+  std::size_t n = 0;
+  t.for_each([&](const CountedItemset& e) {
+    total += e.count;
+    ++n;
+  });
+  EXPECT_EQ(n, 2u);
+  EXPECT_EQ(total, 12);
+}
+
+TEST(HashLineTableDeathTest, DuplicateInsertAborts) {
+  HashLineTable t(8);
+  t.insert(Itemset{1, 2});
+  EXPECT_DEATH(t.insert(Itemset{1, 2}), "duplicate");
+}
+
+}  // namespace
+}  // namespace rms::mining

@@ -1,0 +1,168 @@
+// Hash-tree tests (extension module): counting correctness against the
+// hash-line table, splitting behaviour, and the short-circuit ablation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "common/rng.hpp"
+#include "mining/apriori.hpp"
+#include "mining/hash_line_table.hpp"
+#include "mining/hash_tree.hpp"
+
+namespace rms::mining {
+namespace {
+
+TEST(HashTree, CountsContainedCandidates) {
+  HashTree tree(2);
+  tree.insert(Itemset{1, 2});
+  tree.insert(Itemset{2, 3});
+  tree.insert(Itemset{4, 5});
+
+  const Item tx[] = {1, 2, 3};
+  tree.count_transaction(tx);
+
+  std::map<std::string, std::uint32_t> counts;
+  for (const CountedItemset& e : tree.entries()) {
+    counts[e.items.to_string()] = e.count;
+  }
+  EXPECT_EQ(counts["{1,2}"], 1u);
+  EXPECT_EQ(counts["{2,3}"], 1u);
+  EXPECT_EQ(counts["{4,5}"], 0u);
+}
+
+TEST(HashTree, ShortTransactionsAreSkipped) {
+  HashTree tree(3);
+  tree.insert(Itemset{1, 2, 3});
+  const Item tx[] = {1, 2};
+  tree.count_transaction(tx);
+  EXPECT_EQ(tree.entries()[0].count, 0u);
+}
+
+TEST(HashTree, SplitsPreserveCounts) {
+  // Small leaf capacity forces splits while counts are non-zero.
+  HashTree tree(2, 4, 2);
+  const Item tx[] = {0, 1, 2, 3, 4, 5, 6, 7};
+  tree.insert(Itemset{0, 1});
+  tree.count_transaction(tx);  // {0,1} -> 1
+  for (Item a = 0; a < 8; ++a) {
+    for (Item b = a + 1; b < 8; ++b) {
+      if (a == 0 && b == 1) continue;
+      tree.insert(Itemset{a, b});
+    }
+  }
+  tree.count_transaction(tx);  // everything contained -> +1
+  std::uint32_t zero_one = 0;
+  std::uint32_t total = 0;
+  for (const CountedItemset& e : tree.entries()) {
+    total += e.count;
+    if (e.items == (Itemset{0, 1})) zero_one = e.count;
+  }
+  EXPECT_EQ(zero_one, 2u);
+  EXPECT_EQ(total, 28u + 1u);
+  EXPECT_EQ(tree.size(), 28u);
+}
+
+TEST(HashTree, NoDoubleCountingWithHashCollisions) {
+  // Items 1 and 33 collide (fanout 32); candidates must still count once.
+  HashTree tree(2, 32, 1);
+  tree.insert(Itemset{1, 40});
+  tree.insert(Itemset{33, 40});
+  tree.insert(Itemset{1, 33});
+  const Item tx[] = {1, 33, 40};
+  tree.count_transaction(tx);
+  for (const CountedItemset& e : tree.entries()) {
+    EXPECT_EQ(e.count, 1u) << e.items.to_string();
+  }
+}
+
+TEST(HashTree, AgreesWithHashLineTableOnRandomWorkload) {
+  Pcg32 rng(99);
+  constexpr std::size_t kK = 3;
+  HashTree tree(kK, 8, 4);
+  HashLineTable table(64);
+
+  // Random candidate set.
+  for (int i = 0; i < 200; ++i) {
+    Item a = rng.below(30);
+    Item b, c;
+    do { b = rng.below(30); } while (b == a);
+    do { c = rng.below(30); } while (c == a || c == b);
+    Item v[3] = {a, b, c};
+    std::sort(v, v + 3);
+    Itemset s{v[0], v[1], v[2]};
+    if (table.count_of(s) >= 0) continue;
+    table.insert(s);
+    tree.insert(s);
+  }
+
+  // Random transactions counted by both structures.
+  const auto keep = [](Item) { return true; };
+  for (int t = 0; t < 500; ++t) {
+    std::vector<Item> tx;
+    for (Item i = 0; i < 30; ++i) {
+      if (rng.bernoulli(0.3)) tx.push_back(i);
+    }
+    tree.count_transaction({tx.data(), tx.size()});
+    for_each_k_subset({tx.data(), tx.size()}, kK, keep,
+                      [&](const Itemset& s) { (void)table.probe(s); });
+  }
+
+  for (const CountedItemset& e : tree.entries()) {
+    EXPECT_EQ(static_cast<std::int64_t>(e.count), table.count_of(e.items))
+        << e.items.to_string();
+  }
+}
+
+TEST(HashTree, ShortCircuitReducesComparisonsNotCounts) {
+  Pcg32 rng(123);
+  auto build = [&](HashTree& tree) {
+    Pcg32 r(5);
+    for (int i = 0; i < 300; ++i) {
+      Item a = r.below(40);
+      Item b, c, d;
+      do { b = r.below(40); } while (b == a);
+      do { c = r.below(40); } while (c == a || c == b);
+      do { d = r.below(40); } while (d == a || d == b || d == c);
+      Item v[4] = {a, b, c, d};
+      std::sort(v, v + 4);
+      Itemset s{v[0], v[1], v[2], v[3]};
+      bool dup = false;
+      for (const auto& e : tree.entries()) {
+        if (e.items == s) dup = true;
+      }
+      if (!dup) tree.insert(s);
+    }
+  };
+  HashTree with_sc(4, 8, 4);
+  HashTree without_sc(4, 8, 4);
+  build(with_sc);
+  build(without_sc);
+
+  for (int t = 0; t < 200; ++t) {
+    std::vector<Item> tx;
+    for (Item i = 0; i < 40; ++i) {
+      if (rng.bernoulli(0.35)) tx.push_back(i);
+    }
+    // Same RNG stream drives both trees with identical transactions.
+    with_sc.count_transaction({tx.data(), tx.size()}, true);
+    without_sc.count_transaction({tx.data(), tx.size()}, false);
+  }
+
+  auto a = with_sc.entries();
+  auto b = without_sc.entries();
+  ASSERT_EQ(a.size(), b.size());
+  auto by_items = [](const CountedItemset& x, const CountedItemset& y) {
+    return x.items < y.items;
+  };
+  std::sort(a.begin(), a.end(), by_items);
+  std::sort(b.begin(), b.end(), by_items);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].items, b[i].items);
+    EXPECT_EQ(a[i].count, b[i].count);
+  }
+  EXPECT_LT(with_sc.comparisons(), without_sc.comparisons());
+}
+
+}  // namespace
+}  // namespace rms::mining

@@ -1,0 +1,198 @@
+// Edge-configuration tests for the parallel miner: degenerate topologies,
+// extreme thresholds, and pathological structure sizes must either work
+// correctly or abort loudly.
+#include <gtest/gtest.h>
+
+#include "hpa/hpa.hpp"
+#include "mining/apriori.hpp"
+#include "mining/generator.hpp"
+
+namespace rms::hpa {
+namespace {
+
+mining::QuestParams tiny() {
+  mining::QuestParams p;
+  p.num_transactions = 600;
+  p.num_items = 50;
+  p.avg_transaction_size = 6;
+  p.num_patterns = 15;
+  p.seed = 77;
+  return p;
+}
+
+HpaConfig base() {
+  HpaConfig c;
+  c.app_nodes = 2;
+  c.memory_nodes = 2;
+  c.workload = tiny();
+  c.min_support = 0.02;
+  c.hash_lines = 128;
+  return c;
+}
+
+void expect_matches_sequential(const HpaConfig& cfg) {
+  mining::TransactionDb db = mining::QuestGenerator(cfg.workload).generate();
+  mining::AprioriOptions opt;
+  opt.max_k = cfg.max_k;
+  const mining::AprioriResult seq =
+      mining::apriori(db, cfg.min_support, opt);
+  const HpaResult par = run_hpa(cfg);
+  ASSERT_EQ(seq.support.size(), par.mined.support.size());
+  for (const auto& [itemset, count] : seq.support) {
+    const auto it = par.mined.support.find(itemset);
+    ASSERT_NE(it, par.mined.support.end()) << itemset.to_string();
+    EXPECT_EQ(it->second, count);
+  }
+}
+
+TEST(HpaEdge, SingleApplicationNode) {
+  HpaConfig c = base();
+  c.app_nodes = 1;  // all counting traffic is loopback
+  expect_matches_sequential(c);
+}
+
+TEST(HpaEdge, SingleAppNodeWithRemoteMemory) {
+  HpaConfig c = base();
+  c.app_nodes = 1;
+  c.memory_nodes = 1;
+  c.memory_limit_bytes = 1000;
+  c.policy = core::SwapPolicy::kRemoteUpdate;
+  expect_matches_sequential(c);
+}
+
+TEST(HpaEdge, DiskPolicyNeedsNoMemoryNodes) {
+  HpaConfig c = base();
+  c.memory_nodes = 0;
+  c.memory_limit_bytes = 1000;
+  c.policy = core::SwapPolicy::kDiskSwap;
+  expect_matches_sequential(c);
+}
+
+TEST(HpaEdgeDeathTest, RemotePolicyWithoutMemoryNodesAborts) {
+  HpaConfig c = base();
+  c.memory_nodes = 0;
+  c.memory_limit_bytes = 1000;
+  c.policy = core::SwapPolicy::kRemoteSwap;
+  EXPECT_DEATH(run_hpa(c), "memory-available");
+}
+
+TEST(HpaEdgeDeathTest, LimitWithoutPolicyAborts) {
+  HpaConfig c = base();
+  c.memory_limit_bytes = 1000;
+  c.policy = core::SwapPolicy::kNoLimit;
+  EXPECT_DEATH(run_hpa(c), "swap policy");
+}
+
+TEST(HpaEdge, MaxKOneStopsAfterPassOne) {
+  HpaConfig c = base();
+  c.max_k = 1;
+  const HpaResult r = run_hpa(c);
+  EXPECT_EQ(r.passes.size(), 1u);
+  EXPECT_EQ(r.mined.large_by_k.size(), 1u);
+}
+
+TEST(HpaEdge, ImpossibleSupportTerminatesCleanly) {
+  HpaConfig c = base();
+  c.min_support = 0.999;  // nothing qualifies
+  const HpaResult r = run_hpa(c);
+  ASSERT_GE(r.passes.size(), 1u);
+  EXPECT_EQ(r.passes[0].large_global, 0);
+  EXPECT_TRUE(r.mined.support.empty());
+}
+
+TEST(HpaEdge, OneHashLinePerNodeStillCorrect) {
+  // Total collision: every candidate of a node shares one hash line.
+  HpaConfig c = base();
+  c.hash_lines = 2;  // one line per app node
+  expect_matches_sequential(c);
+}
+
+TEST(HpaEdge, OneHashLinePerNodeWithSwapping) {
+  HpaConfig c = base();
+  c.hash_lines = 4;
+  c.memory_limit_bytes = 10'000;  // forces whole-line churn
+  c.policy = core::SwapPolicy::kRemoteSwap;
+  expect_matches_sequential(c);
+}
+
+TEST(HpaEdge, TinyMessageBlocks) {
+  HpaConfig c = base();
+  c.message_block_bytes = 64;  // ~5 itemsets per count message
+  expect_matches_sequential(c);
+}
+
+TEST(HpaEdge, TinyIoBlocks) {
+  HpaConfig c = base();
+  c.io_block_bytes = 512;
+  expect_matches_sequential(c);
+}
+
+TEST(HpaEdge, RemoteDeterminationMinesExactlyWithLessTraffic) {
+  HpaConfig plain = base();
+  plain.memory_limit_bytes = 1200;
+  plain.policy = core::SwapPolicy::kRemoteUpdate;
+  HpaConfig filtered = plain;
+  filtered.remote_determination = true;
+
+  const HpaResult a = run_hpa(plain);
+  const HpaResult b = run_hpa(filtered);
+
+  // Identical mining results...
+  ASSERT_EQ(a.mined.support.size(), b.mined.support.size());
+  for (const auto& [itemset, count] : a.mined.support) {
+    EXPECT_EQ(b.mined.support.at(itemset), count);
+  }
+  // ...with strictly less fetch traffic on the wire.
+  EXPECT_GT(b.stats.counter("server.filtered_fetch_lines"), 0);
+  EXPECT_LT(b.stats.counter("net.payload_bytes"),
+            a.stats.counter("net.payload_bytes"));
+  // And it must not be slower.
+  EXPECT_LE(b.pass(2)->duration, a.pass(2)->duration);
+}
+
+TEST(HpaEdge, LossyNetworkStillMinesExactly) {
+  HpaConfig c = base();
+  c.cluster.link = net::LinkParams::atm155_lossy(0.02, msec(2));
+  c.memory_limit_bytes = 1500;
+  c.policy = core::SwapPolicy::kRemoteUpdate;
+  expect_matches_sequential(c);
+}
+
+TEST(HpaEdge, ManyMoreMemoryNodesThanAppNodes) {
+  HpaConfig c = base();
+  c.memory_nodes = 24;
+  c.memory_limit_bytes = 1200;
+  c.policy = core::SwapPolicy::kRemoteSwap;
+  expect_matches_sequential(c);
+}
+
+TEST(HpaEdge, OddAppNodeCountWithWeights) {
+  HpaConfig c = base();
+  c.app_nodes = 3;
+  c.hash_lines = 10'000;
+  c.partition_weights = {1.0, 2.0, 3.0};
+  const HpaResult r = run_hpa(c);
+  const PassReport* p2 = r.pass(2);
+  ASSERT_NE(p2, nullptr);
+  // Node 2 (weight 3) owns ~3x node 0's candidates (weight 1).
+  EXPECT_GT(p2->candidates_per_node[2],
+            2 * p2->candidates_per_node[0]);
+  expect_matches_sequential(c);
+}
+
+TEST(HpaEdgeDeathTest, WeightCountMismatchAborts) {
+  HpaConfig c = base();
+  c.hash_lines = 10'000;
+  c.partition_weights = {1.0, 1.0, 1.0};  // 3 weights, 2 app nodes
+  EXPECT_DEATH(run_hpa(c), "one entry per app node");
+}
+
+TEST(HpaEdgeDeathTest, WeightedPartitionNeedsRoundHashLines) {
+  HpaConfig c = base();
+  c.hash_lines = 999;  // not a multiple of the weight resolution
+  c.partition_weights = {1.0, 1.0};
+  EXPECT_DEATH(run_hpa(c), "10000");
+}
+
+}  // namespace
+}  // namespace rms::hpa

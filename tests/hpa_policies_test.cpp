@@ -1,0 +1,173 @@
+// Swap-policy integration tests: under a per-node memory limit every policy
+// must still mine exactly the sequential result, and the performance
+// relations the paper reports must hold (disk >> remote swap > remote
+// update; pagefaults grow as the limit shrinks).
+#include <gtest/gtest.h>
+
+#include "hpa/hpa.hpp"
+#include "mining/apriori.hpp"
+#include "mining/generator.hpp"
+
+namespace rms::hpa {
+namespace {
+
+mining::QuestParams workload() {
+  mining::QuestParams p;
+  p.num_transactions = 4000;
+  p.num_items = 200;
+  p.avg_transaction_size = 8;
+  p.avg_pattern_size = 3;
+  p.num_patterns = 40;
+  p.seed = 11;
+  return p;
+}
+
+HpaConfig base_config(const mining::TransactionDb* db) {
+  HpaConfig c;
+  c.app_nodes = 4;
+  c.memory_nodes = 4;
+  c.workload = workload();
+  c.min_support = 0.01;
+  c.hash_lines = 2048;
+  c.shared_db = db;
+  return c;
+}
+
+class PolicyFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = new mining::TransactionDb(
+        mining::QuestGenerator(workload()).generate());
+    seq_ = new mining::AprioriResult(apriori(*db_, 0.01));
+    // Pick a limit that forces real eviction pressure: ~60% of the busiest
+    // node's pass-2 candidate bytes.
+    HpaConfig probe = base_config(db_);
+    const HpaResult nolimit = run_hpa(probe);
+    const PassReport* p2 = nolimit.pass(2);
+    ASSERT_NE(p2, nullptr);
+    std::int64_t max_cand = 0;
+    for (std::int64_t c : p2->candidates_per_node) {
+      max_cand = std::max(max_cand, c);
+    }
+    limit_ = max_cand * 24 * 6 / 10;
+    ASSERT_GT(limit_, 0);
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    delete seq_;
+    db_ = nullptr;
+    seq_ = nullptr;
+  }
+
+  static HpaResult run_policy(core::SwapPolicy policy) {
+    HpaConfig c = base_config(db_);
+    c.memory_limit_bytes = limit_;
+    c.policy = policy;
+    return run_hpa(c);
+  }
+
+  static void expect_same_mining(const mining::AprioriResult& a,
+                                 const mining::AprioriResult& b) {
+    ASSERT_EQ(a.support.size(), b.support.size());
+    for (const auto& [itemset, count] : a.support) {
+      const auto it = b.support.find(itemset);
+      ASSERT_NE(it, b.support.end()) << itemset.to_string();
+      EXPECT_EQ(it->second, count) << itemset.to_string();
+    }
+  }
+
+  static mining::TransactionDb* db_;
+  static mining::AprioriResult* seq_;
+  static std::int64_t limit_;
+};
+
+mining::TransactionDb* PolicyFixture::db_ = nullptr;
+mining::AprioriResult* PolicyFixture::seq_ = nullptr;
+std::int64_t PolicyFixture::limit_ = 0;
+
+TEST_F(PolicyFixture, DiskSwapMinesExactly) {
+  const HpaResult r = run_policy(core::SwapPolicy::kDiskSwap);
+  expect_same_mining(*seq_, r.mined);
+  EXPECT_GT(r.stats.counter("store.pagefaults"), 0);
+}
+
+TEST_F(PolicyFixture, RemoteSwapMinesExactly) {
+  const HpaResult r = run_policy(core::SwapPolicy::kRemoteSwap);
+  expect_same_mining(*seq_, r.mined);
+  EXPECT_GT(r.stats.counter("store.pagefaults"), 0);
+  EXPECT_GT(r.stats.counter("server.swap_out"), 0);
+  EXPECT_GT(r.stats.counter("server.swap_in"), 0);
+}
+
+TEST_F(PolicyFixture, RemoteUpdateMinesExactly) {
+  const HpaResult r = run_policy(core::SwapPolicy::kRemoteUpdate);
+  expect_same_mining(*seq_, r.mined);
+  EXPECT_GT(r.stats.counter("server.updates_applied"), 0);
+}
+
+TEST_F(PolicyFixture, PolicyOrderingMatchesFigure4) {
+  // Figure 4: disk swapping is worst, simple remote swapping much better,
+  // remote update best.
+  const Time disk = run_policy(core::SwapPolicy::kDiskSwap).pass(2)->duration;
+  const Time remote =
+      run_policy(core::SwapPolicy::kRemoteSwap).pass(2)->duration;
+  const Time update =
+      run_policy(core::SwapPolicy::kRemoteUpdate).pass(2)->duration;
+  EXPECT_GT(disk, remote);
+  EXPECT_GT(remote, update);
+}
+
+TEST_F(PolicyFixture, RemoteUpdateAvoidsCountingFaults) {
+  const HpaResult swap = run_policy(core::SwapPolicy::kRemoteSwap);
+  const HpaResult update = run_policy(core::SwapPolicy::kRemoteUpdate);
+  // Simple swapping faults repeatedly during counting; remote update only
+  // faults while building the candidate table.
+  EXPECT_LT(update.pass(2)->max_pagefaults(),
+            swap.pass(2)->max_pagefaults());
+  EXPECT_GT(update.stats.counter("store.update_batches"), 0);
+}
+
+TEST_F(PolicyFixture, TighterLimitMeansMoreFaults) {
+  HpaConfig loose = base_config(db_);
+  loose.memory_limit_bytes = limit_;
+  loose.policy = core::SwapPolicy::kRemoteSwap;
+  HpaConfig tight = loose;
+  tight.memory_limit_bytes = limit_ / 2;
+  const HpaResult l = run_hpa(loose);
+  const HpaResult t = run_hpa(tight);
+  EXPECT_GT(t.stats.counter("store.pagefaults"),
+            l.stats.counter("store.pagefaults"));
+  EXPECT_GT(t.pass(2)->duration, l.pass(2)->duration);
+  expect_same_mining(l.mined, t.mined);
+}
+
+TEST_F(PolicyFixture, MoreMemoryNodesRelieveTheBottleneck) {
+  // Figure 3: with one memory-available node the server serializes all
+  // faults; more nodes resolve the bottleneck.
+  HpaConfig one = base_config(db_);
+  one.memory_limit_bytes = limit_;
+  one.policy = core::SwapPolicy::kRemoteSwap;
+  one.memory_nodes = 1;
+  HpaConfig four = one;
+  four.memory_nodes = 4;
+  const HpaResult r1 = run_hpa(one);
+  const HpaResult r4 = run_hpa(four);
+  expect_same_mining(r1.mined, r4.mined);
+  EXPECT_GT(r1.pass(2)->duration, r4.pass(2)->duration);
+}
+
+TEST_F(PolicyFixture, RemoteMemoryBeatsDiskEvenWithOneServer) {
+  // The paper's core claim in one line.
+  HpaConfig remote = base_config(db_);
+  remote.memory_limit_bytes = limit_;
+  remote.policy = core::SwapPolicy::kRemoteUpdate;
+  remote.memory_nodes = 1;
+  HpaConfig disk = base_config(db_);
+  disk.memory_limit_bytes = limit_;
+  disk.policy = core::SwapPolicy::kDiskSwap;
+  EXPECT_LT(run_hpa(remote).pass(2)->duration,
+            run_hpa(disk).pass(2)->duration);
+}
+
+}  // namespace
+}  // namespace rms::hpa

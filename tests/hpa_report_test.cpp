@@ -1,0 +1,126 @@
+// Tests for the HPA reporting surface: pass accessors, per-node aggregates,
+// config description, and the printable summary.
+#include <gtest/gtest.h>
+
+#include "hpa/hpa.hpp"
+#include "hpa/report.hpp"
+#include "mining/generator.hpp"
+
+namespace rms::hpa {
+namespace {
+
+HpaConfig small_config() {
+  HpaConfig c;
+  c.app_nodes = 2;
+  c.memory_nodes = 2;
+  c.workload.num_transactions = 800;
+  c.workload.num_items = 60;
+  c.workload.seed = 9;
+  c.min_support = 0.02;
+  c.hash_lines = 256;
+  return c;
+}
+
+TEST(Report, PassAccessorFindsByK) {
+  const HpaResult r = run_hpa(small_config());
+  ASSERT_GE(r.passes.size(), 2u);
+  const PassReport* p1 = r.pass(1);
+  const PassReport* p2 = r.pass(2);
+  ASSERT_NE(p1, nullptr);
+  ASSERT_NE(p2, nullptr);
+  EXPECT_EQ(p1->k, 1u);
+  EXPECT_EQ(p2->k, 2u);
+  EXPECT_EQ(r.pass(99), nullptr);
+}
+
+TEST(Report, MaxPagefaultsIsMaxOverNodes) {
+  PassReport rep;
+  EXPECT_EQ(rep.max_pagefaults(), 0);
+  rep.pagefaults_per_node = {3, 17, 5};
+  EXPECT_EQ(rep.max_pagefaults(), 17);
+}
+
+TEST(Report, DescribeMentionsKeyParameters) {
+  HpaConfig c = small_config();
+  c.memory_limit_bytes = 13'000'000;
+  c.policy = core::SwapPolicy::kRemoteUpdate;
+  const std::string d = describe(c);
+  EXPECT_NE(d.find("2 app nodes"), std::string::npos);
+  EXPECT_NE(d.find("remote-update"), std::string::npos);
+  EXPECT_NE(d.find("13.0MB"), std::string::npos);
+  EXPECT_NE(d.find("D=800"), std::string::npos);
+
+  c.memory_limit_bytes = -1;
+  EXPECT_NE(describe(c).find("limit=none"), std::string::npos);
+}
+
+TEST(Report, PrintReportDoesNotCrash) {
+  const HpaResult r = run_hpa(small_config());
+  // Sanity: prints a table to stdout without tripping any width checks.
+  print_report(r);
+}
+
+TEST(Report, PassReportsCarryPerNodeVectors) {
+  HpaConfig c = small_config();
+  c.memory_limit_bytes = 2000;
+  c.policy = core::SwapPolicy::kRemoteSwap;
+  const HpaResult r = run_hpa(c);
+  const PassReport* p2 = r.pass(2);
+  ASSERT_NE(p2, nullptr);
+  EXPECT_EQ(p2->candidates_per_node.size(), 2u);
+  EXPECT_EQ(p2->pagefaults_per_node.size(), 2u);
+  EXPECT_EQ(p2->swap_outs_per_node.size(), 2u);
+  EXPECT_EQ(p2->updates_per_node.size(), 2u);
+}
+
+TEST(Report, PhaseBreakdownSumsToPassDuration) {
+  const HpaResult r = run_hpa(small_config());
+  const PassReport* p2 = r.pass(2);
+  ASSERT_NE(p2, nullptr);
+  EXPECT_GT(p2->build_time, 0);
+  EXPECT_GT(p2->count_time, 0);
+  EXPECT_GT(p2->determine_time, 0);
+  // Candidate generation happens between pass start and build start, so the
+  // three phases cover at most the pass.
+  EXPECT_LE(p2->build_time + p2->count_time + p2->determine_time,
+            p2->duration);
+  // And nearly all of it.
+  EXPECT_GT(p2->build_time + p2->count_time + p2->determine_time,
+            p2->duration * 9 / 10);
+}
+
+TEST(Report, MinedPassInfoMirrorsReports) {
+  const HpaResult r = run_hpa(small_config());
+  ASSERT_EQ(r.mined.passes.size(), r.passes.size());
+  for (std::size_t i = 0; i < r.passes.size(); ++i) {
+    EXPECT_EQ(r.mined.passes[i].k, r.passes[i].k);
+    EXPECT_EQ(r.mined.passes[i].candidates, r.passes[i].candidates_global);
+    EXPECT_EQ(r.mined.passes[i].large, r.passes[i].large_global);
+  }
+}
+
+TEST(Report, WeightedPartitionMatchesRequestedProportions) {
+  HpaConfig c = small_config();
+  c.app_nodes = 8;
+  c.hash_lines = 40'000;
+  c.workload.num_transactions = 1500;
+  c.partition_weights = paper_table3_weights();
+  const HpaResult r = run_hpa(c);
+  const PassReport* p2 = r.pass(2);
+  ASSERT_NE(p2, nullptr);
+  std::int64_t total = 0;
+  for (std::int64_t v : p2->candidates_per_node) total += v;
+  const auto weights = paper_table3_weights();
+  double wtotal = 0;
+  for (double w : weights) wtotal += w;
+  for (std::size_t i = 0; i < 8; ++i) {
+    const double expected =
+        weights[i] / wtotal * static_cast<double>(total);
+    EXPECT_NEAR(static_cast<double>(p2->candidates_per_node[i]), expected,
+                expected * 0.08 + 20)
+        << "node " << i;
+  }
+}
+
+}  // namespace
+}  // namespace rms::hpa

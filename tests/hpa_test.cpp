@@ -1,0 +1,164 @@
+// HPA integration tests: the parallel miner on the simulated cluster must
+// produce exactly the sequential miner's results, and its reports must obey
+// the structural properties the paper relies on.
+#include <gtest/gtest.h>
+
+#include "hpa/hpa.hpp"
+#include "mining/apriori.hpp"
+#include "mining/generator.hpp"
+
+namespace rms::hpa {
+namespace {
+
+mining::QuestParams small_workload(std::uint64_t seed = 3) {
+  mining::QuestParams p;
+  p.num_transactions = 3000;
+  p.num_items = 200;
+  p.avg_transaction_size = 8;
+  p.avg_pattern_size = 3;
+  p.num_patterns = 40;
+  p.seed = seed;
+  return p;
+}
+
+HpaConfig small_config(std::uint64_t seed = 3) {
+  HpaConfig c;
+  c.app_nodes = 4;
+  c.memory_nodes = 4;
+  c.workload = small_workload(seed);
+  c.min_support = 0.02;
+  c.hash_lines = 4096;
+  return c;
+}
+
+void expect_same_mining(const mining::AprioriResult& seq,
+                        const mining::AprioriResult& par) {
+  ASSERT_EQ(seq.large_by_k.size(), par.large_by_k.size());
+  for (std::size_t k = 0; k < seq.large_by_k.size(); ++k) {
+    ASSERT_EQ(seq.large_by_k[k].size(), par.large_by_k[k].size())
+        << "pass " << k + 1;
+    for (std::size_t i = 0; i < seq.large_by_k[k].size(); ++i) {
+      EXPECT_EQ(seq.large_by_k[k][i], par.large_by_k[k][i]);
+    }
+  }
+  ASSERT_EQ(seq.support.size(), par.support.size());
+  for (const auto& [itemset, count] : seq.support) {
+    const auto it = par.support.find(itemset);
+    ASSERT_NE(it, par.support.end()) << itemset.to_string();
+    EXPECT_EQ(it->second, count) << itemset.to_string();
+  }
+}
+
+TEST(Hpa, MatchesSequentialAprioriNoLimit) {
+  const HpaConfig cfg = small_config();
+  const HpaResult par = run_hpa(cfg);
+
+  mining::TransactionDb db = mining::QuestGenerator(cfg.workload).generate();
+  const mining::AprioriResult seq = apriori(db, cfg.min_support);
+
+  expect_same_mining(seq, par.mined);
+
+  // Candidate counts per pass match too (k >= 2; pass-1 candidate counting
+  // differs only in how the item universe is sized).
+  ASSERT_EQ(seq.passes.size(), par.mined.passes.size());
+  for (std::size_t p = 1; p < seq.passes.size(); ++p) {
+    EXPECT_EQ(seq.passes[p].candidates, par.mined.passes[p].candidates);
+    EXPECT_EQ(seq.passes[p].large, par.mined.passes[p].large);
+  }
+}
+
+TEST(Hpa, NoSwappingWithoutMemoryLimit) {
+  const HpaResult r = run_hpa(small_config());
+  for (const PassReport& p : r.passes) {
+    EXPECT_EQ(p.max_pagefaults(), 0);
+    for (std::int64_t s : p.swap_outs_per_node) EXPECT_EQ(s, 0);
+  }
+  EXPECT_EQ(r.stats.counter("store.pagefaults"), 0);
+}
+
+TEST(Hpa, VirtualTimeIsPositiveAndOrdered) {
+  const HpaResult r = run_hpa(small_config());
+  EXPECT_GT(r.total_time, 0);
+  Time sum = 0;
+  for (const PassReport& p : r.passes) {
+    EXPECT_GT(p.duration, 0) << "pass " << p.k;
+    sum += p.duration;
+  }
+  EXPECT_LE(sum, r.total_time);
+}
+
+TEST(Hpa, CandidatePartitioningCoversAllNodes) {
+  const HpaResult r = run_hpa(small_config());
+  const PassReport* p2 = r.pass(2);
+  ASSERT_NE(p2, nullptr);
+  ASSERT_EQ(p2->candidates_per_node.size(), 4u);
+  std::int64_t total = 0;
+  for (std::int64_t c : p2->candidates_per_node) {
+    EXPECT_GT(c, 0);
+    total += c;
+  }
+  EXPECT_EQ(total, p2->candidates_global);
+  // Hash partitioning balances within a reasonable factor (paper Table 3
+  // shows ~6% spread).
+  std::int64_t mn = p2->candidates_per_node[0], mx = mn;
+  for (std::int64_t c : p2->candidates_per_node) {
+    mn = std::min(mn, c);
+    mx = std::max(mx, c);
+  }
+  EXPECT_LT(static_cast<double>(mx), 1.5 * static_cast<double>(mn));
+}
+
+TEST(Hpa, DeterministicAcrossRuns) {
+  const HpaResult a = run_hpa(small_config());
+  const HpaResult b = run_hpa(small_config());
+  EXPECT_EQ(a.total_time, b.total_time);
+  ASSERT_EQ(a.passes.size(), b.passes.size());
+  for (std::size_t i = 0; i < a.passes.size(); ++i) {
+    EXPECT_EQ(a.passes[i].duration, b.passes[i].duration);
+    EXPECT_EQ(a.passes[i].candidates_global, b.passes[i].candidates_global);
+  }
+  expect_same_mining(a.mined, b.mined);
+}
+
+TEST(Hpa, SharedDbAvoidsRegeneration) {
+  HpaConfig cfg = small_config();
+  mining::TransactionDb db = mining::QuestGenerator(cfg.workload).generate();
+  cfg.shared_db = &db;
+  const HpaResult a = run_hpa(cfg);
+  const HpaResult b = run_hpa(small_config());
+  expect_same_mining(a.mined, b.mined);
+}
+
+TEST(Hpa, MoreAppNodesShortenThePass) {
+  HpaConfig one = small_config();
+  one.app_nodes = 1;
+  HpaConfig eight = small_config();
+  eight.app_nodes = 8;
+  const HpaResult r1 = run_hpa(one);
+  const HpaResult r8 = run_hpa(eight);
+  expect_same_mining(r1.mined, r8.mined);
+  ASSERT_NE(r1.pass(2), nullptr);
+  ASSERT_NE(r8.pass(2), nullptr);
+  // Speedup need not be linear (communication), but must be substantial.
+  EXPECT_LT(r8.pass(2)->duration, r1.pass(2)->duration / 2);
+}
+
+TEST(Hpa, DifferentSeedsChangeWorkloadNotInvariants) {
+  HpaConfig cfg = small_config(99);
+  const HpaResult r = run_hpa(cfg);
+  // Every large itemset meets the support threshold.
+  for (const auto& [itemset, count] : r.mined.support) {
+    EXPECT_GE(count, r.mined.min_count);
+  }
+  // Downward closure across large_by_k.
+  for (std::size_t k = 1; k < r.mined.large_by_k.size(); ++k) {
+    for (const mining::Itemset& s : r.mined.large_by_k[k]) {
+      for (std::size_t d = 0; d < s.size(); ++d) {
+        EXPECT_TRUE(r.mined.support.count(s.without(d)) == 1);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rms::hpa

@@ -1,0 +1,94 @@
+// Itemset value-type tests: ordering, subsets, hashing stability.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "mining/itemset.hpp"
+
+namespace rms::mining {
+namespace {
+
+TEST(Itemset, BuildsSortedAndIndexes) {
+  Itemset s{2, 5, 9};
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0], 2u);
+  EXPECT_EQ(s[2], 9u);
+  EXPECT_EQ(s.front(), 2u);
+  EXPECT_EQ(s.back(), 9u);
+  EXPECT_EQ(s.to_string(), "{2,5,9}");
+}
+
+TEST(Itemset, EqualityAndOrdering) {
+  EXPECT_EQ((Itemset{1, 2}), (Itemset{1, 2}));
+  EXPECT_FALSE((Itemset{1, 2}) == (Itemset{1, 3}));
+  EXPECT_FALSE((Itemset{1, 2}) == (Itemset{1, 2, 3}));
+  EXPECT_LT((Itemset{1, 2}), (Itemset{1, 3}));
+  EXPECT_LT((Itemset{1, 2}), (Itemset{1, 2, 3}));  // prefix sorts first
+  EXPECT_LT((Itemset{1, 9}), (Itemset{2, 3}));
+}
+
+TEST(Itemset, PrefixAndWithout) {
+  Itemset s{3, 7, 11};
+  EXPECT_EQ(s.prefix(), (Itemset{3, 7}));
+  EXPECT_EQ(s.without(0), (Itemset{7, 11}));
+  EXPECT_EQ(s.without(1), (Itemset{3, 11}));
+  EXPECT_EQ(s.without(2), (Itemset{3, 7}));
+}
+
+TEST(Itemset, WithExtends) {
+  Itemset s{3, 7};
+  EXPECT_EQ(s.with(11), (Itemset{3, 7, 11}));
+}
+
+TEST(Itemset, SubsetOf) {
+  const Item tx[] = {1, 3, 5, 7, 9};
+  EXPECT_TRUE((Itemset{3, 7}).subset_of(tx, tx + 5));
+  EXPECT_TRUE((Itemset{1, 9}).subset_of(tx, tx + 5));
+  EXPECT_TRUE((Itemset{1, 3, 5, 7, 9}).subset_of(tx, tx + 5));
+  EXPECT_FALSE((Itemset{2}).subset_of(tx, tx + 5));
+  EXPECT_FALSE((Itemset{7, 10}).subset_of(tx, tx + 5));
+  EXPECT_TRUE(Itemset{}.subset_of(tx, tx + 5));
+}
+
+TEST(Itemset, HashIsStableAndSpreads) {
+  // Stability matters: candidate partitioning must be reproducible.
+  EXPECT_EQ((Itemset{1, 2, 3}).hash(), (Itemset{1, 2, 3}).hash());
+  EXPECT_NE((Itemset{1, 2, 3}).hash(), (Itemset{1, 2, 4}).hash());
+
+  // Pairs over a small item universe should spread well across 8 buckets.
+  std::vector<std::int64_t> bucket(8, 0);
+  for (Item a = 0; a < 64; ++a) {
+    for (Item b = a + 1; b < 64; ++b) {
+      ++bucket[(Itemset{a, b}).hash() % 8];
+    }
+  }
+  const std::int64_t total = 64 * 63 / 2;
+  for (std::int64_t c : bucket) {
+    EXPECT_GT(c, total / 8 * 7 / 10);
+    EXPECT_LT(c, total / 8 * 13 / 10);
+  }
+}
+
+TEST(Itemset, WorksInUnorderedContainers) {
+  std::unordered_set<Itemset, ItemsetHash> set;
+  set.insert(Itemset{1, 2});
+  set.insert(Itemset{1, 2});
+  set.insert(Itemset{2, 3});
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.count(Itemset{1, 2}) == 1);
+}
+
+TEST(ItemsetDeathTest, RejectsUnsortedAppend) {
+  Itemset s{5};
+  EXPECT_DEATH(s.push_back(3), "ascending");
+  EXPECT_DEATH(s.push_back(5), "ascending");
+}
+
+TEST(ItemsetDeathTest, RejectsOverflow) {
+  Itemset s;
+  for (Item i = 0; i < Itemset::kMaxK; ++i) s.push_back(i);
+  EXPECT_DEATH(s.push_back(99), "capacity");
+}
+
+}  // namespace
+}  // namespace rms::mining

@@ -1,0 +1,180 @@
+// Network model tests: delivery, FIFO order, calibration against the paper's
+// measured constants (0.5 ms small-message RTT, ~120 Mbps point-to-point,
+// ~0.3 ms for a 4 KB block).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/network.hpp"
+#include "sim/channel.hpp"
+#include "sim/process.hpp"
+#include "sim/simulation.hpp"
+
+namespace rms::net {
+namespace {
+
+struct Payload {
+  int value = 0;
+};
+
+TEST(Network, DeliversTypedBody) {
+  sim::Simulation sim;
+  Network net(sim, 2, LinkParams::atm155());
+  std::vector<int> got;
+  net.set_delivery(1, [&](Message m) { got.push_back(m.as<Payload>().value); });
+  net.send(Message::make(0, 1, 7, 100, Payload{41}));
+  sim.run();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], 41);
+  EXPECT_EQ(net.stats().counter("net.messages"), 1);
+}
+
+TEST(Network, SamePairMessagesKeepFifoOrder) {
+  sim::Simulation sim;
+  Network net(sim, 2, LinkParams::atm155());
+  std::vector<int> got;
+  net.set_delivery(1, [&](Message m) { got.push_back(m.as<Payload>().value); });
+  for (int i = 0; i < 10; ++i) {
+    net.send(Message::make(0, 1, 0, 4096, Payload{i}));
+  }
+  sim.run();
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
+}
+
+TEST(Network, UnloadedLatencyIsTxPlusPropagation) {
+  sim::Simulation sim;
+  const LinkParams p = LinkParams::atm155();
+  Network net(sim, 2, p);
+  Time delivered_at = -1;
+  net.set_delivery(1, [&](Message) { delivered_at = sim.now(); });
+  net.send(Message::make(0, 1, 0, 4096, Payload{}));
+  sim.run();
+  EXPECT_EQ(delivered_at, net.transmission_time(4096) + p.propagation);
+}
+
+TEST(Network, SmallMessageRoundTripMatchesPaper) {
+  // The paper (§5.2): "The point-to-point round trip time on our PC cluster
+  // is approximately 0.5 msec".
+  sim::Simulation sim;
+  Network net(sim, 2, LinkParams::atm155());
+  sim::Channel<Message> at0(sim), at1(sim);
+  net.set_delivery(0, [&](Message m) { at0.send(std::move(m)); });
+  net.set_delivery(1, [&](Message m) { at1.send(std::move(m)); });
+
+  Time rtt = -1;
+  auto pinger = [&](sim::Simulation& s) -> sim::Process {
+    const Time start = s.now();
+    net.send(Message::make(0, 1, 0, 32, Payload{}));
+    (void)co_await at0.recv();
+    rtt = s.now() - start;
+  };
+  auto ponger = [&]() -> sim::Process {
+    Message m = co_await at1.recv();
+    net.send(Message::make(1, 0, 0, 32, Payload{}));
+  };
+  sim.spawn(pinger(sim));
+  sim.spawn(ponger());
+  sim.run();
+  EXPECT_GT(rtt, usec(400));
+  EXPECT_LT(rtt, usec(600));
+}
+
+TEST(Network, PointToPointThroughputMatchesPaper) {
+  // The paper (§5.2): "the point-to-point throughput is about 120 Mbps".
+  sim::Simulation sim;
+  Network net(sim, 2, LinkParams::atm155());
+  std::int64_t received = 0;
+  Time last = 0;
+  net.set_delivery(1, [&](Message m) {
+    received += m.payload_bytes;
+    last = sim.now();
+  });
+  const int blocks = 1000;
+  for (int i = 0; i < blocks; ++i) {
+    net.send(Message::make(0, 1, 0, 4096, Payload{}));
+  }
+  sim.run();
+  const double mbps =
+      static_cast<double>(received) * 8.0 / (to_seconds(last) * 1e6);
+  EXPECT_GT(mbps, 100.0);
+  EXPECT_LT(mbps, 125.0);
+}
+
+TEST(Network, FourKbBlockTransmissionNearPaperEstimate) {
+  // Table 4 analysis: "the data transmission time ... approximately 0.3 msec"
+  // for one 4 KB message block.
+  Network::DeliveryFn nop = [](Message) {};
+  sim::Simulation sim;
+  Network net(sim, 2, LinkParams::atm155());
+  const double ms = to_millis(net.transmission_time(4096));
+  EXPECT_GT(ms, 0.2);
+  EXPECT_LT(ms, 0.4);
+}
+
+TEST(Network, TxPortSerializesConcurrentSenders) {
+  // Two messages from the same source cannot overlap on its uplink.
+  sim::Simulation sim;
+  Network net(sim, 3, LinkParams::atm155());
+  std::vector<Time> deliveries;
+  net.set_delivery(1, [&](Message) { deliveries.push_back(sim.now()); });
+  net.set_delivery(2, [&](Message) { deliveries.push_back(sim.now()); });
+  net.send(Message::make(0, 1, 0, 65536, Payload{}));
+  net.send(Message::make(0, 2, 0, 65536, Payload{}));
+  sim.run();
+  ASSERT_EQ(deliveries.size(), 2u);
+  const Time tx = net.transmission_time(65536);
+  EXPECT_EQ(deliveries[1] - deliveries[0], tx);
+}
+
+TEST(Network, BroadcastReachesEveryOtherNode) {
+  sim::Simulation sim;
+  Network net(sim, 5, LinkParams::atm155());
+  std::vector<int> hit(5, 0);
+  for (int n = 0; n < 5; ++n) {
+    net.set_delivery(n, [&hit, n](Message m) {
+      ++hit[static_cast<std::size_t>(n)];
+      EXPECT_EQ(m.as<Payload>().value, 100 + n);
+    });
+  }
+  net.broadcast(2, 9, 24, [](NodeId dst) {
+    return std::any(std::make_shared<const Payload>(Payload{100 + dst}));
+  });
+  sim.run();
+  EXPECT_EQ(hit, (std::vector<int>{1, 1, 0, 1, 1}));
+}
+
+TEST(NetworkDeathTest, BodyTypeMismatchAborts) {
+  sim::Simulation sim;
+  Network net(sim, 2, LinkParams::atm155());
+  bool checked = false;
+  net.set_delivery(1, [&](Message m) {
+    checked = true;
+    EXPECT_DEATH((void)m.as<int>(), "type mismatch");
+  });
+  net.send(Message::make(0, 1, 0, 32, Payload{1}));
+  sim.run();
+  EXPECT_TRUE(checked);
+}
+
+TEST(NetworkDeathTest, LoopbackThroughWireAborts) {
+  sim::Simulation sim;
+  Network net(sim, 2, LinkParams::atm155());
+  EXPECT_DEATH(net.send(Message::make(1, 1, 0, 32, Payload{})), "loopback");
+}
+
+TEST(NetworkDeathTest, DeliveryToUnregisteredNodeAborts) {
+  sim::Simulation sim;
+  Network net(sim, 2, LinkParams::atm155());
+  net.send(Message::make(0, 1, 0, 32, Payload{}));  // node 1 has no hook
+  EXPECT_DEATH(sim.run(), "delivery hook");
+}
+
+TEST(Network, EthernetIsMuchSlower) {
+  sim::Simulation sim;
+  Network atm(sim, 2, LinkParams::atm155());
+  Network eth(sim, 2, LinkParams::ethernet10());
+  EXPECT_GT(eth.transmission_time(4096), 10 * atm.transmission_time(4096));
+}
+
+}  // namespace
+}  // namespace rms::net

@@ -1,0 +1,93 @@
+// Association-rule derivation tests.
+#include <gtest/gtest.h>
+
+#include "mining/generator.hpp"
+#include "mining/rules.hpp"
+
+namespace rms::mining {
+namespace {
+
+TransactionDb tiny_db() {
+  TransactionDb db;
+  const std::vector<std::vector<Item>> txs = {
+      {1, 3, 4}, {2, 3, 5}, {1, 2, 3, 5}, {2, 5}};
+  for (const auto& t : txs) db.add({t.data(), t.size()});
+  return db;
+}
+
+const Rule* find_rule(const std::vector<Rule>& rules, const Itemset& a,
+                      const Itemset& c) {
+  for (const Rule& r : rules) {
+    if (r.antecedent == a && r.consequent == c) return &r;
+  }
+  return nullptr;
+}
+
+TEST(Rules, DerivesExpectedRuleWithExactConfidence) {
+  const AprioriResult mined = apriori(tiny_db(), 0.5);
+  const auto rules = derive_rules(mined, 0.6);
+
+  // {2,5} appears 3x; {2} appears 3x -> conf({2} => {5}) = 1.0.
+  const Rule* r = find_rule(rules, Itemset{2}, Itemset{5});
+  ASSERT_NE(r, nullptr);
+  EXPECT_DOUBLE_EQ(r->confidence, 1.0);
+  EXPECT_DOUBLE_EQ(r->support, 0.75);
+
+  // {3} appears 3x, {2,3,5} 2x -> conf({3} => {2,5}) = 2/3.
+  const Rule* r2 = find_rule(rules, Itemset{3}, Itemset{2, 5});
+  ASSERT_NE(r2, nullptr);
+  EXPECT_NEAR(r2->confidence, 2.0 / 3.0, 1e-12);
+}
+
+TEST(Rules, ConfidenceThresholdFilters) {
+  const AprioriResult mined = apriori(tiny_db(), 0.5);
+  const auto strict = derive_rules(mined, 0.99);
+  for (const Rule& r : strict) {
+    EXPECT_GE(r.confidence, 0.99);
+  }
+  const auto lax = derive_rules(mined, 0.5);
+  EXPECT_GT(lax.size(), strict.size());
+}
+
+TEST(Rules, AntecedentAndConsequentPartitionTheItemset) {
+  const AprioriResult mined = apriori(tiny_db(), 0.5);
+  for (const Rule& r : derive_rules(mined, 0.5)) {
+    EXPECT_FALSE(r.antecedent.empty());
+    EXPECT_FALSE(r.consequent.empty());
+    // Disjoint and jointly large.
+    for (Item a : r.antecedent) {
+      for (Item c : r.consequent) EXPECT_NE(a, c);
+    }
+    const std::size_t total = r.antecedent.size() + r.consequent.size();
+    EXPECT_GE(total, 2u);
+  }
+}
+
+TEST(Rules, SortedByConfidenceThenSupport) {
+  QuestParams p;
+  p.num_transactions = 3000;
+  p.num_items = 80;
+  p.seed = 17;
+  TransactionDb db = QuestGenerator(p).generate();
+  const AprioriResult mined = apriori(db, 0.02);
+  const auto rules = derive_rules(mined, 0.4);
+  for (std::size_t i = 1; i < rules.size(); ++i) {
+    const bool ordered =
+        rules[i - 1].confidence > rules[i].confidence ||
+        (rules[i - 1].confidence == rules[i].confidence &&
+         rules[i - 1].support >= rules[i].support);
+    EXPECT_TRUE(ordered) << "at " << i;
+  }
+}
+
+TEST(Rules, ToStringIsReadable) {
+  const AprioriResult mined = apriori(tiny_db(), 0.5);
+  const auto rules = derive_rules(mined, 0.9);
+  ASSERT_FALSE(rules.empty());
+  const std::string s = rules[0].to_string();
+  EXPECT_NE(s.find("=>"), std::string::npos);
+  EXPECT_NE(s.find("conf"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rms::mining

@@ -1,0 +1,115 @@
+// Tests for Trigger (one-shot broadcast) and Barrier (reusable counting).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/process.hpp"
+#include "sim/simulation.hpp"
+#include "sim/sync.hpp"
+
+namespace rms::sim {
+namespace {
+
+TEST(Trigger, WakesAllWaiters) {
+  Simulation sim;
+  Trigger t(sim);
+  int woken = 0;
+  auto waiter = [](Trigger& tr, int& out) -> Process {
+    co_await tr.wait();
+    ++out;
+  };
+  for (int i = 0; i < 4; ++i) sim.spawn(waiter(t, woken));
+  sim.run();
+  EXPECT_EQ(woken, 0);
+  t.fire();
+  sim.run();
+  EXPECT_EQ(woken, 4);
+}
+
+TEST(Trigger, WaitAfterFireIsImmediate) {
+  Simulation sim;
+  Trigger t(sim);
+  t.fire();
+  EXPECT_TRUE(t.fired());
+  Time woke_at = -1;
+  auto waiter = [](Simulation& s, Trigger& tr, Time& at) -> Process {
+    co_await s.timeout(msec(5));
+    co_await tr.wait();
+    at = s.now();
+  };
+  sim.spawn(waiter(sim, t, woke_at));
+  sim.run();
+  EXPECT_EQ(woke_at, msec(5));
+}
+
+TEST(Trigger, DoubleFireIsIdempotent) {
+  Simulation sim;
+  Trigger t(sim);
+  int woken = 0;
+  auto waiter = [](Trigger& tr, int& out) -> Process {
+    co_await tr.wait();
+    ++out;
+  };
+  sim.spawn(waiter(t, woken));
+  sim.run();
+  t.fire();
+  t.fire();
+  sim.run();
+  EXPECT_EQ(woken, 1);
+}
+
+TEST(Barrier, ReleasesWhenAllArrive) {
+  Simulation sim;
+  Barrier b(sim, 3);
+  std::vector<Time> released;
+  auto party = [](Simulation& s, Barrier& bar, Time delay,
+                  std::vector<Time>& out) -> Process {
+    co_await s.timeout(delay);
+    co_await bar.arrive();
+    out.push_back(s.now());
+  };
+  sim.spawn(party(sim, b, msec(1), released));
+  sim.spawn(party(sim, b, msec(5), released));
+  sim.spawn(party(sim, b, msec(9), released));
+  sim.run();
+  ASSERT_EQ(released.size(), 3u);
+  for (Time t : released) EXPECT_EQ(t, msec(9));  // all wait for the last
+  EXPECT_EQ(b.generation(), 1u);
+}
+
+TEST(Barrier, IsReusableAcrossPhases) {
+  Simulation sim;
+  Barrier b(sim, 2);
+  std::vector<int> phases_done;
+  auto party = [](Simulation& s, Barrier& bar, Time step,
+                  std::vector<int>& out) -> Process {
+    for (int phase = 0; phase < 3; ++phase) {
+      co_await s.timeout(step);
+      co_await bar.arrive();
+      out.push_back(phase);
+    }
+  };
+  sim.spawn(party(sim, b, msec(2), phases_done));
+  sim.spawn(party(sim, b, msec(3), phases_done));
+  sim.run();
+  EXPECT_EQ(phases_done, (std::vector<int>{0, 0, 1, 1, 2, 2}));
+  EXPECT_EQ(b.generation(), 3u);
+}
+
+TEST(Barrier, SinglePartyPassesThrough) {
+  Simulation sim;
+  Barrier b(sim, 1);
+  int passes = 0;
+  auto party = [](Barrier& bar, int& out) -> Process {
+    for (int i = 0; i < 5; ++i) {
+      co_await bar.arrive();
+      ++out;
+    }
+  };
+  sim.spawn(party(b, passes));
+  sim.run();
+  EXPECT_EQ(passes, 5);
+}
+
+}  // namespace
+}  // namespace rms::sim

@@ -1,0 +1,163 @@
+// Property test for HashLineStore: random op sequences against a reference
+// model. Whatever the swap policy, eviction policy, limit, and probe
+// pattern, the collected counts must match a plain in-memory table, and the
+// resident footprint must respect the limit between operations.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "common/rng.hpp"
+#include "core/hash_line_store.hpp"
+#include "core/memory_server.hpp"
+#include "sim/process.hpp"
+#include "sim/simulation.hpp"
+
+namespace rms::core {
+namespace {
+
+using mining::Item;
+using mining::Itemset;
+
+using Case = std::tuple<SwapPolicy, EvictionPolicy, std::int64_t /*limit*/,
+                        std::uint64_t /*seed*/>;
+
+class StorePropertyTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(StorePropertyTest, RandomOpsMatchReferenceModel) {
+  const auto [policy, eviction, limit, seed] = GetParam();
+
+  sim::Simulation sim;
+  cluster::ClusterConfig ccfg;
+  ccfg.num_nodes = 4;  // app node 0, memory nodes 1..3
+  cluster::Cluster cl(sim, ccfg);
+  MemoryServer s1(cl.node(1)), s2(cl.node(2)), s3(cl.node(3));
+  sim.spawn(s1.serve());
+  sim.spawn(s2.serve());
+  sim.spawn(s3.serve());
+  AvailabilityTable table({1, 2, 3});
+  table.update(AvailabilityInfo{1, 8 << 20, 1}, 0);
+  table.update(AvailabilityInfo{2, 8 << 20, 1}, 0);
+  table.update(AvailabilityInfo{3, 8 << 20, 1}, 0);
+
+  constexpr std::size_t kLines = 16;
+  HashLineStore::Config cfg;
+  cfg.num_lines = kLines;
+  cfg.memory_limit_bytes = limit;
+  cfg.policy = policy;
+  cfg.eviction = eviction;
+  cfg.message_block_bytes = 256;
+  HashLineStore store(cl.node(0), cfg, &table);
+
+  // Reference model: (line, itemset) -> count.
+  std::map<std::pair<LineId, std::string>, std::uint32_t> model;
+
+  Pcg32 rng(seed);
+  bool finished = false;
+  auto script = [&]() -> sim::Task<> {
+    // Build phase: 120 inserts into random lines (some duplicates of item
+    // pairs in different lines are fine; within a line itemsets differ).
+    std::vector<std::vector<Itemset>> per_line(kLines);
+    Item uid = 0;  // globally unique itemsets: model keys stay unambiguous
+    for (int i = 0; i < 120; ++i) {
+      const auto line = static_cast<LineId>(rng.below(kLines));
+      const Itemset s{uid, uid + 5000};
+      ++uid;
+      per_line[static_cast<std::size_t>(line)].push_back(s);
+      model[{line, s.to_string()}] = 0;
+      co_await store.insert(line, s);
+      store.check_invariants();
+      // The swap unit is a whole line and the line being inserted into is
+      // pinned, so residency is bounded by max(limit, that line's size).
+      EXPECT_TRUE(cfg.memory_limit_bytes < 0 ||
+                  store.resident_bytes() <= cfg.memory_limit_bytes ||
+                  store.resident_bytes() == store.line_bytes(line))
+          << "resident " << store.resident_bytes() << " line "
+          << store.line_bytes(line);
+    }
+    // Count phase: 600 probes; ~70% hit a registered candidate.
+    store.set_phase(HashLineStore::Phase::kCount);
+    for (int i = 0; i < 600; ++i) {
+      const auto line = static_cast<LineId>(rng.below(kLines));
+      auto& candidates = per_line[static_cast<std::size_t>(line)];
+      if (!candidates.empty() && !rng.bernoulli(0.3)) {
+        const Itemset& s = candidates[rng.below(
+            static_cast<std::uint32_t>(candidates.size()))];
+        ++model[{line, s.to_string()}];
+        co_await store.probe(line, s);
+        store.check_invariants();
+      } else {
+        // Probe a non-candidate: must be a miss everywhere.
+        const Item m = 20000 + rng.below(50);
+        const Itemset miss{m, m + 30000};
+        co_await store.probe(line, miss);
+      }
+    }
+    // Collect and compare exactly.
+    std::map<std::pair<LineId, std::string>, std::uint32_t> got;
+    LineId current = -1;
+    (void)current;
+    co_await store.collect([&](const mining::CountedItemset& e) {
+      // Locate the entry in the model by (any line, itemset string): line
+      // ids are unique per itemset by construction above.
+      for (const auto& [key, count] : model) {
+        if (key.second == e.items.to_string()) {
+          got[key] = e.count;
+          break;
+        }
+      }
+    });
+    EXPECT_EQ(got.size(), model.size());
+    for (const auto& [key, count] : model) {
+      const auto it = got.find(key);
+      EXPECT_TRUE(it != got.end()) << key.second;
+      if (it != got.end()) {
+        EXPECT_EQ(it->second, count) << key.second;
+      }
+    }
+    finished = true;
+  };
+  auto proc = [](decltype(script)& f, bool&) -> sim::Process { co_await f(); };
+  sim.spawn(proc(script, finished));
+  sim.run_until(sec(600));
+  ASSERT_TRUE(finished) << "store script did not finish";
+
+  EXPECT_EQ(store.size(), 120u);
+  EXPECT_EQ(store.total_bytes(), 120 * 24);
+}
+
+std::string case_name(const ::testing::TestParamInfo<Case>& info) {
+  const auto [policy, eviction, limit, seed] = info.param;
+  std::string name = to_string(policy);
+  for (char& c : name) {
+    if (c == '-') c = '_';
+  }
+  name += std::string("_") + to_string(eviction);
+  name += limit < 0 ? "_lnone" : "_l" + std::to_string(limit);
+  name += "_s" + std::to_string(seed);
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, StorePropertyTest,
+    ::testing::Combine(
+        ::testing::Values(SwapPolicy::kDiskSwap, SwapPolicy::kRemoteSwap,
+                          SwapPolicy::kRemoteUpdate),
+        ::testing::Values(EvictionPolicy::kLru, EvictionPolicy::kFifo,
+                          EvictionPolicy::kRandom),
+        ::testing::Values(std::int64_t{24 * 3}, std::int64_t{24 * 40}),
+        ::testing::Values(std::uint64_t{1}, std::uint64_t{2})),
+    case_name);
+
+INSTANTIATE_TEST_SUITE_P(
+    NoLimitControl, StorePropertyTest,
+    ::testing::Combine(::testing::Values(SwapPolicy::kNoLimit),
+                       ::testing::Values(EvictionPolicy::kLru),
+                       ::testing::Values(std::int64_t{-1}),
+                       ::testing::Values(std::uint64_t{1}, std::uint64_t{7})),
+    case_name);
+
+}  // namespace
+}  // namespace rms::core
