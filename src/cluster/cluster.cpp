@@ -3,10 +3,13 @@
 namespace rms::cluster {
 
 // Reply tags live above all service tags; each node hands them out
-// round-robin from its own window so concurrent RPCs never collide.
+// round-robin from its own window so concurrent RPCs never collide. The
+// window is sized so tags are effectively unique per run (8M RPCs per node
+// before a wrap): request_with_deadline relies on a stale reply never
+// landing on a tag that was reissued to a different call.
 namespace {
-constexpr Tag kReplyTagBase = 1 << 20;
-constexpr Tag kReplyTagWindow = 1 << 10;
+constexpr Tag kReplyTagBase = 1 << 23;
+constexpr Tag kReplyTagWindow = 1 << 23;
 }  // namespace
 
 Node::Node(Cluster& cluster, NodeId id)
@@ -15,6 +18,8 @@ Node::Node(Cluster& cluster, NodeId id)
       mailbox_(cluster.sim()),
       cpu_(std::make_unique<sim::Resource>(cluster.sim(), 1)),
       next_reply_tag_(kReplyTagBase + id * kReplyTagWindow) {
+  // The last tag of node id's window is (id + 2) * 2^23 - 1; it must fit Tag.
+  RMS_CHECK_MSG(id >= 0 && id <= 254, "node id out of the reply-tag range");
   const ClusterConfig& cfg = cluster.config();
   const auto seed = cfg.seed ^ (0x9e37u + static_cast<std::uint64_t>(id));
   data_disk_ = std::make_unique<disk::Disk>(cluster.sim(), cfg.data_disk, seed);
@@ -34,6 +39,12 @@ sim::Task<> Node::compute(Time t) {
 
 void Node::send(net::Message msg) {
   RMS_CHECK(msg.src == id_);
+  if (!alive_) {
+    // A crashed node is silent: its monitor broadcasts, replies and data
+    // pushes all vanish until restart().
+    stats_.bump("node.tx_dropped_dead");
+    return;
+  }
   stats_.bump("node.messages_sent");
   if (msg.dst == id_) {
     // Loopback: no wire, straight into the local mailbox.
@@ -44,16 +55,79 @@ void Node::send(net::Message msg) {
   cluster_.network().send(std::move(msg));
 }
 
-sim::Task<net::Message> Node::request(net::Message msg) {
-  const Tag reply_tag = next_reply_tag_;
+Tag Node::alloc_reply_tag() {
+  const Tag tag = next_reply_tag_;
   // Wrap within this node's private window.
   next_reply_tag_ = kReplyTagBase + id_ * kReplyTagWindow +
                     (next_reply_tag_ - kReplyTagBase - id_ * kReplyTagWindow +
                      1) % kReplyTagWindow;
+  return tag;
+}
+
+sim::Task<net::Message> Node::request(net::Message msg) {
+  const Tag reply_tag = alloc_reply_tag();
   msg.reply_tag = reply_tag;
   send(std::move(msg));
   net::Message response = co_await mailbox_.recv(reply_tag);
+  mailbox_.reclaim(reply_tag);
   co_return response;
+}
+
+sim::Task<RpcResult> Node::request_with_deadline(net::Message msg,
+                                                 Time deadline,
+                                                 int max_retries) {
+  RMS_CHECK(deadline > 0);
+  RMS_CHECK(max_retries >= 0);
+  const Tag reply_tag = alloc_reply_tag();
+  msg.reply_tag = reply_tag;
+
+  RpcResult out;
+  out.attempts = 0;
+  Time wait = deadline;
+  for (int attempt = 0; attempt <= max_retries; ++attempt) {
+    ++out.attempts;
+    send(msg);  // a retry re-sends a copy on the same reply tag
+    // Arm the deadline: a loopback sentinel on the reply tag, suppressed if
+    // the real reply lands first. Each attempt has its own settled flag, so
+    // a sentinel can never be mistaken for a later attempt's timeout.
+    auto settled = std::make_shared<bool>(false);
+    sim().call_at(sim().now() + wait, [this, reply_tag, settled] {
+      if (*settled) return;
+      mailbox_.deliver(
+          net::Message::make(id_, id_, reply_tag, 0, RpcTimeout{}));
+    });
+    net::Message r = co_await mailbox_.recv(reply_tag);
+    *settled = true;
+    if (!r.is<RpcTimeout>()) {
+      out.reply.emplace(std::move(r));
+      break;
+    }
+    stats_.bump("node.rpc_deadline_misses");
+    if (attempt < max_retries) {
+      stats_.bump("node.rpc_retries");
+      wait *= 2;  // exponential backoff
+    }
+  }
+  // Discard whatever straggled in on this tag (late duplicates' replies,
+  // an unsuppressed sentinel) and release the channel.
+  while (mailbox_.try_recv(reply_tag)) {
+  }
+  mailbox_.reclaim(reply_tag);
+  co_return out;
+}
+
+void Node::crash() {
+  RMS_CHECK_MSG(alive_, "crash() on a node that is already down");
+  alive_ = false;
+  ++epoch_;
+  stats_.bump("node.crashes");
+  for (const auto& fn : crash_hooks_) fn();
+}
+
+void Node::restart() {
+  RMS_CHECK_MSG(!alive_, "restart() on a node that is up");
+  alive_ = true;
+  stats_.bump("node.restarts");
 }
 
 Cluster::Cluster(sim::Simulation& sim, ClusterConfig config)
@@ -66,6 +140,12 @@ Cluster::Cluster(sim::Simulation& sim, ClusterConfig config)
     nodes_.push_back(std::make_unique<Node>(*this, static_cast<NodeId>(i)));
     Node* node = nodes_.back().get();
     network_.set_delivery(static_cast<NodeId>(i), [node](net::Message m) {
+      if (!node->alive()) {
+        // In-flight traffic addressed to a crashed node is dropped on the
+        // floor — the senders' deadlines are what notice.
+        node->stats().bump("node.rx_dropped_dead");
+        return;
+      }
       node->mailbox().deliver(std::move(m));
     });
   }

@@ -8,7 +8,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "common/stats.hpp"
@@ -63,6 +65,18 @@ struct HostMemoryModel {
 
 class Cluster;
 
+/// Loopback sentinel a deadline timer deposits on an RPC's reply tag when no
+/// reply arrived in time (see Node::request_with_deadline).
+struct RpcTimeout {};
+
+/// Outcome of a deadline-bounded RPC. `reply` is empty when every attempt
+/// timed out — the callee is presumed crashed.
+struct RpcResult {
+  std::optional<net::Message> reply;
+  int attempts = 1;
+  bool ok() const { return reply.has_value(); }
+};
+
 class Node {
  public:
   Node(Cluster& cluster, NodeId id);
@@ -95,6 +109,30 @@ class Node {
   /// waits for the reply. The callee must answer with `reply(request, ...)`.
   sim::Task<net::Message> request(net::Message msg);
 
+  /// Round-trip request with a per-attempt deadline, bounded retry, and
+  /// exponential backoff (the deadline doubles each retry). The reply tag is
+  /// stable across attempts, so a slow reply to an earlier attempt still
+  /// completes the call; retransmitted requests are therefore duplicates the
+  /// callee must tolerate. Returns an empty `reply` only after every attempt
+  /// (`1 + max_retries` sends) timed out — at which point the callee is
+  /// treated as crashed by the failover layer.
+  sim::Task<RpcResult> request_with_deadline(net::Message msg, Time deadline,
+                                             int max_retries = 0);
+
+  // ---- Crash-stop failure model ----
+  // A crashed node loses its volatile state (its services register on_crash
+  // hooks to wipe it), stops sending (monitor broadcasts, replies), and
+  // drops everything arriving on its switch port. restart() brings the node
+  // back empty; the epoch counter lets suspended request handlers detect
+  // that the world was wiped underneath them and abandon.
+  bool alive() const { return alive_; }
+  std::uint64_t epoch() const { return epoch_; }
+  void crash();
+  void restart();
+  void on_crash(std::function<void()> fn) {
+    crash_hooks_.push_back(std::move(fn));
+  }
+
   /// Answer a request received via `request()`.
   template <typename T>
   void reply(const net::Message& req, std::int64_t bytes, T body) {
@@ -104,6 +142,8 @@ class Node {
   }
 
  private:
+  Tag alloc_reply_tag();
+
   Cluster& cluster_;
   NodeId id_;
   Mailbox mailbox_;
@@ -113,6 +153,9 @@ class Node {
   std::unique_ptr<disk::Disk> swap_disk_;
   StatsRegistry stats_;
   Tag next_reply_tag_;
+  bool alive_ = true;
+  std::uint64_t epoch_ = 0;
+  std::vector<std::function<void()>> crash_hooks_;
 };
 
 struct ClusterConfig {

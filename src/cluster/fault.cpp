@@ -1,0 +1,28 @@
+#include "cluster/fault.hpp"
+
+namespace rms::cluster {
+
+void FaultPlan::install(Cluster& cluster) const {
+  sim::Simulation& sim = cluster.sim();
+  for (const Crash& c : crashes) {
+    RMS_CHECK(c.node >= 0 && static_cast<std::size_t>(c.node) < cluster.size());
+    RMS_CHECK(c.at >= 0);
+    RMS_CHECK(c.restart_at < 0 || c.restart_at > c.at);
+    Node& victim = cluster.node(c.node);
+    sim.call_at(c.at, [&victim] { victim.crash(); });
+    if (c.restart_at >= 0) {
+      sim.call_at(c.restart_at, [&victim] { victim.restart(); });
+    }
+  }
+  const double base_loss = cluster.config().link.loss_rate;
+  for (const LossBurst& b : loss_bursts) {
+    RMS_CHECK(b.at >= 0 && b.duration > 0);
+    RMS_CHECK(b.loss_rate >= 0.0 && b.loss_rate < 1.0);
+    net::Network* net = &cluster.network();
+    sim.call_at(b.at, [net, rate = b.loss_rate] { net->set_loss_rate(rate); });
+    sim.call_at(b.at + b.duration,
+                [net, base_loss] { net->set_loss_rate(base_loss); });
+  }
+}
+
+}  // namespace rms::cluster

@@ -1,0 +1,48 @@
+// Scripted fault injection for a cluster run.
+//
+// The migration experiment (§4.2, Figure 5) models *cooperative* withdrawal:
+// a memory-available node keeps running but reports zero free memory. A
+// FaultPlan expresses the failures the paper's protocol cannot see — a node
+// that crash-stops at a virtual time (its stored lines vanish, its monitor
+// goes silent, in-flight messages to it are dropped), optionally restarting
+// empty later, plus transient message-loss bursts layered on the link's
+// loss model (`LinkParams::atm155_lossy`).
+//
+// All injections are pure event-queue callbacks (`Simulation::call_at`), so
+// a plan adds nothing to a run's timing beyond the faults themselves and
+// every run stays deterministic.
+#pragma once
+
+#include <vector>
+
+#include "cluster/cluster.hpp"
+
+namespace rms::cluster {
+
+struct FaultPlan {
+  /// Crash-stop `node` at `at`; with `restart_at >= 0` the node rejoins
+  /// (empty) at that time, otherwise it stays down for the whole run.
+  struct Crash {
+    NodeId node = -1;
+    Time at = 0;
+    Time restart_at = -1;
+  };
+
+  /// Between `at` and `at + duration` every transmission attempt is lost
+  /// with probability `loss_rate`; afterwards the link's configured base
+  /// loss rate is restored. Bursts must not overlap.
+  struct LossBurst {
+    Time at = 0;
+    Time duration = 0;
+    double loss_rate = 0.3;
+  };
+
+  std::vector<Crash> crashes;
+  std::vector<LossBurst> loss_bursts;
+
+  /// Schedule every scripted fault on the cluster's clock. The cluster must
+  /// outlive the simulation run (the callbacks hold references into it).
+  void install(Cluster& cluster) const;
+};
+
+}  // namespace rms::cluster

@@ -33,6 +33,17 @@ class Mailbox {
 
   std::size_t pending(net::Tag tag) { return chan(tag).pending(); }
 
+  /// Drop a finished RPC's channel when it is idle (no queued messages, no
+  /// waiting receiver). Unique per-call reply tags would otherwise leave one
+  /// empty channel per RPC behind for the lifetime of the node.
+  void reclaim(net::Tag tag) {
+    const auto it = channels_.find(tag);
+    if (it == channels_.end()) return;
+    if (it->second->pending() == 0 && it->second->waiting_receivers() == 0) {
+      channels_.erase(it);
+    }
+  }
+
  private:
   sim::Channel<net::Message>& chan(net::Tag tag) {
     auto it = channels_.find(tag);

@@ -17,6 +17,7 @@ bool AvailabilityTable::update(const AvailabilityInfo& info, Time now) {
   e.seq = info.seq;
   e.updated = now;
   e.valid = true;
+  e.dead = false;  // a live heartbeat revives a suspected node
   return true;
 }
 
@@ -27,18 +28,44 @@ std::int64_t AvailabilityTable::available(net::NodeId node) const {
 }
 
 std::optional<net::NodeId> AvailabilityTable::choose_destination(
-    std::int64_t bytes_needed, net::NodeId exclude) {
+    std::int64_t bytes_needed, net::NodeId exclude, Time now) {
   if (memory_nodes_.empty()) return std::nullopt;
   for (std::size_t i = 0; i < memory_nodes_.size(); ++i) {
     const std::size_t at = (cursor_ + i) % memory_nodes_.size();
     const net::NodeId n = memory_nodes_[at];
     if (n == exclude) continue;
+    if (dead(n)) continue;
+    if (now >= 0 && expired(n, now)) continue;
     if (available(n) >= bytes_needed) {
       cursor_ = (at + 1) % memory_nodes_.size();
       return n;
     }
   }
   return std::nullopt;
+}
+
+bool AvailabilityTable::expired(net::NodeId node, Time now) const {
+  if (max_age_ <= 0) return false;
+  const auto it = entries_.find(node);
+  if (it == entries_.end() || !it->second.valid) return false;
+  return now - it->second.updated > max_age_;
+}
+
+void AvailabilityTable::mark_dead(net::NodeId node) {
+  const auto it = entries_.find(node);
+  RMS_CHECK_MSG(it != entries_.end(), "mark_dead on an unregistered node");
+  it->second.dead = true;
+}
+
+bool AvailabilityTable::dead(net::NodeId node) const {
+  const auto it = entries_.find(node);
+  return it != entries_.end() && it->second.dead;
+}
+
+Time AvailabilityTable::last_update(net::NodeId node) const {
+  const auto it = entries_.find(node);
+  if (it == entries_.end() || !it->second.valid) return -1;
+  return it->second.updated;
 }
 
 void AvailabilityTable::debit(net::NodeId node, std::int64_t bytes) {
@@ -52,6 +79,12 @@ sim::Process availability_monitor(cluster::Node& node, MonitorConfig config) {
   sim::Simulation& sim = node.sim();
   std::uint64_t seq = 0;
   for (;;) {
+    if (!node.alive()) {
+      // Crashed: stay silent until restart. seq keeps counting up from
+      // where it was, so post-restart reports are accepted as fresh.
+      co_await sim.timeout(config.interval);
+      continue;
+    }
     // Read the kernel statistics (the paper's `netstat -k`).
     co_await node.compute(node.costs().monitor_sample);
     const std::int64_t avail = node.memory().available();
@@ -74,7 +107,11 @@ sim::Process availability_client(cluster::Node& node, AvailabilityTable& table,
   for (;;) {
     net::Message msg = co_await node.mailbox().recv(kAvailInfo);
     const auto& info = msg.as<AvailabilityInfo>();
-    co_await node.compute(node.costs().context_switch);
+    // The table write lands at delivery time, without queueing for the CPU:
+    // the failure detector keys off these timestamps, and a long compute
+    // chunk holding this node's CPU (e.g. the candidate-generation scan)
+    // must not read as a cluster of dead memory nodes. CPU is charged only
+    // when a report triggers actual work.
     if (!table.update(info, node.sim().now())) continue;
     node.stats().bump("client.availability_updates");
 
@@ -84,9 +121,34 @@ sim::Process availability_client(cluster::Node& node, AvailabilityTable& table,
     if (is_short && !handled) {
       handled = true;
       node.stats().bump("client.shortage_events");
+      co_await node.compute(node.costs().context_switch);
       if (on_shortage) co_await on_shortage(info.node);
     } else if (!is_short) {
       handled = false;  // node recovered; re-arm
+    }
+  }
+}
+
+sim::Process failure_detector(cluster::Node& node, AvailabilityTable& table,
+                              DetectorConfig config,
+                              SuspectHandler on_suspect) {
+  RMS_CHECK(config.expected_interval > 0);
+  RMS_CHECK(config.miss_threshold >= 1);
+  const Time check = config.check_interval > 0 ? config.check_interval
+                                               : config.expected_interval;
+  const Time silence_limit =
+      config.expected_interval * static_cast<Time>(config.miss_threshold);
+  for (;;) {
+    co_await node.sim().timeout(check);
+    const Time now = node.sim().now();
+    for (net::NodeId n : table.memory_nodes()) {
+      if (table.dead(n)) continue;
+      const Time last = table.last_update(n);
+      if (last < 0) continue;  // never reported; never chosen either
+      if (now - last <= silence_limit) continue;
+      table.mark_dead(n);
+      node.stats().bump("detector.suspicions");
+      if (on_suspect) co_await on_suspect(n);
     }
   }
 }

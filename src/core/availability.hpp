@@ -27,7 +27,9 @@ class AvailabilityTable {
   explicit AvailabilityTable(std::vector<net::NodeId> memory_nodes);
 
   /// Record a monitor broadcast; stale (out-of-order) reports are dropped.
-  /// Returns true if the entry changed.
+  /// Returns true if the entry changed. A fresh report revives a node that
+  /// was marked dead (crash + restart: the monitor resumes broadcasting
+  /// with its sequence intact).
   bool update(const AvailabilityInfo& info, Time now);
 
   /// Last reported available bytes (0 until the first report arrives — an
@@ -38,9 +40,26 @@ class AvailabilityTable {
   /// round-robin across qualifying nodes so that consecutive swap-outs
   /// spread over all memory-available nodes. Returns nullopt if nobody
   /// qualifies. `exclude` removes a node from consideration (the shorted
-  /// holder during migration).
+  /// holder during migration). Nodes marked dead are always skipped; with a
+  /// max age configured and `now >= 0`, entries whose last report is older
+  /// than the max age are treated as invalid too (a node that died right
+  /// after one fat report must not attract swap-outs forever).
   std::optional<net::NodeId> choose_destination(std::int64_t bytes_needed,
-                                                net::NodeId exclude = -1);
+                                                net::NodeId exclude = -1,
+                                                Time now = -1);
+
+  /// Expire entries not refreshed within `max_age` (<= 0 disables, the
+  /// default). Typically N monitor intervals.
+  void set_max_age(Time max_age) { max_age_ = max_age; }
+  Time max_age() const { return max_age_; }
+  bool expired(net::NodeId node, Time now) const;
+
+  /// Failure-detector verdicts. A dead node is excluded from destination
+  /// choice until a fresh report revives it.
+  void mark_dead(net::NodeId node);
+  bool dead(net::NodeId node) const;
+  /// Time of the last accepted report (-1 before the first one).
+  Time last_update(net::NodeId node) const;
 
   /// Debit a local estimate after choosing a destination, so many swap-outs
   /// between two monitor reports do not all pile onto one node.
@@ -56,11 +75,13 @@ class AvailabilityTable {
     std::uint64_t seq = 0;
     Time updated = -1;
     bool valid = false;
+    bool dead = false;
   };
 
   std::vector<net::NodeId> memory_nodes_;
   std::unordered_map<net::NodeId, Entry> entries_;
   std::size_t cursor_ = 0;  // round-robin position
+  Time max_age_ = 0;        // <= 0: reports never expire
 };
 
 struct MonitorConfig {
@@ -88,5 +109,30 @@ using ShortageHandler = std::function<sim::Task<>(net::NodeId holder)>;
 sim::Process availability_client(cluster::Node& node, AvailabilityTable& table,
                                  ClientConfig config,
                                  ShortageHandler on_shortage);
+
+struct DetectorConfig {
+  /// The monitors' broadcast period (MonitorConfig::interval).
+  Time expected_interval = sec(3);
+  /// Declare a memory node dead after this many missed heartbeats — i.e.
+  /// when its last accepted report is older than miss_threshold intervals.
+  int miss_threshold = 3;
+  /// How often the detector scans the table; defaults to one interval.
+  Time check_interval = 0;  // <= 0: use expected_interval
+};
+
+/// Suspicion callback: invoked (and awaited) once per detected death.
+/// Typically HashLineStore::handle_holder_failure.
+using SuspectHandler = std::function<sim::Task<>(net::NodeId suspect)>;
+
+/// The failure-detector process running on an application execution node: a
+/// periodic scan over the availability table that marks a memory node dead
+/// after `miss_threshold` missed heartbeats (kAvailInfo seq/timestamps are
+/// maintained by the availability client) and awaits the suspect handler.
+/// It runs on a timer, not on message arrival, so it still fires when every
+/// monitor has gone silent. Nodes that never reported are ignored — they
+/// were never eligible as swap destinations. Spawn once per application
+/// node, alongside the availability client.
+sim::Process failure_detector(cluster::Node& node, AvailabilityTable& table,
+                              DetectorConfig config, SuspectHandler on_suspect);
 
 }  // namespace rms::core

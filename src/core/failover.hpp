@@ -1,0 +1,56 @@
+// Failover accounting for the crash-tolerant remote-swap path.
+//
+// One block per HashLineStore; the HPA runner merges every store's block
+// into a run-level total that hpa::report prints when any fault-handling
+// machinery actually fired.
+#pragma once
+
+#include <cstdint>
+
+namespace rms::core {
+
+struct FailoverStats {
+  /// Memory nodes this store's node declared dead (detector verdicts plus
+  /// in-band RPC-timeout verdicts).
+  std::int64_t suspicions = 0;
+  /// RPC attempts beyond the first (kSwapIn / kFetch / migration pushes).
+  std::int64_t rpc_retries = 0;
+  /// RPC deadlines that expired (each retry is preceded by one miss).
+  std::int64_t deadline_misses = 0;
+  /// Hash lines whose only copy died with a memory node: the line restarts
+  /// empty and its candidate counts are lost.
+  std::int64_t orphaned_lines = 0;
+  std::int64_t orphaned_entries = 0;
+  /// Lines recovered by promoting a backup copy (replicate_k = 1).
+  std::int64_t promoted_lines = 0;
+  /// Evictions that fell back to the disk-swap path because no live memory
+  /// node qualified as a destination.
+  std::int64_t degraded_evictions = 0;
+  /// Backup copies shipped (replicate_k = 1).
+  std::int64_t replicas_stored = 0;
+  /// Remote-update ops mirrored to backup copies.
+  std::int64_t updates_mirrored = 0;
+  /// Remote-update ops dropped because the holder was already suspected.
+  std::int64_t lost_update_ops = 0;
+
+  void merge(const FailoverStats& o) {
+    suspicions += o.suspicions;
+    rpc_retries += o.rpc_retries;
+    deadline_misses += o.deadline_misses;
+    orphaned_lines += o.orphaned_lines;
+    orphaned_entries += o.orphaned_entries;
+    promoted_lines += o.promoted_lines;
+    degraded_evictions += o.degraded_evictions;
+    replicas_stored += o.replicas_stored;
+    updates_mirrored += o.updates_mirrored;
+    lost_update_ops += o.lost_update_ops;
+  }
+
+  bool any() const {
+    return suspicions || rpc_retries || deadline_misses || orphaned_lines ||
+           promoted_lines || degraded_evictions || replicas_stored ||
+           lost_update_ops;
+  }
+};
+
+}  // namespace rms::core

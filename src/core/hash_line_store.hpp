@@ -21,8 +21,18 @@
 // fresh destination, and re-points the memory-management table on completion.
 //
 // Threading discipline: one logical mutator (the HPA build/count process)
-// plus the availability client calling `migrate_away`; the line-state
-// machine (kFaulting / kMigrating) makes that interleaving safe.
+// plus the availability client calling `migrate_away` and the failure
+// detector calling `handle_holder_failure`; the line-state machine
+// (kFaulting / kMigrating) makes that interleaving safe.
+//
+// Failure tolerance (robustness extension): every synchronous memory-service
+// RPC carries a deadline and bounded retries with exponential backoff. A
+// holder that misses every deadline is declared dead; its lines are
+// recovered from backup copies (replicate_k = 1 mirrors each swapped-out
+// line on a second memory node) or, without a replica, restart empty
+// ("orphaned" — counted as count loss). Evictions that find no live
+// destination degrade to the local disk-swap path, so a run always
+// completes.
 #pragma once
 
 #include <cstdint>
@@ -36,6 +46,7 @@
 #include "cluster/cluster.hpp"
 #include "common/rng.hpp"
 #include "core/availability.hpp"
+#include "core/failover.hpp"
 #include "core/policy.hpp"
 #include "core/protocol.hpp"
 #include "mining/hash_line_table.hpp"
@@ -61,6 +72,15 @@ class HashLineStore {
     /// memory servers to drop entries below this support count before
     /// shipping lines home (extension; 0 = fetch everything).
     std::uint32_t fetch_filter_min_count = 0;
+    // ---- failover (crash-tolerant swapping) ----
+    /// Mirror each swapped-out line on this many additional memory nodes
+    /// (0 or 1). With 1, counts survive any single memory-node crash.
+    int replicate_k = 0;
+    /// Per-attempt deadline for synchronous memory-service RPCs.
+    Time rpc_deadline = msec(2000);
+    /// Retries beyond the first attempt (exponential backoff) before the
+    /// peer is declared dead.
+    int rpc_max_retries = 2;
   };
 
   /// kBuild: candidate generation (inserts; remote lines fault back even
@@ -103,6 +123,12 @@ class HashLineStore {
   /// from `holder` to a destination chosen from the availability table.
   sim::Task<> migrate_away(net::NodeId holder);
 
+  /// Failure handling (failure detector callback, also invoked in-band when
+  /// an RPC to a holder misses every deadline): declare `dead` dead, drop
+  /// queued traffic towards it, and re-home every line it held — promoting
+  /// backup copies where they exist, orphaning the rest. Idempotent.
+  sim::Task<> handle_holder_failure(net::NodeId dead);
+
   // ---- Introspection ----
   std::int64_t resident_bytes() const { return resident_bytes_; }
   std::int64_t total_bytes() const { return total_bytes_; }
@@ -112,6 +138,8 @@ class HashLineStore {
   std::int64_t updates_sent() const { return updates_sent_; }
   std::int64_t lines_migrated() const { return lines_migrated_; }
   std::size_t lines_at(net::NodeId holder) const;
+  std::size_t replicas_at(net::NodeId holder) const;
+  const FailoverStats& failover() const { return failover_; }
 
   /// Debug helper: verify the internal invariants (LRU list <-> residency
   /// vector consistency, byte accounting, location bookkeeping). Aborts on
@@ -137,6 +165,7 @@ class HashLineStore {
     mining::HashLine entries;  // meaningful only when resident
     Where where = Where::kResident;
     net::NodeId holder = -1;
+    net::NodeId backup = -1;  // replica holder while remote (replicate_k)
     std::int64_t bytes = 0;  // accounted bytes, kept while away
     std::int32_t lru_prev = -1;
     std::int32_t lru_next = -1;
@@ -170,11 +199,32 @@ class HashLineStore {
   /// Evict LRU lines (never `pinned`) until within the limit.
   sim::Task<> enforce_limit(LineId pinned);
   sim::Task<> evict(LineId id);
+  sim::Task<> evict_to_disk(LineId id);
   sim::Task<> fault_in(LineId id);
   void queue_update(LineId id, const mining::Itemset& itemset);
   sim::Task<> send_update_batch(net::NodeId holder);
-  net::NodeId pick_destination(std::int64_t bytes);
+  sim::Task<> maybe_flush_batch(net::NodeId holder);
+  /// -1 when no live, fresh node has room (callers degrade).
+  net::NodeId pick_destination(std::int64_t bytes, net::NodeId exclude = -1);
   sim::Trigger& migration_trigger(LineId id);
+
+  // ---- failover machinery ----
+  /// Deadline + retry wrapper around Node::request_with_deadline that also
+  /// accumulates FailoverStats.
+  sim::Task<cluster::RpcResult> rpc(net::Message msg);
+  /// First-time suspicion bookkeeping (table mark + counters). Idempotent.
+  void declare_dead(net::NodeId holder);
+  /// True while `holder` is suspected; fresh heartbeats in the availability
+  /// table (crash + restart) clear the local suspicion lazily.
+  bool holder_suspect(net::NodeId holder);
+  /// The line's only copy is gone: restart it empty and count the loss.
+  void orphan_line(LineId id);
+  /// Stop tracking (and drop) the backup copy of a line that came home.
+  void drop_backup(LineId id);
+  /// The primary copy of `id` is lost (holder dead or wiped): promote the
+  /// backup if one survives (line becomes kRemote at the backup) or orphan
+  /// (line becomes resident and empty). Caller owns the line's state.
+  sim::Task<> recover_lost_line(LineId id);
 
   cluster::Node& node_;
   Config config_;
@@ -193,6 +243,9 @@ class HashLineStore {
 
   // Location bookkeeping for migration and collection.
   std::unordered_map<net::NodeId, std::unordered_set<LineId>> lines_by_holder_;
+  std::unordered_map<net::NodeId, std::unordered_set<LineId>>
+      replicas_by_holder_;
+  std::unordered_set<net::NodeId> suspected_;
   std::unordered_map<LineId, mining::HashLine> disk_store_;
   std::unordered_map<net::NodeId, UpdateBatch> update_batches_;
   std::unordered_map<LineId, std::vector<mining::Itemset>> pending_updates_;
@@ -202,6 +255,7 @@ class HashLineStore {
   std::int64_t swap_outs_ = 0;
   std::int64_t updates_sent_ = 0;
   std::int64_t lines_migrated_ = 0;
+  FailoverStats failover_;
 };
 
 }  // namespace rms::core

@@ -5,47 +5,123 @@
 namespace rms::core {
 
 MemoryServer::MemoryServer(cluster::Node& node, Config config)
-    : node_(node), config_(config) {}
+    : node_(node), config_(config) {
+  // Crash-stop loses everything in RAM. The hook runs synchronously inside
+  // Node::crash(); the serve loop itself stays suspended and abandons any
+  // in-flight handler through the epoch check.
+  node_.on_crash([this] { wipe_on_crash(); });
+}
 
-void MemoryServer::adopt_line(net::NodeId owner, LinePayload line) {
-  const std::uint64_t k = key(owner, line.line_id);
-  RMS_CHECK_MSG(store_.find(k) == store_.end(),
-                "line swapped out twice without a swap-in");
+void MemoryServer::wipe_on_crash() {
+  node_.memory().donated_bytes -= stored_bytes_;
+  store_.clear();
+  replicas_.clear();
+  stored_lines_ = 0;
+  replica_lines_ = 0;
+  stored_bytes_ = 0;
+  // Requests delivered but not yet received are lost with the process.
+  while (node_.mailbox().try_recv(kMemService)) {
+  }
+  node_.stats().bump("server.crash_wipes");
+}
+
+LinePayload* MemoryServer::find_line(net::NodeId owner, LineId id) {
+  const auto oit = store_.find(owner);
+  if (oit == store_.end()) return nullptr;
+  const auto it = oit->second.find(id);
+  return it == oit->second.end() ? nullptr : &it->second;
+}
+
+LinePayload* MemoryServer::find_replica(net::NodeId owner, LineId id) {
+  const auto oit = replicas_.find(owner);
+  if (oit == replicas_.end()) return nullptr;
+  const auto it = oit->second.find(id);
+  return it == oit->second.end() ? nullptr : &it->second;
+}
+
+void MemoryServer::adopt_line(net::NodeId owner, LinePayload line,
+                              bool allow_replace) {
+  OwnerLines& lines = store_[owner];
+  const auto it = lines.find(line.line_id);
+  if (it != lines.end()) {
+    // Duplicate delivery happens legitimately under migrate-push retry (the
+    // ack was slow, not lost); replace in place so accounting stays exact.
+    RMS_CHECK_MSG(allow_replace, "line swapped out twice without a swap-in");
+    stored_bytes_ -= it->second.accounted_bytes;
+    node_.memory().donated_bytes -= it->second.accounted_bytes;
+    --stored_lines_;
+  }
   stored_bytes_ += line.accounted_bytes;
   node_.memory().donated_bytes += line.accounted_bytes;
-  lines_by_owner_[owner].insert(line.line_id);
-  store_.emplace(k, std::move(line));
+  ++stored_lines_;
+  lines.insert_or_assign(line.line_id, std::move(line));
 }
 
 LinePayload MemoryServer::release_line(net::NodeId owner, LineId id) {
-  const auto it = store_.find(key(owner, id));
-  RMS_CHECK_MSG(it != store_.end(), "swap-in for a line this node not hold");
+  const auto oit = store_.find(owner);
+  RMS_CHECK_MSG(oit != store_.end() &&
+                    oit->second.find(id) != oit->second.end(),
+                "release of a line this node does not hold");
+  const auto it = oit->second.find(id);
   LinePayload line = std::move(it->second);
-  store_.erase(it);
+  oit->second.erase(it);
   stored_bytes_ -= line.accounted_bytes;
   node_.memory().donated_bytes -= line.accounted_bytes;
-  lines_by_owner_[owner].erase(id);
+  --stored_lines_;
   return line;
+}
+
+void MemoryServer::store_replica(net::NodeId owner, LinePayload line) {
+  OwnerLines& lines = replicas_[owner];
+  const auto it = lines.find(line.line_id);
+  if (it != lines.end()) {
+    // Re-replication after the line cycled through the owner: overwrite.
+    stored_bytes_ -= it->second.accounted_bytes;
+    node_.memory().donated_bytes -= it->second.accounted_bytes;
+    --replica_lines_;
+  }
+  stored_bytes_ += line.accounted_bytes;
+  node_.memory().donated_bytes += line.accounted_bytes;
+  ++replica_lines_;
+  lines.insert_or_assign(line.line_id, std::move(line));
+}
+
+void MemoryServer::drop_replica(net::NodeId owner, LineId id) {
+  const auto oit = replicas_.find(owner);
+  if (oit == replicas_.end()) return;
+  const auto it = oit->second.find(id);
+  if (it == oit->second.end()) return;
+  stored_bytes_ -= it->second.accounted_bytes;
+  node_.memory().donated_bytes -= it->second.accounted_bytes;
+  --replica_lines_;
+  oit->second.erase(it);
 }
 
 sim::Process MemoryServer::serve() {
   for (;;) {
     net::Message msg = co_await node_.mailbox().recv(kMemService);
-    co_await handle(msg);
+    co_await handle(std::move(msg), node_.epoch());
   }
 }
 
-sim::Task<> MemoryServer::handle(net::Message msg) {
+sim::Task<> MemoryServer::handle(net::Message msg, std::uint64_t epoch) {
   const auto& req = msg.as<MemRequest>();
   const cluster::CostModel& costs = node_.costs();
+  // A crash while this handler was suspended wiped the store; mutating or
+  // replying on behalf of the dead incarnation would resurrect lost state.
+  const auto abandoned = [&] { return node_.epoch() != epoch; };
 
   switch (req.kind) {
     case MemRequest::Kind::kSwapOut: {
       // "At the memory available node, the received contents are allocated
       // and written in its main memory" (§4.3).
       co_await node_.compute(costs.swap_service);
+      if (abandoned()) co_return;
       for (const LinePayload& line : req.lines) {
-        adopt_line(req.owner, line);
+        // allow_replace: after a false suspicion the owner may have promoted
+        // a backup elsewhere while this node kept a stale primary; the
+        // owner's fresh swap-out is authoritative.
+        adopt_line(req.owner, line, /*allow_replace=*/true);
       }
       node_.stats().bump("server.swap_out",
                          static_cast<std::int64_t>(req.lines.size()));
@@ -54,32 +130,52 @@ sim::Task<> MemoryServer::handle(net::Message msg) {
 
     case MemRequest::Kind::kSwapIn: {
       co_await node_.compute(costs.swap_service);
+      if (abandoned()) co_return;
       MemReply reply;
-      reply.lines.push_back(release_line(req.owner, req.line_id));
-      node_.stats().bump("server.swap_in");
-      node_.reply(msg, config_.message_block_bytes, std::move(reply));
+      if (find_line(req.owner, req.line_id) != nullptr) {
+        reply.lines.push_back(release_line(req.owner, req.line_id));
+        node_.stats().bump("server.swap_in");
+        node_.reply(msg, config_.message_block_bytes, std::move(reply));
+      } else {
+        // Unknown line: lost in a crash-restart, or a duplicate of a
+        // swap-in that already succeeded. Say so instead of aborting.
+        reply.ok = false;
+        node_.stats().bump("server.swap_in_misses");
+        node_.reply(msg, 16, std::move(reply));
+      }
       break;
     }
 
     case MemRequest::Kind::kUpdateBatch: {
       // One-way remote updates (§4.4): search each target line for the
-      // probed itemset and increment its counter on a match.
+      // probed itemset and increment its counter on a match. Applied to the
+      // primary copy, or to a backup replica when this node is the line's
+      // backup (replicate_k mirroring); updates for lines this node no
+      // longer holds (crash-restart) are dropped and counted.
       co_await node_.compute(
           costs.per_message_cpu +
           costs.per_update_apply *
               static_cast<std::int64_t>(req.updates.size()));
+      if (abandoned()) co_return;
+      std::int64_t applied = 0;
+      std::int64_t dropped = 0;
       for (const UpdateOp& op : req.updates) {
-        const auto it = store_.find(key(req.owner, op.line_id));
-        RMS_CHECK_MSG(it != store_.end(), "remote update for an absent line");
-        for (mining::CountedItemset& e : it->second.entries) {
+        LinePayload* target = find_line(req.owner, op.line_id);
+        if (target == nullptr) target = find_replica(req.owner, op.line_id);
+        if (target == nullptr) {
+          ++dropped;
+          continue;
+        }
+        ++applied;
+        for (mining::CountedItemset& e : target->entries) {
           if (e.items == op.itemset) {
             ++e.count;
             break;
           }
         }
       }
-      node_.stats().bump("server.updates_applied",
-                         static_cast<std::int64_t>(req.updates.size()));
+      node_.stats().bump("server.updates_applied", applied);
+      if (dropped > 0) node_.stats().bump("server.updates_dropped", dropped);
       break;
     }
 
@@ -88,10 +184,13 @@ sim::Task<> MemoryServer::handle(net::Message msg) {
       // With fetch_min_count set ("remote determination"), sub-threshold
       // entries are filtered server-side and never cross the wire.
       MemReply reply;
-      const auto it = lines_by_owner_.find(req.owner);
+      const auto it = store_.find(req.owner);
       std::int64_t bytes = 0;
-      if (it != lines_by_owner_.end()) {
-        const std::vector<LineId> ids(it->second.begin(), it->second.end());
+      if (it != store_.end()) {
+        std::vector<LineId> ids;
+        ids.reserve(it->second.size());
+        for (const auto& [id, line] : it->second) ids.push_back(id);
+        std::sort(ids.begin(), ids.end());
         for (LineId id : ids) {
           LinePayload line = release_line(req.owner, id);
           if (req.fetch_min_count > 0) {
@@ -113,35 +212,103 @@ sim::Task<> MemoryServer::handle(net::Message msg) {
           costs.per_message_cpu +
           (costs.per_update_apply *
            static_cast<std::int64_t>(reply.lines.size())));
+      if (abandoned()) co_return;
       node_.stats().bump("server.fetches");
       node_.reply(msg, std::max<std::int64_t>(bytes, 64), std::move(reply));
       break;
     }
 
     case MemRequest::Kind::kMigrateDirective: {
-      co_await handle_migrate_directive(msg);
+      co_await handle_migrate_directive(msg, epoch);
       break;
     }
 
     case MemRequest::Kind::kMigrateData: {
       co_await node_.compute(costs.swap_service);
+      if (abandoned()) co_return;
       for (const LinePayload& line : req.lines) {
-        adopt_line(req.owner, line);
+        // allow_replace: a slow ack makes the pushing server retry the
+        // whole block; adopting the duplicate in place is idempotent.
+        adopt_line(req.owner, line, /*allow_replace=*/true);
       }
       node_.stats().bump("server.migrate_in",
                          static_cast<std::int64_t>(req.lines.size()));
       node_.reply(msg, 16, MemReply{});
       break;
     }
+
+    case MemRequest::Kind::kReplicaStore: {
+      co_await node_.compute(costs.swap_service);
+      if (abandoned()) co_return;
+      for (const LinePayload& line : req.lines) {
+        store_replica(req.owner, line);
+      }
+      node_.stats().bump("server.replica_stores",
+                         static_cast<std::int64_t>(req.lines.size()));
+      break;
+    }
+
+    case MemRequest::Kind::kReplicaPromote: {
+      // The owner lost the primary holder: promote this node's backup
+      // copies to primaries. Replicas this node does not hold (it crashed
+      // too, or never got the copy) are simply missing from `migrated` —
+      // the owner orphans those.
+      co_await node_.compute(costs.swap_service);
+      if (abandoned()) co_return;
+      MemReply reply;
+      for (LineId id : req.migrate_lines) {
+        const auto oit = replicas_.find(req.owner);
+        if (oit == replicas_.end()) break;
+        const auto it = oit->second.find(id);
+        if (it == oit->second.end()) continue;
+        LinePayload line = std::move(it->second);
+        stored_bytes_ -= line.accounted_bytes;
+        node_.memory().donated_bytes -= line.accounted_bytes;
+        --replica_lines_;
+        oit->second.erase(it);
+        adopt_line(req.owner, std::move(line), /*allow_replace=*/true);
+        reply.migrated.push_back(id);
+      }
+      reply.ok = reply.migrated.size() == req.migrate_lines.size();
+      node_.stats().bump("server.replica_promotions",
+                         static_cast<std::int64_t>(reply.migrated.size()));
+      node_.reply(msg,
+                  16 + 8 * static_cast<std::int64_t>(reply.migrated.size()),
+                  std::move(reply));
+      break;
+    }
+
+    case MemRequest::Kind::kReplicaDrop: {
+      co_await node_.compute(costs.per_message_cpu);
+      if (abandoned()) co_return;
+      if (req.line_id >= 0) {
+        drop_replica(req.owner, req.line_id);
+      } else {
+        // Drop every replica of this owner (end-of-pass collection).
+        const auto oit = replicas_.find(req.owner);
+        if (oit != replicas_.end()) {
+          for (const auto& [id, line] : oit->second) {
+            stored_bytes_ -= line.accounted_bytes;
+            node_.memory().donated_bytes -= line.accounted_bytes;
+            --replica_lines_;
+          }
+          replicas_.erase(oit);
+        }
+      }
+      break;
+    }
   }
 }
 
-sim::Task<> MemoryServer::handle_migrate_directive(const net::Message& msg) {
+sim::Task<> MemoryServer::handle_migrate_directive(const net::Message& msg,
+                                                   std::uint64_t epoch) {
   // "The memory available node migrates its contents to other memory
   // available nodes according to the direction" (§4.2). Lines are batched
   // into message blocks and pushed to the destination server; each block is
   // acknowledged so the owner only re-points its management table once the
-  // data is safely adopted.
+  // data is safely adopted. A destination that stops acking is presumed
+  // crashed: the unacked block is re-adopted locally and the directive
+  // replies ok=false with only the lines that provably moved.
   const auto& req = msg.as<MemRequest>();
   const cluster::CostModel& costs = node_.costs();
   RMS_CHECK(req.migrate_dest >= 0 && req.migrate_dest != node_.id());
@@ -151,34 +318,54 @@ sim::Task<> MemoryServer::handle_migrate_directive(const net::Message& msg) {
   block.kind = MemRequest::Kind::kMigrateData;
   block.owner = req.owner;
   std::int64_t block_bytes = 0;
+  bool dest_dead = false;
 
   auto flush_block = [&]() -> sim::Task<> {
     if (block.lines.empty()) co_return;
+    std::vector<LineId> in_flight;
+    for (const LinePayload& l : block.lines) in_flight.push_back(l.line_id);
     net::Message data = net::Message::make(
         node_.id(), req.migrate_dest, kMemService,
-        std::max<std::int64_t>(block_bytes, 64), std::move(block));
+        std::max<std::int64_t>(block_bytes, 64), block);
+    const cluster::RpcResult res = co_await node_.request_with_deadline(
+        std::move(data), config_.migrate_push_deadline,
+        config_.migrate_push_retries);
+    if (node_.epoch() != epoch) co_return;  // we crashed mid-push
+    if (res.ok()) {
+      done.migrated.insert(done.migrated.end(), in_flight.begin(),
+                           in_flight.end());
+    } else {
+      // No ack: take the block back so the data survives here.
+      dest_dead = true;
+      node_.stats().bump("server.migrate_push_failures");
+      for (LinePayload& l : block.lines) {
+        adopt_line(req.owner, std::move(l), /*allow_replace=*/false);
+      }
+    }
     block = MemRequest{};
     block.kind = MemRequest::Kind::kMigrateData;
     block.owner = req.owner;
     block_bytes = 0;
-    (void)co_await node_.request(std::move(data));  // wait for adoption ack
   };
 
   for (LineId id : req.migrate_lines) {
-    if (store_.find(key(req.owner, id)) == store_.end()) {
+    if (dest_dead) break;
+    if (find_line(req.owner, id) == nullptr) {
       // The owner faulted this line back between composing the directive
       // and its arrival; nothing to move.
       continue;
     }
     co_await node_.compute(costs.per_update_apply);
+    if (node_.epoch() != epoch) co_return;
     LinePayload line = release_line(req.owner, id);
     block_bytes += std::max<std::int64_t>(line.accounted_bytes, 16);
-    done.migrated.push_back(id);
     block.lines.push_back(std::move(line));
     if (block_bytes >= config_.message_block_bytes) co_await flush_block();
   }
-  co_await flush_block();
+  if (!dest_dead) co_await flush_block();
+  if (node_.epoch() != epoch) co_return;
 
+  done.ok = !dest_dead;
   node_.stats().bump("server.migrations");
   node_.stats().bump("server.lines_migrated",
                      static_cast<std::int64_t>(done.migrated.size()));

@@ -5,14 +5,24 @@
 // id), answers swap-in faults, applies one-way remote-update batches, hands
 // complete line sets back at end of pass (kFetch), and executes migration
 // directives by pushing an owner's lines to another memory-available node.
+// With replication enabled on the client side it additionally keeps backup
+// copies (kReplicaStore) in a separate map — never returned by kSwapIn or
+// kFetch — and promotes them to primaries on request (kReplicaPromote) when
+// the primary holder crashes.
 //
 // Requests are handled strictly one at a time — the single 200 MHz CPU — so
 // a small memory-node pool saturates exactly like the paper's Figure 3.
+//
+// Failure semantics: the server registers a crash hook with its node; a
+// crash-stop wipes every stored line and replica (volatile RAM) and drains
+// queued requests. A handler suspended across a crash observes the node's
+// epoch change and abandons instead of mutating the wiped store. A swap-in
+// for a line the (restarted) server does not hold answers ok=false rather
+// than aborting — the client recovers from a replica or degrades.
 #pragma once
 
 #include <cstdint>
 #include <unordered_map>
-#include <unordered_set>
 
 #include "cluster/cluster.hpp"
 #include "core/protocol.hpp"
@@ -25,6 +35,11 @@ class MemoryServer {
  public:
   struct Config {
     std::int64_t message_block_bytes = 4096;  // swap unit on the wire (§5.1)
+    /// Deadline + retry for server-to-server migration data pushes; a push
+    /// that misses every deadline marks the destination dead and the
+    /// directive replies ok=false with the partial `migrated` list.
+    Time migrate_push_deadline = msec(2000);
+    int migrate_push_retries = 1;
   };
 
   explicit MemoryServer(cluster::Node& node) : MemoryServer(node, Config{}) {}
@@ -37,27 +52,35 @@ class MemoryServer {
   sim::Process serve();
 
   /// Introspection for tests and reports.
-  std::size_t stored_lines() const { return store_.size(); }
+  std::size_t stored_lines() const { return stored_lines_; }
+  std::size_t replica_lines() const { return replica_lines_; }
   std::int64_t stored_bytes() const { return stored_bytes_; }
   cluster::Node& node() { return node_; }
 
  private:
-  static std::uint64_t key(net::NodeId owner, LineId line) {
-    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(owner))
-            << 40) ^
-           static_cast<std::uint64_t>(line);
-  }
+  // Per-owner line maps: the (owner, line) key is the pair itself, so line
+  // ids with bits >= 40 can never collide across owners.
+  using OwnerLines = std::unordered_map<LineId, LinePayload>;
 
-  sim::Task<> handle(net::Message msg);
-  sim::Task<> handle_migrate_directive(const net::Message& msg);
-  void adopt_line(net::NodeId owner, LinePayload line);
+  sim::Task<> handle(net::Message msg, std::uint64_t epoch);
+  sim::Task<> handle_migrate_directive(const net::Message& msg,
+                                       std::uint64_t epoch);
+  void adopt_line(net::NodeId owner, LinePayload line, bool allow_replace);
   LinePayload release_line(net::NodeId owner, LineId id);
+  void store_replica(net::NodeId owner, LinePayload line);
+  void drop_replica(net::NodeId owner, LineId id);
+  void wipe_on_crash();
+
+  LinePayload* find_line(net::NodeId owner, LineId id);
+  LinePayload* find_replica(net::NodeId owner, LineId id);
 
   cluster::Node& node_;
   Config config_;
-  std::unordered_map<std::uint64_t, LinePayload> store_;
-  std::unordered_map<net::NodeId, std::unordered_set<LineId>> lines_by_owner_;
-  std::int64_t stored_bytes_ = 0;
+  std::unordered_map<net::NodeId, OwnerLines> store_;
+  std::unordered_map<net::NodeId, OwnerLines> replicas_;
+  std::size_t stored_lines_ = 0;
+  std::size_t replica_lines_ = 0;
+  std::int64_t stored_bytes_ = 0;  // primaries + replicas
 };
 
 }  // namespace rms::core

@@ -46,6 +46,10 @@ struct MemRequest {
     kFetch,             // rpc: return and erase every line owned by `owner`
     kMigrateDirective,  // rpc from app node: push my lines to migrate_dest
     kMigrateData,       // rpc between servers: adopt lines[]
+    // ---- replication (failover extension; replicate_k = 1) ----
+    kReplicaStore,      // one-way: keep lines[] as backup copies
+    kReplicaPromote,    // rpc: promote replicas migrate_lines[] to primaries
+    kReplicaDrop,       // one-way: drop replica line_id (-1: all of owner)
   };
 
   Kind kind = Kind::kSwapOut;
@@ -55,16 +59,21 @@ struct MemRequest {
   /// entries below this support count before shipping lines home, so the
   /// end-of-pass transfer carries only potential large itemsets.
   std::uint32_t fetch_min_count = 0;
-  std::vector<LinePayload> lines;     // kSwapOut / kMigrateData
+  std::vector<LinePayload> lines;     // kSwapOut / kMigrateData / kReplicaStore
   std::vector<UpdateOp> updates;      // kUpdateBatch
   net::NodeId migrate_dest = -1;      // kMigrateDirective
-  std::vector<LineId> migrate_lines;  // kMigrateDirective
+  std::vector<LineId> migrate_lines;  // kMigrateDirective / kReplicaPromote
 };
 
 struct MemReply {
+  /// False when the server could not honour the request: kSwapIn for a line
+  /// it does not hold (lost in a crash-restart), or a migration whose
+  /// destination went dead mid-push. Clients retry against a replica or
+  /// degrade; they never treat ok=false as success.
   bool ok = true;
   std::vector<LinePayload> lines;  // kSwapIn (1) / kFetch (n)
-  std::vector<LineId> migrated;    // kMigrateDirective: lines actually moved
+  std::vector<LineId> migrated;    // kMigrateDirective / kReplicaPromote:
+                                   // lines actually moved / promoted
 };
 
 /// Monitor broadcast payload: "the process broadcasts it to all application

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "cluster/fault.hpp"
 #include "core/availability.hpp"
 #include "core/hash_line_store.hpp"
 #include "core/memory_server.hpp"
@@ -184,6 +185,7 @@ class Runner {
   std::int64_t total_candidates_ = 0;
 
   HpaResult result_;
+  core::FailoverStats failover_total_;
   Time pass_start_ = 0;
   Time build_start_ = 0;
   Time count_start_ = 0;
@@ -307,6 +309,9 @@ sim::Task<> Runner::build_store(std::size_t idx, std::size_t k) {
   scfg.eviction = cfg_.eviction;
   scfg.message_block_bytes = cfg_.message_block_bytes;
   if (cfg_.remote_determination) scfg.fetch_filter_min_count = min_count_;
+  scfg.replicate_k = cfg_.replicate_k;
+  scfg.rpc_deadline = cfg_.rpc_deadline;
+  scfg.rpc_max_retries = cfg_.rpc_max_retries;
   stores_[idx] = std::make_unique<core::HashLineStore>(node, scfg,
                                                        avail_[idx].get());
 
@@ -558,6 +563,7 @@ sim::Process Runner::app_main(std::size_t idx) {
 
     if (idx == 0) finish_pass_report(k);
     co_await barrier_->arrive();
+    failover_total_.merge(stores_[idx]->failover());
     stores_[idx].reset();
   }
 
@@ -623,11 +629,15 @@ HpaResult Runner::run() {
         node, core::MonitorConfig{cfg_.monitor_interval, app_ids}));
   }
 
-  // Application nodes: availability clients with the migration hook.
+  // Application nodes: availability clients with the migration hook, plus a
+  // failure detector whose verdicts re-home lines off dead holders.
   avail_.resize(cfg_.app_nodes);
   stores_.resize(cfg_.app_nodes);
   for (std::size_t i = 0; i < cfg_.app_nodes; ++i) {
     avail_[i] = std::make_unique<core::AvailabilityTable>(memory_ids);
+    if (cfg_.stale_after_intervals > 0) {
+      avail_[i]->set_max_age(cfg_.monitor_interval * cfg_.stale_after_intervals);
+    }
     core::ClientConfig clcfg;
     clcfg.shortage_threshold_bytes = cfg_.shortage_threshold_bytes;
     sim_.spawn(core::availability_client(
@@ -635,6 +645,16 @@ HpaResult Runner::run() {
         [this, i](NodeId holder) -> sim::Task<> {
           if (stores_[i]) co_await stores_[i]->migrate_away(holder);
         }));
+    if (uses_remote_memory_policy()) {
+      core::DetectorConfig dcfg;
+      dcfg.expected_interval = cfg_.monitor_interval;
+      dcfg.miss_threshold = cfg_.suspect_after_misses;
+      sim_.spawn(core::failure_detector(
+          cluster_->node(app_id(i)), *avail_[i], dcfg,
+          [this, i](NodeId suspect) -> sim::Task<> {
+            if (stores_[i]) co_await stores_[i]->handle_holder_failure(suspect);
+          }));
+    }
   }
 
   // Fault injection: withdrawals of memory-available nodes (Figure 5).
@@ -644,6 +664,18 @@ HpaResult Runner::run() {
     sim_.call_at(w.at, [&victim] {
       victim.memory().external_bytes = victim.memory().total_bytes;
     });
+  }
+
+  // Fault injection: crash-stops and loss bursts (robustness extension).
+  {
+    cluster::FaultPlan plan;
+    for (const HpaConfig::Crash& c : cfg_.crashes) {
+      RMS_CHECK(c.memory_node_index < cfg_.memory_nodes);
+      plan.crashes.push_back(cluster::FaultPlan::Crash{
+          mem_id(c.memory_node_index), c.at, c.restart_at});
+    }
+    plan.loss_bursts = cfg_.loss_bursts;
+    plan.install(*cluster_);
   }
 
   for (std::size_t i = 0; i < cfg_.app_nodes; ++i) {
@@ -666,6 +698,7 @@ HpaResult Runner::run() {
     result_.stats.merge(node.swap_disk().stats());
   }
   result_.stats.merge(cluster_->network().stats());
+  result_.failover = failover_total_;
 
   // Destroy still-suspended daemon frames (monitors, servers) while the
   // cluster objects their locals reference are alive.

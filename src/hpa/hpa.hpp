@@ -18,7 +18,9 @@
 #include <vector>
 
 #include "cluster/cluster.hpp"
+#include "cluster/fault.hpp"
 #include "common/stats.hpp"
+#include "core/failover.hpp"
 #include "core/policy.hpp"
 #include "mining/apriori.hpp"
 #include "mining/generator.hpp"
@@ -67,6 +69,29 @@ struct HpaConfig {
   };
   std::vector<Withdrawal> withdrawals;
 
+  // ---- failure injection + failover (robustness extension) ----
+  /// Crash-stop memory-available node #`memory_node_index` at `at`
+  /// (its stored lines vanish); optionally restart it at `restart_at`.
+  struct Crash {
+    std::size_t memory_node_index = 0;
+    Time at = 0;
+    Time restart_at = -1;  // < 0: stays down
+  };
+  std::vector<Crash> crashes;
+  /// Scripted periods of elevated message loss on every link.
+  std::vector<cluster::FaultPlan::LossBurst> loss_bursts;
+  /// Mirror each swapped-out line on a second memory node (0 or 1).
+  int replicate_k = 0;
+  /// Per-attempt RPC deadline / retry budget for the swap path.
+  Time rpc_deadline = msec(2000);
+  int rpc_max_retries = 2;
+  /// Failure detector: declare a memory node dead after this many missed
+  /// availability heartbeats.
+  int suspect_after_misses = 3;
+  /// Availability staleness: entries older than this many monitor intervals
+  /// stop attracting swap-outs (0 = never expire).
+  int stale_after_intervals = 0;
+
   /// Reuse a pre-generated database (the benches sweep many configurations
   /// over one workload); when null the workload parameters generate one.
   const mining::TransactionDb* shared_db = nullptr;
@@ -99,6 +124,10 @@ struct HpaResult {
 
   /// Merged counters from every node, network and disk.
   StatsRegistry stats;
+
+  /// Failover accounting merged across every node's store and every pass
+  /// (all zero when no fault-handling machinery fired).
+  core::FailoverStats failover;
 
   const PassReport* pass(std::size_t k) const;
 };

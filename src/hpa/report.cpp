@@ -24,6 +24,25 @@ void print_report(const HpaResult& result) {
   }
   t.print();
   std::printf("total virtual time: %.2f s\n", to_seconds(result.total_time));
+
+  const core::FailoverStats& f = result.failover;
+  if (f.any()) {
+    std::printf(
+        "failover: %lld suspicions, %lld rpc retries (%lld deadline misses), "
+        "%lld promoted, %lld orphaned lines (%lld entries lost), "
+        "%lld degraded evictions, %lld replicas, %lld updates mirrored, "
+        "%lld update ops dropped\n",
+        static_cast<long long>(f.suspicions),
+        static_cast<long long>(f.rpc_retries),
+        static_cast<long long>(f.deadline_misses),
+        static_cast<long long>(f.promoted_lines),
+        static_cast<long long>(f.orphaned_lines),
+        static_cast<long long>(f.orphaned_entries),
+        static_cast<long long>(f.degraded_evictions),
+        static_cast<long long>(f.replicas_stored),
+        static_cast<long long>(f.updates_mirrored),
+        static_cast<long long>(f.lost_update_ops));
+  }
 }
 
 std::string describe(const HpaConfig& config) {

@@ -53,6 +53,11 @@ Network::PairState& Network::pair(NodeId src, NodeId dst) {
   return pairs_[key];
 }
 
+void Network::set_loss_rate(double loss_rate) {
+  RMS_CHECK(loss_rate >= 0.0 && loss_rate < 1.0);
+  params_.loss_rate = loss_rate;
+}
+
 void Network::set_delivery(NodeId node, DeliveryFn fn) {
   RMS_CHECK(node >= 0 && static_cast<std::size_t>(node) < delivery_.size());
   delivery_[static_cast<std::size_t>(node)] = std::move(fn);

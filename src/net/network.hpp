@@ -66,6 +66,13 @@ struct Message {
     return **p;
   }
 
+  /// Non-aborting type test, for channels that can carry more than one body
+  /// type (e.g. a reply tag that may also receive a local timeout sentinel).
+  template <typename T>
+  bool is() const {
+    return std::any_cast<std::shared_ptr<const T>>(&body) != nullptr;
+  }
+
   bool has_body() const { return body.has_value(); }
 };
 
@@ -121,6 +128,11 @@ class Network {
 
   std::size_t num_nodes() const { return tx_ports_.size(); }
   const LinkParams& params() const { return params_; }
+
+  /// Change the attempt loss probability at runtime (scripted loss bursts).
+  /// Takes effect from the next transmission attempt, including pending
+  /// retransmissions — `transfer` re-reads the parameter per attempt.
+  void set_loss_rate(double loss_rate);
 
   /// Time to clock `payload_bytes` (+headers) through one port.
   Time transmission_time(std::int64_t payload_bytes) const;

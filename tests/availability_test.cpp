@@ -2,6 +2,8 @@
 // configured interval, client updates, and shortage-handler arming.
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "cluster/cluster.hpp"
 #include "core/availability.hpp"
 #include "sim/process.hpp"
@@ -59,6 +61,91 @@ TEST(AvailabilityTable, DebitReducesEstimateUntilNextReport) {
   EXPECT_EQ(t.available(5), 0);
   t.update(AvailabilityInfo{5, 2 << 20, 2}, 0);
   EXPECT_EQ(t.available(5), 2 << 20);
+}
+
+TEST(AvailabilityTable, StaleEntriesStopAttractingSwapOuts) {
+  AvailabilityTable t({5, 6});
+  t.set_max_age(sec(1));
+  t.update(AvailabilityInfo{5, 10 << 20, 1}, 0);
+  t.update(AvailabilityInfo{6, 10 << 20, 1}, sec(2));
+  // At t = 2.5 s node 5's report (t = 0) is older than max_age: excluded.
+  EXPECT_TRUE(t.expired(5, msec(2500)));
+  EXPECT_FALSE(t.expired(6, msec(2500)));
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(*t.choose_destination(1 << 20, -1, msec(2500)), 6);
+  }
+  // Without a clock the age filter is off (standalone-table callers).
+  EXPECT_TRUE(t.choose_destination(1 << 20).has_value());
+  // A fresh report re-qualifies the node.
+  t.update(AvailabilityInfo{5, 10 << 20, 2}, msec(2600));
+  EXPECT_FALSE(t.expired(5, msec(2700)));
+  std::vector<net::NodeId> picks;
+  for (int i = 0; i < 2; ++i) {
+    picks.push_back(*t.choose_destination(1 << 20, -1, msec(2700)));
+  }
+  EXPECT_EQ((std::set<net::NodeId>(picks.begin(), picks.end())),
+            (std::set<net::NodeId>{5, 6}));
+}
+
+TEST(AvailabilityTable, MarkDeadExcludesUntilANewerReportRevives) {
+  AvailabilityTable t({5, 6});
+  t.update(AvailabilityInfo{5, 10 << 20, 1}, 0);
+  t.update(AvailabilityInfo{6, 10 << 20, 1}, 0);
+  t.mark_dead(5);
+  EXPECT_TRUE(t.dead(5));
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(*t.choose_destination(1 << 20), 6);
+  }
+  // A stale (same-seq) report does not revive.
+  EXPECT_FALSE(t.update(AvailabilityInfo{5, 10 << 20, 1}, sec(1)));
+  EXPECT_TRUE(t.dead(5));
+  // A fresh report (the node restarted and its monitor resumed) does.
+  EXPECT_TRUE(t.update(AvailabilityInfo{5, 10 << 20, 2}, sec(2)));
+  EXPECT_FALSE(t.dead(5));
+  std::set<net::NodeId> picks;
+  for (int i = 0; i < 4; ++i) picks.insert(*t.choose_destination(1 << 20));
+  EXPECT_EQ(picks, (std::set<net::NodeId>{5, 6}));
+}
+
+TEST(Availability, FailureDetectorSuspectsASilentMonitor) {
+  sim::Simulation sim;
+  cluster::ClusterConfig cfg;
+  cfg.num_nodes = 2;  // 0: app node, 1: monitored memory node
+  cluster::Cluster cl(sim, cfg);
+
+  AvailabilityTable table({1});
+  ClientConfig ccfg;
+  sim.spawn(availability_client(cl.node(0), table, ccfg,
+                                [](net::NodeId) -> sim::Task<> { co_return; }));
+  MonitorConfig mcfg;
+  mcfg.interval = sec(1);
+  mcfg.subscribers = {0};
+  sim.spawn(availability_monitor(cl.node(1), mcfg));
+
+  std::vector<net::NodeId> suspects;
+  DetectorConfig dcfg;
+  dcfg.expected_interval = sec(1);
+  dcfg.miss_threshold = 3;
+  sim.spawn(failure_detector(cl.node(0), table, dcfg,
+                             [&](net::NodeId n) -> sim::Task<> {
+                               suspects.push_back(n);
+                               co_return;
+                             }));
+
+  sim.call_at(msec(3500), [&] { cl.node(1).crash(); });
+  sim.run_until(sec(6));
+  EXPECT_TRUE(suspects.empty());  // silence below the threshold so far
+  sim.run_until(msec(7200));
+  ASSERT_EQ(suspects.size(), 1u);  // > 3 missed heartbeats: suspected once
+  EXPECT_EQ(suspects[0], 1);
+  EXPECT_TRUE(table.dead(1));
+
+  // Restart: the monitor resumes with fresh sequence numbers and the next
+  // accepted report clears the suspicion.
+  sim.call_at(msec(7500), [&] { cl.node(1).restart(); });
+  sim.run_until(sec(10));
+  EXPECT_FALSE(table.dead(1));
+  EXPECT_EQ(suspects.size(), 1u);  // not re-suspected after revival
 }
 
 TEST(Availability, MonitorBroadcastsAtInterval) {

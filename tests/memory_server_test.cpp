@@ -245,5 +245,177 @@ TEST(MemoryServer, MigrateDirectiveMovesLinesToDestination) {
   EXPECT_EQ(count3, 3u);
 }
 
+TEST(MemoryServer, LineKeysNeverCollideAcrossOwners) {
+  // Regression: the store used to key lines by (owner << 40) ^ line_id, so
+  // owner 0 with a line id >= 2^40 collided with another owner's small id.
+  // Per-owner maps make the pair the key; both lines must coexist.
+  World w;
+  const LineId big = (LineId{2} << 40) ^ 5;  // == old key of (owner 2, line 5)
+  w.cl->node(0).send_to(1, kMemService, 4096, swap_out(0, big, make_line({7})));
+  w.cl->node(2).send_to(1, kMemService, 4096, swap_out(2, 5, make_line({9})));
+  w.sim.run_until(sec(1));
+  ASSERT_EQ(w.server->stored_lines(), 2u);
+
+  std::uint32_t got0 = 0, got2 = 0;
+  auto client = [&](cluster::Node& n, net::NodeId owner, LineId id,
+                    std::uint32_t& out) -> sim::Process {
+    MemRequest in;
+    in.kind = MemRequest::Kind::kSwapIn;
+    in.owner = owner;
+    in.line_id = id;
+    net::Message rep = co_await n.request(
+        net::Message::make(n.id(), 1, kMemService, 32, std::move(in)));
+    const auto& reply = rep.as<MemReply>();
+    EXPECT_TRUE(reply.ok);
+    EXPECT_EQ(reply.lines.size(), 1u);
+    if (reply.ok && reply.lines.size() == 1 &&
+        !reply.lines[0].entries.empty()) {
+      out = reply.lines[0].entries[0].count;
+    }
+  };
+  w.sim.spawn(client(w.cl->node(0), 0, big, got0));
+  w.sim.spawn(client(w.cl->node(2), 2, 5, got2));
+  w.sim.run_until(sec(2));
+  EXPECT_EQ(got0, 7u);
+  EXPECT_EQ(got2, 9u);
+}
+
+TEST(MemoryServer, SwapInForUnknownLineRepliesNotOk) {
+  World w;
+  bool checked = false;
+  auto client = [&](cluster::Node& n) -> sim::Process {
+    MemRequest in;
+    in.kind = MemRequest::Kind::kSwapIn;
+    in.owner = 0;
+    in.line_id = 42;  // never swapped out
+    net::Message rep = co_await n.request(
+        net::Message::make(n.id(), 1, kMemService, 32, std::move(in)));
+    const auto& reply = rep.as<MemReply>();
+    EXPECT_FALSE(reply.ok);
+    EXPECT_TRUE(reply.lines.empty());
+    checked = true;
+  };
+  w.sim.spawn(client(w.cl->node(0)));
+  w.sim.run_until(sec(1));
+  EXPECT_TRUE(checked);
+  EXPECT_EQ(w.cl->node(1).stats().counter("server.swap_in_misses"), 1);
+}
+
+TEST(MemoryServer, ReplicaIsInvisibleUntilPromoted) {
+  World w;
+  MemRequest rep_store = swap_out(0, 7, make_line({5}));
+  rep_store.kind = MemRequest::Kind::kReplicaStore;
+  w.cl->node(0).send_to(1, kMemService, 4096, std::move(rep_store));
+  w.sim.run_until(sec(1));
+  EXPECT_EQ(w.server->stored_lines(), 0u);
+  EXPECT_EQ(w.server->replica_lines(), 1u);
+
+  bool missed = false;
+  std::uint32_t promoted_count = 0;
+  std::vector<LineId> promoted;
+  auto client = [&](cluster::Node& n) -> sim::Process {
+    // A backup copy must not answer swap-ins.
+    MemRequest in;
+    in.kind = MemRequest::Kind::kSwapIn;
+    in.owner = 0;
+    in.line_id = 7;
+    net::Message r1 = co_await n.request(
+        net::Message::make(n.id(), 1, kMemService, 32, std::move(in)));
+    missed = !r1.as<MemReply>().ok;
+
+    // Promote, then the same swap-in succeeds with the replica's content.
+    MemRequest prom;
+    prom.kind = MemRequest::Kind::kReplicaPromote;
+    prom.owner = 0;
+    prom.migrate_lines = {7};
+    net::Message r2 = co_await n.request(
+        net::Message::make(n.id(), 1, kMemService, 32, std::move(prom)));
+    EXPECT_TRUE(r2.as<MemReply>().ok);
+    promoted = r2.as<MemReply>().migrated;
+
+    MemRequest again;
+    again.kind = MemRequest::Kind::kSwapIn;
+    again.owner = 0;
+    again.line_id = 7;
+    net::Message r3 = co_await n.request(
+        net::Message::make(n.id(), 1, kMemService, 32, std::move(again)));
+    const auto& r3rep = r3.as<MemReply>();
+    EXPECT_TRUE(r3rep.ok);
+    if (r3rep.ok && r3rep.lines.size() == 1 &&
+        !r3rep.lines[0].entries.empty()) {
+      promoted_count = r3rep.lines[0].entries[0].count;
+    }
+  };
+  w.sim.spawn(client(w.cl->node(0)));
+  w.sim.run_until(sec(2));
+  EXPECT_TRUE(missed);
+  EXPECT_EQ(promoted, (std::vector<LineId>{7}));
+  EXPECT_EQ(promoted_count, 5u);
+  EXPECT_EQ(w.server->replica_lines(), 0u);
+  EXPECT_EQ(w.cl->node(1).stats().counter("server.replica_promotions"), 1);
+}
+
+TEST(MemoryServer, ReplicaDropDiscardsBackups) {
+  World w;
+  for (LineId id = 0; id < 3; ++id) {
+    MemRequest r = swap_out(0, id, make_line({1}));
+    r.kind = MemRequest::Kind::kReplicaStore;
+    w.cl->node(0).send_to(1, kMemService, 4096, std::move(r));
+  }
+  w.sim.run_until(sec(1));
+  ASSERT_EQ(w.server->replica_lines(), 3u);
+
+  MemRequest one;
+  one.kind = MemRequest::Kind::kReplicaDrop;
+  one.owner = 0;
+  one.line_id = 1;
+  w.cl->node(0).send_to(1, kMemService, 32, std::move(one));
+  w.sim.run_until(sec(2));
+  EXPECT_EQ(w.server->replica_lines(), 2u);
+
+  MemRequest all;
+  all.kind = MemRequest::Kind::kReplicaDrop;
+  all.owner = 0;
+  all.line_id = -1;  // every replica of this owner
+  w.cl->node(0).send_to(1, kMemService, 32, std::move(all));
+  w.sim.run_until(sec(3));
+  EXPECT_EQ(w.server->replica_lines(), 0u);
+  EXPECT_EQ(w.cl->node(1).memory().donated_bytes, 0);
+}
+
+TEST(MemoryServer, CrashWipesTheStoreAndRestartAnswersNotOk) {
+  World w;
+  w.cl->node(0).send_to(1, kMemService, 4096, swap_out(0, 7, make_line({5})));
+  MemRequest rep = swap_out(0, 8, make_line({6}));
+  rep.kind = MemRequest::Kind::kReplicaStore;
+  w.cl->node(0).send_to(1, kMemService, 4096, std::move(rep));
+  w.sim.run_until(sec(1));
+  ASSERT_EQ(w.server->stored_lines(), 1u);
+  ASSERT_EQ(w.server->replica_lines(), 1u);
+
+  w.cl->node(1).crash();
+  EXPECT_EQ(w.server->stored_lines(), 0u);
+  EXPECT_EQ(w.server->replica_lines(), 0u);
+  EXPECT_EQ(w.server->stored_bytes(), 0);
+  EXPECT_EQ(w.cl->node(1).memory().donated_bytes, 0);
+  w.cl->node(1).restart();
+
+  // The restarted (empty) server must answer, not abort.
+  bool checked = false;
+  auto client = [&](cluster::Node& n) -> sim::Process {
+    MemRequest in;
+    in.kind = MemRequest::Kind::kSwapIn;
+    in.owner = 0;
+    in.line_id = 7;
+    net::Message r = co_await n.request(
+        net::Message::make(n.id(), 1, kMemService, 32, std::move(in)));
+    EXPECT_FALSE(r.as<MemReply>().ok);
+    checked = true;
+  };
+  w.sim.spawn(client(w.cl->node(0)));
+  w.sim.run_until(sec(2));
+  EXPECT_TRUE(checked);
+}
+
 }  // namespace
 }  // namespace rms::core
