@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <memory>
 #include <string>
@@ -106,5 +107,70 @@ inline std::int64_t mb(double v) {
 
 /// Seconds with one decimal, the paper's reporting precision.
 inline std::string secs(Time t) { return TablePrinter::num(to_seconds(t), 1); }
+
+// ---- shared policy/limit flag parsing -------------------------------------
+//
+// The ablation benches all take the same memory-limit flag, and the
+// single-policy ones additionally select their swap backend; the helpers
+// below replace the per-bench copies of that parsing.
+
+/// Register the --limit-mb help text (benches that sweep policies
+/// themselves use just this).
+inline std::map<std::string, std::string> with_limit_flag(
+    std::map<std::string, std::string> extra = {}) {
+  extra.emplace("limit-mb", "per-node memory usage limit in MB");
+  return extra;
+}
+
+/// Register --backend / --limit-mb / --tiered-budget-mb help text for the
+/// single-policy benches.
+inline std::map<std::string, std::string> with_policy_flags(
+    std::map<std::string, std::string> extra = {}) {
+  extra.emplace("backend", "swap backend: disk | remote | update | tiered");
+  extra.emplace("tiered-budget-mb",
+                "tiered backend: per-node remote-memory budget in MB "
+                "(default: unlimited)");
+  return with_limit_flag(std::move(extra));
+}
+
+/// Map a --backend value to the SwapPolicy it selects.
+inline core::SwapPolicy backend_policy(const std::string& name) {
+  if (name == "disk") return core::SwapPolicy::kDiskSwap;
+  if (name == "remote") return core::SwapPolicy::kRemoteSwap;
+  if (name == "update") return core::SwapPolicy::kRemoteUpdate;
+  if (name == "tiered") return core::SwapPolicy::kTiered;
+  std::fprintf(stderr,
+               "unknown --backend '%s' (expected disk | remote | update | "
+               "tiered)\n",
+               name.c_str());
+  std::exit(2);
+}
+
+/// The parsed backend/limit selection of a single-policy bench.
+struct PolicyFlags {
+  core::SwapPolicy policy = core::SwapPolicy::kRemoteUpdate;
+  double limit_mb = 13.0;
+  double tiered_budget_mb = -1.0;  // < 0: unlimited
+
+  /// Stamp the selection onto a run configuration.
+  void apply(hpa::HpaConfig& cfg) const {
+    cfg.policy = policy;
+    cfg.memory_limit_bytes = mb(limit_mb);
+    cfg.tiered_remote_budget_bytes =
+        tiered_budget_mb < 0 ? -1 : mb(tiered_budget_mb);
+  }
+};
+
+/// Parse the flags registered by with_policy_flags, with per-bench defaults.
+inline PolicyFlags parse_policy_flags(const Flags& flags,
+                                      core::SwapPolicy default_policy,
+                                      double default_limit_mb = 13.0) {
+  PolicyFlags p;
+  p.policy = flags.has("backend") ? backend_policy(flags.get("backend", ""))
+                                  : default_policy;
+  p.limit_mb = flags.get_double("limit-mb", default_limit_mb);
+  p.tiered_budget_mb = flags.get_double("tiered-budget-mb", -1.0);
+  return p;
+}
 
 }  // namespace rms::bench

@@ -13,7 +13,14 @@
 using namespace rms;
 
 int main(int argc, char** argv) {
-  bench::ExperimentEnv env(argc, argv);
+  bench::ExperimentEnv env(
+      argc, argv,
+      {{"backend", "swap backend: disk | remote | update | tiered"},
+       {"tiered-budget-mb",
+        "tiered backend: per-node remote-memory budget in MB "
+        "(default: unlimited)"}});
+  bench::PolicyFlags pf = bench::parse_policy_flags(
+      env.flags, core::SwapPolicy::kRemoteSwap);
 
   std::fprintf(stderr, "[eviction] no-limit baseline...\n");
   const Time no_limit = hpa::run_hpa(env.config()).pass(2)->duration;
@@ -31,8 +38,8 @@ int main(int argc, char** argv) {
          {core::EvictionPolicy::kLru, core::EvictionPolicy::kFifo,
           core::EvictionPolicy::kRandom}) {
       hpa::HpaConfig cfg = env.config();
-      cfg.memory_limit_bytes = bench::mb(limit);
-      cfg.policy = core::SwapPolicy::kRemoteSwap;
+      pf.limit_mb = limit;
+      pf.apply(cfg);
       cfg.eviction = ev;
       std::fprintf(stderr, "[eviction] %s at %.0f MB...\n",
                    core::to_string(ev), limit);

@@ -21,16 +21,16 @@ using namespace rms;
 int main(int argc, char** argv) {
   bench::ExperimentEnv env(
       argc, argv,
-      {{"limit-mb", "per-node memory usage limit in MB (default 14)"},
-       {"crash-node", "memory-available node index to crash (default 0)"}});
-  const double limit = env.flags.get_double("limit-mb", 14.0);
+      bench::with_policy_flags(
+          {{"crash-node", "memory-available node index to crash (default 0)"}}));
+  const bench::PolicyFlags pf = bench::parse_policy_flags(
+      env.flags, core::SwapPolicy::kRemoteUpdate, 14.0);
   const auto crash_node =
       static_cast<std::size_t>(env.flags.get_int("crash-node", 0));
 
   // Baseline (no fault) pins the time axis for placing the crash.
   hpa::HpaConfig base = env.config();
-  base.memory_limit_bytes = bench::mb(limit);
-  base.policy = core::SwapPolicy::kRemoteUpdate;
+  pf.apply(base);
   std::fprintf(stderr, "[failover] baseline (no fault)...\n");
   const hpa::HpaResult baseline = hpa::run_hpa(base);
   const Time total0 = baseline.total_time;
@@ -41,7 +41,7 @@ int main(int argc, char** argv) {
 
   TablePrinter table(
       "Failover sweep: crash of one memory-available node (remote update, "
-      "limit " + TablePrinter::num(limit, 1) + " MB); baseline " +
+      "limit " + TablePrinter::num(pf.limit_mb, 1) + " MB); baseline " +
           bench::secs(total0) + " s",
       {"crash at", "detect", "mode", "time [s]", "entries lost", "orphaned",
        "promoted", "degraded", "suspicions"});

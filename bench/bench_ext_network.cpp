@@ -15,8 +15,7 @@
 using namespace rms;
 
 int main(int argc, char** argv) {
-  bench::ExperimentEnv env(argc, argv,
-                           {{"limit-mb", "memory usage limit (default 13)"}});
+  bench::ExperimentEnv env(argc, argv, bench::with_limit_flag());
   const double limit = env.flags.get_double("limit-mb", 13.0);
 
   struct Link {

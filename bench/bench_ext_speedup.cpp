@@ -14,10 +14,10 @@
 using namespace rms;
 
 int main(int argc, char** argv) {
-  bench::ExperimentEnv env(
-      argc, argv, {{"limit-mb", "per-node limit for the limited series "
-                                "(default 13, scaled by 8/app_nodes)"}});
-  const double limit8 = env.flags.get_double("limit-mb", 13.0);
+  bench::ExperimentEnv env(argc, argv, bench::with_policy_flags());
+  const bench::PolicyFlags pf = bench::parse_policy_flags(
+      env.flags, core::SwapPolicy::kRemoteUpdate, 13.0);
+  const double limit8 = pf.limit_mb;  // scaled by 8/app_nodes below
 
   TablePrinter table(
       "Extension: HPA pass-2 speedup vs application nodes (no-limit, and "
@@ -38,10 +38,10 @@ int main(int argc, char** argv) {
     // Per-node candidate volume shrinks with more nodes; scale the limit to
     // keep the same eviction pressure per node.
     hpa::HpaConfig ru = cfg;
+    pf.apply(ru);
     ru.memory_limit_bytes =
         static_cast<std::int64_t>(limit8 * 1e6 * 8.0 /
                                   static_cast<double>(nodes));
-    ru.policy = core::SwapPolicy::kRemoteUpdate;
     std::fprintf(stderr, "[speedup] %zu app nodes, remote update...\n",
                  nodes);
     const Time tr = hpa::run_hpa(ru).pass(2)->duration;

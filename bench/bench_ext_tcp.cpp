@@ -15,13 +15,13 @@
 using namespace rms;
 
 int main(int argc, char** argv) {
-  bench::ExperimentEnv env(argc, argv,
-                           {{"limit-mb", "memory usage limit (default 13)"}});
-  const double limit = env.flags.get_double("limit-mb", 13.0);
+  bench::ExperimentEnv env(argc, argv, bench::with_policy_flags());
+  const bench::PolicyFlags pf = bench::parse_policy_flags(
+      env.flags, core::SwapPolicy::kRemoteUpdate, 13.0);
 
   TablePrinter table(
       "Extension: TCP retransmission tuning (remote update, limit " +
-          TablePrinter::num(limit, 0) + " MB)",
+          TablePrinter::num(pf.limit_mb, 0) + " MB)",
       {"loss rate", "RTO 200ms [s]", "RTO 3ms [s]", "retransmissions",
        "speedup from tuning"});
 
@@ -30,8 +30,7 @@ int main(int argc, char** argv) {
     std::int64_t retx = 0;
     for (Time rto : {msec(200), msec(3)}) {
       hpa::HpaConfig cfg = env.config();
-      cfg.memory_limit_bytes = bench::mb(limit);
-      cfg.policy = core::SwapPolicy::kRemoteUpdate;
+      pf.apply(cfg);
       cfg.cluster.link = net::LinkParams::atm155_lossy(loss, rto);
       std::fprintf(stderr, "[tcp] loss %.4f, rto %.0f ms...\n", loss,
                    to_millis(rto));

@@ -10,8 +10,11 @@
 // shrinks; simple remote swapping is much better but still grows; remote
 // update stays near the no-limit baseline across the whole range.
 //
-// Extension (beyond the paper's figure): the same disk sweep with the
-// 12,000 rpm HITACHI DK3E1T the paper only cites spec numbers for.
+// Extensions (beyond the paper's figure): the same disk sweep with the
+// 12,000 rpm HITACHI DK3E1T the paper only cites spec numbers for, and the
+// tiered backend (remote-first with a per-node remote budget, disk past it)
+// which lands between simple swapping and disk swapping depending on how
+// much of the working set the budget covers.
 #include <cstdio>
 #include <vector>
 
@@ -24,9 +27,13 @@ int main(int argc, char** argv) {
   bench::ExperimentEnv env(
       argc, argv,
       {{"fine", "sweep 0.5 MB steps like the paper's x-axis"},
-       {"no-ext", "skip the 12,000 rpm extension series"}});
+       {"no-ext", "skip the 12,000 rpm and tiered extension series"},
+       {"tiered-budget-mb",
+        "per-node remote-memory budget for the tiered series (default 2)"}});
   const bool fine = env.flags.get_bool("fine", false);
   const bool ext = !env.flags.get_bool("no-ext", false);
+  const double tiered_budget_mb =
+      env.flags.get_double("tiered-budget-mb", 2.0);
 
   std::vector<double> limits_mb;
   for (double v = 12.0; v <= 15.0 + 1e-9; v += fine ? 0.5 : 1.0) {
@@ -41,6 +48,9 @@ int main(int argc, char** argv) {
     hpa::HpaConfig cfg = env.config();
     cfg.memory_limit_bytes = bench::mb(limit);
     cfg.policy = policy;
+    if (policy == core::SwapPolicy::kTiered) {
+      cfg.tiered_remote_budget_bytes = bench::mb(tiered_budget_mb);
+    }
     if (fast_disk) {
       cfg.cluster.swap_disk = disk::DiskParams::dk3e1t_12000();
     }
@@ -53,7 +63,12 @@ int main(int argc, char** argv) {
   std::vector<std::string> header = {"usage limit", "disk swap [s]",
                                      "simple swapping [s]",
                                      "remote update [s]", "no limit [s]"};
-  if (ext) header.insert(header.begin() + 2, "disk 12000rpm [s] (ext)");
+  if (ext) {
+    header.insert(header.begin() + 2, "disk 12000rpm [s] (ext)");
+    header.insert(header.end() - 1,
+                  "tiered " + TablePrinter::num(tiered_budget_mb, 0) +
+                      "MB [s] (ext)");
+  }
   TablePrinter table(
       "Figure 4: comparison of the proposed methods -- execution time of "
       "pass 2 [s] vs memory usage limit (16 memory-available nodes)",
@@ -70,6 +85,9 @@ int main(int argc, char** argv) {
         bench::secs(run(limit, core::SwapPolicy::kRemoteSwap, false)));
     row.push_back(
         bench::secs(run(limit, core::SwapPolicy::kRemoteUpdate, false)));
+    if (ext) {
+      row.push_back(bench::secs(run(limit, core::SwapPolicy::kTiered, false)));
+    }
     row.push_back(bench::secs(no_limit));
     table.add_row(std::move(row));
   }

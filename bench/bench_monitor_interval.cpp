@@ -14,9 +14,9 @@
 using namespace rms;
 
 int main(int argc, char** argv) {
-  bench::ExperimentEnv env(argc, argv,
-                           {{"limit-mb", "memory usage limit (default 13)"}});
-  const double limit = env.flags.get_double("limit-mb", 13.0);
+  bench::ExperimentEnv env(argc, argv, bench::with_policy_flags());
+  const bench::PolicyFlags pf = bench::parse_policy_flags(
+      env.flags, core::SwapPolicy::kRemoteUpdate, 13.0);
 
   TablePrinter table(
       "Monitor interval sensitivity (remote update, 16 memory-available "
@@ -26,15 +26,13 @@ int main(int argc, char** argv) {
 
   std::fprintf(stderr, "[monitor] baseline for signal placement...\n");
   hpa::HpaConfig probe = env.config();
-  probe.memory_limit_bytes = bench::mb(limit);
-  probe.policy = core::SwapPolicy::kRemoteUpdate;
+  pf.apply(probe);
   const Time baseline = hpa::run_hpa(probe).pass(2)->duration;
 
   for (Time interval : {msec(100), msec(300), msec(1000), msec(3000),
                         msec(10000)}) {
     hpa::HpaConfig cfg = env.config();
-    cfg.memory_limit_bytes = bench::mb(limit);
-    cfg.policy = core::SwapPolicy::kRemoteUpdate;
+    pf.apply(cfg);
     cfg.monitor_interval = interval;
     cfg.withdrawals = {{0, baseline / 2}};
     std::fprintf(stderr, "[monitor] interval %.1f s...\n",

@@ -47,7 +47,8 @@ struct JoinWorld {
   std::unique_ptr<core::AvailabilityTable> table;
   std::vector<std::unique_ptr<core::HashLineStore>> stores;
 
-  explicit JoinWorld(core::SwapPolicy policy, std::int64_t limit) {
+  explicit JoinWorld(core::SwapPolicy policy, std::int64_t limit,
+                     std::int64_t tiered_budget = -1) {
     cluster::ClusterConfig ccfg;
     ccfg.num_nodes = kAppNodes + kMemNodes;
     cl = std::make_unique<cluster::Cluster>(sim, ccfg);
@@ -67,6 +68,7 @@ struct JoinWorld {
       scfg.num_lines = kLinesPerNode;
       scfg.memory_limit_bytes = limit;
       scfg.policy = limit < 0 ? core::SwapPolicy::kNoLimit : policy;
+      scfg.tiered_remote_budget_bytes = tiered_budget;
       stores.push_back(std::make_unique<core::HashLineStore>(
           cl->node(static_cast<net::NodeId>(n)), scfg, table.get()));
     }
@@ -157,8 +159,12 @@ int main(int argc, char** argv) {
               static_cast<long long>(n_probe), keys);
 
   for (core::SwapPolicy policy :
-       {core::SwapPolicy::kRemoteSwap, core::SwapPolicy::kDiskSwap}) {
-    JoinWorld w(policy, limit);
+       {core::SwapPolicy::kRemoteSwap, core::SwapPolicy::kDiskSwap,
+        core::SwapPolicy::kTiered}) {
+    // The tiered run caps remote memory well below the spill volume so both
+    // tiers (remote first, then disk past the budget) see traffic.
+    JoinWorld w(policy, limit,
+                policy == core::SwapPolicy::kTiered ? limit / 8 : -1);
     std::uint64_t output = 0;
     bool done = false;
     w.sim.spawn(run_join(w, build, probe, output, done));

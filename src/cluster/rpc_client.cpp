@@ -1,0 +1,22 @@
+#include "cluster/rpc_client.hpp"
+
+namespace rms::cluster {
+
+sim::Task<RpcResult> RpcClient::call(net::Message msg) {
+  const NodeId peer = msg.dst;
+  RpcResult res = co_await node_.request_with_deadline(
+      std::move(msg), options_.deadline, options_.max_retries);
+  retries_ += res.attempts - 1;
+  // Every attempt but a successful last one expired its deadline.
+  deadline_misses_ += res.ok() ? res.attempts - 1 : res.attempts;
+  if (res.ok()) {
+    consecutive_failures_.erase(peer);
+  } else {
+    ++failed_calls_;
+    ++consecutive_failures_[peer];
+    if (on_failure_) on_failure_(peer);
+  }
+  co_return res;
+}
+
+}  // namespace rms::cluster

@@ -1,0 +1,80 @@
+// RpcClient: the one place deadline/retry/suspicion-feedback policy for
+// synchronous RPCs lives.
+//
+// Node::request_with_deadline is the mechanism (stable reply tag, exponential
+// backoff, timeout sentinel); RpcClient is the policy layer every caller of
+// that mechanism shares: the hash-line store's swap backends, the memory
+// server's migration data pushes, and the failure detector's optional
+// suspicion-confirmation pings. It owns the RpcOptions for its traffic class,
+// accumulates retry/deadline-miss totals, tracks consecutive failures per
+// peer, and fires an optional failure callback the moment a peer exhausts
+// every attempt — which is how in-band timeout verdicts reach the failover
+// layer without each call site re-implementing the bookkeeping.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "cluster/cluster.hpp"
+#include "sim/task.hpp"
+
+namespace rms::cluster {
+
+/// Per-traffic-class RPC policy knobs.
+struct RpcOptions {
+  /// Per-attempt deadline; doubles on each retry (exponential backoff).
+  Time deadline = msec(2000);
+  /// Retries beyond the first attempt before the call is declared failed.
+  int max_retries = 2;
+};
+
+class RpcClient {
+ public:
+  RpcClient(Node& node, RpcOptions options)
+      : node_(node), options_(options) {
+    RMS_CHECK(options_.deadline > 0 && options_.max_retries >= 0);
+  }
+
+  RpcClient(const RpcClient&) = delete;
+  RpcClient& operator=(const RpcClient&) = delete;
+
+  /// Invoked synchronously when a call to a peer exhausts every attempt
+  /// (the peer is presumed crashed). Must not suspend; typically marks the
+  /// peer suspect so later traffic short-circuits.
+  void set_on_failure(std::function<void(NodeId)> fn) {
+    on_failure_ = std::move(fn);
+  }
+
+  /// Issue one deadline-bounded call. On success the peer's consecutive
+  /// failure count resets; on total failure it increments and the failure
+  /// callback fires.
+  sim::Task<RpcResult> call(net::Message msg);
+
+  const RpcOptions& options() const { return options_; }
+  Node& node() { return node_; }
+
+  // ---- Introspection ----
+  /// Attempts beyond the first, summed over every call.
+  std::int64_t retries() const { return retries_; }
+  /// Deadlines that expired (every attempt but a successful last one).
+  std::int64_t deadline_misses() const { return deadline_misses_; }
+  /// Calls that exhausted every attempt.
+  std::int64_t failed_calls() const { return failed_calls_; }
+  /// Back-to-back failed calls to `peer` since its last success.
+  int consecutive_failures(NodeId peer) const {
+    const auto it = consecutive_failures_.find(peer);
+    return it == consecutive_failures_.end() ? 0 : it->second;
+  }
+
+ private:
+  Node& node_;
+  RpcOptions options_;
+  std::function<void(NodeId)> on_failure_;
+  std::int64_t retries_ = 0;
+  std::int64_t deadline_misses_ = 0;
+  std::int64_t failed_calls_ = 0;
+  std::unordered_map<NodeId, int> consecutive_failures_;
+};
+
+}  // namespace rms::cluster

@@ -125,6 +125,12 @@ class StatsRegistry {
     counters_[name] += delta;
   }
 
+  /// Stable reference to a named counter for hot-path increments (std::map
+  /// nodes never move, so the reference survives later insertions). The
+  /// counter participates in counter()/counters()/merge() as usual. The
+  /// reference is invalidated by clear().
+  std::int64_t& slot(const std::string& name) { return counters_[name]; }
+
   /// Record a named sample.
   void sample(const std::string& name, double v) { summaries_[name].add(v); }
 

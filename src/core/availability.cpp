@@ -1,5 +1,7 @@
 #include "core/availability.hpp"
 
+#include "cluster/rpc_client.hpp"
+
 namespace rms::core {
 
 AvailabilityTable::AvailabilityTable(std::vector<net::NodeId> memory_nodes)
@@ -138,6 +140,8 @@ sim::Process failure_detector(cluster::Node& node, AvailabilityTable& table,
                                                : config.expected_interval;
   const Time silence_limit =
       config.expected_interval * static_cast<Time>(config.miss_threshold);
+  cluster::RpcClient ping(
+      node, cluster::RpcOptions{config.ping_deadline, config.ping_retries});
   for (;;) {
     co_await node.sim().timeout(check);
     const Time now = node.sim().now();
@@ -146,6 +150,20 @@ sim::Process failure_detector(cluster::Node& node, AvailabilityTable& table,
       const Time last = table.last_update(n);
       if (last < 0) continue;  // never reported; never chosen either
       if (now - last <= silence_limit) continue;
+      if (config.confirm_with_rpc) {
+        // Heartbeats went silent; ask the node directly before the verdict.
+        MemRequest req;
+        req.kind = MemRequest::Kind::kPing;
+        req.owner = node.id();
+        const cluster::RpcResult res = co_await ping.call(net::Message::make(
+            node.id(), n, kMemService, 16, std::move(req)));
+        if (res.ok()) {
+          // Alive after all (the broadcast path is lossy or congested);
+          // leave the entry stale so a fresh report revives it normally.
+          node.stats().bump("detector.false_suspicions_avoided");
+          continue;
+        }
+      }
       table.mark_dead(n);
       node.stats().bump("detector.suspicions");
       if (on_suspect) co_await on_suspect(n);

@@ -118,6 +118,14 @@ struct DetectorConfig {
   int miss_threshold = 3;
   /// How often the detector scans the table; defaults to one interval.
   Time check_interval = 0;  // <= 0: use expected_interval
+  /// Confirm heartbeat silence with a direct kPing RPC (through the shared
+  /// cluster::RpcClient) before delivering the verdict: a node whose
+  /// broadcasts are merely delayed answers the ping and is spared. Off by
+  /// default — the paper-calibrated experiments use pure heartbeat timing.
+  bool confirm_with_rpc = false;
+  /// Per-attempt deadline / retries for the confirmation ping.
+  Time ping_deadline = msec(500);
+  int ping_retries = 0;
 };
 
 /// Suspicion callback: invoked (and awaited) once per detected death.

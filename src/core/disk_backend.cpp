@@ -1,0 +1,78 @@
+#include "core/disk_backend.hpp"
+
+#include <algorithm>
+
+namespace rms::core {
+
+using Where = HashLineStore::Where;
+
+DiskBackend::DiskBackend(HashLineStore& store)
+    : SwapBackend(store),
+      node_(store.node()),
+      swap_outs_(&store.stats_mut().slot("backend.disk.swap_outs")),
+      faults_(&store.stats_mut().slot("backend.disk.faults")) {}
+
+sim::Task<> DiskBackend::swap_out(LineId id) {
+  auto& l = store_.line(id);
+  disk_store_[id] = std::move(l.entries);
+  l.entries.clear();
+  l.where = Where::kDisk;
+  l.holder = -1;
+  ++*swap_outs_;
+  node_.stats().bump("store.disk_swap_out");
+  co_await node_.swap_disk().write(
+      std::max<std::int64_t>(l.bytes, store_.config().message_block_bytes),
+      disk::Access::kSequential);
+}
+
+sim::Task<> DiskBackend::fault_in(LineId id) {
+  auto& l = store_.line(id);
+  RMS_CHECK(l.where == Where::kDisk);
+  l.where = Where::kFaulting;
+  ++*faults_;
+  co_await node_.swap_disk().read(
+      std::max<std::int64_t>(l.bytes, store_.config().message_block_bytes),
+      disk::Access::kRandom);
+  const auto it = disk_store_.find(id);
+  RMS_CHECK(it != disk_store_.end());
+  l.entries = std::move(it->second);
+  disk_store_.erase(it);
+  // Still kFaulting: the store charges residency and re-links the LRU.
+}
+
+sim::Task<> DiskBackend::collect_finish() {
+  for (LineId id = 0; id < static_cast<LineId>(store_.num_lines()); ++id) {
+    auto& l = store_.line(id);
+    if (l.where != Where::kDisk) continue;
+    co_await node_.swap_disk().read(
+        std::max<std::int64_t>(l.bytes, store_.config().message_block_bytes),
+        disk::Access::kSequential);
+    const auto it = disk_store_.find(id);
+    RMS_CHECK(it != disk_store_.end());
+    l.entries = std::move(it->second);
+    disk_store_.erase(it);
+    store_.make_resident(id);
+  }
+}
+
+void DiskBackend::check_invariants() const {
+  // Every parked line has exactly one stored copy; stored copies belong to
+  // lines that are on disk or mid-fault.
+  std::size_t on_disk = 0;
+  for (std::size_t i = 0; i < store_.num_lines(); ++i) {
+    const auto& l = store_.line(static_cast<LineId>(i));
+    if (l.where != Where::kDisk) continue;
+    ++on_disk;
+    RMS_CHECK_MSG(disk_store_.count(static_cast<LineId>(i)) == 1,
+                  "disk line without a stored copy");
+  }
+  for (const auto& [id, entries] : disk_store_) {
+    const auto& l = store_.line(id);
+    RMS_CHECK_MSG(l.where == Where::kDisk || l.where == Where::kFaulting,
+                  "stored copy for a line that is not on disk");
+  }
+  RMS_CHECK_MSG(on_disk <= disk_store_.size(),
+                "disk store lost track of parked lines");
+}
+
+}  // namespace rms::core

@@ -1,0 +1,42 @@
+// DiskBackend: swap evicted hash lines to the local swap disk (§5.2, the
+// paper's Figure 4 baseline). Also serves as the degradation target for the
+// remote backends: RemoteBackend delegates here when no live memory node
+// qualifies as a destination, and TieredBackend when its remote budget is
+// full.
+#pragma once
+
+#include <unordered_map>
+
+#include "core/hash_line_store.hpp"
+#include "core/swap_backend.hpp"
+
+namespace rms::core {
+
+class DiskBackend final : public SwapBackend {
+ public:
+  explicit DiskBackend(HashLineStore& store);
+
+  const char* name() const override { return "disk"; }
+
+  /// Write-behind to the contiguous swap area: sequential, and the probe
+  /// that triggered the eviction waits for the write to be queued, like a
+  /// dirty-page writeback under memory pressure.
+  sim::Task<> swap_out(LineId id) override;
+
+  /// Random read from the swap area (the line's blocks sit wherever the
+  /// write-behind landed them).
+  sim::Task<> fault_in(LineId id) override;
+
+  /// Disk lines stream back sequentially (the swap area is contiguous).
+  sim::Task<> collect_finish() override;
+
+  void check_invariants() const override;
+
+ private:
+  cluster::Node& node_;
+  std::unordered_map<LineId, mining::HashLine> disk_store_;
+  std::int64_t* swap_outs_;  // backend.disk.swap_outs
+  std::int64_t* faults_;     // backend.disk.faults
+};
+
+}  // namespace rms::core

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/swap_backend.hpp"
+
 namespace rms::core {
 
 HashLineStore::HashLineStore(cluster::Node& node, Config config,
@@ -20,18 +22,23 @@ HashLineStore::HashLineStore(cluster::Node& node, Config config,
                   "remote policies need an AvailabilityTable");
   }
   lines_.resize(config_.num_lines);
+  pagefaults_ = &stats_.slot("store.pagefaults");
+  swap_outs_ = &stats_.slot("store.swap_outs");
+  stats_.slot("store.updates_sent");
+  stats_.slot("store.lines_migrated");
+  backend_ = make_swap_backend(*this);
 }
+
+HashLineStore::~HashLineStore() = default;
 
 void HashLineStore::set_phase(Phase phase) { phase_ = phase; }
 
 std::size_t HashLineStore::lines_at(net::NodeId holder) const {
-  const auto it = lines_by_holder_.find(holder);
-  return it == lines_by_holder_.end() ? 0 : it->second.size();
+  return backend_ ? backend_->lines_at(holder) : 0;
 }
 
 std::size_t HashLineStore::replicas_at(net::NodeId holder) const {
-  const auto it = replicas_by_holder_.find(holder);
-  return it == replicas_by_holder_.end() ? 0 : it->second.size();
+  return backend_ ? backend_->replicas_at(holder) : 0;
 }
 
 void HashLineStore::check_invariants() const {
@@ -88,6 +95,8 @@ void HashLineStore::check_invariants() const {
   RMS_CHECK_MSG(prev == lru_tail_, "LRU tail out of sync");
   RMS_CHECK_MSG(walked == resident_vec_.size(),
                 "LRU list and residency vector diverge");
+
+  if (backend_) backend_->check_invariants();
 }
 
 // ---------------------------------------------------------------------------
@@ -175,6 +184,46 @@ LineId HashLineStore::pick_victim(LineId pinned) {
 }
 
 // ---------------------------------------------------------------------------
+// Backend mutation surface
+// ---------------------------------------------------------------------------
+
+void HashLineStore::make_resident(LineId id) {
+  Line& l = line(id);
+  l.where = Where::kResident;
+  l.holder = -1;
+  resident_bytes_ += l.bytes;
+  if (l.bytes > 0) lru_push_front(id);
+}
+
+void HashLineStore::orphan_accounting(LineId id) {
+  Line& l = line(id);
+  const std::int64_t lost_entries = l.bytes / mining::Itemset::kAccountedBytes;
+  total_bytes_ -= l.bytes;
+  size_ -= static_cast<std::size_t>(lost_entries);
+  ++failover_.orphaned_lines;
+  failover_.orphaned_entries += lost_entries;
+  node_.stats().bump("store.orphaned_lines");
+  l.bytes = 0;
+  l.entries.clear();
+  l.holder = -1;
+  l.backup = -1;
+}
+
+sim::Trigger& HashLineStore::migration_trigger(LineId id) {
+  auto& slot = migration_waits_[id];
+  if (!slot) slot = std::make_unique<sim::Trigger>(node_.sim());
+  return *slot;
+}
+
+void HashLineStore::fire_migration_trigger(LineId id) {
+  const auto trig = migration_waits_.find(id);
+  if (trig != migration_waits_.end()) {
+    trig->second->fire();
+    migration_waits_.erase(trig);
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Public operations
 // ---------------------------------------------------------------------------
 
@@ -185,7 +234,7 @@ sim::Task<> HashLineStore::insert(LineId id, const mining::Itemset& itemset) {
   }
   if (l.where != Where::kResident) {
     // Build-phase insert into an evicted line: bring it home first (simple
-    // swapping applies during candidate generation under every policy).
+    // swapping applies during candidate generation under every backend).
     co_await fault_in(id);
   }
   // Invariant: a line is in the LRU list iff it is resident and non-empty.
@@ -207,39 +256,26 @@ sim::Task<> HashLineStore::probe(LineId id, const mining::Itemset& itemset) {
   Line& l = line(id);
 
   while (l.where == Where::kMigrating) {
-    if (phase_ == Phase::kCount && config_.policy == SwapPolicy::kRemoteUpdate) {
-      // Buffer the update until the line settles at its new holder.
-      pending_updates_[id].push_back(itemset);
-      ++updates_sent_;  // counted as an update operation (it becomes one)
+    // A remote-update backend buffers the op until the line settles at its
+    // new holder; otherwise park on the line trigger.
+    if (phase_ == Phase::kCount && backend_ &&
+        backend_->buffer_migrating_update(id, itemset)) {
       co_return;
     }
     co_await migration_trigger(id).wait();
   }
 
   bool faulted = false;
-  switch (l.where) {
-    case Where::kResident:
-      break;
-    case Where::kRemote: {
-      if (phase_ == Phase::kCount &&
-          config_.policy == SwapPolicy::kRemoteUpdate) {
-        queue_update(id, itemset);
-        co_await maybe_flush_batch(l.holder);
-        co_await maybe_flush_batch(l.backup);
-        co_return;
-      }
-      co_await fault_in(id);
-      faulted = true;
-      break;
+  if (l.where != Where::kResident) {
+    RMS_CHECK_MSG(l.where == Where::kRemote || l.where == Where::kDisk,
+                  "concurrent mutation of a hash line");
+    if (phase_ == Phase::kCount && backend_ &&
+        co_await backend_->update(id, itemset)) {
+      // Absorbed in place as a one-way remote update (§4.4).
+      co_return;
     }
-    case Where::kDisk: {
-      co_await fault_in(id);
-      faulted = true;
-      break;
-    }
-    case Where::kFaulting:
-    case Where::kMigrating:
-      RMS_CHECK_MSG(false, "concurrent mutation of a hash line");
+    co_await fault_in(id);
+    faulted = true;
   }
 
   for (mining::CountedItemset& e : l.entries) {
@@ -273,13 +309,7 @@ sim::Task<std::uint32_t> HashLineStore::count_matches(LineId id,
 }
 
 sim::Task<> HashLineStore::flush_updates() {
-  // Collect holders first: sending mutates the map.
-  std::vector<net::NodeId> holders;
-  for (const auto& [holder, batch] : update_batches_) {
-    if (!batch.request.updates.empty()) holders.push_back(holder);
-  }
-  std::sort(holders.begin(), holders.end());
-  for (net::NodeId h : holders) co_await send_update_batch(h);
+  if (backend_) co_await backend_->flush_updates();
 }
 
 sim::Task<> HashLineStore::collect(
@@ -298,99 +328,17 @@ sim::Task<> HashLineStore::collect(
         waited = true;
       }
     }
-    co_await flush_updates();
-
-    std::vector<net::NodeId> holders;
-    for (const auto& [holder, ids] : lines_by_holder_) {
-      if (!ids.empty()) holders.push_back(holder);
-    }
-    if (holders.empty()) {
+    if (!backend_) break;
+    co_await backend_->flush_updates();
+    if (!co_await backend_->collect_fetch()) {
       if (waited) continue;  // a settle may have re-pointed lines; re-scan
       break;
     }
-    std::sort(holders.begin(), holders.end());
-    for (net::NodeId holder : holders) {
-      auto& held = lines_by_holder_[holder];
-      if (held.empty()) continue;
-      // Snapshot and pin: kFaulting keeps the concurrent failure handler
-      // off these lines — whatever happens, this loop re-homes them.
-      std::vector<LineId> ids(held.begin(), held.end());
-      std::sort(ids.begin(), ids.end());
-      for (LineId id : ids) {
-        RMS_CHECK(line(id).where == Where::kRemote);
-        line(id).where = Where::kFaulting;
-      }
-      held.clear();
-
-      std::unordered_set<LineId> got;
-      if (!holder_suspect(holder)) {
-        MemRequest req;
-        req.kind = MemRequest::Kind::kFetch;
-        req.owner = node_.id();
-        req.fetch_min_count = config_.fetch_filter_min_count;
-        cluster::RpcResult res = co_await rpc(net::Message::make(
-            node_.id(), holder, kMemService, 32, std::move(req)));
-        if (res.ok()) {
-          const auto& rep = res.reply->as<MemReply>();
-          co_await node_.compute(node_.costs().per_message_cpu);
-          for (const LinePayload& payload : rep.lines) {
-            Line& l = line(payload.line_id);
-            if (l.where != Where::kFaulting || l.holder != holder) {
-              // A stale primary from a false suspicion handled earlier;
-              // the authoritative copy lives elsewhere.
-              node_.stats().bump("store.stale_fetch_lines");
-              continue;
-            }
-            l.entries = payload.entries;
-            l.where = Where::kResident;
-            l.holder = -1;
-            resident_bytes_ += l.bytes;
-            if (l.bytes > 0) lru_push_front(payload.line_id);
-            drop_backup(payload.line_id);
-            got.insert(payload.line_id);
-          }
-        } else {
-          declare_dead(holder);
-          co_await handle_holder_failure(holder);
-        }
-      }
-      // Lines the holder no longer has (crash-restart wiped them, or the
-      // holder is dead): promote the backup or orphan.
-      for (LineId id : ids) {
-        if (got.count(id)) continue;
-        co_await recover_lost_line(id);
-      }
-    }
   }
 
-  // Remote lines are all home; surviving backup copies are now garbage.
-  for (auto& [backup, ids] : replicas_by_holder_) {
-    if (ids.empty()) continue;
-    ids.clear();
-    if (suspected_.count(backup)) continue;
-    MemRequest req;
-    req.kind = MemRequest::Kind::kReplicaDrop;
-    req.owner = node_.id();
-    req.line_id = -1;  // all of this owner
-    node_.send_to(backup, kMemService, 16, std::move(req));
-  }
-  for (Line& l : lines_) l.backup = -1;
-
-  // Disk lines stream back sequentially (the swap area is contiguous).
-  for (LineId id = 0; id < static_cast<LineId>(lines_.size()); ++id) {
-    Line& l = line(id);
-    if (l.where != Where::kDisk) continue;
-    co_await node_.swap_disk().read(
-        std::max<std::int64_t>(l.bytes, config_.message_block_bytes),
-        disk::Access::kSequential);
-    const auto it = disk_store_.find(id);
-    RMS_CHECK(it != disk_store_.end());
-    l.entries = std::move(it->second);
-    disk_store_.erase(it);
-    l.where = Where::kResident;
-    resident_bytes_ += l.bytes;
-    lru_push_front(id);
-  }
+  // Remote lines are all home; drop auxiliary copies and stream any
+  // disk-parked lines back in.
+  if (backend_) co_await backend_->collect_finish();
 
   for (const Line& l : lines_) {
     RMS_CHECK(l.where == Where::kResident);
@@ -398,118 +346,17 @@ sim::Task<> HashLineStore::collect(
   }
 }
 
+sim::Task<> HashLineStore::migrate_away(net::NodeId holder) {
+  if (backend_) co_await backend_->migrate_away(holder);
+}
+
+sim::Task<> HashLineStore::handle_holder_failure(net::NodeId dead) {
+  if (backend_) co_await backend_->on_holder_failure(dead);
+}
+
 // ---------------------------------------------------------------------------
 // Eviction and faulting
 // ---------------------------------------------------------------------------
-
-net::NodeId HashLineStore::pick_destination(std::int64_t bytes,
-                                            net::NodeId exclude) {
-  RMS_CHECK(avail_ != nullptr);
-  const auto dest = avail_->choose_destination(
-      bytes + config_.destination_headroom_bytes, exclude, node_.sim().now());
-  if (!dest.has_value()) return -1;
-  avail_->debit(*dest, bytes);
-  return *dest;
-}
-
-// ---------------------------------------------------------------------------
-// Failover machinery
-// ---------------------------------------------------------------------------
-
-sim::Task<cluster::RpcResult> HashLineStore::rpc(net::Message msg) {
-  cluster::RpcResult res = co_await node_.request_with_deadline(
-      std::move(msg), config_.rpc_deadline, config_.rpc_max_retries);
-  failover_.rpc_retries += res.attempts - 1;
-  // Every attempt but a successful last one expired its deadline.
-  failover_.deadline_misses += res.ok() ? res.attempts - 1 : res.attempts;
-  co_return res;
-}
-
-void HashLineStore::declare_dead(net::NodeId holder) {
-  if (!suspected_.insert(holder).second) return;
-  ++failover_.suspicions;
-  node_.stats().bump("store.suspicions");
-  if (avail_ != nullptr && !avail_->dead(holder)) avail_->mark_dead(holder);
-}
-
-bool HashLineStore::holder_suspect(net::NodeId holder) {
-  if (suspected_.count(holder) == 0) return false;
-  if (avail_ != nullptr && !avail_->dead(holder)) {
-    // The availability table accepted a newer heartbeat: the node restarted
-    // (its store wiped — our lines there were already re-homed). Forgive.
-    suspected_.erase(holder);
-    return false;
-  }
-  return true;
-}
-
-void HashLineStore::orphan_line(LineId id) {
-  Line& l = line(id);
-  const std::int64_t lost_entries = l.bytes / mining::Itemset::kAccountedBytes;
-  total_bytes_ -= l.bytes;
-  size_ -= static_cast<std::size_t>(lost_entries);
-  ++failover_.orphaned_lines;
-  failover_.orphaned_entries += lost_entries;
-  node_.stats().bump("store.orphaned_lines");
-  l.bytes = 0;
-  l.entries.clear();
-  l.holder = -1;
-  l.backup = -1;
-  const auto pend = pending_updates_.find(id);
-  if (pend != pending_updates_.end()) {
-    failover_.lost_update_ops +=
-        static_cast<std::int64_t>(pend->second.size());
-    pending_updates_.erase(pend);
-  }
-}
-
-void HashLineStore::drop_backup(LineId id) {
-  Line& l = line(id);
-  if (l.backup < 0) return;
-  replicas_by_holder_[l.backup].erase(id);
-  if (!holder_suspect(l.backup)) {
-    MemRequest req;
-    req.kind = MemRequest::Kind::kReplicaDrop;
-    req.owner = node_.id();
-    req.line_id = id;
-    node_.send_to(l.backup, kMemService, 16, std::move(req));
-  }
-  l.backup = -1;
-}
-
-sim::Task<> HashLineStore::recover_lost_line(LineId id) {
-  Line& l = line(id);
-  if (l.backup >= 0) {
-    const net::NodeId backup = l.backup;
-    replicas_by_holder_[backup].erase(id);
-    l.backup = -1;
-    if (!holder_suspect(backup)) {
-      MemRequest req;
-      req.kind = MemRequest::Kind::kReplicaPromote;
-      req.owner = node_.id();
-      req.migrate_lines.push_back(id);
-      cluster::RpcResult res = co_await rpc(net::Message::make(
-          node_.id(), backup, kMemService, 24, std::move(req)));
-      if (res.ok()) {
-        const auto& rep = res.reply->as<MemReply>();
-        co_await node_.compute(node_.costs().per_message_cpu);
-        if (rep.ok) {
-          l.where = Where::kRemote;
-          l.holder = backup;
-          lines_by_holder_[backup].insert(id);
-          ++failover_.promoted_lines;
-          node_.stats().bump("store.replica_promotions");
-          co_return;
-        }
-        // The backup restarted and lost the replica too: fall through.
-      } else {
-        declare_dead(backup);
-      }
-    }
-  }
-  l.where = Where::kResident;
-  orphan_line(id);  // resident and empty; stays out of the LRU
-}
 
 sim::Task<> HashLineStore::enforce_limit(LineId pinned) {
   while (over_limit()) {
@@ -523,442 +370,32 @@ sim::Task<> HashLineStore::evict(LineId id) {
   Line& l = line(id);
   RMS_CHECK(l.where == Where::kResident);
   RMS_CHECK(l.bytes > 0);
-  ++swap_outs_;
+  RMS_CHECK_MSG(backend_ != nullptr, "eviction under kNoLimit");
+  ++*swap_outs_;
   lru_remove(id);
   resident_bytes_ -= l.bytes;
-
-  switch (config_.policy) {
-    case SwapPolicy::kNoLimit:
-      RMS_CHECK_MSG(false, "eviction under kNoLimit");
-      break;
-
-    case SwapPolicy::kDiskSwap:
-      co_await evict_to_disk(id);
-      break;
-
-    case SwapPolicy::kRemoteSwap:
-    case SwapPolicy::kRemoteUpdate: {
-      const net::NodeId dest = pick_destination(l.bytes);
-      if (dest < 0) {
-        // Graceful degradation: no live, fresh memory node has room, but
-        // the run must complete — fall back to the local swap disk.
-        ++failover_.degraded_evictions;
-        node_.stats().bump("store.degraded_disk_swap");
-        co_await evict_to_disk(id);
-        break;
-      }
-      MemRequest req;
-      req.kind = MemRequest::Kind::kSwapOut;
-      req.owner = node_.id();
-      LinePayload payload;
-      payload.line_id = id;
-      payload.accounted_bytes = l.bytes;
-
-      // Mirror on a second memory node before the primary push so a crash
-      // of either node between here and the next probe loses nothing.
-      net::NodeId backup = -1;
-      if (config_.replicate_k > 0) backup = pick_destination(l.bytes, dest);
-      if (backup >= 0) {
-        MemRequest rreq;
-        rreq.kind = MemRequest::Kind::kReplicaStore;
-        rreq.owner = node_.id();
-        LinePayload copy;
-        copy.line_id = id;
-        copy.entries = l.entries;  // deep copy; primary gets the move below
-        copy.accounted_bytes = l.bytes;
-        rreq.lines.push_back(std::move(copy));
-        node_.send_to(backup, kMemService, config_.message_block_bytes,
-                      std::move(rreq));
-        l.backup = backup;
-        replicas_by_holder_[backup].insert(id);
-        ++failover_.replicas_stored;
-        node_.stats().bump("store.replica_stores");
-      }
-
-      payload.entries = std::move(l.entries);
-      req.lines.push_back(std::move(payload));
-      l.entries.clear();
-      l.where = Where::kRemote;
-      l.holder = dest;
-      lines_by_holder_[dest].insert(id);
-      node_.stats().bump("store.remote_swap_out");
-      // One-way push, padded to a message block (§5.1); the sender only
-      // pays its protocol-stack cost.
-      node_.send_to(dest, kMemService, config_.message_block_bytes,
-                    std::move(req));
-      co_await node_.compute(node_.costs().per_message_cpu);
-      if (backup >= 0) co_await node_.compute(node_.costs().per_message_cpu);
-      break;
-    }
-  }
-}
-
-sim::Task<> HashLineStore::evict_to_disk(LineId id) {
-  // Write-behind to the contiguous swap area: sequential, and the probe
-  // that triggered the eviction waits for the write to be queued, like
-  // a dirty-page writeback under memory pressure.
-  Line& l = line(id);
-  disk_store_[id] = std::move(l.entries);
-  l.entries.clear();
-  l.where = Where::kDisk;
-  l.holder = -1;
-  node_.stats().bump("store.disk_swap_out");
-  co_await node_.swap_disk().write(
-      std::max<std::int64_t>(l.bytes, config_.message_block_bytes),
-      disk::Access::kSequential);
+  co_await backend_->swap_out(id);
 }
 
 sim::Task<> HashLineStore::fault_in(LineId id) {
+  RMS_CHECK_MSG(backend_ != nullptr, "fault under kNoLimit");
   Line& l = line(id);
-  ++pagefaults_;
+  ++*pagefaults_;
   node_.stats().bump("store.pagefaults");
   const Time started = node_.sim().now();
 
-  if (l.where == Where::kRemote) {
-    l.where = Where::kFaulting;
-    bool have_content = false;
-    while (!have_content) {
-      const net::NodeId holder = l.holder;
-      bool lost = false;
-      if (holder_suspect(holder)) {
-        lost = true;
-      } else {
-        MemRequest req;
-        req.kind = MemRequest::Kind::kSwapIn;
-        req.owner = node_.id();
-        req.line_id = id;
-        cluster::RpcResult res = co_await rpc(net::Message::make(
-            node_.id(), holder, kMemService, 32, std::move(req)));
-        if (!res.ok()) {
-          // Every deadline missed: the holder is gone. Re-home everything
-          // it held (this line is kFaulting, so the handler skips it and
-          // leaves it to us).
-          declare_dead(holder);
-          co_await handle_holder_failure(holder);
-          lost = true;
-        } else {
-          const auto& rep = res.reply->as<MemReply>();
-          co_await node_.compute(node_.costs().per_message_cpu);
-          if (rep.ok) {
-            RMS_CHECK(rep.lines.size() == 1 && rep.lines[0].line_id == id);
-            l.entries = rep.lines[0].entries;
-            lines_by_holder_[holder].erase(id);
-            drop_backup(id);
-            have_content = true;
-          } else {
-            // The holder answered but no longer has the line: it crashed
-            // and restarted in between. The node itself is fine.
-            node_.stats().bump("store.swap_in_lost");
-            lost = true;
-          }
-        }
-      }
-      if (lost) {
-        lines_by_holder_[holder].erase(id);
-        co_await recover_lost_line(id);
-        if (l.where == Where::kRemote) {
-          // Promoted to a surviving backup: retry the swap-in there.
-          l.where = Where::kFaulting;
-          continue;
-        }
-        // Orphaned: resident and empty, counted; nothing left to load.
-        const double ms = to_millis(node_.sim().now() - started);
-        node_.stats().sample("store.fault_ms", ms);
-        node_.stats().record("store.fault_ms", ms);
-        co_return;
-      }
-    }
-  } else {
-    RMS_CHECK(l.where == Where::kDisk);
-    l.where = Where::kFaulting;
-    co_await node_.swap_disk().read(
-        std::max<std::int64_t>(l.bytes, config_.message_block_bytes),
-        disk::Access::kRandom);
-    const auto it = disk_store_.find(id);
-    RMS_CHECK(it != disk_store_.end());
-    l.entries = std::move(it->second);
-    disk_store_.erase(it);
-  }
+  co_await backend_->fault_in(id);
 
-  l.where = Where::kResident;
-  l.holder = -1;
-  resident_bytes_ += l.bytes;
-  lru_push_front(id);
+  if (l.where != Where::kResident) {
+    // Normal path: the backend restored the contents and left the line
+    // pinned kFaulting; charge residency here. (A crash-recovery orphan
+    // comes back already resident and empty — nothing to charge.)
+    RMS_CHECK(l.where == Where::kFaulting);
+    make_resident(id);
+  }
   const double fault_ms = to_millis(node_.sim().now() - started);
   node_.stats().sample("store.fault_ms", fault_ms);
   node_.stats().record("store.fault_ms", fault_ms);
-}
-
-// ---------------------------------------------------------------------------
-// Remote updates
-// ---------------------------------------------------------------------------
-
-void HashLineStore::queue_update(LineId id, const mining::Itemset& itemset) {
-  Line& l = line(id);
-  const auto append = [&](net::NodeId target) {
-    UpdateBatch& batch = update_batches_[target];
-    if (batch.request.updates.empty()) {
-      batch.request.kind = MemRequest::Kind::kUpdateBatch;
-      batch.request.owner = node_.id();
-    }
-    batch.request.updates.push_back(UpdateOp{id, itemset});
-    batch.bytes += config_.update_op_bytes;
-  };
-  append(l.holder);
-  ++updates_sent_;
-  if (l.backup >= 0) {
-    // Mirror the op so the backup copy's counts track the primary's.
-    append(l.backup);
-    ++failover_.updates_mirrored;
-  }
-}
-
-sim::Task<> HashLineStore::send_update_batch(net::NodeId holder) {
-  UpdateBatch& batch = update_batches_[holder];
-  if (batch.request.updates.empty()) co_return;
-  const std::int64_t ops =
-      static_cast<std::int64_t>(batch.request.updates.size());
-  const std::int64_t bytes = batch.bytes;
-  MemRequest req = std::move(batch.request);
-  batch.request = MemRequest{};
-  batch.bytes = 0;
-  if (holder_suspect(holder)) {
-    // Nobody home; delivering would be a silent drop anyway. Count it.
-    failover_.lost_update_ops += ops;
-    node_.stats().bump("store.update_batches_dropped");
-    co_return;
-  }
-  node_.stats().bump("store.update_batches");
-  node_.send_to(holder, kMemService, bytes, std::move(req));
-  co_await node_.compute(node_.costs().per_message_cpu);
-}
-
-sim::Task<> HashLineStore::maybe_flush_batch(net::NodeId holder) {
-  if (holder >= 0 &&
-      update_batches_[holder].bytes >= config_.message_block_bytes) {
-    co_await send_update_batch(holder);
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Migration (application side)
-// ---------------------------------------------------------------------------
-
-sim::Trigger& HashLineStore::migration_trigger(LineId id) {
-  auto& slot = migration_waits_[id];
-  if (!slot) slot = std::make_unique<sim::Trigger>(node_.sim());
-  return *slot;
-}
-
-sim::Task<> HashLineStore::migrate_away(net::NodeId holder) {
-  if (holder_suspect(holder)) co_return;  // failure handling owns its lines
-  const auto it = lines_by_holder_.find(holder);
-  if (it == lines_by_holder_.end() || it->second.empty()) co_return;
-
-  // 1. Mark this node's lines as migrating FIRST; from here on probes
-  //    buffer (remote update) or wait on the line trigger (simple
-  //    swapping), so no new update can target the old holder.
-  std::vector<LineId> marked;
-  std::int64_t marked_bytes = 0;
-  for (LineId id : it->second) {
-    Line& l = line(id);
-    if (l.where == Where::kFaulting) {
-      // A swap-in is in flight for this line; it was requested before the
-      // directive will arrive (same-pair FIFO), so the holder answers the
-      // fault first and the line comes home by itself.
-      continue;
-    }
-    RMS_CHECK(l.where == Where::kRemote);
-    l.where = Where::kMigrating;
-    marked.push_back(id);
-    marked_bytes += l.bytes;
-  }
-  if (marked.empty()) co_return;
-  std::sort(marked.begin(), marked.end());
-
-  // 2. Updates already queued for the old holder must precede the directive
-  //    (same-pair FIFO keeps them ahead of it on the wire). With the lines
-  //    marked, nothing can refill this batch behind our back.
-  co_await send_update_batch(holder);
-
-  const net::NodeId dest = pick_destination(marked_bytes, holder);
-  if (dest < 0) {
-    // No live, fresh destination: leave the lines where they are; the
-    // shortage will re-trigger on a later broadcast if it persists. Updates
-    // buffered while the lines were marked still belong to the old holder.
-    node_.stats().bump("store.migration_no_destination");
-    for (LineId id : marked) line(id).where = Where::kRemote;
-    for (LineId id : marked) {
-      Line& l = line(id);
-      const auto pend = pending_updates_.find(id);
-      if (pend != pending_updates_.end()) {
-        for (const mining::Itemset& s : pend->second) {
-          --updates_sent_;  // queue_update counts it again
-          queue_update(id, s);
-        }
-        pending_updates_.erase(pend);
-        co_await maybe_flush_batch(l.holder);
-        co_await maybe_flush_batch(l.backup);
-      }
-      const auto trig = migration_waits_.find(id);
-      if (trig != migration_waits_.end()) {
-        trig->second->fire();
-        migration_waits_.erase(trig);
-      }
-    }
-    co_return;
-  }
-  MemRequest req;
-  req.kind = MemRequest::Kind::kMigrateDirective;
-  req.owner = node_.id();
-  req.migrate_dest = dest;
-  req.migrate_lines = marked;
-
-  node_.stats().bump("store.migrations_initiated");
-  cluster::RpcResult res = co_await rpc(net::Message::make(
-      node_.id(), holder, kMemService,
-      16 + 8 * static_cast<std::int64_t>(marked.size()), std::move(req)));
-
-  if (!res.ok()) {
-    // The holder itself went silent mid-directive. Put the marks back to
-    // kRemote so the failure handler re-homes every line it held; it also
-    // fires the triggers for them.
-    declare_dead(holder);
-    for (LineId id : marked) line(id).where = Where::kRemote;
-    co_await handle_holder_failure(holder);
-    co_return;
-  }
-  const auto& rep = res.reply->as<MemReply>();
-  co_await node_.compute(node_.costs().per_message_cpu);
-
-  // 3. Re-point the management table. On rep.ok every marked line moved
-  //    (probes only fault lines out of kMigrating via the trigger). With
-  //    ok=false the destination died mid-push: rep.migrated lists the lines
-  //    that were acknowledged before the push failed — those are at the
-  //    (now dead) destination; the rest stayed at the holder.
-  if (rep.ok) {
-    RMS_CHECK_MSG(rep.migrated.size() == marked.size(),
-                  "holder lost track of migrating lines");
-  }
-  std::unordered_set<LineId> moved(rep.migrated.begin(), rep.migrated.end());
-  auto& old_set = lines_by_holder_[holder];
-  auto& new_set = lines_by_holder_[dest];
-  for (LineId id : marked) {
-    Line& l = line(id);
-    RMS_CHECK(l.where == Where::kMigrating);
-    l.where = Where::kRemote;
-    if (moved.count(id)) {
-      l.holder = dest;
-      old_set.erase(id);
-      new_set.insert(id);
-    }
-  }
-  lines_migrated_ += static_cast<std::int64_t>(moved.size());
-
-  if (!rep.ok) {
-    // Recover the lines stranded at the dead destination (promote backups
-    // or orphan); their triggers fire inside the handler.
-    co_await handle_holder_failure(dest);
-  }
-
-  // 4. Flush updates buffered while the lines were in flight, then wake any
-  //    probe blocked on a migrating line. Lines the failure handler already
-  //    settled (promoted or orphaned) had their pending updates flushed or
-  //    dropped there.
-  for (LineId id : marked) {
-    Line& l = line(id);
-    if (l.where == Where::kRemote) {
-      const auto pend = pending_updates_.find(id);
-      if (pend != pending_updates_.end()) {
-        for (const mining::Itemset& s : pend->second) {
-          --updates_sent_;  // queue_update will count it again
-          queue_update(id, s);
-        }
-        pending_updates_.erase(pend);
-        co_await maybe_flush_batch(l.holder);
-        co_await maybe_flush_batch(l.backup);
-      }
-    }
-    const auto trig = migration_waits_.find(id);
-    if (trig != migration_waits_.end()) {
-      trig->second->fire();
-      migration_waits_.erase(trig);
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Failure handling (application side)
-// ---------------------------------------------------------------------------
-
-sim::Task<> HashLineStore::handle_holder_failure(net::NodeId dead) {
-  declare_dead(dead);
-
-  // Queued one-way updates towards the dead node would be silent drops.
-  {
-    const auto it = update_batches_.find(dead);
-    if (it != update_batches_.end() && !it->second.request.updates.empty()) {
-      failover_.lost_update_ops +=
-          static_cast<std::int64_t>(it->second.request.updates.size());
-      node_.stats().bump("store.update_batches_dropped");
-      it->second.request = MemRequest{};
-      it->second.bytes = 0;
-    }
-  }
-
-  // Backup copies stored at the dead node died with it.
-  {
-    const auto it = replicas_by_holder_.find(dead);
-    if (it != replicas_by_holder_.end()) {
-      for (LineId id : it->second) {
-        Line& l = line(id);
-        if (l.backup == dead) l.backup = -1;
-      }
-      it->second.clear();
-    }
-  }
-
-  // Snapshot the primaries this store had at the dead node. Lines already
-  // kFaulting or kMigrating are owned by the coroutine that marked them
-  // (fault_in / collect / migrate_away) and recover there; kMigrating keeps
-  // probes parked on the trigger while we re-home.
-  std::vector<LineId> victims;
-  {
-    const auto held = lines_by_holder_.find(dead);
-    if (held != lines_by_holder_.end()) {
-      for (LineId id : held->second) {
-        if (line(id).where == Where::kRemote) victims.push_back(id);
-      }
-      for (LineId id : victims) held->second.erase(id);
-    }
-  }
-  std::sort(victims.begin(), victims.end());
-  for (LineId id : victims) line(id).where = Where::kMigrating;
-
-  for (LineId id : victims) {
-    co_await recover_lost_line(id);
-    Line& l = line(id);
-    if (l.where == Where::kRemote) {
-      // Promoted: flush updates buffered while the line was dark.
-      const auto pend = pending_updates_.find(id);
-      if (pend != pending_updates_.end()) {
-        for (const mining::Itemset& s : pend->second) {
-          --updates_sent_;  // queue_update counts it again
-          queue_update(id, s);
-        }
-        pending_updates_.erase(pend);
-        co_await maybe_flush_batch(l.holder);
-      }
-    }
-  }
-
-  for (LineId id : victims) {
-    const auto trig = migration_waits_.find(id);
-    if (trig != migration_waits_.end()) {
-      trig->second->fire();
-      migration_waits_.erase(trig);
-    }
-  }
 }
 
 }  // namespace rms::core

@@ -1,50 +1,50 @@
 // HashLineStore: the memory-limited candidate-itemset store on an
 // application execution node — the heart of the paper's contribution.
 //
-// It keeps the node's share of the distributed hash-line table under a
-// configurable memory-usage limit (the paper's 12–15 MB sweeps). Accounted
-// memory is 24 bytes per candidate itemset. When an insert or swap-in pushes
-// residency over the limit, LRU-selected hash lines are evicted through the
-// active SwapPolicy:
+// The store is the paper-visible *residency core*: it keeps the node's share
+// of the distributed hash-line table under a configurable memory-usage limit
+// (the paper's 12–15 MB sweeps, 24 accounted bytes per candidate itemset),
+// selects victims (LRU per §4.3, FIFO/Random for the ablation bench), runs
+// the build/count phase machine, and drives the per-line location state
+// machine (kResident / kRemote / kDisk / kFaulting / kMigrating).
 //
-//   kDiskSwap      — line written to the local swap disk; a later probe
-//                    faults it back in (>= 13 ms on the 7,200 rpm model).
-//   kRemoteSwap    — line pushed to a memory-available node chosen from the
-//                    AvailabilityTable; a probe faults it back (~2.3 ms).
-//   kRemoteUpdate  — during the counting phase an evicted line stays fixed
-//                    remotely and probes become one-way, batched update
-//                    messages (§4.4) — no fault round-trips, no thrashing.
+// *Where* an evicted line goes and how it comes back is delegated to a
+// pluggable SwapBackend (core/swap_backend.hpp), selected from the policy:
 //
-// The store also owns the application side of migration (§4.2): when the
-// availability client reports a holder short of memory, `migrate_away`
-// flushes pending traffic, directs the holder to push this node's lines to a
-// fresh destination, and re-points the memory-management table on completion.
+//   kDiskSwap      — DiskBackend: line written to the local swap disk; a
+//                    later probe faults it back (>= 13 ms, 7,200 rpm model).
+//   kRemoteSwap    — RemoteBackend: line pushed to a memory-available node
+//                    chosen from the AvailabilityTable; a probe faults it
+//                    back (~2.3 ms).
+//   kRemoteUpdate  — RemoteBackend in update mode: during the counting phase
+//                    an evicted line stays fixed remotely and probes become
+//                    one-way, batched update messages (§4.4).
+//   kTiered        — TieredBackend: remote-first under a byte budget, then
+//                    per-line spill to the local disk.
+//
+// The remote backend also owns the application side of migration (§4.2) and
+// of failure tolerance: deadline-bounded RPCs through cluster::RpcClient,
+// replica promotion / orphan recovery, and degradation to the disk path when
+// no live destination qualifies, so a run always completes. The store keeps
+// the paper-visible accounting (FailoverStats, pagefault/swap counters) and
+// exposes a small mutation surface (line table, residency transitions,
+// migration triggers) that backends drive.
 //
 // Threading discipline: one logical mutator (the HPA build/count process)
 // plus the availability client calling `migrate_away` and the failure
 // detector calling `handle_holder_failure`; the line-state machine
 // (kFaulting / kMigrating) makes that interleaving safe.
-//
-// Failure tolerance (robustness extension): every synchronous memory-service
-// RPC carries a deadline and bounded retries with exponential backoff. A
-// holder that misses every deadline is declared dead; its lines are
-// recovered from backup copies (replicate_k = 1 mirrors each swapped-out
-// line on a second memory node) or, without a replica, restart empty
-// ("orphaned" — counted as count loss). Evictions that find no live
-// destination degrade to the local disk-swap path, so a run always
-// completes.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <optional>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "cluster/cluster.hpp"
 #include "common/rng.hpp"
+#include "common/stats.hpp"
 #include "core/availability.hpp"
 #include "core/failover.hpp"
 #include "core/policy.hpp"
@@ -54,6 +54,8 @@
 #include "sim/task.hpp"
 
 namespace rms::core {
+
+class SwapBackend;
 
 class HashLineStore {
  public:
@@ -72,6 +74,12 @@ class HashLineStore {
     /// memory servers to drop entries below this support count before
     /// shipping lines home (extension; 0 = fetch everything).
     std::uint32_t fetch_filter_min_count = 0;
+    /// kTiered only: byte budget for primary copies parked in remote
+    /// memory; evictions that would exceed it spill to the local disk
+    /// instead. -1 = unlimited (degenerates to kRemoteSwap). Replica
+    /// copies are not counted — the budget bounds the primary working
+    /// set the remote tier absorbs.
+    std::int64_t tiered_remote_budget_bytes = -1;
     // ---- failover (crash-tolerant swapping) ----
     /// Mirror each swapped-out line on this many additional memory nodes
     /// (0 or 1). With 1, counts survive any single memory-node crash.
@@ -89,7 +97,28 @@ class HashLineStore {
   /// "to the itemsets counting phase" only (§4.4).
   enum class Phase { kBuild, kCount };
 
+  /// Location state machine, driven by the store and its backend together.
+  enum class Where : std::uint8_t {
+    kResident,
+    kRemote,
+    kDisk,
+    kFaulting,   // synchronous swap-in in flight
+    kMigrating,  // holder executing a migration directive
+  };
+
+  struct Line {
+    mining::HashLine entries;  // meaningful only when resident
+    Where where = Where::kResident;
+    net::NodeId holder = -1;
+    net::NodeId backup = -1;  // replica holder while remote (replicate_k)
+    std::int64_t bytes = 0;  // accounted bytes, kept while away
+    std::int32_t lru_prev = -1;
+    std::int32_t lru_next = -1;
+    std::int32_t vec_pos = -1;  // index into resident_vec_
+  };
+
   HashLineStore(cluster::Node& node, Config config, AvailabilityTable* avail);
+  ~HashLineStore();  // out of line: SwapBackend is incomplete here
 
   HashLineStore(const HashLineStore&) = delete;
   HashLineStore& operator=(const HashLineStore&) = delete;
@@ -101,7 +130,7 @@ class HashLineStore {
   sim::Task<> insert(LineId line, const mining::Itemset& itemset);
 
   /// Support-count probe (count phase). Resident lines are probed in place;
-  /// non-resident lines fault or emit a remote update per the policy.
+  /// non-resident lines fault or emit a remote update per the backend.
   sim::Task<> probe(LineId line, const mining::Itemset& itemset);
 
   /// Read query: number of entries in `line` whose first item equals `key`
@@ -133,16 +162,25 @@ class HashLineStore {
   std::int64_t resident_bytes() const { return resident_bytes_; }
   std::int64_t total_bytes() const { return total_bytes_; }
   std::size_t size() const { return size_; }
-  std::int64_t pagefaults() const { return pagefaults_; }
-  std::int64_t swap_outs() const { return swap_outs_; }
-  std::int64_t updates_sent() const { return updates_sent_; }
-  std::int64_t lines_migrated() const { return lines_migrated_; }
+  std::int64_t pagefaults() const { return *pagefaults_; }
+  std::int64_t swap_outs() const { return *swap_outs_; }
+  std::int64_t updates_sent() const {
+    return stats_.counter("store.updates_sent");
+  }
+  std::int64_t lines_migrated() const {
+    return stats_.counter("store.lines_migrated");
+  }
   std::size_t lines_at(net::NodeId holder) const;
   std::size_t replicas_at(net::NodeId holder) const;
   const FailoverStats& failover() const { return failover_; }
+  /// Store-owned registry: the residency core's counters ("store.*") plus
+  /// the active backend's ("backend.<name>.*"), rendered uniformly by
+  /// hpa::print_report and the benches.
+  const StatsRegistry& stats() const { return stats_; }
 
   /// Debug helper: verify the internal invariants (LRU list <-> residency
-  /// vector consistency, byte accounting, location bookkeeping). Aborts on
+  /// vector consistency, byte accounting, location bookkeeping — including
+  /// the backend's replica/holder maps and batch accounting). Aborts on
   /// violation; O(num_lines). Property tests call this between operations.
   void check_invariants() const;
   /// Accounted bytes of one line (kept while the line is swapped out).
@@ -152,36 +190,34 @@ class HashLineStore {
   }
   const Config& config() const { return config_; }
 
- private:
-  enum class Where : std::uint8_t {
-    kResident,
-    kRemote,
-    kDisk,
-    kFaulting,   // synchronous swap-in in flight
-    kMigrating,  // holder executing a migration directive
-  };
-
-  struct Line {
-    mining::HashLine entries;  // meaningful only when resident
-    Where where = Where::kResident;
-    net::NodeId holder = -1;
-    net::NodeId backup = -1;  // replica holder while remote (replicate_k)
-    std::int64_t bytes = 0;  // accounted bytes, kept while away
-    std::int32_t lru_prev = -1;
-    std::int32_t lru_next = -1;
-    std::int32_t vec_pos = -1;  // index into resident_vec_
-  };
-
-  struct UpdateBatch {
-    MemRequest request;
-    std::int64_t bytes = 0;
-  };
-
+  // ---- Backend mutation surface ----
+  // SwapBackends move line contents and drive location transitions through
+  // these; the store keeps the byte accounting and the LRU consistent.
+  cluster::Node& node() { return node_; }
+  AvailabilityTable* availability() { return avail_; }
   Line& line(LineId id) {
     RMS_CHECK(id >= 0 && static_cast<std::size_t>(id) < lines_.size());
     return lines_[static_cast<std::size_t>(id)];
   }
+  const Line& line(LineId id) const {
+    RMS_CHECK(id >= 0 && static_cast<std::size_t>(id) < lines_.size());
+    return lines_[static_cast<std::size_t>(id)];
+  }
+  std::size_t num_lines() const { return lines_.size(); }
+  /// A line whose contents are back in `entries`: charge residency and link
+  /// it into the LRU (empty lines stay out of the list).
+  void make_resident(LineId id);
+  /// The line's only copy is gone: count the loss and restart it empty.
+  /// The caller settles the location state; the line stays out of the LRU.
+  void orphan_accounting(LineId id);
+  /// Probes blocked on a migrating line park on this per-line trigger.
+  sim::Trigger& migration_trigger(LineId id);
+  /// Wake every probe parked on `id` (no-op when nobody waits).
+  void fire_migration_trigger(LineId id);
+  FailoverStats& failover_mut() { return failover_; }
+  StatsRegistry& stats_mut() { return stats_; }
 
+ private:
   // Residency list over non-empty resident lines. Under LRU the head is
   // the most recently used line; under FIFO insertion order is kept
   // (touch is a no-op); Random samples the side vector.
@@ -196,35 +232,12 @@ class HashLineStore {
            resident_bytes_ > config_.memory_limit_bytes;
   }
 
-  /// Evict LRU lines (never `pinned`) until within the limit.
+  /// Evict victim lines (never `pinned`) until within the limit.
   sim::Task<> enforce_limit(LineId pinned);
+  /// Unlink a victim from residency and hand it to the backend.
   sim::Task<> evict(LineId id);
-  sim::Task<> evict_to_disk(LineId id);
+  /// Pagefault accounting around SwapBackend::fault_in.
   sim::Task<> fault_in(LineId id);
-  void queue_update(LineId id, const mining::Itemset& itemset);
-  sim::Task<> send_update_batch(net::NodeId holder);
-  sim::Task<> maybe_flush_batch(net::NodeId holder);
-  /// -1 when no live, fresh node has room (callers degrade).
-  net::NodeId pick_destination(std::int64_t bytes, net::NodeId exclude = -1);
-  sim::Trigger& migration_trigger(LineId id);
-
-  // ---- failover machinery ----
-  /// Deadline + retry wrapper around Node::request_with_deadline that also
-  /// accumulates FailoverStats.
-  sim::Task<cluster::RpcResult> rpc(net::Message msg);
-  /// First-time suspicion bookkeeping (table mark + counters). Idempotent.
-  void declare_dead(net::NodeId holder);
-  /// True while `holder` is suspected; fresh heartbeats in the availability
-  /// table (crash + restart) clear the local suspicion lazily.
-  bool holder_suspect(net::NodeId holder);
-  /// The line's only copy is gone: restart it empty and count the loss.
-  void orphan_line(LineId id);
-  /// Stop tracking (and drop) the backup copy of a line that came home.
-  void drop_backup(LineId id);
-  /// The primary copy of `id` is lost (holder dead or wiped): promote the
-  /// backup if one survives (line becomes kRemote at the backup) or orphan
-  /// (line becomes resident and empty). Caller owns the line's state.
-  sim::Task<> recover_lost_line(LineId id);
 
   cluster::Node& node_;
   Config config_;
@@ -241,21 +254,15 @@ class HashLineStore {
   std::int64_t total_bytes_ = 0;
   std::size_t size_ = 0;
 
-  // Location bookkeeping for migration and collection.
-  std::unordered_map<net::NodeId, std::unordered_set<LineId>> lines_by_holder_;
-  std::unordered_map<net::NodeId, std::unordered_set<LineId>>
-      replicas_by_holder_;
-  std::unordered_set<net::NodeId> suspected_;
-  std::unordered_map<LineId, mining::HashLine> disk_store_;
-  std::unordered_map<net::NodeId, UpdateBatch> update_batches_;
-  std::unordered_map<LineId, std::vector<mining::Itemset>> pending_updates_;
   std::unordered_map<LineId, std::unique_ptr<sim::Trigger>> migration_waits_;
 
-  std::int64_t pagefaults_ = 0;
-  std::int64_t swap_outs_ = 0;
-  std::int64_t updates_sent_ = 0;
-  std::int64_t lines_migrated_ = 0;
+  StatsRegistry stats_;
+  std::int64_t* pagefaults_ = nullptr;  // &stats_.slot("store.pagefaults")
+  std::int64_t* swap_outs_ = nullptr;   // &stats_.slot("store.swap_outs")
   FailoverStats failover_;
+
+  // Constructed last (reads config/avail/stats through the accessors).
+  std::unique_ptr<SwapBackend> backend_;
 };
 
 }  // namespace rms::core

@@ -5,7 +5,10 @@
 namespace rms::core {
 
 MemoryServer::MemoryServer(cluster::Node& node, Config config)
-    : node_(node), config_(config) {
+    : node_(node),
+      config_(config),
+      migrate_rpc_(node, cluster::RpcOptions{config.migrate_push_deadline,
+                                             config.migrate_push_retries}) {
   // Crash-stop loses everything in RAM. The hook runs synchronously inside
   // Node::crash(); the serve loop itself stays suspended and abandons any
   // in-flight handler through the epoch check.
@@ -297,6 +300,16 @@ sim::Task<> MemoryServer::handle(net::Message msg, std::uint64_t epoch) {
       }
       break;
     }
+
+    case MemRequest::Kind::kPing: {
+      // Liveness probe: a failure detector confirming a heartbeat-based
+      // suspicion before re-homing lines. Answer as fast as possible.
+      co_await node_.compute(costs.per_message_cpu);
+      if (abandoned()) co_return;
+      node_.stats().bump("server.pings");
+      node_.reply(msg, 16, MemReply{});
+      break;
+    }
   }
 }
 
@@ -327,9 +340,7 @@ sim::Task<> MemoryServer::handle_migrate_directive(const net::Message& msg,
     net::Message data = net::Message::make(
         node_.id(), req.migrate_dest, kMemService,
         std::max<std::int64_t>(block_bytes, 64), block);
-    const cluster::RpcResult res = co_await node_.request_with_deadline(
-        std::move(data), config_.migrate_push_deadline,
-        config_.migrate_push_retries);
+    const cluster::RpcResult res = co_await migrate_rpc_.call(std::move(data));
     if (node_.epoch() != epoch) co_return;  // we crashed mid-push
     if (res.ok()) {
       done.migrated.insert(done.migrated.end(), in_flight.begin(),

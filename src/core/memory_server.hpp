@@ -25,6 +25,7 @@
 #include <unordered_map>
 
 #include "cluster/cluster.hpp"
+#include "cluster/rpc_client.hpp"
 #include "core/protocol.hpp"
 #include "sim/process.hpp"
 #include "sim/task.hpp"
@@ -76,6 +77,8 @@ class MemoryServer {
 
   cluster::Node& node_;
   Config config_;
+  /// Deadline/retry policy for server-to-server migration data pushes.
+  cluster::RpcClient migrate_rpc_;
   std::unordered_map<net::NodeId, OwnerLines> store_;
   std::unordered_map<net::NodeId, OwnerLines> replicas_;
   std::size_t stored_lines_ = 0;

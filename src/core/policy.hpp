@@ -19,6 +19,13 @@ enum class SwapPolicy {
   /// once a line is swapped out it is *fixed* on the remote node during the
   /// counting phase and accessed via one-way update messages.
   kRemoteUpdate,
+  /// Tiered placement (extension): evicted lines go to remote memory first
+  /// (simple-swapping semantics) until the per-store remote budget
+  /// (`Config::tiered_remote_budget_bytes`) is full, then spill per line to
+  /// the local disk. With an unlimited budget this is exactly kRemoteSwap —
+  /// the budget formalizes the failover path's ad-hoc degrade-to-disk as a
+  /// first-class composition of the remote and disk backends.
+  kTiered,
 };
 
 inline const char* to_string(SwapPolicy p) {
@@ -27,12 +34,14 @@ inline const char* to_string(SwapPolicy p) {
     case SwapPolicy::kDiskSwap: return "disk-swap";
     case SwapPolicy::kRemoteSwap: return "remote-swap";
     case SwapPolicy::kRemoteUpdate: return "remote-update";
+    case SwapPolicy::kTiered: return "tiered";
   }
   return "?";
 }
 
 inline bool uses_remote_memory(SwapPolicy p) {
-  return p == SwapPolicy::kRemoteSwap || p == SwapPolicy::kRemoteUpdate;
+  return p == SwapPolicy::kRemoteSwap || p == SwapPolicy::kRemoteUpdate ||
+         p == SwapPolicy::kTiered;
 }
 
 /// Victim selection for over-limit eviction. The paper uses LRU ("the hash

@@ -50,6 +50,7 @@ struct MemRequest {
     kReplicaStore,      // one-way: keep lines[] as backup copies
     kReplicaPromote,    // rpc: promote replicas migrate_lines[] to primaries
     kReplicaDrop,       // one-way: drop replica line_id (-1: all of owner)
+    kPing,              // rpc: liveness probe (failure-detector confirmation)
   };
 
   Kind kind = Kind::kSwapOut;

@@ -1,0 +1,703 @@
+#include "core/remote_backend.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace rms::core {
+
+namespace {
+std::string ns_key(const char* ns, const char* leaf) {
+  return std::string("backend.") + ns + "." + leaf;
+}
+}  // namespace
+
+RemoteBackend::RemoteBackend(HashLineStore& store, Options options,
+                             const char* stat_ns)
+    : SwapBackend(store),
+      node_(store.node()),
+      update_mode_(options.update_mode),
+      name_(stat_ns),
+      avail_(store.availability()),
+      rpc_(store.node(), cluster::RpcOptions{store.config().rpc_deadline,
+                                             store.config().rpc_max_retries}),
+      fallback_(std::make_unique<DiskBackend>(store)),
+      updates_sent_(&store.stats_mut().slot("store.updates_sent")),
+      lines_migrated_(&store.stats_mut().slot("store.lines_migrated")),
+      swap_outs_(&store.stats_mut().slot(ns_key(stat_ns, "swap_outs"))),
+      faults_(&store.stats_mut().slot(ns_key(stat_ns, "faults"))),
+      degraded_(&store.stats_mut().slot(ns_key(stat_ns, "degraded_to_disk"))) {
+  RMS_CHECK_MSG(avail_ != nullptr,
+                "remote backends need an AvailabilityTable");
+  // In-band timeout verdicts: a peer that exhausts every attempt is marked
+  // suspect the moment the last deadline expires, before the failed call
+  // even returns to its caller.
+  rpc_.set_on_failure([this](net::NodeId peer) { declare_dead(peer); });
+}
+
+std::size_t RemoteBackend::lines_at(net::NodeId holder) const {
+  const auto it = lines_by_holder_.find(holder);
+  return it == lines_by_holder_.end() ? 0 : it->second.size();
+}
+
+std::size_t RemoteBackend::replicas_at(net::NodeId holder) const {
+  const auto it = replicas_by_holder_.find(holder);
+  return it == replicas_by_holder_.end() ? 0 : it->second.size();
+}
+
+void RemoteBackend::hold_insert(net::NodeId holder, LineId id) {
+  if (lines_by_holder_[holder].insert(id).second) {
+    remote_bytes_ += store_.line(id).bytes;
+  }
+}
+
+void RemoteBackend::hold_erase(net::NodeId holder, LineId id) {
+  const auto it = lines_by_holder_.find(holder);
+  if (it != lines_by_holder_.end() && it->second.erase(id) > 0) {
+    remote_bytes_ -= store_.line(id).bytes;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Failover machinery
+// ---------------------------------------------------------------------------
+
+sim::Task<cluster::RpcResult> RemoteBackend::rpc(net::Message msg) {
+  cluster::RpcResult res = co_await rpc_.call(std::move(msg));
+  failover().rpc_retries += res.attempts - 1;
+  // Every attempt but a successful last one expired its deadline.
+  failover().deadline_misses += res.ok() ? res.attempts - 1 : res.attempts;
+  co_return res;
+}
+
+void RemoteBackend::declare_dead(net::NodeId holder) {
+  if (!suspected_.insert(holder).second) return;
+  ++failover().suspicions;
+  node_.stats().bump("store.suspicions");
+  if (avail_ != nullptr && !avail_->dead(holder)) avail_->mark_dead(holder);
+}
+
+bool RemoteBackend::holder_suspect(net::NodeId holder) {
+  if (suspected_.count(holder) == 0) return false;
+  if (avail_ != nullptr && !avail_->dead(holder)) {
+    // The availability table accepted a newer heartbeat: the node restarted
+    // (its store wiped — our lines there were already re-homed). Forgive.
+    suspected_.erase(holder);
+    return false;
+  }
+  return true;
+}
+
+void RemoteBackend::orphan_line(LineId id) {
+  store_.orphan_accounting(id);
+  const auto pend = pending_updates_.find(id);
+  if (pend != pending_updates_.end()) {
+    failover().lost_update_ops +=
+        static_cast<std::int64_t>(pend->second.size());
+    pending_updates_.erase(pend);
+  }
+}
+
+void RemoteBackend::drop_backup(LineId id) {
+  auto& l = store_.line(id);
+  if (l.backup < 0) return;
+  replicas_by_holder_[l.backup].erase(id);
+  if (!holder_suspect(l.backup)) {
+    MemRequest req;
+    req.kind = MemRequest::Kind::kReplicaDrop;
+    req.owner = node_.id();
+    req.line_id = id;
+    node_.send_to(l.backup, kMemService, 16, std::move(req));
+  }
+  l.backup = -1;
+}
+
+sim::Task<> RemoteBackend::recover_lost_line(LineId id) {
+  auto& l = store_.line(id);
+  if (l.backup >= 0) {
+    const net::NodeId backup = l.backup;
+    replicas_by_holder_[backup].erase(id);
+    l.backup = -1;
+    if (!holder_suspect(backup)) {
+      MemRequest req;
+      req.kind = MemRequest::Kind::kReplicaPromote;
+      req.owner = node_.id();
+      req.migrate_lines.push_back(id);
+      cluster::RpcResult res = co_await rpc(net::Message::make(
+          node_.id(), backup, kMemService, 24, std::move(req)));
+      if (res.ok()) {
+        const auto& rep = res.reply->as<MemReply>();
+        co_await node_.compute(node_.costs().per_message_cpu);
+        if (rep.ok) {
+          l.where = Where::kRemote;
+          l.holder = backup;
+          hold_insert(backup, id);
+          ++failover().promoted_lines;
+          node_.stats().bump("store.replica_promotions");
+          co_return;
+        }
+        // The backup restarted and lost the replica too: fall through.
+      }
+      // On total failure the RpcClient callback already declared it dead.
+    }
+  }
+  l.where = Where::kResident;
+  orphan_line(id);  // resident and empty; stays out of the LRU
+}
+
+// ---------------------------------------------------------------------------
+// Swap-out and fault-in
+// ---------------------------------------------------------------------------
+
+net::NodeId RemoteBackend::pick_destination(std::int64_t bytes,
+                                            net::NodeId exclude) {
+  RMS_CHECK(avail_ != nullptr);
+  const auto dest = avail_->choose_destination(
+      bytes + store_.config().destination_headroom_bytes, exclude,
+      node_.sim().now());
+  if (!dest.has_value()) return -1;
+  avail_->debit(*dest, bytes);
+  return *dest;
+}
+
+sim::Task<> RemoteBackend::swap_out(LineId id) {
+  auto& l = store_.line(id);
+  const net::NodeId dest = pick_destination(l.bytes);
+  if (dest < 0) {
+    // Graceful degradation: no live, fresh memory node has room, but the
+    // run must complete — fall back to the local swap disk.
+    ++failover().degraded_evictions;
+    ++*degraded_;
+    node_.stats().bump("store.degraded_disk_swap");
+    co_await fallback_->swap_out(id);
+    co_return;
+  }
+  MemRequest req;
+  req.kind = MemRequest::Kind::kSwapOut;
+  req.owner = node_.id();
+  LinePayload payload;
+  payload.line_id = id;
+  payload.accounted_bytes = l.bytes;
+
+  // Mirror on a second memory node before the primary push so a crash of
+  // either node between here and the next probe loses nothing.
+  net::NodeId backup = -1;
+  if (store_.config().replicate_k > 0) backup = pick_destination(l.bytes, dest);
+  if (backup >= 0) {
+    MemRequest rreq;
+    rreq.kind = MemRequest::Kind::kReplicaStore;
+    rreq.owner = node_.id();
+    LinePayload copy;
+    copy.line_id = id;
+    copy.entries = l.entries;  // deep copy; primary gets the move below
+    copy.accounted_bytes = l.bytes;
+    rreq.lines.push_back(std::move(copy));
+    node_.send_to(backup, kMemService, store_.config().message_block_bytes,
+                  std::move(rreq));
+    l.backup = backup;
+    replicas_by_holder_[backup].insert(id);
+    ++failover().replicas_stored;
+    node_.stats().bump("store.replica_stores");
+  }
+
+  payload.entries = std::move(l.entries);
+  req.lines.push_back(std::move(payload));
+  l.entries.clear();
+  l.where = Where::kRemote;
+  l.holder = dest;
+  hold_insert(dest, id);
+  ++*swap_outs_;
+  node_.stats().bump("store.remote_swap_out");
+  // One-way push, padded to a message block (§5.1); the sender only pays
+  // its protocol-stack cost.
+  node_.send_to(dest, kMemService, store_.config().message_block_bytes,
+                std::move(req));
+  co_await node_.compute(node_.costs().per_message_cpu);
+  if (backup >= 0) co_await node_.compute(node_.costs().per_message_cpu);
+}
+
+sim::Task<> RemoteBackend::fault_in(LineId id) {
+  auto& l = store_.line(id);
+  if (l.where == Where::kDisk) {
+    // A line the degrade (or tiered-spill) path parked locally.
+    co_await fallback_->fault_in(id);
+    co_return;
+  }
+  RMS_CHECK(l.where == Where::kRemote);
+  ++*faults_;
+  l.where = Where::kFaulting;
+  bool have_content = false;
+  while (!have_content) {
+    const net::NodeId holder = l.holder;
+    bool lost = false;
+    if (holder_suspect(holder)) {
+      lost = true;
+    } else {
+      MemRequest req;
+      req.kind = MemRequest::Kind::kSwapIn;
+      req.owner = node_.id();
+      req.line_id = id;
+      cluster::RpcResult res = co_await rpc(net::Message::make(
+          node_.id(), holder, kMemService, 32, std::move(req)));
+      if (!res.ok()) {
+        // Every deadline missed: the holder is gone (the RpcClient callback
+        // marked it suspect as the last deadline expired). Re-home
+        // everything it held — this line is kFaulting, so the handler skips
+        // it and leaves it to us.
+        co_await on_holder_failure(holder);
+        lost = true;
+      } else {
+        const auto& rep = res.reply->as<MemReply>();
+        co_await node_.compute(node_.costs().per_message_cpu);
+        if (rep.ok) {
+          RMS_CHECK(rep.lines.size() == 1 && rep.lines[0].line_id == id);
+          l.entries = rep.lines[0].entries;
+          hold_erase(holder, id);
+          drop_backup(id);
+          have_content = true;
+        } else {
+          // The holder answered but no longer has the line: it crashed and
+          // restarted in between. The node itself is fine.
+          node_.stats().bump("store.swap_in_lost");
+          lost = true;
+        }
+      }
+    }
+    if (lost) {
+      hold_erase(holder, id);
+      co_await recover_lost_line(id);
+      if (l.where == Where::kRemote) {
+        // Promoted to a surviving backup: retry the swap-in there.
+        l.where = Where::kFaulting;
+        continue;
+      }
+      // Orphaned: resident and empty, counted; nothing left to load.
+      co_return;
+    }
+  }
+  // Still kFaulting with contents restored; the store finishes residency.
+}
+
+// ---------------------------------------------------------------------------
+// Remote updates
+// ---------------------------------------------------------------------------
+
+sim::Task<bool> RemoteBackend::update(LineId id,
+                                      const mining::Itemset& itemset) {
+  auto& l = store_.line(id);
+  if (!update_mode_ || l.where != Where::kRemote) co_return false;
+  queue_update(id, itemset);
+  co_await maybe_flush_batch(l.holder);
+  co_await maybe_flush_batch(l.backup);
+  co_return true;
+}
+
+bool RemoteBackend::buffer_migrating_update(LineId id,
+                                            const mining::Itemset& itemset) {
+  if (!update_mode_) return false;
+  pending_updates_[id].push_back(itemset);
+  ++*updates_sent_;  // counted as an update operation (it becomes one)
+  return true;
+}
+
+void RemoteBackend::queue_update(LineId id, const mining::Itemset& itemset) {
+  auto& l = store_.line(id);
+  const auto append = [&](net::NodeId target) {
+    UpdateBatch& batch = update_batches_[target];
+    if (batch.request.updates.empty()) {
+      batch.request.kind = MemRequest::Kind::kUpdateBatch;
+      batch.request.owner = node_.id();
+    }
+    batch.request.updates.push_back(UpdateOp{id, itemset});
+    batch.bytes += store_.config().update_op_bytes;
+  };
+  append(l.holder);
+  ++*updates_sent_;
+  if (l.backup >= 0) {
+    // Mirror the op so the backup copy's counts track the primary's.
+    append(l.backup);
+    ++failover().updates_mirrored;
+  }
+}
+
+sim::Task<> RemoteBackend::send_update_batch(net::NodeId holder) {
+  UpdateBatch& batch = update_batches_[holder];
+  if (batch.request.updates.empty()) co_return;
+  const std::int64_t ops =
+      static_cast<std::int64_t>(batch.request.updates.size());
+  const std::int64_t bytes = batch.bytes;
+  MemRequest req = std::move(batch.request);
+  batch.request = MemRequest{};
+  batch.bytes = 0;
+  if (holder_suspect(holder)) {
+    // Nobody home; delivering would be a silent drop anyway. Count it.
+    failover().lost_update_ops += ops;
+    node_.stats().bump("store.update_batches_dropped");
+    co_return;
+  }
+  node_.stats().bump("store.update_batches");
+  node_.send_to(holder, kMemService, bytes, std::move(req));
+  co_await node_.compute(node_.costs().per_message_cpu);
+}
+
+sim::Task<> RemoteBackend::maybe_flush_batch(net::NodeId holder) {
+  if (holder >= 0 &&
+      update_batches_[holder].bytes >= store_.config().message_block_bytes) {
+    co_await send_update_batch(holder);
+  }
+}
+
+sim::Task<> RemoteBackend::flush_updates() {
+  // Collect holders first: sending mutates the map.
+  std::vector<net::NodeId> holders;
+  for (const auto& [holder, batch] : update_batches_) {
+    if (!batch.request.updates.empty()) holders.push_back(holder);
+  }
+  std::sort(holders.begin(), holders.end());
+  for (net::NodeId h : holders) co_await send_update_batch(h);
+}
+
+// ---------------------------------------------------------------------------
+// End-of-pass collection
+// ---------------------------------------------------------------------------
+
+sim::Task<bool> RemoteBackend::collect_fetch() {
+  std::vector<net::NodeId> holders;
+  for (const auto& [holder, ids] : lines_by_holder_) {
+    if (!ids.empty()) holders.push_back(holder);
+  }
+  if (holders.empty()) co_return false;
+  std::sort(holders.begin(), holders.end());
+  for (net::NodeId holder : holders) {
+    auto& held = lines_by_holder_[holder];
+    if (held.empty()) continue;
+    // Snapshot and pin: kFaulting keeps the concurrent failure handler off
+    // these lines — whatever happens, this loop re-homes them.
+    std::vector<LineId> ids(held.begin(), held.end());
+    std::sort(ids.begin(), ids.end());
+    for (LineId id : ids) {
+      RMS_CHECK(store_.line(id).where == Where::kRemote);
+      store_.line(id).where = Where::kFaulting;
+    }
+    for (LineId id : ids) hold_erase(holder, id);
+
+    std::unordered_set<LineId> got;
+    if (!holder_suspect(holder)) {
+      MemRequest req;
+      req.kind = MemRequest::Kind::kFetch;
+      req.owner = node_.id();
+      req.fetch_min_count = store_.config().fetch_filter_min_count;
+      cluster::RpcResult res = co_await rpc(net::Message::make(
+          node_.id(), holder, kMemService, 32, std::move(req)));
+      if (res.ok()) {
+        const auto& rep = res.reply->as<MemReply>();
+        co_await node_.compute(node_.costs().per_message_cpu);
+        for (const LinePayload& payload : rep.lines) {
+          auto& l = store_.line(payload.line_id);
+          if (l.where != Where::kFaulting || l.holder != holder) {
+            // A stale primary from a false suspicion handled earlier; the
+            // authoritative copy lives elsewhere.
+            node_.stats().bump("store.stale_fetch_lines");
+            continue;
+          }
+          l.entries = payload.entries;
+          store_.make_resident(payload.line_id);
+          drop_backup(payload.line_id);
+          got.insert(payload.line_id);
+        }
+      } else {
+        co_await on_holder_failure(holder);
+      }
+    }
+    // Lines the holder no longer has (crash-restart wiped them, or the
+    // holder is dead): promote the backup or orphan.
+    for (LineId id : ids) {
+      if (got.count(id)) continue;
+      co_await recover_lost_line(id);
+    }
+  }
+  co_return true;
+}
+
+sim::Task<> RemoteBackend::collect_finish() {
+  // Remote lines are all home; surviving backup copies are now garbage.
+  for (auto& [backup, ids] : replicas_by_holder_) {
+    if (ids.empty()) continue;
+    ids.clear();
+    if (suspected_.count(backup)) continue;
+    MemRequest req;
+    req.kind = MemRequest::Kind::kReplicaDrop;
+    req.owner = node_.id();
+    req.line_id = -1;  // all of this owner
+    node_.send_to(backup, kMemService, 16, std::move(req));
+  }
+  for (std::size_t i = 0; i < store_.num_lines(); ++i) {
+    store_.line(static_cast<LineId>(i)).backup = -1;
+  }
+
+  // Degraded (or tiered-spilled) lines stream back from the local disk.
+  co_await fallback_->collect_finish();
+}
+
+// ---------------------------------------------------------------------------
+// Migration (application side)
+// ---------------------------------------------------------------------------
+
+sim::Task<> RemoteBackend::migrate_away(net::NodeId holder) {
+  if (holder_suspect(holder)) co_return;  // failure handling owns its lines
+  const auto it = lines_by_holder_.find(holder);
+  if (it == lines_by_holder_.end() || it->second.empty()) co_return;
+
+  // 1. Mark this node's lines as migrating FIRST; from here on probes
+  //    buffer (remote update) or wait on the line trigger (simple
+  //    swapping), so no new update can target the old holder.
+  std::vector<LineId> marked;
+  std::int64_t marked_bytes = 0;
+  for (LineId id : it->second) {
+    auto& l = store_.line(id);
+    if (l.where == Where::kFaulting) {
+      // A swap-in is in flight for this line; it was requested before the
+      // directive will arrive (same-pair FIFO), so the holder answers the
+      // fault first and the line comes home by itself.
+      continue;
+    }
+    RMS_CHECK(l.where == Where::kRemote);
+    l.where = Where::kMigrating;
+    marked.push_back(id);
+    marked_bytes += l.bytes;
+  }
+  if (marked.empty()) co_return;
+  std::sort(marked.begin(), marked.end());
+
+  // 2. Updates already queued for the old holder must precede the directive
+  //    (same-pair FIFO keeps them ahead of it on the wire). With the lines
+  //    marked, nothing can refill this batch behind our back.
+  co_await send_update_batch(holder);
+
+  const net::NodeId dest = pick_destination(marked_bytes, holder);
+  if (dest < 0) {
+    // No live, fresh destination: leave the lines where they are; the
+    // shortage will re-trigger on a later broadcast if it persists. Updates
+    // buffered while the lines were marked still belong to the old holder.
+    node_.stats().bump("store.migration_no_destination");
+    for (LineId id : marked) store_.line(id).where = Where::kRemote;
+    for (LineId id : marked) {
+      auto& l = store_.line(id);
+      const auto pend = pending_updates_.find(id);
+      if (pend != pending_updates_.end()) {
+        for (const mining::Itemset& s : pend->second) {
+          --*updates_sent_;  // queue_update counts it again
+          queue_update(id, s);
+        }
+        pending_updates_.erase(pend);
+        co_await maybe_flush_batch(l.holder);
+        co_await maybe_flush_batch(l.backup);
+      }
+      store_.fire_migration_trigger(id);
+    }
+    co_return;
+  }
+  MemRequest req;
+  req.kind = MemRequest::Kind::kMigrateDirective;
+  req.owner = node_.id();
+  req.migrate_dest = dest;
+  req.migrate_lines = marked;
+
+  node_.stats().bump("store.migrations_initiated");
+  cluster::RpcResult res = co_await rpc(net::Message::make(
+      node_.id(), holder, kMemService,
+      16 + 8 * static_cast<std::int64_t>(marked.size()), std::move(req)));
+
+  if (!res.ok()) {
+    // The holder itself went silent mid-directive (and is suspect already,
+    // via the RpcClient callback). Put the marks back to kRemote so the
+    // failure handler re-homes every line it held; it also fires the
+    // triggers for them.
+    for (LineId id : marked) store_.line(id).where = Where::kRemote;
+    co_await on_holder_failure(holder);
+    co_return;
+  }
+  const auto& rep = res.reply->as<MemReply>();
+  co_await node_.compute(node_.costs().per_message_cpu);
+
+  // 3. Re-point the management table. On rep.ok every marked line moved
+  //    (probes only fault lines out of kMigrating via the trigger). With
+  //    ok=false the destination died mid-push: rep.migrated lists the lines
+  //    that were acknowledged before the push failed — those are at the
+  //    (now dead) destination; the rest stayed at the holder.
+  if (rep.ok) {
+    RMS_CHECK_MSG(rep.migrated.size() == marked.size(),
+                  "holder lost track of migrating lines");
+  }
+  std::unordered_set<LineId> moved(rep.migrated.begin(), rep.migrated.end());
+  for (LineId id : marked) {
+    auto& l = store_.line(id);
+    RMS_CHECK(l.where == Where::kMigrating);
+    l.where = Where::kRemote;
+    if (moved.count(id)) {
+      hold_erase(holder, id);
+      l.holder = dest;
+      hold_insert(dest, id);
+    }
+  }
+  *lines_migrated_ += static_cast<std::int64_t>(moved.size());
+
+  if (!rep.ok) {
+    // Recover the lines stranded at the dead destination (promote backups
+    // or orphan); their triggers fire inside the handler.
+    co_await on_holder_failure(dest);
+  }
+
+  // 4. Flush updates buffered while the lines were in flight, then wake any
+  //    probe blocked on a migrating line. Lines the failure handler already
+  //    settled (promoted or orphaned) had their pending updates flushed or
+  //    dropped there.
+  for (LineId id : marked) {
+    auto& l = store_.line(id);
+    if (l.where == Where::kRemote) {
+      const auto pend = pending_updates_.find(id);
+      if (pend != pending_updates_.end()) {
+        for (const mining::Itemset& s : pend->second) {
+          --*updates_sent_;  // queue_update will count it again
+          queue_update(id, s);
+        }
+        pending_updates_.erase(pend);
+        co_await maybe_flush_batch(l.holder);
+        co_await maybe_flush_batch(l.backup);
+      }
+    }
+    store_.fire_migration_trigger(id);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Failure handling (application side)
+// ---------------------------------------------------------------------------
+
+sim::Task<> RemoteBackend::on_holder_failure(net::NodeId dead) {
+  declare_dead(dead);
+
+  // Queued one-way updates towards the dead node would be silent drops.
+  {
+    const auto it = update_batches_.find(dead);
+    if (it != update_batches_.end() && !it->second.request.updates.empty()) {
+      failover().lost_update_ops +=
+          static_cast<std::int64_t>(it->second.request.updates.size());
+      node_.stats().bump("store.update_batches_dropped");
+      it->second.request = MemRequest{};
+      it->second.bytes = 0;
+    }
+  }
+
+  // Backup copies stored at the dead node died with it.
+  {
+    const auto it = replicas_by_holder_.find(dead);
+    if (it != replicas_by_holder_.end()) {
+      for (LineId id : it->second) {
+        auto& l = store_.line(id);
+        if (l.backup == dead) l.backup = -1;
+      }
+      it->second.clear();
+    }
+  }
+
+  // Snapshot the primaries this store had at the dead node. Lines already
+  // kFaulting or kMigrating are owned by the coroutine that marked them
+  // (fault_in / collect / migrate_away) and recover there; kMigrating keeps
+  // probes parked on the trigger while we re-home.
+  std::vector<LineId> victims;
+  {
+    const auto held = lines_by_holder_.find(dead);
+    if (held != lines_by_holder_.end()) {
+      for (LineId id : held->second) {
+        if (store_.line(id).where == Where::kRemote) victims.push_back(id);
+      }
+      for (LineId id : victims) hold_erase(dead, id);
+    }
+  }
+  std::sort(victims.begin(), victims.end());
+  for (LineId id : victims) store_.line(id).where = Where::kMigrating;
+
+  for (LineId id : victims) {
+    co_await recover_lost_line(id);
+    auto& l = store_.line(id);
+    if (l.where == Where::kRemote) {
+      // Promoted: flush updates buffered while the line was dark.
+      const auto pend = pending_updates_.find(id);
+      if (pend != pending_updates_.end()) {
+        for (const mining::Itemset& s : pend->second) {
+          --*updates_sent_;  // queue_update counts it again
+          queue_update(id, s);
+        }
+        pending_updates_.erase(pend);
+        co_await maybe_flush_batch(l.holder);
+      }
+    }
+  }
+
+  for (LineId id : victims) store_.fire_migration_trigger(id);
+}
+
+// ---------------------------------------------------------------------------
+// Invariants
+// ---------------------------------------------------------------------------
+
+void RemoteBackend::check_invariants() const {
+  // Replica tracking: replicas_by_holder_ and Line::backup must agree in
+  // both directions.
+  std::size_t tracked_replicas = 0;
+  for (const auto& [backup, ids] : replicas_by_holder_) {
+    for (LineId id : ids) {
+      RMS_CHECK_MSG(store_.line(id).backup == backup,
+                    "replica map points at a line backed up elsewhere");
+    }
+    tracked_replicas += ids.size();
+  }
+  std::size_t with_backup = 0;
+  for (std::size_t i = 0; i < store_.num_lines(); ++i) {
+    const auto id = static_cast<LineId>(i);
+    const auto& l = store_.line(id);
+    if (l.backup >= 0) {
+      ++with_backup;
+      const auto it = replicas_by_holder_.find(l.backup);
+      RMS_CHECK_MSG(it != replicas_by_holder_.end() && it->second.count(id),
+                    "line backup not tracked in the replica map");
+    }
+    if (l.where == Where::kRemote) {
+      const auto it = lines_by_holder_.find(l.holder);
+      RMS_CHECK_MSG(it != lines_by_holder_.end() && it->second.count(id),
+                    "remote line missing from its holder's set");
+    }
+  }
+  RMS_CHECK_MSG(with_backup == tracked_replicas,
+                "replica map size disagrees with per-line backups");
+
+  // Holder tracking: every held line points back at its holder and is in a
+  // remote-ish state (kFaulting/kMigrating lines stay in the map while the
+  // coroutine that pinned them is in flight); remote_bytes_ matches.
+  std::int64_t held_bytes = 0;
+  for (const auto& [holder, ids] : lines_by_holder_) {
+    for (LineId id : ids) {
+      const auto& l = store_.line(id);
+      RMS_CHECK_MSG(l.holder == holder, "held line points at another holder");
+      RMS_CHECK_MSG(l.where == Where::kRemote || l.where == Where::kFaulting ||
+                        l.where == Where::kMigrating,
+                    "held line in a non-remote state");
+      held_bytes += l.bytes;
+    }
+  }
+  RMS_CHECK_MSG(held_bytes == remote_bytes_,
+                "remote byte accounting drifted");
+
+  // Update batching: bytes must track the op count exactly.
+  for (const auto& [holder, batch] : update_batches_) {
+    RMS_CHECK_MSG(
+        batch.bytes ==
+            static_cast<std::int64_t>(batch.request.updates.size()) *
+                store_.config().update_op_bytes,
+        "update batch byte accounting out of sync with queued ops");
+  }
+
+  fallback_->check_invariants();
+}
+
+}  // namespace rms::core

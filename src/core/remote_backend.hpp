@@ -1,0 +1,123 @@
+// RemoteBackend: dynamic remote memory acquisition over the memory-service
+// RPC protocol — the paper's contribution (§4.3 simple swapping, §4.4 remote
+// updates) plus the crash-tolerance extension.
+//
+// Evicted lines are pushed to a memory-available node chosen from the
+// AvailabilityTable (optionally mirrored on a second node, replicate_k = 1);
+// probes fault them back, or — in update mode during the counting phase —
+// become one-way batched update operations. All synchronous traffic goes
+// through a cluster::RpcClient whose failure callback feeds the suspicion
+// machinery, so an unresponsive holder is detected in-band and its lines are
+// re-homed: backup copies are promoted, the rest restart empty (orphaned).
+// Evictions that find no live destination degrade to an owned DiskBackend —
+// the same fallback TieredBackend uses deliberately when its remote budget
+// fills up.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "cluster/rpc_client.hpp"
+#include "core/disk_backend.hpp"
+#include "core/hash_line_store.hpp"
+#include "core/swap_backend.hpp"
+
+namespace rms::core {
+
+class RemoteBackend : public SwapBackend {
+ public:
+  struct Options {
+    /// §4.4: during the counting phase evicted lines stay fixed remotely
+    /// and probes become one-way update messages instead of faults.
+    bool update_mode = false;
+  };
+
+  /// `stat_ns` namespaces this backend's counters ("backend.<ns>.*") and is
+  /// returned by name(); subclasses pass their own.
+  RemoteBackend(HashLineStore& store, Options options,
+                const char* stat_ns = "remote");
+
+  const char* name() const override { return name_; }
+
+  sim::Task<> swap_out(LineId id) override;
+  sim::Task<> fault_in(LineId id) override;
+  sim::Task<bool> update(LineId id, const mining::Itemset& itemset) override;
+  bool buffer_migrating_update(LineId id,
+                               const mining::Itemset& itemset) override;
+  sim::Task<> flush_updates() override;
+  sim::Task<bool> collect_fetch() override;
+  sim::Task<> collect_finish() override;
+  sim::Task<> migrate_away(net::NodeId holder) override;
+  sim::Task<> on_holder_failure(net::NodeId dead) override;
+
+  std::size_t lines_at(net::NodeId holder) const override;
+  std::size_t replicas_at(net::NodeId holder) const override;
+  void check_invariants() const override;
+
+ protected:
+  using Where = HashLineStore::Where;
+
+  /// The degradation target (also TieredBackend's deliberate spill target).
+  DiskBackend& disk() { return *fallback_; }
+  /// Accounted bytes of primary copies currently parked remotely.
+  std::int64_t remote_bytes() const { return remote_bytes_; }
+  FailoverStats& failover() { return store_.failover_mut(); }
+
+  cluster::Node& node_;
+
+ private:
+  struct UpdateBatch {
+    MemRequest request;
+    std::int64_t bytes = 0;
+  };
+
+  /// RpcClient::call plus the store's FailoverStats accounting.
+  sim::Task<cluster::RpcResult> rpc(net::Message msg);
+  /// First-time suspicion bookkeeping (table mark + counters). Idempotent;
+  /// wired as the RpcClient failure callback.
+  void declare_dead(net::NodeId holder);
+  /// True while `holder` is suspected; fresh heartbeats in the availability
+  /// table (crash + restart) clear the local suspicion lazily.
+  bool holder_suspect(net::NodeId holder);
+  /// The line's only copy is gone: restart it empty and count the loss.
+  void orphan_line(LineId id);
+  /// Stop tracking (and drop) the backup copy of a line that came home.
+  void drop_backup(LineId id);
+  /// The primary copy of `id` is lost (holder dead or wiped): promote the
+  /// backup if one survives (line becomes kRemote at the backup) or orphan
+  /// (line becomes resident and empty). Caller owns the line's state.
+  sim::Task<> recover_lost_line(LineId id);
+  void queue_update(LineId id, const mining::Itemset& itemset);
+  sim::Task<> send_update_batch(net::NodeId holder);
+  sim::Task<> maybe_flush_batch(net::NodeId holder);
+  /// -1 when no live, fresh node has room (callers degrade).
+  net::NodeId pick_destination(std::int64_t bytes, net::NodeId exclude = -1);
+  /// lines_by_holder_ mutations paired with remote_bytes_ accounting.
+  void hold_insert(net::NodeId holder, LineId id);
+  void hold_erase(net::NodeId holder, LineId id);
+
+  const bool update_mode_;
+  const char* name_;
+  AvailabilityTable* avail_;
+  cluster::RpcClient rpc_;
+  std::unique_ptr<DiskBackend> fallback_;
+
+  // Location bookkeeping for migration, collection, and recovery.
+  std::unordered_map<net::NodeId, std::unordered_set<LineId>> lines_by_holder_;
+  std::unordered_map<net::NodeId, std::unordered_set<LineId>>
+      replicas_by_holder_;
+  std::unordered_set<net::NodeId> suspected_;
+  std::unordered_map<net::NodeId, UpdateBatch> update_batches_;
+  std::unordered_map<LineId, std::vector<mining::Itemset>> pending_updates_;
+  std::int64_t remote_bytes_ = 0;
+
+  std::int64_t* updates_sent_;    // store.updates_sent
+  std::int64_t* lines_migrated_;  // store.lines_migrated
+  std::int64_t* swap_outs_;       // backend.<ns>.swap_outs
+  std::int64_t* faults_;          // backend.<ns>.faults
+  std::int64_t* degraded_;        // backend.<ns>.degraded_to_disk
+};
+
+}  // namespace rms::core

@@ -1,0 +1,24 @@
+#include "core/tiered_backend.hpp"
+
+namespace rms::core {
+
+TieredBackend::TieredBackend(HashLineStore& store)
+    : RemoteBackend(store, Options{/*update_mode=*/false}, "tiered"),
+      budget_(store.config().tiered_remote_budget_bytes),
+      budget_spills_(&store.stats_mut().slot("backend.tiered.budget_spills")) {
+}
+
+sim::Task<> TieredBackend::swap_out(LineId id) {
+  const std::int64_t bytes = store_.line(id).bytes;
+  if (budget_ >= 0 && remote_bytes() + bytes > budget_) {
+    // The remote tier is full: spill this victim to the local disk. The
+    // budget frees up as probes fault remote lines back home.
+    ++*budget_spills_;
+    node_.stats().bump("store.tiered_budget_spill");
+    co_await disk().swap_out(id);
+    co_return;
+  }
+  co_await RemoteBackend::swap_out(id);
+}
+
+}  // namespace rms::core

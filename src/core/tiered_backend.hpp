@@ -1,0 +1,31 @@
+// TieredBackend: remote-first placement under a byte budget (extension).
+//
+// Evictions go to remote memory with simple-swapping semantics until the
+// accounted bytes of primary copies parked remotely would exceed
+// `Config::tiered_remote_budget_bytes`; past that point each victim spills
+// to the local swap disk instead. Fault-ins release budget, so the remote
+// tier always holds the most recently evicted working set while the disk
+// absorbs the cold overflow — the failover path's ad-hoc degrade-to-disk,
+// formalized as a first-class composition of the remote and disk backends.
+//
+// The budget bounds primary copies only: replica mirrors (replicate_k) ride
+// on the destination's own headroom accounting, as under plain kRemoteSwap.
+// With an unlimited budget (-1) this is exactly kRemoteSwap.
+#pragma once
+
+#include "core/remote_backend.hpp"
+
+namespace rms::core {
+
+class TieredBackend final : public RemoteBackend {
+ public:
+  explicit TieredBackend(HashLineStore& store);
+
+  sim::Task<> swap_out(LineId id) override;
+
+ private:
+  std::int64_t budget_;          // -1: unlimited
+  std::int64_t* budget_spills_;  // backend.tiered.budget_spills
+};
+
+}  // namespace rms::core

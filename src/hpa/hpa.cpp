@@ -186,6 +186,7 @@ class Runner {
 
   HpaResult result_;
   core::FailoverStats failover_total_;
+  StatsRegistry store_stats_total_;
   Time pass_start_ = 0;
   Time build_start_ = 0;
   Time count_start_ = 0;
@@ -307,6 +308,7 @@ sim::Task<> Runner::build_store(std::size_t idx, std::size_t k) {
   scfg.policy = cfg_.memory_limit_bytes < 0 ? core::SwapPolicy::kNoLimit
                                             : cfg_.policy;
   scfg.eviction = cfg_.eviction;
+  scfg.tiered_remote_budget_bytes = cfg_.tiered_remote_budget_bytes;
   scfg.message_block_bytes = cfg_.message_block_bytes;
   if (cfg_.remote_determination) scfg.fetch_filter_min_count = min_count_;
   scfg.replicate_k = cfg_.replicate_k;
@@ -547,6 +549,7 @@ sim::Process Runner::app_main(std::size_t idx) {
     if (idx == 0) build_start_ = sim_.now();
     co_await build_store(idx, k);
     co_await barrier_->arrive();
+    if (cfg_.validate_invariants) stores_[idx]->check_invariants();
 
     if (idx == 0) count_start_ = sim_.now();
     stores_[idx]->set_phase(core::HashLineStore::Phase::kCount);
@@ -555,6 +558,7 @@ sim::Process Runner::app_main(std::size_t idx) {
     co_await sender;
     co_await receiver;
     co_await barrier_->arrive();
+    if (cfg_.validate_invariants) stores_[idx]->check_invariants();
 
     if (idx == 0) determine_start_ = sim_.now();
     co_await determine_large(idx, k);
@@ -563,7 +567,9 @@ sim::Process Runner::app_main(std::size_t idx) {
 
     if (idx == 0) finish_pass_report(k);
     co_await barrier_->arrive();
+    if (cfg_.validate_invariants) stores_[idx]->check_invariants();
     failover_total_.merge(stores_[idx]->failover());
+    store_stats_total_.merge(stores_[idx]->stats());
     stores_[idx].reset();
   }
 
@@ -698,6 +704,14 @@ HpaResult Runner::run() {
     result_.stats.merge(node.swap_disk().stats());
   }
   result_.stats.merge(cluster_->network().stats());
+  // Backend-scoped counters live in the stores' own registries; "store.*"
+  // keys duplicate node-level bumps already merged above, so only the
+  // "backend."-namespaced ones are exported.
+  for (const auto& [name, value] : store_stats_total_.counters()) {
+    if (value != 0 && name.starts_with("backend.")) {
+      result_.stats.bump(name, value);
+    }
+  }
   result_.failover = failover_total_;
 
   // Destroy still-suspended daemon frames (monitors, servers) while the

@@ -43,6 +43,9 @@ struct HpaConfig {
   core::SwapPolicy policy = core::SwapPolicy::kNoLimit;
   /// Victim selection for evictions (paper: LRU; others for ablation).
   core::EvictionPolicy eviction = core::EvictionPolicy::kLru;
+  /// kTiered only: per-node byte budget for primary copies parked in remote
+  /// memory; evictions past it spill to the local disk (-1 = unlimited).
+  std::int64_t tiered_remote_budget_bytes = -1;
   /// Extension: memory servers filter sub-threshold entries out of
   /// end-of-pass fetches ("remote determination"), shrinking the collect
   /// transfer. Off by default (the paper ships lines back whole).
@@ -91,6 +94,11 @@ struct HpaConfig {
   /// Availability staleness: entries older than this many monitor intervals
   /// stop attracting swap-outs (0 = never expire).
   int stale_after_intervals = 0;
+  /// Debug: run HashLineStore::check_invariants() (residency core plus the
+  /// active backend's replica/holder/batch bookkeeping) at every phase
+  /// barrier. Pure assertions — no virtual-time effect. Failover tests turn
+  /// this on.
+  bool validate_invariants = false;
 
   /// Reuse a pre-generated database (the benches sweep many configurations
   /// over one workload); when null the workload parameters generate one.

@@ -25,6 +25,18 @@ void print_report(const HpaResult& result) {
   t.print();
   std::printf("total virtual time: %.2f s\n", to_seconds(result.total_time));
 
+  // Per-backend counters ("backend.<ns>.<counter>") exported by the swap
+  // backends; absent entirely for kNoLimit runs.
+  bool backend_header = false;
+  for (const auto& [name, value] : result.stats.counters()) {
+    if (value == 0 || name.rfind("backend.", 0) != 0) continue;
+    if (!backend_header) {
+      std::printf("backend counters:\n");
+      backend_header = true;
+    }
+    std::printf("  %s = %lld\n", name.c_str(), static_cast<long long>(value));
+  }
+
   const core::FailoverStats& f = result.failover;
   if (f.any()) {
     std::printf(

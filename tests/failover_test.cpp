@@ -38,6 +38,9 @@ HpaConfig config(const mining::TransactionDb* db, core::SwapPolicy policy) {
   c.monitor_interval = msec(200);
   c.rpc_deadline = msec(500);
   c.rpc_max_retries = 1;
+  // Run the full store + backend invariant sweep (replica/holder
+  // cross-consistency, update-batch byte accounting) at every phase barrier.
+  c.validate_invariants = true;
   return c;
 }
 
