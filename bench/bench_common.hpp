@@ -8,6 +8,7 @@
 // the transaction-count scale.
 #pragma once
 
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -18,6 +19,7 @@
 #include "common/table.hpp"
 #include "hpa/hpa.hpp"
 #include "mining/generator.hpp"
+#include "obs/artifact.hpp"
 
 namespace rms::bench {
 
@@ -26,6 +28,9 @@ struct ExperimentEnv {
   double scale;
   mining::TransactionDb db;
   hpa::HpaConfig base;
+  /// Non-null when any of --trace-out / --metrics-out / --json-out was
+  /// passed; owns the trace recorder and metrics sampler for the process.
+  std::unique_ptr<obs::RunObserver> observer;
 
   explicit ExperimentEnv(int argc, const char* const* argv,
                          std::map<std::string, std::string> extra_flags = {});
@@ -33,7 +38,19 @@ struct ExperimentEnv {
   /// A copy of the base configuration (shared db, paper parameters).
   hpa::HpaConfig config() const { return base; }
 
+  /// Run one configuration under the observer (when enabled): opens a run
+  /// section labelled `label`, stamps the trace/metrics sinks into `cfg`,
+  /// and snapshots the result for the run artifact. With no observer this
+  /// is exactly `hpa::run_hpa(cfg)`.
+  hpa::HpaResult run(hpa::HpaConfig cfg, const std::string& label) const {
+    if (observer) observer->begin_run(cfg, label);
+    hpa::HpaResult result = hpa::run_hpa(cfg);
+    if (observer) observer->end_run(result);
+    return result;
+  }
+
   /// Write the table as CSV when --csv was passed; always print to stdout.
+  /// Also emits the observer's trace/metrics/artifact files when enabled.
   void finish(const TablePrinter& table, const std::string& default_csv) const;
 };
 
@@ -48,6 +65,10 @@ inline std::map<std::string, std::string> with_common_flags(
   extra.emplace("flat",
                 "use uniform candidate partitioning instead of the paper's "
                 "observed Table-3 skew");
+  extra.emplace("trace-out",
+                "write a Chrome trace_event JSON (chrome://tracing) here");
+  extra.emplace("metrics-out", "write per-node gauge time-series JSON here");
+  extra.emplace("json-out", "write the machine-readable run artifact here");
   return extra;
 }
 
@@ -82,6 +103,10 @@ inline ExperimentEnv::ExperimentEnv(
   if (!flags.get_bool("flat", false) && base.app_nodes == 8) {
     base.partition_weights = hpa::paper_table3_weights();
   }
+
+  observer = obs::RunObserver::from_paths({flags.get("trace-out", ""),
+                                           flags.get("metrics-out", ""),
+                                           flags.get("json-out", "")});
 }
 
 inline void ExperimentEnv::finish(const TablePrinter& table,
@@ -96,6 +121,18 @@ inline void ExperimentEnv::finish(const TablePrinter& table,
     }
   }
   (void)default_csv;
+  if (observer) observer->write();
+}
+
+/// printf-style run-section label for the observer artifacts, e.g.
+/// `bench::label("remote_swap/%.0fMB", limit)`.
+inline std::string label(const char* fmt, ...) {
+  char buf[128];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  return buf;
 }
 
 /// Megabyte limits as the paper writes them (x-axis of Figures 3-5). The

@@ -35,7 +35,9 @@ int main(int argc, char** argv) {
       cfg.message_block_bytes = block;
       std::fprintf(stderr, "[blocksize] %s at %lld B...\n",
                    core::to_string(policy), static_cast<long long>(block));
-      const hpa::HpaResult r = hpa::run_hpa(cfg);
+      const hpa::HpaResult r = env.run(
+          cfg, bench::label("%s/%lldB", core::to_string(policy),
+                            static_cast<long long>(block)));
       if (policy == core::SwapPolicy::kRemoteSwap) {
         swap_t = r.pass(2)->duration;
       } else {

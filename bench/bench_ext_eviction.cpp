@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
       env.flags, core::SwapPolicy::kRemoteSwap);
 
   std::fprintf(stderr, "[eviction] no-limit baseline...\n");
-  const Time no_limit = hpa::run_hpa(env.config()).pass(2)->duration;
+  const Time no_limit = env.run(env.config(), "no_limit").pass(2)->duration;
 
   TablePrinter table(
       "Extension: eviction-policy ablation (simple swapping, 16 "
@@ -43,7 +43,8 @@ int main(int argc, char** argv) {
       cfg.eviction = ev;
       std::fprintf(stderr, "[eviction] %s at %.0f MB...\n",
                    core::to_string(ev), limit);
-      const hpa::HpaResult r = hpa::run_hpa(cfg);
+      const hpa::HpaResult r = env.run(
+          cfg, bench::label("%s/%.0fMB", core::to_string(ev), limit));
       times.push_back(bench::secs(r.pass(2)->duration));
       faults.push_back(TablePrinter::integer(
           r.stats.counter("store.pagefaults")));

@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
   hpa::HpaConfig base = env.config();
   pf.apply(base);
   std::fprintf(stderr, "[failover] baseline (no fault)...\n");
-  const hpa::HpaResult baseline = hpa::run_hpa(base);
+  const hpa::HpaResult baseline = env.run(base, "baseline");
   const Time total0 = baseline.total_time;
 
   const std::vector<double> crash_fractions{0.25, 0.5, 0.75};
@@ -63,7 +63,10 @@ int main(int argc, char** argv) {
                      to_seconds(crash_at),
                      static_cast<long long>(detect / msec(1)),
                      replicate ? "replicate" : "degrade");
-        const hpa::HpaResult r = hpa::run_hpa(cfg);
+        const hpa::HpaResult r = env.run(
+            cfg, bench::label("crash_%.0f%%/detect_%lldms/%s", frac * 100,
+                              static_cast<long long>(detect / msec(1)),
+                              replicate ? "replicate" : "degrade"));
         const core::FailoverStats& f = r.failover;
         table.add_row(
             {bench::secs(crash_at) + "s",

@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
   hpa::HpaConfig diskcfg = env.config();
   diskcfg.memory_limit_bytes = bench::mb(limit);
   diskcfg.policy = core::SwapPolicy::kDiskSwap;
-  const Time disk_t = hpa::run_hpa(diskcfg).pass(2)->duration;
+  const Time disk_t = env.run(diskcfg, "disk_swap").pass(2)->duration;
 
   TablePrinter table(
       "Extension: interconnect ablation at limit " +
@@ -53,7 +53,8 @@ int main(int argc, char** argv) {
       cfg.cluster.link = link.params;
       std::fprintf(stderr, "[network] %s under %s...\n",
                    core::to_string(policy), link.name);
-      const hpa::HpaResult r = hpa::run_hpa(cfg);
+      const hpa::HpaResult r = env.run(
+          cfg, bench::label("%s/%s", core::to_string(policy), link.name));
       if (policy == core::SwapPolicy::kRemoteSwap) {
         swap_t = r.pass(2)->duration;
         fault_ms = r.stats.summary("store.fault_ms").mean();

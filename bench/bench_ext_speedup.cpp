@@ -32,7 +32,8 @@ int main(int argc, char** argv) {
     cfg.app_nodes = nodes;
     cfg.partition_weights.clear();  // skew emulation is 8-node specific
     std::fprintf(stderr, "[speedup] %zu app nodes, no limit...\n", nodes);
-    const Time t = hpa::run_hpa(cfg).pass(2)->duration;
+    const Time t =
+        env.run(cfg, bench::label("no_limit/%zu_nodes", nodes)).pass(2)->duration;
     if (nodes == 1) base_nolimit = t;
 
     // Per-node candidate volume shrinks with more nodes; scale the limit to
@@ -44,7 +45,9 @@ int main(int argc, char** argv) {
                                   static_cast<double>(nodes));
     std::fprintf(stderr, "[speedup] %zu app nodes, remote update...\n",
                  nodes);
-    const Time tr = hpa::run_hpa(ru).pass(2)->duration;
+    const Time tr =
+        env.run(ru, bench::label("remote_update/%zu_nodes", nodes))
+            .pass(2)->duration;
     if (nodes == 1) base_ru = tr;
 
     table.add_row(

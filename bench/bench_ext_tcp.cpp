@@ -34,7 +34,8 @@ int main(int argc, char** argv) {
       cfg.cluster.link = net::LinkParams::atm155_lossy(loss, rto);
       std::fprintf(stderr, "[tcp] loss %.4f, rto %.0f ms...\n", loss,
                    to_millis(rto));
-      const hpa::HpaResult r = hpa::run_hpa(cfg);
+      const hpa::HpaResult r = env.run(
+          cfg, bench::label("loss_%.4f/rto_%.0fms", loss, to_millis(rto)));
       if (rto == msec(200)) {
         coarse = r.pass(2)->duration;
         retx = r.stats.counter("net.retransmissions");

@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
   hpa::HpaConfig base = env.config();
   base.memory_nodes = node_counts.back();
   std::fprintf(stderr, "[fig3] no-limit baseline...\n");
-  const Time no_limit = hpa::run_hpa(base).pass(2)->duration;
+  const Time no_limit = env.run(base, "no_limit").pass(2)->duration;
 
   std::vector<std::string> header = {"memory nodes"};
   for (double limit : limits_mb) {
@@ -53,7 +53,8 @@ int main(int argc, char** argv) {
       cfg.policy = core::SwapPolicy::kRemoteSwap;
       std::fprintf(stderr, "[fig3] %zu memory nodes, %.0f MB limit...\n",
                    nodes, limit);
-      const hpa::HpaResult r = hpa::run_hpa(cfg);
+      const hpa::HpaResult r = env.run(
+          cfg, bench::label("%zu_mem_nodes/%.0fMB", nodes, limit));
       row.push_back(bench::secs(r.pass(2)->duration));
     }
     row.push_back(bench::secs(no_limit));

@@ -28,6 +28,7 @@ int main(int argc, char** argv) {
       argc, argv,
       {{"fine", "sweep 0.5 MB steps like the paper's x-axis"},
        {"no-ext", "skip the 12,000 rpm and tiered extension series"},
+       {"limit-mb", "restrict the sweep to this one limit (smoke runs)"},
        {"tiered-budget-mb",
         "per-node remote-memory budget for the tiered series (default 2)"}});
   const bool fine = env.flags.get_bool("fine", false);
@@ -36,12 +37,16 @@ int main(int argc, char** argv) {
       env.flags.get_double("tiered-budget-mb", 2.0);
 
   std::vector<double> limits_mb;
-  for (double v = 12.0; v <= 15.0 + 1e-9; v += fine ? 0.5 : 1.0) {
-    limits_mb.push_back(v);
+  if (env.flags.has("limit-mb")) {
+    limits_mb.push_back(env.flags.get_double("limit-mb", 13.0));
+  } else {
+    for (double v = 12.0; v <= 15.0 + 1e-9; v += fine ? 0.5 : 1.0) {
+      limits_mb.push_back(v);
+    }
   }
 
   std::fprintf(stderr, "[fig4] no-limit baseline...\n");
-  const Time no_limit = hpa::run_hpa(env.config()).pass(2)->duration;
+  const Time no_limit = env.run(env.config(), "no_limit").pass(2)->duration;
 
   auto run = [&](double limit, core::SwapPolicy policy,
                  bool fast_disk) -> Time {
@@ -57,7 +62,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "[fig4] %s%s at %.1f MB...\n",
                  core::to_string(policy), fast_disk ? " (12000rpm)" : "",
                  limit);
-    return hpa::run_hpa(cfg).pass(2)->duration;
+    return env
+        .run(cfg, bench::label("%s%s/%.1fMB", core::to_string(policy),
+                               fast_disk ? "_12000rpm" : "", limit))
+        .pass(2)->duration;
   };
 
   std::vector<std::string> header = {"usage limit", "disk swap [s]",

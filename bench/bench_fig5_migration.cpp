@@ -50,7 +50,8 @@ int main(int argc, char** argv) {
       }
       std::fprintf(stderr, "[fig5] limit %.1f MB, %d withdrawal(s)...\n",
                    limit, withdrawals);
-      const hpa::HpaResult r = hpa::run_hpa(cfg);
+      const hpa::HpaResult r = env.run(
+          cfg, bench::label("%.1fMB/%d_withdrawn", limit, withdrawals));
       return {r.pass(2)->duration,
               r.stats.counter("server.lines_migrated")};
     };

@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "[monitor] baseline for signal placement...\n");
   hpa::HpaConfig probe = env.config();
   pf.apply(probe);
-  const Time baseline = hpa::run_hpa(probe).pass(2)->duration;
+  const Time baseline = env.run(probe, "baseline").pass(2)->duration;
 
   for (Time interval : {msec(100), msec(300), msec(1000), msec(3000),
                         msec(10000)}) {
@@ -37,7 +37,8 @@ int main(int argc, char** argv) {
     cfg.withdrawals = {{0, baseline / 2}};
     std::fprintf(stderr, "[monitor] interval %.1f s...\n",
                  to_seconds(interval));
-    const hpa::HpaResult r = hpa::run_hpa(cfg);
+    const hpa::HpaResult r = env.run(
+        cfg, bench::label("interval_%.1fs", to_seconds(interval)));
     table.add_row(
         {TablePrinter::num(to_seconds(interval), 1) + "s",
          bench::secs(r.pass(2)->duration),

@@ -16,7 +16,7 @@ int main(int argc, char** argv) {
   bench::ExperimentEnv env(argc, argv);
 
   hpa::HpaConfig cfg = env.config();
-  const hpa::HpaResult r = hpa::run_hpa(cfg);
+  const hpa::HpaResult r = env.run(cfg, "table3");
   const hpa::PassReport* p2 = r.pass(2);
   RMS_CHECK(p2 != nullptr);
 

@@ -17,7 +17,7 @@ int main(int argc, char** argv) {
   bench::ExperimentEnv env(argc, argv);
 
   std::fprintf(stderr, "[table4] no-limit baseline...\n");
-  const Time no_limit = hpa::run_hpa(env.config()).pass(2)->duration;
+  const Time no_limit = env.run(env.config(), "no_limit").pass(2)->duration;
 
   struct PaperRow {
     double exec, diff, pf_ms;
@@ -40,7 +40,8 @@ int main(int argc, char** argv) {
     cfg.memory_limit_bytes = bench::mb(limits_mb[i]);
     cfg.policy = core::SwapPolicy::kRemoteSwap;
     std::fprintf(stderr, "[table4] limit %.0f MB...\n", limits_mb[i]);
-    const hpa::HpaResult r = hpa::run_hpa(cfg);
+    const hpa::HpaResult r =
+        env.run(cfg, bench::label("remote_swap/%.0fMB", limits_mb[i]));
     const hpa::PassReport* p2 = r.pass(2);
     const Time exec = p2->duration;
     const Time diff = exec - no_limit;

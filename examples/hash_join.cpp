@@ -24,6 +24,8 @@
 #include "core/availability.hpp"
 #include "core/hash_line_store.hpp"
 #include "core/memory_server.hpp"
+#include "obs/artifact.hpp"
+#include "obs/json.hpp"
 #include "sim/process.hpp"
 #include "sim/simulation.hpp"
 
@@ -48,7 +50,8 @@ struct JoinWorld {
   std::vector<std::unique_ptr<core::HashLineStore>> stores;
 
   explicit JoinWorld(core::SwapPolicy policy, std::int64_t limit,
-                     std::int64_t tiered_budget = -1) {
+                     std::int64_t tiered_budget = -1,
+                     obs::TraceRecorder* trace = nullptr) {
     cluster::ClusterConfig ccfg;
     ccfg.num_nodes = kAppNodes + kMemNodes;
     cl = std::make_unique<cluster::Cluster>(sim, ccfg);
@@ -56,7 +59,10 @@ struct JoinWorld {
     for (std::size_t m = 0; m < kMemNodes; ++m) {
       const auto id = static_cast<net::NodeId>(kAppNodes + m);
       mem_ids.push_back(id);
-      servers.push_back(std::make_unique<core::MemoryServer>(cl->node(id)));
+      core::MemoryServer::Config mscfg;
+      mscfg.trace = trace;
+      servers.push_back(
+          std::make_unique<core::MemoryServer>(cl->node(id), mscfg));
       sim.spawn(servers.back()->serve());
     }
     table = std::make_unique<core::AvailabilityTable>(mem_ids);
@@ -69,6 +75,7 @@ struct JoinWorld {
       scfg.memory_limit_bytes = limit;
       scfg.policy = limit < 0 ? core::SwapPolicy::kNoLimit : policy;
       scfg.tiered_remote_budget_bytes = tiered_budget;
+      scfg.trace = trace;
       stores.push_back(std::make_unique<core::HashLineStore>(
           cl->node(static_cast<net::NodeId>(n)), scfg, table.get()));
     }
@@ -95,7 +102,7 @@ mining::Itemset make_entry(mining::Item key, std::uint32_t row_id) {
 
 sim::Process run_join(JoinWorld& w, const std::vector<Row>& build,
                       const std::vector<Row>& probe, std::uint64_t& output,
-                      bool& done) {
+                      bool& done, bool stop_sim) {
   // Build phase: insert R tuples, partitioned by key hash (each entry is
   // {key, tagged row id} so entries within a line stay unique).
   for (const Row& r : build) {
@@ -112,6 +119,10 @@ sim::Process run_join(JoinWorld& w, const std::vector<Row>& build,
                                                              r.key);
   }
   done = true;
+  // With a metrics sampler ticking forever, the event queue never drains;
+  // stop the loop explicitly (no-op difference otherwise, so only do it
+  // when observability asked for it — the default run stays untouched).
+  if (stop_sim) w.sim.request_stop();
 }
 
 std::vector<Row> make_rows(std::int64_t n, std::uint32_t keys,
@@ -136,11 +147,26 @@ int main(int argc, char** argv) {
               {{"build-rows", "build-side rows (default 40000)"},
                {"probe-rows", "probe-side rows (default 40000)"},
                {"keys", "distinct join keys (default 5000)"},
-               {"limit-kb", "per-node build-table limit (default 192)"}});
+               {"limit-kb", "per-node build-table limit (default 192)"},
+               {"trace-out", "write a Chrome trace_event JSON here"},
+               {"metrics-out", "write per-node gauge time-series JSON here"},
+               {"json-out", "write a machine-readable run summary here"}});
   const std::int64_t n_build = flags.get_int("build-rows", 40'000);
   const std::int64_t n_probe = flags.get_int("probe-rows", 40'000);
   const auto keys = static_cast<std::uint32_t>(flags.get_int("keys", 5000));
   const std::int64_t limit = flags.get_int("limit-kb", 192) * 1000;
+
+  // Observability sinks — the same recorder/sampler the HPA benches use,
+  // proving they are not HPA-specific. All disabled (null) by default.
+  const std::string trace_path = flags.get("trace-out", "");
+  const std::string metrics_path = flags.get("metrics-out", "");
+  const std::string json_path = flags.get("json-out", "");
+  std::unique_ptr<obs::TraceRecorder> trace;
+  if (!trace_path.empty()) trace = std::make_unique<obs::TraceRecorder>();
+  std::unique_ptr<obs::MetricsSampler> sampler;
+  if (!metrics_path.empty() || !json_path.empty()) {
+    sampler = std::make_unique<obs::MetricsSampler>(msec(100));
+  }
 
   const std::vector<Row> build = make_rows(n_build, keys, 11);
   const std::vector<Row> probe = make_rows(n_probe, keys, 22);
@@ -158,17 +184,47 @@ int main(int argc, char** argv) {
               static_cast<long long>(n_build),
               static_cast<long long>(n_probe), keys);
 
+  obs::JsonWriter artifact;
+  artifact.begin_object();
+  artifact.kv("schema", "rmswap.hash_join/v1");
+  artifact.kv("reference_cardinality", static_cast<std::uint64_t>(expected));
+  artifact.key("runs");
+  artifact.begin_array();
+
   for (core::SwapPolicy policy :
        {core::SwapPolicy::kRemoteSwap, core::SwapPolicy::kDiskSwap,
         core::SwapPolicy::kTiered}) {
     // The tiered run caps remote memory well below the spill volume so both
     // tiers (remote first, then disk past the budget) see traffic.
     JoinWorld w(policy, limit,
-                policy == core::SwapPolicy::kTiered ? limit / 8 : -1);
+                policy == core::SwapPolicy::kTiered ? limit / 8 : -1,
+                trace.get());
+    if (trace) trace->begin_run(core::to_string(policy));
+    if (sampler) {
+      sampler->begin_run(core::to_string(policy));
+      for (std::size_t n = 0; n < JoinWorld::kAppNodes; ++n) {
+        core::HashLineStore& s = *w.stores[n];
+        const auto node = static_cast<std::int32_t>(n);
+        sampler->add_gauge("resident_bytes", node, [&s] {
+          return static_cast<double>(s.resident_bytes());
+        });
+        sampler->add_gauge("lines_remote", node, [&s] {
+          return static_cast<double>(s.remote_lines());
+        });
+        sampler->add_gauge("lines_disk", node, [&s] {
+          return static_cast<double>(s.disk_lines());
+        });
+      }
+      w.sim.spawn(obs::sample_process(w.sim, *sampler));
+    }
     std::uint64_t output = 0;
     bool done = false;
-    w.sim.spawn(run_join(w, build, probe, output, done));
+    w.sim.spawn(run_join(w, build, probe, output, done, sampler != nullptr));
     w.sim.run();
+    if (sampler) {
+      w.sim.shutdown();
+      sampler->clear_gauges();
+    }
     RMS_CHECK_MSG(done, "join did not complete");
 
     std::int64_t faults = 0;
@@ -178,7 +234,40 @@ int main(int argc, char** argv) {
         core::to_string(policy), static_cast<unsigned long long>(output),
         output == expected ? "exact" : "MISMATCH!",
         to_seconds(w.sim.now()), static_cast<long long>(faults));
+
+    StatsRegistry merged;
+    for (std::size_t n = 0; n < JoinWorld::kAppNodes + JoinWorld::kMemNodes;
+         ++n) {
+      merged.merge(w.cl->node(static_cast<net::NodeId>(n)).stats());
+    }
+    artifact.begin_object();
+    artifact.kv("policy", core::to_string(policy));
+    artifact.kv("output", static_cast<std::uint64_t>(output));
+    artifact.kv("exact", output == expected);
+    artifact.kv("virtual_s", to_seconds(w.sim.now()));
+    artifact.kv("pagefaults", faults);
+    obs::stats_json(artifact, merged);
+    artifact.end_object();
+
     if (output != expected) return 1;
+  }
+  artifact.end_array();
+  artifact.end_object();
+
+  if (trace && !trace_path.empty()) {
+    std::printf("%s chrome trace: %s\n",
+                trace->write_chrome_trace(trace_path) ? "wrote" : "FAILED",
+                trace_path.c_str());
+  }
+  if (sampler && !metrics_path.empty()) {
+    std::printf("%s metrics series: %s\n",
+                sampler->write_json(metrics_path) ? "wrote" : "FAILED",
+                metrics_path.c_str());
+  }
+  if (!json_path.empty()) {
+    std::printf("%s run summary: %s\n",
+                obs::write_file(json_path, artifact.str()) ? "wrote" : "FAILED",
+                json_path.c_str());
   }
   std::printf(
       "\nthe build table spilled past %lld kB/node into remote memory (or "

@@ -1,11 +1,16 @@
 #include "cluster/rpc_client.hpp"
 
+#include "obs/trace.hpp"
+
 namespace rms::cluster {
 
 sim::Task<RpcResult> RpcClient::call(net::Message msg) {
   const NodeId peer = msg.dst;
+  const Time started = node_.sim().now();
+  ++in_flight_;
   RpcResult res = co_await node_.request_with_deadline(
       std::move(msg), options_.deadline, options_.max_retries);
+  --in_flight_;
   retries_ += res.attempts - 1;
   // Every attempt but a successful last one expired its deadline.
   deadline_misses_ += res.ok() ? res.attempts - 1 : res.attempts;
@@ -15,6 +20,20 @@ sim::Task<RpcResult> RpcClient::call(net::Message msg) {
     ++failed_calls_;
     ++consecutive_failures_[peer];
     if (on_failure_) on_failure_(peer);
+  }
+  const Time ended = node_.sim().now();
+  latency_ms_->add(to_millis(ended - started));
+  if (options_.trace != nullptr) {
+    options_.trace->span(obs::EventKind::kRpc, node_.id(), started, ended,
+                         peer, res.attempts);
+    if (res.attempts > 1) {
+      options_.trace->instant(obs::EventKind::kRpcRetry, node_.id(), ended,
+                              peer, res.attempts - 1);
+    }
+    if (!res.ok()) {
+      options_.trace->instant(obs::EventKind::kRpcFailed, node_.id(), ended,
+                              peer, res.attempts);
+    }
   }
   co_return res;
 }

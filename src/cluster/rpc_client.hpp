@@ -19,6 +19,10 @@
 #include "cluster/cluster.hpp"
 #include "sim/task.hpp"
 
+namespace rms::obs {
+class TraceRecorder;
+}
+
 namespace rms::cluster {
 
 /// Per-traffic-class RPC policy knobs.
@@ -27,6 +31,9 @@ struct RpcOptions {
   Time deadline = msec(2000);
   /// Retries beyond the first attempt before the call is declared failed.
   int max_retries = 2;
+  /// Optional trace sink (null: no tracing). Each call records a span plus
+  /// retry/failure instants on the caller's node track.
+  obs::TraceRecorder* trace = nullptr;
 };
 
 class RpcClient {
@@ -34,6 +41,7 @@ class RpcClient {
   RpcClient(Node& node, RpcOptions options)
       : node_(node), options_(options) {
     RMS_CHECK(options_.deadline > 0 && options_.max_retries >= 0);
+    latency_ms_ = node_.stats().histogram_mut("rpc.latency_ms");
   }
 
   RpcClient(const RpcClient&) = delete;
@@ -66,6 +74,9 @@ class RpcClient {
     const auto it = consecutive_failures_.find(peer);
     return it == consecutive_failures_.end() ? 0 : it->second;
   }
+  /// Calls issued but not yet returned (a metrics gauge: visible spikes
+  /// during retry storms).
+  std::int64_t in_flight() const { return in_flight_; }
 
  private:
   Node& node_;
@@ -74,6 +85,8 @@ class RpcClient {
   std::int64_t retries_ = 0;
   std::int64_t deadline_misses_ = 0;
   std::int64_t failed_calls_ = 0;
+  std::int64_t in_flight_ = 0;
+  Histogram* latency_ms_ = nullptr;  // node stats "rpc.latency_ms"
   std::unordered_map<NodeId, int> consecutive_failures_;
 };
 

@@ -3,6 +3,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cmath>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -98,16 +99,25 @@ class Histogram {
   static constexpr double kGrowth = 1.07;
   static constexpr std::size_t kBuckets = 310;
 
+  // log(kGrowth) is not constexpr-computable portably; cache it (and its
+  // reciprocal, so bucket_of does a single log) in function-local statics.
+  static double log_growth() {
+    static const double v = std::log(kGrowth);
+    return v;
+  }
+  static double inv_log_growth() {
+    static const double v = 1.0 / std::log(kGrowth);
+    return v;
+  }
+
   static std::size_t bucket_of(double v) {
     if (v <= kMin) return 0;
-    const double idx =
-        __builtin_log(v / kMin) / __builtin_log(kGrowth);
+    const double idx = std::log(v / kMin) * inv_log_growth();
     const auto b = static_cast<std::size_t>(idx) + 1;
     return b >= kBuckets ? kBuckets - 1 : b;
   }
   static double upper_edge(std::size_t b) {
-    return kMin * __builtin_exp(static_cast<double>(b) *
-                                __builtin_log(kGrowth));
+    return kMin * std::exp(static_cast<double>(b) * log_growth());
   }
 
   std::uint64_t total_ = 0;
@@ -138,6 +148,12 @@ class StatsRegistry {
   /// `sample`; use for latency distributions worth quantiles).
   void record(const std::string& name, double v) { histograms_[name].add(v); }
 
+  /// Stable pointer to a named histogram for hot-path recording (std::map
+  /// node stability, as with slot()). Invalidated by clear().
+  Histogram* histogram_mut(const std::string& name) {
+    return &histograms_[name];
+  }
+
   std::int64_t counter(const std::string& name) const {
     const auto it = counters_.find(name);
     return it == counters_.end() ? 0 : it->second;
@@ -160,6 +176,9 @@ class StatsRegistry {
   }
   const std::map<std::string, Summary>& summaries() const {
     return summaries_;
+  }
+  const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
   }
 
   void merge(const StatsRegistry& other) {

@@ -1,5 +1,7 @@
 #include "core/availability.hpp"
 
+#include <algorithm>
+
 #include "cluster/rpc_client.hpp"
 
 namespace rms::core {
@@ -68,6 +70,16 @@ Time AvailabilityTable::last_update(net::NodeId node) const {
   const auto it = entries_.find(node);
   if (it == entries_.end() || !it->second.valid) return -1;
   return it->second.updated;
+}
+
+Time AvailabilityTable::oldest_report_age(Time now) const {
+  Time oldest = 0;
+  for (const net::NodeId n : memory_nodes_) {
+    const auto it = entries_.find(n);
+    if (it == entries_.end() || !it->second.valid || it->second.dead) continue;
+    oldest = std::max(oldest, now - it->second.updated);
+  }
+  return oldest;
 }
 
 void AvailabilityTable::debit(net::NodeId node, std::int64_t bytes) {

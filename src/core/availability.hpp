@@ -60,6 +60,10 @@ class AvailabilityTable {
   bool dead(net::NodeId node) const;
   /// Time of the last accepted report (-1 before the first one).
   Time last_update(net::NodeId node) const;
+  /// Heartbeat staleness: age of the oldest accepted report across live
+  /// memory nodes (0 when nothing has reported). A metrics gauge — a rising
+  /// value means monitors have gone quiet.
+  Time oldest_report_age(Time now) const;
 
   /// Debit a local estimate after choosing a destination, so many swap-outs
   /// between two monitor reports do not all pile onto one node.

@@ -30,6 +30,8 @@ class DiskBackend final : public SwapBackend {
   /// Disk lines stream back sequentially (the swap area is contiguous).
   sim::Task<> collect_finish() override;
 
+  std::size_t disk_lines() const override { return disk_store_.size(); }
+
   void check_invariants() const override;
 
  private:

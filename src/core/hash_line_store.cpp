@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/swap_backend.hpp"
+#include "obs/trace.hpp"
 
 namespace rms::core {
 
@@ -39,6 +40,22 @@ std::size_t HashLineStore::lines_at(net::NodeId holder) const {
 
 std::size_t HashLineStore::replicas_at(net::NodeId holder) const {
   return backend_ ? backend_->replicas_at(holder) : 0;
+}
+
+std::size_t HashLineStore::remote_lines() const {
+  return backend_ ? backend_->remote_lines() : 0;
+}
+
+std::size_t HashLineStore::disk_lines() const {
+  return backend_ ? backend_->disk_lines() : 0;
+}
+
+std::int64_t HashLineStore::remote_held_bytes() const {
+  return backend_ ? backend_->remote_held_bytes() : 0;
+}
+
+std::int64_t HashLineStore::outstanding_rpcs() const {
+  return backend_ ? backend_->outstanding_rpcs() : 0;
 }
 
 void HashLineStore::check_invariants() const {
@@ -203,6 +220,10 @@ void HashLineStore::orphan_accounting(LineId id) {
   ++failover_.orphaned_lines;
   failover_.orphaned_entries += lost_entries;
   node_.stats().bump("store.orphaned_lines");
+  if (config_.trace != nullptr) {
+    config_.trace->instant(obs::EventKind::kOrphan, node_.id(),
+                           node_.sim().now(), id, lost_entries);
+  }
   l.bytes = 0;
   l.entries.clear();
   l.holder = -1;
@@ -374,7 +395,12 @@ sim::Task<> HashLineStore::evict(LineId id) {
   ++*swap_outs_;
   lru_remove(id);
   resident_bytes_ -= l.bytes;
+  const Time started = node_.sim().now();
   co_await backend_->swap_out(id);
+  if (config_.trace != nullptr) {
+    config_.trace->span(obs::EventKind::kSwapOut, node_.id(), started,
+                        node_.sim().now(), id, l.bytes);
+  }
 }
 
 sim::Task<> HashLineStore::fault_in(LineId id) {
@@ -396,6 +422,10 @@ sim::Task<> HashLineStore::fault_in(LineId id) {
   const double fault_ms = to_millis(node_.sim().now() - started);
   node_.stats().sample("store.fault_ms", fault_ms);
   node_.stats().record("store.fault_ms", fault_ms);
+  if (config_.trace != nullptr) {
+    config_.trace->span(obs::EventKind::kFaultIn, node_.id(), started,
+                        node_.sim().now(), id, l.bytes);
+  }
 }
 
 }  // namespace rms::core

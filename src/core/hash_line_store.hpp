@@ -53,6 +53,10 @@
 #include "sim/sync.hpp"
 #include "sim/task.hpp"
 
+namespace rms::obs {
+class TraceRecorder;
+}
+
 namespace rms::core {
 
 class SwapBackend;
@@ -89,6 +93,10 @@ class HashLineStore {
     /// Retries beyond the first attempt (exponential backoff) before the
     /// peer is declared dead.
     int rpc_max_retries = 2;
+    /// Optional trace sink (null: tracing fully disabled). Spans for
+    /// swap-out / fault-in, instants for orphans and tiered spills; the
+    /// remote backend adds RPC/failover events. Must outlive the store.
+    obs::TraceRecorder* trace = nullptr;
   };
 
   /// kBuild: candidate generation (inserts; remote lines fault back even
@@ -172,6 +180,13 @@ class HashLineStore {
   }
   std::size_t lines_at(net::NodeId holder) const;
   std::size_t replicas_at(net::NodeId holder) const;
+  // Gauge-friendly residency breakdown (all O(1) or O(#holders); the
+  // MetricsSampler polls these every monitor interval).
+  std::size_t resident_lines() const { return resident_vec_.size(); }
+  std::size_t remote_lines() const;       // primaries parked in remote memory
+  std::size_t disk_lines() const;         // lines parked on the local disk
+  std::int64_t remote_held_bytes() const; // primary bytes held remotely
+  std::int64_t outstanding_rpcs() const;  // swap-path RPCs in flight
   const FailoverStats& failover() const { return failover_; }
   /// Store-owned registry: the residency core's counters ("store.*") plus
   /// the active backend's ("backend.<name>.*"), rendered uniformly by

@@ -2,13 +2,16 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
+
 namespace rms::core {
 
 MemoryServer::MemoryServer(cluster::Node& node, Config config)
     : node_(node),
       config_(config),
       migrate_rpc_(node, cluster::RpcOptions{config.migrate_push_deadline,
-                                             config.migrate_push_retries}) {
+                                             config.migrate_push_retries,
+                                             config.trace}) {
   // Crash-stop loses everything in RAM. The hook runs synchronously inside
   // Node::crash(); the serve loop itself stays suspended and abandons any
   // in-flight handler through the epoch check.
@@ -103,7 +106,17 @@ void MemoryServer::drop_replica(net::NodeId owner, LineId id) {
 sim::Process MemoryServer::serve() {
   for (;;) {
     net::Message msg = co_await node_.mailbox().recv(kMemService);
+    if (config_.trace == nullptr) {
+      co_await handle(std::move(msg), node_.epoch());
+      continue;
+    }
+    const auto& req = msg.as<MemRequest>();
+    const auto kind = static_cast<std::int64_t>(req.kind);
+    const std::int64_t owner = req.owner;
+    const Time started = node_.sim().now();
     co_await handle(std::move(msg), node_.epoch());
+    config_.trace->span(obs::EventKind::kServe, node_.id(), started,
+                        node_.sim().now(), kind, owner);
   }
 }
 

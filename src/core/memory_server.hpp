@@ -30,6 +30,10 @@
 #include "sim/process.hpp"
 #include "sim/task.hpp"
 
+namespace rms::obs {
+class TraceRecorder;
+}
+
 namespace rms::core {
 
 class MemoryServer {
@@ -41,6 +45,9 @@ class MemoryServer {
     /// directive replies ok=false with the partial `migrated` list.
     Time migrate_push_deadline = msec(2000);
     int migrate_push_retries = 1;
+    /// Optional trace sink (null: no tracing): a kServe span per handled
+    /// request on this server's node track. Must outlive the server.
+    obs::TraceRecorder* trace = nullptr;
   };
 
   explicit MemoryServer(cluster::Node& node) : MemoryServer(node, Config{}) {}

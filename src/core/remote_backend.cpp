@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <string>
 
+#include "obs/trace.hpp"
+
 namespace rms::core {
 
 namespace {
@@ -19,7 +21,8 @@ RemoteBackend::RemoteBackend(HashLineStore& store, Options options,
       name_(stat_ns),
       avail_(store.availability()),
       rpc_(store.node(), cluster::RpcOptions{store.config().rpc_deadline,
-                                             store.config().rpc_max_retries}),
+                                             store.config().rpc_max_retries,
+                                             store.config().trace}),
       fallback_(std::make_unique<DiskBackend>(store)),
       updates_sent_(&store.stats_mut().slot("store.updates_sent")),
       lines_migrated_(&store.stats_mut().slot("store.lines_migrated")),
@@ -42,6 +45,20 @@ std::size_t RemoteBackend::lines_at(net::NodeId holder) const {
 std::size_t RemoteBackend::replicas_at(net::NodeId holder) const {
   const auto it = replicas_by_holder_.find(holder);
   return it == replicas_by_holder_.end() ? 0 : it->second.size();
+}
+
+std::size_t RemoteBackend::remote_lines() const {
+  std::size_t n = 0;
+  for (const auto& [holder, ids] : lines_by_holder_) n += ids.size();
+  return n;
+}
+
+std::size_t RemoteBackend::disk_lines() const {
+  return fallback_->disk_lines();
+}
+
+std::int64_t RemoteBackend::outstanding_rpcs() const {
+  return rpc_.in_flight();
 }
 
 void RemoteBackend::hold_insert(net::NodeId holder, LineId id) {
@@ -74,6 +91,10 @@ void RemoteBackend::declare_dead(net::NodeId holder) {
   ++failover().suspicions;
   node_.stats().bump("store.suspicions");
   if (avail_ != nullptr && !avail_->dead(holder)) avail_->mark_dead(holder);
+  if (obs::TraceRecorder* trace = store_.config().trace) {
+    trace->instant(obs::EventKind::kSuspicion, node_.id(), node_.sim().now(),
+                   holder);
+  }
 }
 
 bool RemoteBackend::holder_suspect(net::NodeId holder) {
@@ -133,6 +154,10 @@ sim::Task<> RemoteBackend::recover_lost_line(LineId id) {
           hold_insert(backup, id);
           ++failover().promoted_lines;
           node_.stats().bump("store.replica_promotions");
+          if (obs::TraceRecorder* trace = store_.config().trace) {
+            trace->instant(obs::EventKind::kPromote, node_.id(),
+                           node_.sim().now(), id, backup);
+          }
           co_return;
         }
         // The backup restarted and lost the replica too: fall through.
@@ -168,6 +193,10 @@ sim::Task<> RemoteBackend::swap_out(LineId id) {
     ++failover().degraded_evictions;
     ++*degraded_;
     node_.stats().bump("store.degraded_disk_swap");
+    if (obs::TraceRecorder* trace = store_.config().trace) {
+      trace->instant(obs::EventKind::kDegraded, node_.id(), node_.sim().now(),
+                     id, l.bytes);
+    }
     co_await fallback_->swap_out(id);
     co_return;
   }
@@ -197,6 +226,10 @@ sim::Task<> RemoteBackend::swap_out(LineId id) {
     replicas_by_holder_[backup].insert(id);
     ++failover().replicas_stored;
     node_.stats().bump("store.replica_stores");
+    if (obs::TraceRecorder* trace = store_.config().trace) {
+      trace->instant(obs::EventKind::kReplicaStore, node_.id(),
+                     node_.sim().now(), id, backup);
+    }
   }
 
   payload.entries = std::move(l.entries);
@@ -335,6 +368,10 @@ sim::Task<> RemoteBackend::send_update_batch(net::NodeId holder) {
     co_return;
   }
   node_.stats().bump("store.update_batches");
+  if (obs::TraceRecorder* trace = store_.config().trace) {
+    trace->instant(obs::EventKind::kUpdateBatch, node_.id(), node_.sim().now(),
+                   holder, ops);
+  }
   node_.send_to(holder, kMemService, bytes, std::move(req));
   co_await node_.compute(node_.costs().per_message_cpu);
 }
@@ -467,6 +504,7 @@ sim::Task<> RemoteBackend::migrate_away(net::NodeId holder) {
   }
   if (marked.empty()) co_return;
   std::sort(marked.begin(), marked.end());
+  const Time migrate_started = node_.sim().now();
 
   // 2. Updates already queued for the old holder must precede the directive
   //    (same-pair FIFO keeps them ahead of it on the wire). With the lines
@@ -540,6 +578,11 @@ sim::Task<> RemoteBackend::migrate_away(net::NodeId holder) {
     }
   }
   *lines_migrated_ += static_cast<std::int64_t>(moved.size());
+  if (obs::TraceRecorder* trace = store_.config().trace) {
+    trace->span(obs::EventKind::kMigrate, node_.id(), migrate_started,
+                node_.sim().now(), holder,
+                static_cast<std::int64_t>(moved.size()));
+  }
 
   if (!rep.ok) {
     // Recover the lines stranded at the dead destination (promote backups

@@ -54,6 +54,10 @@ class RemoteBackend : public SwapBackend {
 
   std::size_t lines_at(net::NodeId holder) const override;
   std::size_t replicas_at(net::NodeId holder) const override;
+  std::size_t remote_lines() const override;
+  std::size_t disk_lines() const override;
+  std::int64_t remote_held_bytes() const override { return remote_bytes_; }
+  std::int64_t outstanding_rpcs() const override;
   void check_invariants() const override;
 
  protected:

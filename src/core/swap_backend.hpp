@@ -93,6 +93,12 @@ class SwapBackend {
   // ---- Introspection ----
   virtual std::size_t lines_at(net::NodeId holder) const;
   virtual std::size_t replicas_at(net::NodeId holder) const;
+  /// Gauge-friendly residency breakdown (cheap; polled by the metrics
+  /// sampler). Defaults cover backends without that tier.
+  virtual std::size_t remote_lines() const { return 0; }
+  virtual std::size_t disk_lines() const { return 0; }
+  virtual std::int64_t remote_held_bytes() const { return 0; }
+  virtual std::int64_t outstanding_rpcs() const { return 0; }
   /// Backend-side consistency checks, called from
   /// HashLineStore::check_invariants(). Aborts on violation.
   virtual void check_invariants() const {}

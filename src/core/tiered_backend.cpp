@@ -1,5 +1,7 @@
 #include "core/tiered_backend.hpp"
 
+#include "obs/trace.hpp"
+
 namespace rms::core {
 
 TieredBackend::TieredBackend(HashLineStore& store)
@@ -15,6 +17,10 @@ sim::Task<> TieredBackend::swap_out(LineId id) {
     // budget frees up as probes fault remote lines back home.
     ++*budget_spills_;
     node_.stats().bump("store.tiered_budget_spill");
+    if (obs::TraceRecorder* trace = store_.config().trace) {
+      trace->instant(obs::EventKind::kTieredSpill, node_.id(),
+                     node_.sim().now(), id, bytes);
+    }
     co_await disk().swap_out(id);
     co_return;
   }

@@ -8,6 +8,8 @@
 #include "core/hash_line_store.hpp"
 #include "core/memory_server.hpp"
 #include "core/protocol.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/process.hpp"
 #include "sim/simulation.hpp"
 #include "sim/sync.hpp"
@@ -161,6 +163,17 @@ class Runner {
 
   void generate_candidates(std::size_t k);
   void finish_pass_report(std::size_t k);
+  /// A kBarrier instant on this node's track as it arrives at a phase
+  /// barrier — the skew between the first and last arrival is the
+  /// load-imbalance the paper's Table 3/4 discussion is about.
+  void barrier_instant(std::size_t idx, std::size_t k) {
+    if (cfg_.trace != nullptr) {
+      cfg_.trace->instant(obs::EventKind::kBarrier,
+                          static_cast<std::int32_t>(app_id(idx)), sim_.now(),
+                          static_cast<std::int64_t>(k));
+    }
+  }
+  void register_gauges();
 
   const HpaConfig& cfg_;
   std::vector<std::size_t> cuts_;  // weighted-partition residue cuts
@@ -314,6 +327,7 @@ sim::Task<> Runner::build_store(std::size_t idx, std::size_t k) {
   scfg.replicate_k = cfg_.replicate_k;
   scfg.rpc_deadline = cfg_.rpc_deadline;
   scfg.rpc_max_retries = cfg_.rpc_max_retries;
+  scfg.trace = cfg_.trace;
   stores_[idx] = std::make_unique<core::HashLineStore>(node, scfg,
                                                        avail_[idx].get());
 
@@ -511,6 +525,17 @@ void Runner::finish_pass_report(std::size_t k) {
     rep.swap_outs_per_node[i] = stores_[i]->swap_outs();
     rep.updates_per_node[i] = stores_[i]->updates_sent();
   }
+  if (cfg_.trace != nullptr) {
+    const auto kk = static_cast<std::int64_t>(k);
+    const auto t = obs::TraceRecorder::kPhaseTrack;
+    cfg_.trace->span(obs::EventKind::kPass, t, pass_start_, sim_.now(), kk);
+    cfg_.trace->span(obs::EventKind::kBuildPhase, t, build_start_,
+                     count_start_, kk);
+    cfg_.trace->span(obs::EventKind::kCountPhase, t, count_start_,
+                     determine_start_, kk);
+    cfg_.trace->span(obs::EventKind::kDeterminePhase, t, determine_start_,
+                     determine_end_, kk);
+  }
 }
 
 sim::Process Runner::app_main(std::size_t idx) {
@@ -523,6 +548,10 @@ sim::Process Runner::app_main(std::size_t idx) {
   co_await barrier_->arrive();
   if (idx == 0) {
     result_.passes.back().duration = sim_.now() - pass_start_;
+    if (cfg_.trace != nullptr) {
+      cfg_.trace->span(obs::EventKind::kPass, obs::TraceRecorder::kPhaseTrack,
+                       pass_start_, sim_.now(), 1);
+    }
   }
 
   for (std::size_t k = 2; k <= cfg_.max_k; ++k) {
@@ -548,6 +577,7 @@ sim::Process Runner::app_main(std::size_t idx) {
 
     if (idx == 0) build_start_ = sim_.now();
     co_await build_store(idx, k);
+    barrier_instant(idx, k);
     co_await barrier_->arrive();
     if (cfg_.validate_invariants) stores_[idx]->check_invariants();
 
@@ -557,11 +587,13 @@ sim::Process Runner::app_main(std::size_t idx) {
     sim::Process receiver = sim_.spawn(count_receiver(idx, k));
     co_await sender;
     co_await receiver;
+    barrier_instant(idx, k);
     co_await barrier_->arrive();
     if (cfg_.validate_invariants) stores_[idx]->check_invariants();
 
     if (idx == 0) determine_start_ = sim_.now();
     co_await determine_large(idx, k);
+    barrier_instant(idx, k);
     co_await barrier_->arrive();
     if (idx == 0) determine_end_ = sim_.now();
 
@@ -628,8 +660,10 @@ HpaResult Runner::run() {
   servers_.resize(cfg_.memory_nodes);
   for (std::size_t i = 0; i < cfg_.memory_nodes; ++i) {
     Node& node = cluster_->node(mem_id(i));
-    servers_[i] = std::make_unique<core::MemoryServer>(
-        node, core::MemoryServer::Config{cfg_.message_block_bytes});
+    core::MemoryServer::Config mscfg;
+    mscfg.message_block_bytes = cfg_.message_block_bytes;
+    mscfg.trace = cfg_.trace;
+    servers_[i] = std::make_unique<core::MemoryServer>(node, mscfg);
     sim_.spawn(servers_[i]->serve());
     sim_.spawn(core::availability_monitor(
         node, core::MonitorConfig{cfg_.monitor_interval, app_ids}));
@@ -684,6 +718,11 @@ HpaResult Runner::run() {
     plan.install(*cluster_);
   }
 
+  if (cfg_.metrics != nullptr) {
+    register_gauges();
+    sim_.spawn(obs::sample_process(sim_, *cfg_.metrics));
+  }
+
   for (std::size_t i = 0; i < cfg_.app_nodes; ++i) {
     sim_.spawn(app_main(i));
   }
@@ -717,7 +756,58 @@ HpaResult Runner::run() {
   // Destroy still-suspended daemon frames (monitors, servers) while the
   // cluster objects their locals reference are alive.
   sim_.shutdown();
+  // The gauges registered above capture this Runner; drop them before the
+  // captured state dies with us (the recorded series stays).
+  if (cfg_.metrics != nullptr) cfg_.metrics->clear_gauges();
   return result_;
+}
+
+void Runner::register_gauges() {
+  obs::MetricsSampler& m = *cfg_.metrics;
+  m.set_interval(cfg_.monitor_interval);
+  // Per-application-node residency and RPC gauges. Stores are rebuilt each
+  // pass and torn down at pass end, so every callback null-checks.
+  for (std::size_t i = 0; i < cfg_.app_nodes; ++i) {
+    const auto node = static_cast<std::int32_t>(app_id(i));
+    const auto store_gauge = [this, i](auto fn) {
+      return [this, i, fn]() -> double {
+        return stores_[i] ? fn(*stores_[i]) : 0.0;
+      };
+    };
+    m.add_gauge("resident_bytes", node, store_gauge([](const auto& s) {
+      return static_cast<double>(s.resident_bytes());
+    }));
+    m.add_gauge("remote_held_bytes", node, store_gauge([](const auto& s) {
+      return static_cast<double>(s.remote_held_bytes());
+    }));
+    m.add_gauge("lines_resident", node, store_gauge([](const auto& s) {
+      return static_cast<double>(s.resident_lines());
+    }));
+    m.add_gauge("lines_remote", node, store_gauge([](const auto& s) {
+      return static_cast<double>(s.remote_lines());
+    }));
+    m.add_gauge("lines_disk", node, store_gauge([](const auto& s) {
+      return static_cast<double>(s.disk_lines());
+    }));
+    m.add_gauge("outstanding_rpcs", node, store_gauge([](const auto& s) {
+      return static_cast<double>(s.outstanding_rpcs());
+    }));
+    m.add_gauge("heartbeat_staleness_s", node, [this, i]() -> double {
+      return to_seconds(avail_[i]->oldest_report_age(sim_.now()));
+    });
+  }
+  // Per-memory-node donation (how much RAM the node is lending out).
+  for (std::size_t i = 0; i < cfg_.memory_nodes; ++i) {
+    const auto node = static_cast<std::int32_t>(mem_id(i));
+    m.add_gauge("donated_bytes", node, [this, i]() -> double {
+      return static_cast<double>(
+          cluster_->node(mem_id(i)).memory().donated_bytes);
+    });
+  }
+  // Cluster-wide: kernel event throughput (a cheap progress heartbeat).
+  m.add_gauge("executed_events", -1, [this]() -> double {
+    return static_cast<double>(sim_.executed_events());
+  });
 }
 
 }  // namespace

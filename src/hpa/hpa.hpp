@@ -25,6 +25,11 @@
 #include "mining/apriori.hpp"
 #include "mining/generator.hpp"
 
+namespace rms::obs {
+class TraceRecorder;
+class MetricsSampler;
+}
+
 namespace rms::hpa {
 
 struct HpaConfig {
@@ -103,6 +108,16 @@ struct HpaConfig {
   /// Reuse a pre-generated database (the benches sweep many configurations
   /// over one workload); when null the workload parameters generate one.
   const mining::TransactionDb* shared_db = nullptr;
+
+  // ---- observability (all null by default: zero-cost when disabled) ----
+  /// Trace sink: swap/RPC/failover spans plus per-pass phase spans. Must
+  /// outlive the run. Recording is passive — virtual-time results are
+  /// bit-identical with or without it.
+  obs::TraceRecorder* trace = nullptr;
+  /// Gauge sampler: per-node residency/RPC/staleness time-series at
+  /// `monitor_interval` granularity. The runner registers its gauges, spawns
+  /// the sampling process, and clears the gauges before returning.
+  obs::MetricsSampler* metrics = nullptr;
 };
 
 struct PassReport {

@@ -37,6 +37,21 @@ void print_report(const HpaResult& result) {
     std::printf("  %s = %lld\n", name.c_str(), static_cast<long long>(value));
   }
 
+  // Latency distributions (RPC, fault-in) — the percentiles the paper's
+  // latency argument actually turns on.
+  bool hist_header = false;
+  for (const auto& [name, h] : result.stats.histograms()) {
+    if (h.count() == 0) continue;
+    if (!hist_header) {
+      std::printf("latency histograms [ms]:\n");
+      hist_header = true;
+    }
+    std::printf("  %-20s n=%-10llu p50=%-9.3f p95=%-9.3f p99=%-9.3f max=%.3f\n",
+                name.c_str(), static_cast<unsigned long long>(h.count()),
+                h.percentile(0.50), h.percentile(0.95), h.percentile(0.99),
+                h.summary().max());
+  }
+
   const core::FailoverStats& f = result.failover;
   if (f.any()) {
     std::printf(

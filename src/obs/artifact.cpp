@@ -1,0 +1,247 @@
+#include "obs/artifact.hpp"
+
+#include <cstdio>
+#include <utility>
+
+#include "hpa/report.hpp"
+#include "obs/json.hpp"
+
+namespace rms::obs {
+
+void stats_json(JsonWriter& w, const StatsRegistry& stats) {
+  w.key("counters");
+  w.begin_object();
+  for (const auto& [name, value] : stats.counters()) {
+    if (value == 0) continue;
+    w.kv(name, value);
+  }
+  w.end_object();
+
+  w.key("summaries");
+  w.begin_object();
+  for (const auto& [name, s] : stats.summaries()) {
+    if (s.count() == 0) continue;
+    w.key(name);
+    w.begin_object();
+    w.kv("count", s.count());
+    w.kv("sum", s.sum());
+    w.kv("min", s.min());
+    w.kv("max", s.max());
+    w.kv("mean", s.mean());
+    w.end_object();
+  }
+  w.end_object();
+
+  w.key("histograms");
+  w.begin_object();
+  for (const auto& [name, h] : stats.histograms()) {
+    if (h.count() == 0) continue;
+    w.key(name);
+    w.begin_object();
+    w.kv("count", h.count());
+    w.kv("p50", h.percentile(0.50));
+    w.kv("p95", h.percentile(0.95));
+    w.kv("p99", h.percentile(0.99));
+    w.kv("mean", h.summary().mean());
+    w.kv("max", h.summary().max());
+    w.end_object();
+  }
+  w.end_object();
+}
+
+namespace {
+
+void config_json(JsonWriter& w, const hpa::HpaConfig& cfg) {
+  w.begin_object();
+  w.kv("description", hpa::describe(cfg));
+  w.kv("app_nodes", static_cast<std::uint64_t>(cfg.app_nodes));
+  w.kv("memory_nodes", static_cast<std::uint64_t>(cfg.memory_nodes));
+  w.kv("policy", core::to_string(cfg.policy));
+  w.kv("memory_limit_bytes", cfg.memory_limit_bytes);
+  w.kv("tiered_remote_budget_bytes", cfg.tiered_remote_budget_bytes);
+  w.kv("min_support", cfg.min_support);
+  w.kv("num_transactions", cfg.workload.num_transactions);
+  w.kv("hash_lines", static_cast<std::uint64_t>(cfg.hash_lines));
+  w.kv("message_block_bytes", cfg.message_block_bytes);
+  w.kv("monitor_interval_s", to_seconds(cfg.monitor_interval));
+  w.kv("replicate_k", cfg.replicate_k);
+  w.kv("remote_determination", cfg.remote_determination);
+  w.kv("crashes", static_cast<std::uint64_t>(cfg.crashes.size()));
+  w.kv("withdrawals", static_cast<std::uint64_t>(cfg.withdrawals.size()));
+  w.end_object();
+}
+
+void per_node_json(JsonWriter& w, std::string_view key,
+                   const std::vector<std::int64_t>& values) {
+  w.key(key);
+  w.begin_array();
+  for (const std::int64_t v : values) w.value(v);
+  w.end_array();
+}
+
+void pass_json(JsonWriter& w, const hpa::PassReport& p) {
+  w.begin_object();
+  w.kv("k", static_cast<std::uint64_t>(p.k));
+  w.kv("candidates", p.candidates_global);
+  w.kv("large", p.large_global);
+  w.kv("duration_s", to_seconds(p.duration));
+  w.kv("build_s", to_seconds(p.build_time));
+  w.kv("count_s", to_seconds(p.count_time));
+  w.kv("determine_s", to_seconds(p.determine_time));
+  w.kv("max_pagefaults", p.max_pagefaults());
+  per_node_json(w, "candidates_per_node", p.candidates_per_node);
+  per_node_json(w, "pagefaults_per_node", p.pagefaults_per_node);
+  per_node_json(w, "swap_outs_per_node", p.swap_outs_per_node);
+  per_node_json(w, "updates_per_node", p.updates_per_node);
+  w.end_object();
+}
+
+void failover_json(JsonWriter& w, const core::FailoverStats& f) {
+  w.begin_object();
+  w.kv("suspicions", f.suspicions);
+  w.kv("rpc_retries", f.rpc_retries);
+  w.kv("deadline_misses", f.deadline_misses);
+  w.kv("orphaned_lines", f.orphaned_lines);
+  w.kv("orphaned_entries", f.orphaned_entries);
+  w.kv("promoted_lines", f.promoted_lines);
+  w.kv("degraded_evictions", f.degraded_evictions);
+  w.kv("replicas_stored", f.replicas_stored);
+  w.kv("updates_mirrored", f.updates_mirrored);
+  w.kv("lost_update_ops", f.lost_update_ops);
+  w.end_object();
+}
+
+void metrics_run_json(JsonWriter& w, const MetricsSampler::Run& run) {
+  w.begin_object();
+  w.key("series");
+  w.begin_array();
+  for (const MetricsSampler::Series& s : run.series) {
+    w.begin_object();
+    w.kv("name", s.name);
+    w.kv("node", s.node);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("t_s");
+  w.begin_array();
+  for (const Time t : run.at) w.value(to_seconds(t));
+  w.end_array();
+  w.key("samples");
+  w.begin_array();
+  for (const std::vector<double>& row : run.rows) {
+    w.begin_array();
+    for (const double v : row) w.value(v);
+    w.end_array();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+}  // namespace
+
+RunObserver::RunObserver(Paths paths) : paths_(std::move(paths)) {
+  if (!paths_.trace.empty()) trace_ = std::make_unique<TraceRecorder>();
+  // The artifact embeds the sampled series, so --json-out alone still
+  // enables the sampler (gauge reads are O(nodes) per interval — cheap).
+  if (!paths_.metrics.empty() || !paths_.artifact.empty()) {
+    metrics_ = std::make_unique<MetricsSampler>();
+  }
+}
+
+std::unique_ptr<RunObserver> RunObserver::from_paths(Paths paths) {
+  if (paths.trace.empty() && paths.metrics.empty() && paths.artifact.empty()) {
+    return nullptr;
+  }
+  return std::make_unique<RunObserver>(std::move(paths));
+}
+
+void RunObserver::begin_run(hpa::HpaConfig& cfg, const std::string& label) {
+  cfg.trace = trace_.get();
+  cfg.metrics = metrics_.get();
+  if (trace_) trace_->begin_run(label);
+  if (metrics_) metrics_->begin_run(label);
+  RunRecord rec;
+  rec.label = label;
+  rec.config = cfg;
+  rec.config.shared_db = nullptr;
+  rec.config.trace = nullptr;
+  rec.config.metrics = nullptr;
+  runs_.push_back(std::move(rec));
+}
+
+void RunObserver::end_run(const hpa::HpaResult& result) {
+  RMS_CHECK_MSG(!runs_.empty(), "end_run without begin_run");
+  RunRecord& rec = runs_.back();
+  rec.have_result = true;
+  rec.passes = result.passes;
+  rec.total_time = result.total_time;
+  rec.stats = result.stats;
+  rec.failover = result.failover;
+}
+
+std::string RunObserver::artifact_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("schema", "rmswap.run_artifact/v1");
+  w.key("runs");
+  w.begin_array();
+  for (std::size_t i = 0; i < runs_.size(); ++i) {
+    const RunRecord& rec = runs_[i];
+    w.begin_object();
+    w.kv("label", rec.label);
+    w.key("config");
+    config_json(w, rec.config);
+    w.kv("completed", rec.have_result);
+    if (rec.have_result) {
+      w.kv("total_time_s", to_seconds(rec.total_time));
+      w.key("passes");
+      w.begin_array();
+      for (const hpa::PassReport& p : rec.passes) pass_json(w, p);
+      w.end_array();
+      stats_json(w, rec.stats);
+      w.key("failover");
+      failover_json(w, rec.failover);
+    }
+    if (metrics_ && i < metrics_->runs().size()) {
+      w.key("metrics");
+      metrics_run_json(w, metrics_->runs()[i]);
+    }
+    w.end_object();
+  }
+  w.end_array();
+  if (trace_) {
+    w.key("trace");
+    w.begin_object();
+    w.kv("recorded", trace_->recorded());
+    w.kv("dropped", trace_->dropped());
+    w.end_object();
+  }
+  w.end_object();
+  return w.str();
+}
+
+bool RunObserver::write() const {
+  bool ok = true;
+  const auto emit = [&ok](const char* what, const std::string& path,
+                          bool wrote) {
+    if (wrote) {
+      std::printf("wrote %s: %s\n", what, path.c_str());
+    } else {
+      std::fprintf(stderr, "FAILED writing %s: %s\n", what, path.c_str());
+      ok = false;
+    }
+  };
+  if (trace_ && !paths_.trace.empty()) {
+    emit("chrome trace", paths_.trace, trace_->write_chrome_trace(paths_.trace));
+  }
+  if (metrics_ && !paths_.metrics.empty()) {
+    emit("metrics series", paths_.metrics, metrics_->write_json(paths_.metrics));
+  }
+  if (!paths_.artifact.empty()) {
+    emit("run artifact", paths_.artifact,
+         write_file(paths_.artifact, artifact_json()));
+  }
+  return ok;
+}
+
+}  // namespace rms::obs

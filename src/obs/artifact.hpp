@@ -1,0 +1,88 @@
+// RunObserver / run-artifact export: machine-readable results for the bench
+// harnesses.
+//
+// The benches print paper-style tables; trajectory tracking (BENCH_*.json,
+// CI smoke checks, plotting) needs the same data as stable JSON. A
+// RunObserver owns the optional TraceRecorder and MetricsSampler for a bench
+// invocation, stamps them into each run's HpaConfig, snapshots every
+// HpaResult, and at exit writes up to three files:
+//
+//   --trace-out    Chrome trace_event JSON (chrome://tracing / Perfetto)
+//   --metrics-out  per-node gauge time-series ("rmswap.metrics/v1")
+//   --json-out     run artifact ("rmswap.run_artifact/v1"): per-pass
+//                  reports, StatsRegistry counters / summaries / histogram
+//                  percentiles, failover stats, and the sampled time-series
+//
+// Unlike trace.hpp / metrics.hpp (which depend only on common/ and sim/),
+// this layer knows about hpa:: — it is sibling tooling over the application
+// layer, not part of the core stack.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hpa/hpa.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace rms::obs {
+
+class JsonWriter;
+
+/// Serialize a StatsRegistry: counters (non-zero), summaries, and histogram
+/// percentiles (p50/p95/p99/max), as three keyed objects appended to the
+/// currently-open JSON object. Shared by the run artifact and the examples.
+void stats_json(JsonWriter& w, const StatsRegistry& stats);
+
+class RunObserver {
+ public:
+  struct Paths {
+    std::string trace;     // empty: no trace recording at all
+    std::string metrics;   // metrics series file (optional)
+    std::string artifact;  // run-artifact file (optional)
+  };
+
+  explicit RunObserver(Paths paths);
+
+  RunObserver(const RunObserver&) = delete;
+  RunObserver& operator=(const RunObserver&) = delete;
+
+  /// Null unless at least one output path was requested.
+  static std::unique_ptr<RunObserver> from_paths(Paths paths);
+
+  /// Open a run section: stamps cfg.trace / cfg.metrics and remembers the
+  /// label + configuration for the artifact.
+  void begin_run(hpa::HpaConfig& cfg, const std::string& label);
+
+  /// Snapshot one finished run's result for the artifact.
+  void end_run(const hpa::HpaResult& result);
+
+  /// Emit every requested file; prints one line per file written. Returns
+  /// false if any write failed.
+  bool write() const;
+
+  /// The artifact JSON (exposed for tests).
+  std::string artifact_json() const;
+
+  TraceRecorder* trace() { return trace_.get(); }
+  MetricsSampler* metrics() { return metrics_.get(); }
+
+ private:
+  struct RunRecord {
+    std::string label;
+    hpa::HpaConfig config;  // shared_db/trace/metrics pointers not serialized
+    bool have_result = false;
+    std::vector<hpa::PassReport> passes;
+    Time total_time = 0;
+    StatsRegistry stats;
+    core::FailoverStats failover;
+  };
+
+  Paths paths_;
+  std::unique_ptr<TraceRecorder> trace_;
+  std::unique_ptr<MetricsSampler> metrics_;
+  std::vector<RunRecord> runs_;
+};
+
+}  // namespace rms::obs

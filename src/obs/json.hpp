@@ -1,0 +1,147 @@
+// Minimal streaming JSON writer for the observability exporters.
+//
+// The trace, metrics, and run-artifact files are plain JSON consumed by
+// chrome://tracing / Perfetto and by the trajectory-tracking tooling
+// (tools/check_artifact.py). No external JSON dependency exists in the
+// container, so this is a tiny hand-rolled emitter: comma placement is
+// tracked with a nesting stack, strings are escaped, and non-finite doubles
+// degrade to null (JSON has no NaN/Inf).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace rms::obs {
+
+class JsonWriter {
+ public:
+  JsonWriter() { out_.reserve(4096); }
+
+  void begin_object() {
+    comma();
+    out_.push_back('{');
+    stack_.push_back(true);
+  }
+  void end_object() {
+    RMS_CHECK(!stack_.empty());
+    stack_.pop_back();
+    out_.push_back('}');
+  }
+  void begin_array() {
+    comma();
+    out_.push_back('[');
+    stack_.push_back(true);
+  }
+  void end_array() {
+    RMS_CHECK(!stack_.empty());
+    stack_.pop_back();
+    out_.push_back(']');
+  }
+
+  void key(std::string_view k) {
+    comma();
+    escape(k);
+    out_.push_back(':');
+    pending_value_ = true;
+  }
+
+  void value(std::string_view v) {
+    comma();
+    escape(v);
+  }
+  void value(const char* v) { value(std::string_view(v)); }
+  void value(bool v) {
+    comma();
+    out_ += v ? "true" : "false";
+  }
+  void value(std::int64_t v) {
+    comma();
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    out_ += buf;
+  }
+  void value(std::uint64_t v) {
+    comma();
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(v));
+    out_ += buf;
+  }
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(double v) {
+    comma();
+    if (!std::isfinite(v)) {
+      out_ += "null";
+      return;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.12g", v);
+    out_ += buf;
+  }
+
+  template <typename T>
+  void kv(std::string_view k, T v) {
+    key(k);
+    value(v);
+  }
+
+  /// The document built so far. Call once nesting is fully closed.
+  const std::string& str() const {
+    RMS_CHECK_MSG(stack_.empty(), "unbalanced JSON nesting");
+    return out_;
+  }
+
+ private:
+  // Insert the separating comma unless this is the first element of the
+  // enclosing container or the value completing a key.
+  void comma() {
+    if (pending_value_) {
+      pending_value_ = false;
+      return;
+    }
+    if (stack_.empty()) return;
+    if (stack_.back()) {
+      stack_.back() = false;
+    } else {
+      out_.push_back(',');
+    }
+  }
+
+  void escape(std::string_view s) {
+    out_.push_back('"');
+    for (const char c : s) {
+      switch (c) {
+        case '"': out_ += "\\\""; break;
+        case '\\': out_ += "\\\\"; break;
+        case '\n': out_ += "\\n"; break;
+        case '\r': out_ += "\\r"; break;
+        case '\t': out_ += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned>(c));
+            out_ += buf;
+          } else {
+            out_.push_back(c);
+          }
+      }
+    }
+    out_.push_back('"');
+  }
+
+  std::string out_;
+  std::vector<bool> stack_;  // true while the container awaits its first item
+  bool pending_value_ = false;
+};
+
+/// Write `content` to `path`; returns false (and leaves errno) on IO error.
+bool write_file(const std::string& path, const std::string& content);
+
+}  // namespace rms::obs

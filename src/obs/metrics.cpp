@@ -1,0 +1,97 @@
+#include "obs/metrics.hpp"
+
+#include "common/check.hpp"
+#include "obs/json.hpp"
+
+namespace rms::obs {
+
+MetricsSampler::Run& MetricsSampler::current_run() {
+  if (runs_.empty()) runs_.emplace_back();
+  return runs_.back();
+}
+
+void MetricsSampler::begin_run(const std::string& label) {
+  gauges_.clear();
+  // Reuse an empty implicit run 0 instead of leaving a hollow section.
+  if (!(runs_.size() == 1 && runs_[0].label.empty() &&
+        runs_[0].series.empty() && runs_[0].at.empty())) {
+    runs_.emplace_back();
+  }
+  current_run().label = label;
+}
+
+void MetricsSampler::add_gauge(const std::string& name, std::int32_t node,
+                               std::function<double()> fn) {
+  Run& run = current_run();
+  RMS_CHECK_MSG(run.at.empty(),
+                "gauges must be registered before the first sample of a run");
+  run.series.push_back(Series{name, node});
+  gauges_.push_back(std::move(fn));
+}
+
+void MetricsSampler::sample(Time now) {
+  if (gauges_.empty()) return;
+  Run& run = current_run();
+  RMS_CHECK(run.series.size() == gauges_.size());
+  run.at.push_back(now);
+  std::vector<double> row;
+  row.reserve(gauges_.size());
+  for (const auto& g : gauges_) row.push_back(g());
+  run.rows.push_back(std::move(row));
+}
+
+void MetricsSampler::clear() {
+  gauges_.clear();
+  runs_.clear();
+}
+
+std::string MetricsSampler::json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("schema", "rmswap.metrics/v1");
+  w.kv("interval_s", to_seconds(interval_));
+  w.key("runs");
+  w.begin_array();
+  for (const Run& run : runs_) {
+    w.begin_object();
+    w.kv("label", run.label);
+    w.key("series");
+    w.begin_array();
+    for (const Series& s : run.series) {
+      w.begin_object();
+      w.kv("name", s.name);
+      w.kv("node", static_cast<std::int64_t>(s.node));
+      w.end_object();
+    }
+    w.end_array();
+    w.key("t_s");
+    w.begin_array();
+    for (const Time t : run.at) w.value(to_seconds(t));
+    w.end_array();
+    w.key("samples");
+    w.begin_array();
+    for (const auto& row : run.rows) {
+      w.begin_array();
+      for (const double v : row) w.value(v);
+      w.end_array();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+bool MetricsSampler::write_json(const std::string& path) const {
+  return write_file(path, json());
+}
+
+sim::Process sample_process(sim::Simulation& sim, MetricsSampler& sampler) {
+  for (;;) {
+    sampler.sample(sim.now());
+    co_await sim.timeout(sampler.interval());
+  }
+}
+
+}  // namespace rms::obs

@@ -1,0 +1,184 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "obs/json.hpp"
+
+namespace rms::obs {
+
+namespace {
+
+struct KindInfo {
+  const char* name;
+  const char* category;
+  const char* arg0;
+  const char* arg1;
+};
+
+const KindInfo& info(EventKind kind) {
+  static const KindInfo kTable[] = {
+      {"swap_out", "store", "line", "bytes"},
+      {"fault_in", "store", "line", "bytes"},
+      {"rpc", "rpc", "peer", "attempts"},
+      {"serve", "server", "kind", "owner"},
+      {"migrate", "migration", "holder", "lines_moved"},
+      {"pass", "phase", "k", ""},
+      {"build", "phase", "k", ""},
+      {"count", "phase", "k", ""},
+      {"determine", "phase", "k", ""},
+      {"rpc_retry", "rpc", "peer", "retries"},
+      {"rpc_failed", "rpc", "peer", "attempts"},
+      {"suspicion", "failover", "peer", ""},
+      {"orphan", "failover", "line", "entries_lost"},
+      {"promote", "failover", "line", "backup"},
+      {"degraded", "failover", "line", "bytes"},
+      {"tiered_spill", "store", "line", "bytes"},
+      {"replica_store", "failover", "line", "backup"},
+      {"update_batch", "store", "holder", "ops"},
+      {"barrier", "phase", "k", ""},
+  };
+  const auto idx = static_cast<std::size_t>(kind);
+  RMS_CHECK(idx < sizeof(kTable) / sizeof(kTable[0]));
+  return kTable[idx];
+}
+
+}  // namespace
+
+const char* TraceRecorder::kind_name(EventKind kind) {
+  return info(kind).name;
+}
+const char* TraceRecorder::kind_category(EventKind kind) {
+  return info(kind).category;
+}
+
+TraceRecorder::TraceRecorder(std::size_t capacity)
+    : ring_(capacity == 0 ? 1 : capacity), run_labels_{""} {}
+
+void TraceRecorder::begin_run(const std::string& label) {
+  if (total_ == 0 && run_ == 0 && run_labels_.size() == 1) {
+    run_labels_[0] = label;  // nothing recorded yet: name the implicit run
+    return;
+  }
+  ++run_;
+  run_labels_.push_back(label);
+}
+
+std::size_t TraceRecorder::size() const {
+  return static_cast<std::size_t>(
+      std::min<std::uint64_t>(total_, ring_.size()));
+}
+
+std::uint64_t TraceRecorder::dropped() const {
+  return total_ > ring_.size() ? total_ - ring_.size() : 0;
+}
+
+const TraceEvent& TraceRecorder::event(std::size_t i) const {
+  RMS_CHECK(i < size());
+  const std::uint64_t first = total_ > ring_.size() ? total_ - ring_.size() : 0;
+  return ring_[static_cast<std::size_t>((first + i) % ring_.size())];
+}
+
+void TraceRecorder::clear() {
+  total_ = 0;
+  run_ = 0;
+  run_labels_.assign(1, "");
+}
+
+std::string TraceRecorder::chrome_trace_json() const {
+  // Chrome trace_event format, JSON object flavour: timestamps/durations in
+  // microseconds (virtual time), pid = run index, tid = node/track.
+  JsonWriter w;
+  w.begin_object();
+  w.key("traceEvents");
+  w.begin_array();
+
+  // Metadata: name each run's process and every track it used.
+  const std::size_t n = size();
+  std::vector<std::vector<std::int32_t>> tracks(run_labels_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const TraceEvent& ev = event(i);
+    const auto run = static_cast<std::size_t>(ev.run);
+    if (run < tracks.size() &&
+        std::find(tracks[run].begin(), tracks[run].end(), ev.track) ==
+            tracks[run].end()) {
+      tracks[run].push_back(ev.track);
+    }
+  }
+  for (std::size_t run = 0; run < run_labels_.size(); ++run) {
+    w.begin_object();
+    w.kv("name", "process_name");
+    w.kv("ph", "M");
+    w.kv("pid", static_cast<std::int64_t>(run));
+    w.kv("tid", static_cast<std::int64_t>(0));
+    w.key("args");
+    w.begin_object();
+    w.kv("name", run_labels_[run].empty() ? std::string("run ") +
+                                                std::to_string(run)
+                                          : run_labels_[run]);
+    w.end_object();
+    w.end_object();
+    std::sort(tracks[run].begin(), tracks[run].end());
+    for (const std::int32_t track : tracks[run]) {
+      w.begin_object();
+      w.kv("name", "thread_name");
+      w.kv("ph", "M");
+      w.kv("pid", static_cast<std::int64_t>(run));
+      w.kv("tid", static_cast<std::int64_t>(track));
+      w.key("args");
+      w.begin_object();
+      w.kv("name", track == kPhaseTrack
+                       ? std::string("phases")
+                       : std::string("node ") + std::to_string(track));
+      w.end_object();
+      w.end_object();
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const TraceEvent& ev = event(i);
+    const KindInfo& ki = info(ev.kind);
+    w.begin_object();
+    w.kv("name", ki.name);
+    w.kv("cat", ki.category);
+    w.kv("ph", ev.duration < 0 ? "i" : "X");
+    w.kv("ts", static_cast<double>(ev.start) / 1e3);  // ns -> us
+    if (ev.duration < 0) {
+      w.kv("s", "t");  // instant scoped to its thread/track
+    } else {
+      w.kv("dur", static_cast<double>(ev.duration) / 1e3);
+    }
+    w.kv("pid", static_cast<std::int64_t>(ev.run));
+    w.kv("tid", static_cast<std::int64_t>(ev.track));
+    w.key("args");
+    w.begin_object();
+    if (ki.arg0[0] != '\0') w.kv(ki.arg0, ev.arg0);
+    if (ki.arg1[0] != '\0') w.kv(ki.arg1, ev.arg1);
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.kv("displayTimeUnit", "ms");
+  w.key("otherData");
+  w.begin_object();
+  w.kv("recorded", recorded());
+  w.kv("dropped", dropped());
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+bool TraceRecorder::write_chrome_trace(const std::string& path) const {
+  return write_file(path, chrome_trace_json());
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  const bool ok = written == content.size() && std::fclose(f) == 0;
+  if (written != content.size()) std::fclose(f);
+  return ok;
+}
+
+}  // namespace rms::obs

@@ -1,0 +1,130 @@
+// TraceRecorder: typed, virtual-time-stamped event spans and instants.
+//
+// The paper's whole argument is a latency story (a 13 ms disk fault against
+// a sub-millisecond remote-memory fault), but aggregate counters cannot show
+// *where* time goes during a pass — a swap storm, an RPC retry burst, or the
+// tiered budget filling up are invisible in end-of-run totals. Components
+// therefore record typed events against the virtual clock:
+//
+//   spans    — swap-out, fault-in, RPC call, memory-server request,
+//              migration, per-pass phases (build/count/determine)
+//   instants — RPC retries/failures, suspicions, orphans, promotions,
+//              degraded evictions, tiered spills, update batches, barriers
+//
+// Recording is passive: no virtual-time charges, no awaits, no hot-path
+// string formatting (events carry an EventKind and two integer args; names
+// materialize only at export). Every instrumented component holds a
+// `TraceRecorder*` that defaults to nullptr, so a disabled run does a single
+// pointer test per site and is otherwise untouched.
+//
+// Memory is bounded: a ring buffer of `capacity` events; once full, the
+// oldest events are overwritten and counted in `dropped()` (the tail of the
+// run is the interesting part when a ring fills).
+//
+// Export is Chrome `trace_event` JSON (write_chrome_trace): one track (tid)
+// per cluster node plus a "phases" track, one process (pid) per recorded
+// run, so multi-run bench sweeps open side by side in chrome://tracing or
+// https://ui.perfetto.dev.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace rms::obs {
+
+enum class EventKind : std::uint8_t {
+  // Spans.
+  kSwapOut,        // line eviction through the backend (arg0 line, arg1 bytes)
+  kFaultIn,        // synchronous swap-in (arg0 line, arg1 bytes)
+  kRpc,            // deadline-bounded RPC (arg0 peer, arg1 attempts)
+  kServe,          // memory-server request (arg0 request kind, arg1 owner)
+  kMigrate,        // migrate_away directive (arg0 holder, arg1 lines moved)
+  kPass,           // one HPA pass (arg0 k)
+  kBuildPhase,     // candidate generation + store build (arg0 k)
+  kCountPhase,     // transaction scan + distributed probing (arg0 k)
+  kDeterminePhase, // collection + large-itemset exchange (arg0 k)
+  // Instants.
+  kRpcRetry,       // attempts beyond the first (arg0 peer, arg1 retries)
+  kRpcFailed,      // every attempt timed out (arg0 peer, arg1 attempts)
+  kSuspicion,      // peer declared dead (arg0 peer)
+  kOrphan,         // line restarted empty (arg0 line, arg1 entries lost)
+  kPromote,        // backup promoted to primary (arg0 line, arg1 backup)
+  kDegraded,       // eviction degraded to local disk (arg0 line, arg1 bytes)
+  kTieredSpill,    // tiered budget full, spilled to disk (arg0 line, arg1 bytes)
+  kReplicaStore,   // replica pushed (arg0 line, arg1 backup holder)
+  kUpdateBatch,    // one-way update batch sent (arg0 holder, arg1 ops)
+  kBarrier,        // phase-barrier arrival (arg0 k)
+};
+
+struct TraceEvent {
+  Time start = 0;
+  Time duration = -1;  // < 0: instant
+  std::int32_t track = 0;  // node id; kPhaseTrack for the run-phase track
+  std::int32_t run = 0;    // exported as the Chrome pid
+  EventKind kind = EventKind::kBarrier;
+  std::int64_t arg0 = 0;
+  std::int64_t arg1 = 0;
+};
+
+class TraceRecorder {
+ public:
+  /// Synthetic track for pass/phase spans (no single node owns a barrier).
+  static constexpr std::int32_t kPhaseTrack = -1;
+
+  explicit TraceRecorder(std::size_t capacity = 1 << 20);
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Start a new run section (bench sweeps record several configurations
+  /// into one recorder; each run exports as its own Chrome process). The
+  /// first events recorded without begin_run land in an implicit run 0.
+  void begin_run(const std::string& label);
+
+  void span(EventKind kind, std::int32_t track, Time start, Time end,
+            std::int64_t arg0 = 0, std::int64_t arg1 = 0) {
+    push(TraceEvent{start, end - start, track, run_, kind, arg0, arg1});
+  }
+  void instant(EventKind kind, std::int32_t track, Time at,
+               std::int64_t arg0 = 0, std::int64_t arg1 = 0) {
+    push(TraceEvent{at, -1, track, run_, kind, arg0, arg1});
+  }
+
+  // ---- Introspection / export ----
+  /// Events currently held (<= capacity).
+  std::size_t size() const;
+  /// Events recorded over the recorder's lifetime.
+  std::uint64_t recorded() const { return total_; }
+  /// Events overwritten because the ring was full (oldest-first).
+  std::uint64_t dropped() const;
+  /// i-th retained event in record order (0 = oldest retained).
+  const TraceEvent& event(std::size_t i) const;
+  const std::vector<std::string>& run_labels() const { return run_labels_; }
+
+  /// Serialize to Chrome trace_event JSON (the whole recorder, all runs).
+  std::string chrome_trace_json() const;
+  /// chrome_trace_json() to a file; false on IO error.
+  bool write_chrome_trace(const std::string& path) const;
+
+  void clear();
+
+  /// Human-readable name/category for one kind (export + tests).
+  static const char* kind_name(EventKind kind);
+  static const char* kind_category(EventKind kind);
+
+ private:
+  void push(const TraceEvent& ev) {
+    ring_[static_cast<std::size_t>(total_ % ring_.size())] = ev;
+    ++total_;
+  }
+
+  std::vector<TraceEvent> ring_;
+  std::uint64_t total_ = 0;
+  std::int32_t run_ = 0;
+  std::vector<std::string> run_labels_;
+};
+
+}  // namespace rms::obs

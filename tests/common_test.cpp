@@ -206,6 +206,79 @@ TEST(Histogram, MergeCombinesDistributions) {
   EXPECT_NEAR(a.percentile(0.75), 100.0, 10.0);
 }
 
+TEST(Histogram, PercentilesAreMonotone) {
+  Histogram h;
+  Pcg32 rng(42);
+  for (int i = 0; i < 5000; ++i) {
+    h.add(rng.exponential(3.0));  // heavy tail spanning many buckets
+  }
+  double prev = 0.0;
+  for (double p = 0.0; p <= 1.0 + 1e-12; p += 0.01) {
+    const double v = h.percentile(std::min(p, 1.0));
+    EXPECT_GE(v, prev) << "p=" << p;
+    prev = v;
+  }
+}
+
+TEST(Histogram, MergeEqualsPooledAdd) {
+  Histogram a, b, pooled;
+  Pcg32 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.exponential(1.0);
+    a.add(v);
+    pooled.add(v);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    const double v = 50.0 + rng.exponential(20.0);
+    b.add(v);
+    pooled.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), pooled.count());
+  EXPECT_DOUBLE_EQ(a.summary().sum(), pooled.summary().sum());
+  EXPECT_DOUBLE_EQ(a.summary().min(), pooled.summary().min());
+  EXPECT_DOUBLE_EQ(a.summary().max(), pooled.summary().max());
+  // Same buckets, so every percentile must agree exactly.
+  for (double p : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(a.percentile(p), pooled.percentile(p)) << "p=" << p;
+  }
+}
+
+TEST(Histogram, ZeroAndNegativeShareTheFirstBucket) {
+  Histogram h;
+  h.add(0.0);
+  h.add(-123.0);
+  h.add(1e-3);  // exactly the lower edge
+  EXPECT_EQ(h.count(), 3u);
+  // All three land in bucket 0: every percentile is its upper edge.
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), h.percentile(1.0));
+  EXPECT_GT(h.percentile(0.5), 0.0);
+  // The exact summary still sees the raw values.
+  EXPECT_DOUBLE_EQ(h.summary().min(), -123.0);
+  EXPECT_DOUBLE_EQ(h.summary().max(), 1e-3);
+}
+
+TEST(Stats, SummaryMergePreservesMinMaxAcrossDirections) {
+  Summary lo, hi;
+  lo.add(-2.0);
+  lo.add(1.0);
+  hi.add(100.0);
+  hi.add(200.0);
+  Summary m = lo;
+  m.merge(hi);
+  EXPECT_EQ(m.count(), 4u);
+  EXPECT_DOUBLE_EQ(m.min(), -2.0);
+  EXPECT_DOUBLE_EQ(m.max(), 200.0);
+  EXPECT_DOUBLE_EQ(m.sum(), 299.0);
+  // Merging the other direction gives the same moments.
+  Summary m2 = hi;
+  m2.merge(lo);
+  EXPECT_EQ(m2.count(), m.count());
+  EXPECT_DOUBLE_EQ(m2.min(), m.min());
+  EXPECT_DOUBLE_EQ(m2.max(), m.max());
+  EXPECT_DOUBLE_EQ(m2.sum(), m.sum());
+}
+
 TEST(Registry, RecordFeedsHistogram) {
   StatsRegistry r;
   for (int i = 0; i < 50; ++i) r.record("lat", 2.0);

@@ -1,0 +1,160 @@
+// Tests for the observability layer: JSON writer, trace recorder ring
+// buffer + Chrome export, and the metrics sampler.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sim/simulation.hpp"
+
+namespace rms::obs {
+namespace {
+
+TEST(JsonWriter, NestedObjectsAndArrays) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("a", std::int64_t{1});
+  w.key("b");
+  w.begin_array();
+  w.value(std::int64_t{2});
+  w.value("three");
+  w.begin_object();
+  w.kv("four", 4.5);
+  w.end_object();
+  w.end_array();
+  w.kv("c", true);
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"a":1,"b":[2,"three",{"four":4.5}],"c":true})");
+}
+
+TEST(JsonWriter, EscapesStringsAndControlChars) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("k", "quote\" back\\ nl\n tab\t bell\x01");
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            "{\"k\":\"quote\\\" back\\\\ nl\\n tab\\t bell\\u0001\"}");
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.begin_array();
+  w.value(std::nan(""));
+  w.value(1.0 / 0.0);
+  w.value(2.5);
+  w.end_array();
+  EXPECT_EQ(w.str(), "[null,null,2.5]");
+}
+
+TEST(TraceRecorder, RecordsSpansAndInstantsInOrder) {
+  TraceRecorder t(16);
+  t.span(EventKind::kSwapOut, 3, msec(10), msec(12), 7, 4096);
+  t.instant(EventKind::kBarrier, TraceRecorder::kPhaseTrack, msec(20), 2);
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.recorded(), 2u);
+  EXPECT_EQ(t.dropped(), 0u);
+  const TraceEvent& swap = t.event(0);
+  EXPECT_EQ(swap.kind, EventKind::kSwapOut);
+  EXPECT_EQ(swap.track, 3);
+  EXPECT_EQ(swap.start, msec(10));
+  EXPECT_EQ(swap.duration, msec(2));
+  EXPECT_EQ(swap.arg0, 7);
+  EXPECT_EQ(swap.arg1, 4096);
+  EXPECT_LT(t.event(1).duration, 0);  // instant
+}
+
+TEST(TraceRecorder, RingOverwritesOldestAndCountsDrops) {
+  TraceRecorder t(4);
+  for (int i = 0; i < 10; ++i) {
+    t.instant(EventKind::kBarrier, 0, msec(i), i);
+  }
+  EXPECT_EQ(t.size(), 4u);
+  EXPECT_EQ(t.recorded(), 10u);
+  EXPECT_EQ(t.dropped(), 6u);
+  // Oldest retained is event #6; record order is preserved.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(t.event(i).arg0, static_cast<std::int64_t>(6 + i));
+  }
+}
+
+TEST(TraceRecorder, BeginRunLabelsAndPartitionsRuns) {
+  TraceRecorder t(16);
+  t.begin_run("first");  // nothing recorded yet: renames implicit run 0
+  t.instant(EventKind::kBarrier, 0, msec(1));
+  t.begin_run("second");
+  t.instant(EventKind::kBarrier, 0, msec(2));
+  ASSERT_EQ(t.run_labels().size(), 2u);
+  EXPECT_EQ(t.run_labels()[0], "first");
+  EXPECT_EQ(t.run_labels()[1], "second");
+  EXPECT_EQ(t.event(0).run, 0);
+  EXPECT_EQ(t.event(1).run, 1);
+}
+
+TEST(TraceRecorder, ChromeTraceJsonShape) {
+  TraceRecorder t(16);
+  t.begin_run("demo");
+  t.span(EventKind::kFaultIn, 2, msec(5), msec(6), 11, 64);
+  t.instant(EventKind::kSuspicion, 1, msec(7), 9);
+  const std::string json = t.chrome_trace_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"fault_in\""), std::string::npos);
+  EXPECT_NE(json.find("\"suspicion\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("demo"), std::string::npos);
+  // Timestamps are microseconds: the 5 ms span starts at 5000 us.
+  EXPECT_NE(json.find("\"ts\":5000"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":1000"), std::string::npos);
+}
+
+TEST(TraceRecorder, KindNamesCoverEveryKind) {
+  for (int k = 0; k <= static_cast<int>(EventKind::kBarrier); ++k) {
+    const auto kind = static_cast<EventKind>(k);
+    EXPECT_NE(TraceRecorder::kind_name(kind), nullptr);
+    EXPECT_GT(std::string(TraceRecorder::kind_name(kind)).size(), 0u);
+    EXPECT_GT(std::string(TraceRecorder::kind_category(kind)).size(), 0u);
+  }
+}
+
+TEST(MetricsSampler, SamplesGaugesAtInterval) {
+  sim::Simulation sim;
+  MetricsSampler sampler(msec(500));
+  sampler.begin_run("run");
+  double v = 1.0;
+  sampler.add_gauge("g", 0, [&v] { return v; });
+  sampler.add_gauge("h", 1, [] { return 42.0; });
+  sim.spawn(sample_process(sim, sampler));
+  sim.call_at(msec(750), [&] { v = 2.0; });
+  sim.run_until(msec(1100));
+  sim.shutdown();
+  sampler.clear_gauges();
+
+  ASSERT_EQ(sampler.runs().size(), 1u);
+  const MetricsSampler::Run& run = sampler.runs()[0];
+  ASSERT_EQ(run.series.size(), 2u);
+  EXPECT_EQ(run.series[0].name, "g");
+  EXPECT_EQ(run.series[1].node, 1);
+  // Samples at t = 0, 500, 1000 ms.
+  ASSERT_EQ(run.at.size(), 3u);
+  EXPECT_EQ(run.at[1], msec(500));
+  EXPECT_DOUBLE_EQ(run.rows[0][0], 1.0);
+  EXPECT_DOUBLE_EQ(run.rows[2][0], 2.0);  // saw the change at 750 ms
+  EXPECT_DOUBLE_EQ(run.rows[2][1], 42.0);
+}
+
+TEST(MetricsSampler, JsonCarriesSchemaAndSeries) {
+  MetricsSampler sampler(sec(1));
+  sampler.begin_run("only");
+  sampler.add_gauge("depth", 3, [] { return 7.0; });
+  sampler.sample(sec(2));
+  const std::string json = sampler.json();
+  EXPECT_NE(json.find("rmswap.metrics/v1"), std::string::npos);
+  EXPECT_NE(json.find("\"depth\""), std::string::npos);
+  EXPECT_NE(json.find("\"only\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rms::obs

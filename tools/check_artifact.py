@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Validate the observability output files the bench binaries emit.
+
+Usage:
+    tools/check_artifact.py --run-artifact fig4.json \
+                            --trace trace.json \
+                            --metrics metrics.json
+
+Every file type is optional; pass the ones the bench produced. Exits
+non-zero (with a message per problem) if a file fails validation, so CI can
+gate on it. Stdlib only.
+"""
+import argparse
+import json
+import sys
+
+_PROBLEMS = []
+
+
+def problem(msg):
+    _PROBLEMS.append(msg)
+    print(f"FAIL: {msg}", file=sys.stderr)
+
+
+def expect(cond, msg):
+    if not cond:
+        problem(msg)
+    return cond
+
+
+def load(path, what):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        problem(f"{what} {path}: not readable/parseable JSON: {e}")
+        return None
+
+
+def check_run_artifact(path):
+    doc = load(path, "run artifact")
+    if doc is None:
+        return
+    expect(doc.get("schema") == "rmswap.run_artifact/v1",
+           f"{path}: schema is {doc.get('schema')!r}")
+    runs = doc.get("runs")
+    if not expect(isinstance(runs, list) and runs,
+                  f"{path}: 'runs' missing or empty"):
+        return
+    for i, run in enumerate(runs):
+        who = f"{path} runs[{i}]"
+        expect(isinstance(run.get("label"), str) and run["label"],
+               f"{who}: missing label")
+        expect(isinstance(run.get("config"), dict),
+               f"{who}: missing config object")
+        if not run.get("completed"):
+            continue
+        expect(isinstance(run.get("total_time_s"), (int, float))
+               and run["total_time_s"] > 0,
+               f"{who}: total_time_s not positive")
+        passes = run.get("passes")
+        if expect(isinstance(passes, list) and passes,
+                  f"{who}: 'passes' missing or empty"):
+            for p in passes:
+                expect({"k", "candidates", "large", "duration_s"} <= set(p),
+                       f"{who}: pass missing required keys")
+        for section in ("counters", "summaries", "histograms", "failover"):
+            expect(isinstance(run.get(section), dict),
+                   f"{who}: '{section}' missing")
+        for name, h in run.get("histograms", {}).items():
+            expect(h.get("p50", 0) <= h.get("p95", 0) <= h.get("p99", 0),
+                   f"{who}: histogram {name} percentiles not monotone")
+        metrics = run.get("metrics")
+        if metrics is not None:
+            n_series = len(metrics.get("series", []))
+            expect(all(len(row) == n_series
+                       for row in metrics.get("samples", [])),
+                   f"{who}: metrics rows don't match series layout")
+    print(f"ok: {path}: {len(runs)} run(s)")
+
+
+def check_trace(path):
+    doc = load(path, "chrome trace")
+    if doc is None:
+        return
+    events = doc.get("traceEvents")
+    if not expect(isinstance(events, list) and events,
+                  f"{path}: 'traceEvents' missing or empty"):
+        return
+    phases = {"X", "i", "M"}
+    n_real = 0
+    for ev in events:
+        if not expect(ev.get("ph") in phases,
+                      f"{path}: unexpected event phase {ev.get('ph')!r}"):
+            return
+        if ev["ph"] == "M":
+            continue
+        n_real += 1
+        expect(isinstance(ev.get("ts"), (int, float)) and ev["ts"] >= 0,
+               f"{path}: event without a timestamp: {ev}")
+        expect(isinstance(ev.get("name"), str) and ev["name"],
+               f"{path}: event without a name: {ev}")
+        if ev["ph"] == "X":
+            expect(isinstance(ev.get("dur"), (int, float)) and ev["dur"] >= 0,
+                   f"{path}: span with bad duration: {ev}")
+    expect(n_real > 0, f"{path}: only metadata events")
+    print(f"ok: {path}: {n_real} event(s)")
+
+
+def check_metrics(path):
+    doc = load(path, "metrics series")
+    if doc is None:
+        return
+    expect(doc.get("schema") == "rmswap.metrics/v1",
+           f"{path}: schema is {doc.get('schema')!r}")
+    runs = doc.get("runs")
+    if not expect(isinstance(runs, list), f"{path}: 'runs' missing"):
+        return
+    for i, run in enumerate(runs):
+        who = f"{path} runs[{i}]"
+        n_series = len(run.get("series", []))
+        t = run.get("t_s", [])
+        samples = run.get("samples", [])
+        expect(len(t) == len(samples),
+               f"{who}: {len(t)} timestamps vs {len(samples)} sample rows")
+        expect(all(len(row) == n_series for row in samples),
+               f"{who}: sample rows don't match series layout")
+        expect(all(a <= b for a, b in zip(t, t[1:])),
+               f"{who}: timestamps not monotone")
+    print(f"ok: {path}: {len(runs)} run(s)")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--run-artifact", help="rmswap.run_artifact/v1 file")
+    ap.add_argument("--trace", help="Chrome trace_event file")
+    ap.add_argument("--metrics", help="rmswap.metrics/v1 file")
+    args = ap.parse_args()
+    if not (args.run_artifact or args.trace or args.metrics):
+        ap.error("pass at least one of --run-artifact / --trace / --metrics")
+    if args.run_artifact:
+        check_run_artifact(args.run_artifact)
+    if args.trace:
+        check_trace(args.trace)
+    if args.metrics:
+        check_metrics(args.metrics)
+    return 1 if _PROBLEMS else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
