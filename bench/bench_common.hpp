@@ -65,6 +65,9 @@ inline std::map<std::string, std::string> with_common_flags(
   extra.emplace("flat",
                 "use uniform candidate partitioning instead of the paper's "
                 "observed Table-3 skew");
+  extra.emplace("rpc-window",
+                "transport sliding-window size for swap/migration RPCs "
+                "(default 1: the paper's synchronous behaviour)");
   extra.emplace("trace-out",
                 "write a Chrome trace_event JSON (chrome://tracing) here");
   extra.emplace("metrics-out", "write per-node gauge time-series JSON here");
@@ -103,6 +106,7 @@ inline ExperimentEnv::ExperimentEnv(
   if (!flags.get_bool("flat", false) && base.app_nodes == 8) {
     base.partition_weights = hpa::paper_table3_weights();
   }
+  base.rpc_window = static_cast<int>(flags.get_int("rpc-window", 1));
 
   observer = obs::RunObserver::from_paths({flags.get("trace-out", ""),
                                            flags.get("metrics-out", ""),

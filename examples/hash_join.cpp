@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "cluster/cluster.hpp"
+#include "cluster/cpu_charger.hpp"
 #include "common/flags.hpp"
 #include "common/rng.hpp"
 #include "core/availability.hpp"
@@ -103,13 +104,28 @@ mining::Itemset make_entry(mining::Item key, std::uint32_t row_id) {
 sim::Process run_join(JoinWorld& w, const std::vector<Row>& build,
                       const std::vector<Row>& probe, std::uint64_t& output,
                       bool& done, bool stop_sim) {
+  // Per-row CPU is charged in chunks on the owning node with the same
+  // CpuCharger the miner's scan loops use (tuple parse on build, hash probe
+  // on probe), keeping events proportional to faults instead of rows.
+  std::vector<cluster::CpuCharger> parse;
+  std::vector<cluster::CpuCharger> lookup;
+  parse.reserve(JoinWorld::kAppNodes);
+  lookup.reserve(JoinWorld::kAppNodes);
+  for (std::size_t n = 0; n < JoinWorld::kAppNodes; ++n) {
+    cluster::Node& node = w.cl->node(static_cast<net::NodeId>(n));
+    parse.emplace_back(node, node.costs().per_tx_parse);
+    lookup.emplace_back(node, node.costs().per_probe);
+  }
+
   // Build phase: insert R tuples, partitioned by key hash (each entry is
   // {key, tagged row id} so entries within a line stay unique).
   for (const Row& r : build) {
     const auto placed = w.place(r.key);
     co_await w.stores[placed.first]->insert(placed.second,
                                             make_entry(r.key, r.row_id));
+    co_await parse[placed.first].add(1);
   }
+  for (auto& c : parse) co_await c.flush();
   for (auto& s : w.stores) s->set_phase(core::HashLineStore::Phase::kCount);
 
   // Probe phase: count matches per S tuple (a counting join).
@@ -117,7 +133,9 @@ sim::Process run_join(JoinWorld& w, const std::vector<Row>& build,
     const auto placed = w.place(r.key);
     output += co_await w.stores[placed.first]->count_matches(placed.second,
                                                              r.key);
+    co_await lookup[placed.first].add(1);
   }
+  for (auto& c : lookup) co_await c.flush();
   done = true;
   // With a metrics sampler ticking forever, the event queue never drains;
   // stop the loop explicitly (no-op difference otherwise, so only do it

@@ -1,15 +1,16 @@
 #include "cluster/cluster.hpp"
 
+#include "transport/tags.hpp"
+
 namespace rms::cluster {
 
-// Reply tags live above all service tags; each node hands them out
-// round-robin from its own window so concurrent RPCs never collide. The
-// window is sized so tags are effectively unique per run (8M RPCs per node
-// before a wrap): request_with_deadline relies on a stale reply never
-// landing on a tag that was reissued to a different call.
+// Reply-tag layout (window base/size, round-robin wrap) is defined by the
+// transport TagRegistry; request_with_deadline relies on a stale reply never
+// landing on a tag that was reissued to a different call, which the
+// per-node 8M-tag window plus mailbox retirement guarantees.
 namespace {
-constexpr Tag kReplyTagBase = 1 << 23;
-constexpr Tag kReplyTagWindow = 1 << 23;
+constexpr Tag kReplyTagBase = transport::TagRegistry::kReplyTagBase;
+constexpr Tag kReplyTagWindow = transport::TagRegistry::kReplyTagWindow;
 }  // namespace
 
 Node::Node(Cluster& cluster, NodeId id)
@@ -17,7 +18,7 @@ Node::Node(Cluster& cluster, NodeId id)
       id_(id),
       mailbox_(cluster.sim()),
       cpu_(std::make_unique<sim::Resource>(cluster.sim(), 1)),
-      next_reply_tag_(kReplyTagBase + id * kReplyTagWindow) {
+      next_reply_tag_(transport::TagRegistry::reply_window_start(id)) {
   // The last tag of node id's window is (id + 2) * 2^23 - 1; it must fit Tag.
   RMS_CHECK_MSG(id >= 0 && id <= 254, "node id out of the reply-tag range");
   const ClusterConfig& cfg = cluster.config();
@@ -49,7 +50,9 @@ void Node::send(net::Message msg) {
   if (msg.dst == id_) {
     // Loopback: no wire, straight into the local mailbox.
     stats_.bump("node.loopback_messages");
-    mailbox_.deliver(std::move(msg));
+    if (!mailbox_.deliver(std::move(msg))) {
+      stats_.bump("node.late_replies_dropped");
+    }
     return;
   }
   cluster_.network().send(std::move(msg));
@@ -61,6 +64,7 @@ Tag Node::alloc_reply_tag() {
   next_reply_tag_ = kReplyTagBase + id_ * kReplyTagWindow +
                     (next_reply_tag_ - kReplyTagBase - id_ * kReplyTagWindow +
                      1) % kReplyTagWindow;
+  mailbox_.open_reply(tag);
   return tag;
 }
 
@@ -69,7 +73,7 @@ sim::Task<net::Message> Node::request(net::Message msg) {
   msg.reply_tag = reply_tag;
   send(std::move(msg));
   net::Message response = co_await mailbox_.recv(reply_tag);
-  mailbox_.reclaim(reply_tag);
+  mailbox_.retire_reply(reply_tag);
   co_return response;
 }
 
@@ -108,11 +112,11 @@ sim::Task<RpcResult> Node::request_with_deadline(net::Message msg,
       wait *= 2;  // exponential backoff
     }
   }
-  // Discard whatever straggled in on this tag (late duplicates' replies,
-  // an unsuppressed sentinel) and release the channel.
-  while (mailbox_.try_recv(reply_tag)) {
-  }
-  mailbox_.reclaim(reply_tag);
+  // Retire the tag: drain whatever straggled in (late duplicates' replies,
+  // an unsuppressed sentinel), release the channel, and stop admitting
+  // further deliveries — anything still in flight for this call is dropped
+  // on arrival and counted under node.late_replies_dropped.
+  mailbox_.retire_reply(reply_tag);
   co_return out;
 }
 
@@ -146,7 +150,11 @@ Cluster::Cluster(sim::Simulation& sim, ClusterConfig config)
         node->stats().bump("node.rx_dropped_dead");
         return;
       }
-      node->mailbox().deliver(std::move(m));
+      if (!node->mailbox().deliver(std::move(m))) {
+        // A reply that lost its race against the caller's deadline: the RPC
+        // already settled and retired the tag.
+        node->stats().bump("node.late_replies_dropped");
+      }
     });
   }
 }

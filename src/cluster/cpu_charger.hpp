@@ -1,0 +1,46 @@
+// CpuCharger: chunked CPU-time charging for per-operation cost loops.
+//
+// Charging compute() per probe/parse/generate would make the event count
+// proportional to the dataset; accumulating logical operations and flushing
+// one compute await per `chunk` operations keeps it proportional to
+// messages/faults while preserving the total charged time exactly.
+// Previously a private copy lived in hpa.cpp's anonymous namespace with
+// sibling logic in examples/hash_join.cpp; this is the shared home.
+#pragma once
+
+#include <cstdint>
+
+#include "cluster/cluster.hpp"
+#include "sim/task.hpp"
+
+namespace rms::cluster {
+
+/// Charge CPU in chunks: accumulates logical operations and converts them
+/// into one `compute` await per `chunk` operations, keeping the event count
+/// proportional to messages/faults instead of probes.
+class CpuCharger {
+ public:
+  CpuCharger(Node& node, Time per_op, std::int64_t chunk = 8192)
+      : node_(node), per_op_(per_op), chunk_(chunk) {}
+
+  sim::Task<> add(std::int64_t ops) {
+    pending_ += ops;
+    if (pending_ >= chunk_) co_await flush();
+  }
+
+  sim::Task<> flush() {
+    if (pending_ > 0) {
+      const Time t = per_op_ * pending_;
+      pending_ = 0;
+      co_await node_.compute(t);
+    }
+  }
+
+ private:
+  Node& node_;
+  Time per_op_;
+  std::int64_t chunk_;
+  std::int64_t pending_ = 0;
+};
+
+}  // namespace rms::cluster

@@ -4,15 +4,25 @@
 // channels so independent services on a node (swap server, monitor client,
 // HPA counter, ...) can block on their own traffic — the simulated
 // equivalent of the paper's per-purpose TLI transport endpoints.
+//
+// Reply tags (the range TagRegistry::is_reply_tag covers) additionally have
+// a lifecycle: Node::alloc_reply_tag opens a tag before the request goes
+// out, and the node retires it once the RPC settles. A reply-range deposit
+// on a tag that is not open — a duplicate answer after a retry, a reply that
+// lost its race against the deadline sentinel — is a late straggler: it is
+// dropped and counted instead of queueing forever in a channel nobody will
+// ever read.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "net/network.hpp"
 #include "sim/channel.hpp"
 #include "sim/simulation.hpp"
+#include "transport/tags.hpp"
 
 namespace rms::cluster {
 
@@ -20,8 +30,17 @@ class Mailbox {
  public:
   explicit Mailbox(sim::Simulation& sim) : sim_(sim) {}
 
-  /// Network delivery hook (also used for loopback sends).
-  void deliver(net::Message msg) { chan(msg.tag).send(std::move(msg)); }
+  /// Network delivery hook (also used for loopback sends). Returns false
+  /// when the message was a late straggler on a retired reply tag and was
+  /// dropped (the caller counts it).
+  bool deliver(net::Message msg) {
+    if (transport::TagRegistry::is_reply_tag(msg.tag) &&
+        open_replies_.count(msg.tag) == 0) {
+      return false;
+    }
+    chan(msg.tag).send(std::move(msg));
+    return true;
+  }
 
   /// Awaitable receive of the next message carrying `tag`.
   auto recv(net::Tag tag) { return chan(tag).recv(); }
@@ -33,6 +52,20 @@ class Mailbox {
 
   std::size_t pending(net::Tag tag) { return chan(tag).pending(); }
 
+  // ---- Reply-tag lifecycle ----
+  /// Admit deliveries on a freshly allocated reply tag.
+  void open_reply(net::Tag tag) { open_replies_.insert(tag); }
+
+  /// The RPC on `tag` settled: drain stragglers already queued (late
+  /// duplicates' replies, an unsuppressed deadline sentinel), drop the
+  /// channel, and stop admitting further deliveries on the tag.
+  void retire_reply(net::Tag tag) {
+    open_replies_.erase(tag);
+    while (try_recv(tag)) {
+    }
+    reclaim(tag);
+  }
+
   /// Drop a finished RPC's channel when it is idle (no queued messages, no
   /// waiting receiver). Unique per-call reply tags would otherwise leave one
   /// empty channel per RPC behind for the lifetime of the node.
@@ -43,6 +76,11 @@ class Mailbox {
       channels_.erase(it);
     }
   }
+
+  /// Live channel count (leak checks: one channel per open tag).
+  std::size_t channel_count() const { return channels_.size(); }
+  /// Reply tags currently open (leak checks).
+  std::size_t open_reply_count() const { return open_replies_.size(); }
 
  private:
   sim::Channel<net::Message>& chan(net::Tag tag) {
@@ -59,6 +97,7 @@ class Mailbox {
   sim::Simulation& sim_;
   std::unordered_map<net::Tag, std::unique_ptr<sim::Channel<net::Message>>>
       channels_;
+  std::unordered_set<net::Tag> open_replies_;
 };
 
 }  // namespace rms::cluster

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "cluster/rpc_client.hpp"
+#include "transport/transport.hpp"
 
 namespace rms::core {
 
@@ -118,8 +118,9 @@ sim::Process availability_client(cluster::Node& node, AvailabilityTable& table,
   // Tracks which shortage events were already handled so one withdrawal
   // does not trigger a migration per broadcast.
   std::unordered_map<net::NodeId, bool> short_handled;
+  transport::Inbox inbox(node, kAvailInfo);
   for (;;) {
-    net::Message msg = co_await node.mailbox().recv(kAvailInfo);
+    net::Message msg = co_await inbox.recv();
     const auto& info = msg.as<AvailabilityInfo>();
     // The table write lands at delivery time, without queueing for the CPU:
     // the failure detector keys off these timestamps, and a long compute
@@ -152,8 +153,11 @@ sim::Process failure_detector(cluster::Node& node, AvailabilityTable& table,
                                                : config.expected_interval;
   const Time silence_limit =
       config.expected_interval * static_cast<Time>(config.miss_threshold);
-  cluster::RpcClient ping(
-      node, cluster::RpcOptions{config.ping_deadline, config.ping_retries});
+  // Constructed before the loop (registers the rpc.latency_ms histogram on
+  // this node even when confirm_with_rpc never fires, as before).
+  transport::Transport ping(
+      node, transport::TransportOptions{config.ping_deadline,
+                                        config.ping_retries, /*window=*/1});
   for (;;) {
     co_await node.sim().timeout(check);
     const Time now = node.sim().now();

@@ -123,7 +123,7 @@ struct DetectorConfig {
   /// How often the detector scans the table; defaults to one interval.
   Time check_interval = 0;  // <= 0: use expected_interval
   /// Confirm heartbeat silence with a direct kPing RPC (through the shared
-  /// cluster::RpcClient) before delivering the verdict: a node whose
+  /// transport::Transport) before delivering the verdict: a node whose
   /// broadcasts are merely delayed answers the ping and is spared. Off by
   /// default — the paper-calibrated experiments use pure heartbeat timing.
   bool confirm_with_rpc = false;

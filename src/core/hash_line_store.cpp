@@ -18,6 +18,7 @@ HashLineStore::HashLineStore(cluster::Node& node, Config config,
   RMS_CHECK_MSG(config_.replicate_k >= 0 && config_.replicate_k <= 1,
                 "replicate_k supports at most one backup copy");
   RMS_CHECK(config_.rpc_deadline > 0 && config_.rpc_max_retries >= 0);
+  RMS_CHECK_MSG(config_.rpc_window >= 1, "rpc_window must be >= 1");
   if (uses_remote_memory(config_.policy)) {
     RMS_CHECK_MSG(avail_ != nullptr,
                   "remote policies need an AvailabilityTable");
@@ -56,6 +57,10 @@ std::int64_t HashLineStore::remote_held_bytes() const {
 
 std::int64_t HashLineStore::outstanding_rpcs() const {
   return backend_ ? backend_->outstanding_rpcs() : 0;
+}
+
+int HashLineStore::rpc_window() const {
+  return backend_ ? backend_->rpc_window() : 1;
 }
 
 void HashLineStore::check_invariants() const {

@@ -23,7 +23,7 @@
 //                    per-line spill to the local disk.
 //
 // The remote backend also owns the application side of migration (§4.2) and
-// of failure tolerance: deadline-bounded RPCs through cluster::RpcClient,
+// of failure tolerance: deadline-bounded RPCs through transport::Transport,
 // replica promotion / orphan recovery, and degradation to the disk path when
 // no live destination qualifies, so a run always completes. The store keeps
 // the paper-visible accounting (FailoverStats, pagefault/swap counters) and
@@ -93,6 +93,11 @@ class HashLineStore {
     /// Retries beyond the first attempt (exponential backoff) before the
     /// peer is declared dead.
     int rpc_max_retries = 2;
+    /// Sliding window of outstanding memory-service RPCs per peer
+    /// connection (transport flow control). 1 preserves the paper's fully
+    /// synchronous behaviour bit-for-bit; >= 2 lets end-of-pass collection
+    /// pipeline fetches across memory servers.
+    int rpc_window = 1;
     /// Optional trace sink (null: tracing fully disabled). Spans for
     /// swap-out / fault-in, instants for orphans and tiered spills; the
     /// remote backend adds RPC/failover events. Must outlive the store.
@@ -187,6 +192,7 @@ class HashLineStore {
   std::size_t disk_lines() const;         // lines parked on the local disk
   std::int64_t remote_held_bytes() const; // primary bytes held remotely
   std::int64_t outstanding_rpcs() const;  // swap-path RPCs in flight
+  int rpc_window() const;                 // active sliding-window size
   const FailoverStats& failover() const { return failover_; }
   /// Store-owned registry: the residency core's counters ("store.*") plus
   /// the active backend's ("backend.<name>.*"), rendered uniformly by

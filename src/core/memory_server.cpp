@@ -3,15 +3,19 @@
 #include <algorithm>
 
 #include "obs/trace.hpp"
+#include "transport/stream.hpp"
 
 namespace rms::core {
 
 MemoryServer::MemoryServer(cluster::Node& node, Config config)
     : node_(node),
       config_(config),
-      migrate_rpc_(node, cluster::RpcOptions{config.migrate_push_deadline,
-                                             config.migrate_push_retries,
-                                             config.trace}) {
+      migrate_xport_(node,
+                     transport::TransportOptions{config.migrate_push_deadline,
+                                                 config.migrate_push_retries,
+                                                 config.rpc_window,
+                                                 config.trace}),
+      inbox_(node, kMemService) {
   // Crash-stop loses everything in RAM. The hook runs synchronously inside
   // Node::crash(); the serve loop itself stays suspended and abandons any
   // in-flight handler through the epoch check.
@@ -26,7 +30,7 @@ void MemoryServer::wipe_on_crash() {
   replica_lines_ = 0;
   stored_bytes_ = 0;
   // Requests delivered but not yet received are lost with the process.
-  while (node_.mailbox().try_recv(kMemService)) {
+  while (inbox_.try_recv()) {
   }
   node_.stats().bump("server.crash_wipes");
 }
@@ -105,7 +109,7 @@ void MemoryServer::drop_replica(net::NodeId owner, LineId id) {
 
 sim::Process MemoryServer::serve() {
   for (;;) {
-    net::Message msg = co_await node_.mailbox().recv(kMemService);
+    net::Message msg = co_await inbox_.recv();
     if (config_.trace == nullptr) {
       co_await handle(std::move(msg), node_.epoch());
       continue;
@@ -340,20 +344,24 @@ sim::Task<> MemoryServer::handle_migrate_directive(const net::Message& msg,
   RMS_CHECK(req.migrate_dest >= 0 && req.migrate_dest != node_.id());
 
   MemReply done;
-  MemRequest block;
-  block.kind = MemRequest::Kind::kMigrateData;
-  block.owner = req.owner;
-  std::int64_t block_bytes = 0;
+  // Lines coalesce into message blocks through a byte-budgeted stream; each
+  // closed block is pushed as one acknowledged kMigrateData RPC. The block
+  // still travels as a copy so a failed push can be re-adopted locally.
+  transport::Stream<MemRequest> stream(config_.message_block_bytes);
   bool dest_dead = false;
 
   auto flush_block = [&]() -> sim::Task<> {
-    if (block.lines.empty()) co_return;
+    if (stream.empty()) co_return;
+    auto closed = stream.take();
     std::vector<LineId> in_flight;
-    for (const LinePayload& l : block.lines) in_flight.push_back(l.line_id);
+    for (const LinePayload& l : closed.batch.lines) {
+      in_flight.push_back(l.line_id);
+    }
     net::Message data = net::Message::make(
         node_.id(), req.migrate_dest, kMemService,
-        std::max<std::int64_t>(block_bytes, 64), block);
-    const cluster::RpcResult res = co_await migrate_rpc_.call(std::move(data));
+        std::max<std::int64_t>(closed.bytes, 64), closed.batch);
+    const cluster::RpcResult res =
+        co_await migrate_xport_.call(std::move(data));
     if (node_.epoch() != epoch) co_return;  // we crashed mid-push
     if (res.ok()) {
       done.migrated.insert(done.migrated.end(), in_flight.begin(),
@@ -362,14 +370,10 @@ sim::Task<> MemoryServer::handle_migrate_directive(const net::Message& msg,
       // No ack: take the block back so the data survives here.
       dest_dead = true;
       node_.stats().bump("server.migrate_push_failures");
-      for (LinePayload& l : block.lines) {
+      for (LinePayload& l : closed.batch.lines) {
         adopt_line(req.owner, std::move(l), /*allow_replace=*/false);
       }
     }
-    block = MemRequest{};
-    block.kind = MemRequest::Kind::kMigrateData;
-    block.owner = req.owner;
-    block_bytes = 0;
   };
 
   for (LineId id : req.migrate_lines) {
@@ -382,9 +386,13 @@ sim::Task<> MemoryServer::handle_migrate_directive(const net::Message& msg,
     co_await node_.compute(costs.per_update_apply);
     if (node_.epoch() != epoch) co_return;
     LinePayload line = release_line(req.owner, id);
-    block_bytes += std::max<std::int64_t>(line.accounted_bytes, 16);
-    block.lines.push_back(std::move(line));
-    if (block_bytes >= config_.message_block_bytes) co_await flush_block();
+    if (stream.empty()) {
+      stream.open().kind = MemRequest::Kind::kMigrateData;
+      stream.open().owner = req.owner;
+    }
+    stream.note(std::max<std::int64_t>(line.accounted_bytes, 16));
+    stream.open().lines.push_back(std::move(line));
+    if (stream.due()) co_await flush_block();
   }
   if (!dest_dead) co_await flush_block();
   if (node_.epoch() != epoch) co_return;

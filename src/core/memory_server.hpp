@@ -25,10 +25,10 @@
 #include <unordered_map>
 
 #include "cluster/cluster.hpp"
-#include "cluster/rpc_client.hpp"
 #include "core/protocol.hpp"
 #include "sim/process.hpp"
 #include "sim/task.hpp"
+#include "transport/transport.hpp"
 
 namespace rms::obs {
 class TraceRecorder;
@@ -45,6 +45,9 @@ class MemoryServer {
     /// directive replies ok=false with the partial `migrated` list.
     Time migrate_push_deadline = msec(2000);
     int migrate_push_retries = 1;
+    /// Sliding window for server-to-server migration pushes (transport
+    /// flow control; 1 = fully synchronous, the paper behaviour).
+    int rpc_window = 1;
     /// Optional trace sink (null: no tracing): a kServe span per handled
     /// request on this server's node track. Must outlive the server.
     obs::TraceRecorder* trace = nullptr;
@@ -85,7 +88,9 @@ class MemoryServer {
   cluster::Node& node_;
   Config config_;
   /// Deadline/retry policy for server-to-server migration data pushes.
-  cluster::RpcClient migrate_rpc_;
+  transport::Transport migrate_xport_;
+  /// The memory-service endpoint this server's loop blocks on.
+  transport::Inbox inbox_;
   std::unordered_map<net::NodeId, OwnerLines> store_;
   std::unordered_map<net::NodeId, OwnerLines> replicas_;
   std::size_t stored_lines_ = 0;

@@ -6,6 +6,8 @@
 //                   handled by the MemoryServer process on memory nodes;
 //   kAvailInfo    — periodic availability broadcasts from monitor processes
 //                   to the client processes on application nodes.
+// The tag values themselves live in the transport layer's TagRegistry (the
+// cluster-wide catalog, docs/PROTOCOL.md); these are role-named aliases.
 #pragma once
 
 #include <cstdint>
@@ -14,11 +16,12 @@
 #include "mining/hash_line_table.hpp"
 #include "mining/itemset.hpp"
 #include "net/network.hpp"
+#include "transport/tags.hpp"
 
 namespace rms::core {
 
-inline constexpr net::Tag kMemService = 100;
-inline constexpr net::Tag kAvailInfo = 110;
+inline constexpr net::Tag kMemService = transport::TagRegistry::kMemService;
+inline constexpr net::Tag kAvailInfo = transport::TagRegistry::kAvailInfo;
 
 /// Global hash-line id (bucket index in the distributed candidate table).
 using LineId = std::int64_t;

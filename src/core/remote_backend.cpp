@@ -20,9 +20,11 @@ RemoteBackend::RemoteBackend(HashLineStore& store, Options options,
       update_mode_(options.update_mode),
       name_(stat_ns),
       avail_(store.availability()),
-      rpc_(store.node(), cluster::RpcOptions{store.config().rpc_deadline,
-                                             store.config().rpc_max_retries,
-                                             store.config().trace}),
+      xport_(store.node(),
+             transport::TransportOptions{store.config().rpc_deadline,
+                                         store.config().rpc_max_retries,
+                                         store.config().rpc_window,
+                                         store.config().trace}),
       fallback_(std::make_unique<DiskBackend>(store)),
       updates_sent_(&store.stats_mut().slot("store.updates_sent")),
       lines_migrated_(&store.stats_mut().slot("store.lines_migrated")),
@@ -33,8 +35,9 @@ RemoteBackend::RemoteBackend(HashLineStore& store, Options options,
                 "remote backends need an AvailabilityTable");
   // In-band timeout verdicts: a peer that exhausts every attempt is marked
   // suspect the moment the last deadline expires, before the failed call
-  // even returns to its caller.
-  rpc_.set_on_failure([this](net::NodeId peer) { declare_dead(peer); });
+  // even returns to its caller. The transport latches the episode, so a
+  // window full of concurrent failures to one crashed peer fires this once.
+  xport_.set_on_failure([this](net::NodeId peer) { declare_dead(peer); });
 }
 
 std::size_t RemoteBackend::lines_at(net::NodeId holder) const {
@@ -58,7 +61,7 @@ std::size_t RemoteBackend::disk_lines() const {
 }
 
 std::int64_t RemoteBackend::outstanding_rpcs() const {
-  return rpc_.in_flight();
+  return xport_.in_flight();
 }
 
 void RemoteBackend::hold_insert(net::NodeId holder, LineId id) {
@@ -79,7 +82,7 @@ void RemoteBackend::hold_erase(net::NodeId holder, LineId id) {
 // ---------------------------------------------------------------------------
 
 sim::Task<cluster::RpcResult> RemoteBackend::rpc(net::Message msg) {
-  cluster::RpcResult res = co_await rpc_.call(std::move(msg));
+  cluster::RpcResult res = co_await xport_.call(std::move(msg));
   failover().rpc_retries += res.attempts - 1;
   // Every attempt but a successful last one expired its deadline.
   failover().deadline_misses += res.ok() ? res.attempts - 1 : res.attempts;
@@ -101,8 +104,11 @@ bool RemoteBackend::holder_suspect(net::NodeId holder) {
   if (suspected_.count(holder) == 0) return false;
   if (avail_ != nullptr && !avail_->dead(holder)) {
     // The availability table accepted a newer heartbeat: the node restarted
-    // (its store wiped — our lines there were already re-homed). Forgive.
+    // (its store wiped — our lines there were already re-homed). Forgive,
+    // re-arming the transport's failure latch so a relapse re-fires
+    // declare_dead.
     suspected_.erase(holder);
+    xport_.forgive(holder);
     return false;
   }
   return true;
@@ -162,7 +168,7 @@ sim::Task<> RemoteBackend::recover_lost_line(LineId id) {
         }
         // The backup restarted and lost the replica too: fall through.
       }
-      // On total failure the RpcClient callback already declared it dead.
+      // On total failure the transport callback already declared it dead.
     }
   }
   l.where = Where::kResident;
@@ -272,7 +278,7 @@ sim::Task<> RemoteBackend::fault_in(LineId id) {
       cluster::RpcResult res = co_await rpc(net::Message::make(
           node_.id(), holder, kMemService, 32, std::move(req)));
       if (!res.ok()) {
-        // Every deadline missed: the holder is gone (the RpcClient callback
+        // Every deadline missed: the holder is gone (the transport callback
         // marked it suspect as the last deadline expired). Re-home
         // everything it held — this line is kFaulting, so the handler skips
         // it and leaves it to us.
@@ -335,13 +341,16 @@ bool RemoteBackend::buffer_migrating_update(LineId id,
 void RemoteBackend::queue_update(LineId id, const mining::Itemset& itemset) {
   auto& l = store_.line(id);
   const auto append = [&](net::NodeId target) {
-    UpdateBatch& batch = update_batches_[target];
-    if (batch.request.updates.empty()) {
-      batch.request.kind = MemRequest::Kind::kUpdateBatch;
-      batch.request.owner = node_.id();
+    auto& stream =
+        update_streams_
+            .try_emplace(target, store_.config().message_block_bytes)
+            .first->second;
+    if (stream.empty()) {
+      stream.open().kind = MemRequest::Kind::kUpdateBatch;
+      stream.open().owner = node_.id();
     }
-    batch.request.updates.push_back(UpdateOp{id, itemset});
-    batch.bytes += store_.config().update_op_bytes;
+    stream.open().updates.push_back(UpdateOp{id, itemset});
+    stream.note(store_.config().update_op_bytes);
   };
   append(l.holder);
   ++*updates_sent_;
@@ -353,32 +362,28 @@ void RemoteBackend::queue_update(LineId id, const mining::Itemset& itemset) {
 }
 
 sim::Task<> RemoteBackend::send_update_batch(net::NodeId holder) {
-  UpdateBatch& batch = update_batches_[holder];
-  if (batch.request.updates.empty()) co_return;
-  const std::int64_t ops =
-      static_cast<std::int64_t>(batch.request.updates.size());
-  const std::int64_t bytes = batch.bytes;
-  MemRequest req = std::move(batch.request);
-  batch.request = MemRequest{};
-  batch.bytes = 0;
+  const auto it = update_streams_.find(holder);
+  if (it == update_streams_.end() || it->second.empty()) co_return;
+  auto closed = it->second.take();
   if (holder_suspect(holder)) {
     // Nobody home; delivering would be a silent drop anyway. Count it.
-    failover().lost_update_ops += ops;
+    failover().lost_update_ops += closed.ops;
     node_.stats().bump("store.update_batches_dropped");
     co_return;
   }
   node_.stats().bump("store.update_batches");
   if (obs::TraceRecorder* trace = store_.config().trace) {
     trace->instant(obs::EventKind::kUpdateBatch, node_.id(), node_.sim().now(),
-                   holder, ops);
+                   holder, closed.ops);
   }
-  node_.send_to(holder, kMemService, bytes, std::move(req));
+  xport_.send_to(holder, kMemService, closed.bytes, std::move(closed.batch));
   co_await node_.compute(node_.costs().per_message_cpu);
 }
 
 sim::Task<> RemoteBackend::maybe_flush_batch(net::NodeId holder) {
-  if (holder >= 0 &&
-      update_batches_[holder].bytes >= store_.config().message_block_bytes) {
+  if (holder < 0) co_return;
+  const auto it = update_streams_.find(holder);
+  if (it != update_streams_.end() && it->second.due()) {
     co_await send_update_batch(holder);
   }
 }
@@ -386,8 +391,8 @@ sim::Task<> RemoteBackend::maybe_flush_batch(net::NodeId holder) {
 sim::Task<> RemoteBackend::flush_updates() {
   // Collect holders first: sending mutates the map.
   std::vector<net::NodeId> holders;
-  for (const auto& [holder, batch] : update_batches_) {
-    if (!batch.request.updates.empty()) holders.push_back(holder);
+  for (const auto& [holder, stream] : update_streams_) {
+    if (!stream.empty()) holders.push_back(holder);
   }
   std::sort(holders.begin(), holders.end());
   for (net::NodeId h : holders) co_await send_update_batch(h);
@@ -404,6 +409,11 @@ sim::Task<bool> RemoteBackend::collect_fetch() {
   }
   if (holders.empty()) co_return false;
   std::sort(holders.begin(), holders.end());
+  if (xport_.window() >= 2 && holders.size() >= 2) {
+    // Overlap the per-holder fetch round-trips instead of serializing them.
+    co_await collect_fetch_pipelined(holders);
+    co_return true;
+  }
   for (net::NodeId holder : holders) {
     auto& held = lines_by_holder_[holder];
     if (held.empty()) continue;
@@ -453,6 +463,80 @@ sim::Task<bool> RemoteBackend::collect_fetch() {
     }
   }
   co_return true;
+}
+
+sim::Task<> RemoteBackend::collect_fetch_pipelined(
+    const std::vector<net::NodeId>& holders) {
+  // Pin every holder's lines up front (kFaulting keeps the concurrent
+  // failure handler off them), then issue all live holders' kFetch RPCs
+  // through the transport pipeline so their round-trips and server service
+  // times overlap. Reply post-processing stays in holder order; recovery
+  // may re-home lines onto other holders, which the caller's next
+  // collect_fetch round picks up — exactly like the sequential path.
+  std::vector<std::vector<LineId>> pinned(holders.size());
+  for (std::size_t h = 0; h < holders.size(); ++h) {
+    auto& held = lines_by_holder_[holders[h]];
+    std::vector<LineId> ids(held.begin(), held.end());
+    std::sort(ids.begin(), ids.end());
+    for (LineId id : ids) {
+      RMS_CHECK(store_.line(id).where == Where::kRemote);
+      store_.line(id).where = Where::kFaulting;
+    }
+    for (LineId id : ids) hold_erase(holders[h], id);
+    pinned[h] = std::move(ids);
+  }
+
+  std::vector<net::Message> msgs;
+  std::vector<std::size_t> msg_holder;  // msgs[k] targets holders[msg_holder[k]]
+  for (std::size_t h = 0; h < holders.size(); ++h) {
+    if (pinned[h].empty() || holder_suspect(holders[h])) continue;
+    MemRequest req;
+    req.kind = MemRequest::Kind::kFetch;
+    req.owner = node_.id();
+    req.fetch_min_count = store_.config().fetch_filter_min_count;
+    msgs.push_back(net::Message::make(node_.id(), holders[h], kMemService, 32,
+                                      std::move(req)));
+    msg_holder.push_back(h);
+  }
+  std::vector<cluster::RpcResult> results =
+      co_await xport_.pipeline(std::move(msgs));
+  for (std::size_t k = 0; k < results.size(); ++k) {
+    cluster::RpcResult& res = results[k];
+    failover().rpc_retries += res.attempts - 1;
+    failover().deadline_misses += res.ok() ? res.attempts - 1 : res.attempts;
+  }
+
+  std::size_t k = 0;  // cursor over results, in holder order
+  for (std::size_t h = 0; h < holders.size(); ++h) {
+    const net::NodeId holder = holders[h];
+    const std::vector<LineId>& ids = pinned[h];
+    if (ids.empty()) continue;
+    std::unordered_set<LineId> got;
+    if (k < msg_holder.size() && msg_holder[k] == h) {
+      cluster::RpcResult& res = results[k++];
+      if (res.ok()) {
+        const auto& rep = res.reply->as<MemReply>();
+        co_await node_.compute(node_.costs().per_message_cpu);
+        for (const LinePayload& payload : rep.lines) {
+          auto& l = store_.line(payload.line_id);
+          if (l.where != Where::kFaulting || l.holder != holder) {
+            node_.stats().bump("store.stale_fetch_lines");
+            continue;
+          }
+          l.entries = payload.entries;
+          store_.make_resident(payload.line_id);
+          drop_backup(payload.line_id);
+          got.insert(payload.line_id);
+        }
+      } else {
+        co_await on_holder_failure(holder);
+      }
+    }
+    for (LineId id : ids) {
+      if (got.count(id)) continue;
+      co_await recover_lost_line(id);
+    }
+  }
 }
 
 sim::Task<> RemoteBackend::collect_finish() {
@@ -547,7 +631,7 @@ sim::Task<> RemoteBackend::migrate_away(net::NodeId holder) {
 
   if (!res.ok()) {
     // The holder itself went silent mid-directive (and is suspect already,
-    // via the RpcClient callback). Put the marks back to kRemote so the
+    // via the transport callback). Put the marks back to kRemote so the
     // failure handler re-homes every line it held; it also fires the
     // triggers for them.
     for (LineId id : marked) store_.line(id).where = Where::kRemote;
@@ -621,13 +705,10 @@ sim::Task<> RemoteBackend::on_holder_failure(net::NodeId dead) {
 
   // Queued one-way updates towards the dead node would be silent drops.
   {
-    const auto it = update_batches_.find(dead);
-    if (it != update_batches_.end() && !it->second.request.updates.empty()) {
-      failover().lost_update_ops +=
-          static_cast<std::int64_t>(it->second.request.updates.size());
+    const auto it = update_streams_.find(dead);
+    if (it != update_streams_.end() && !it->second.empty()) {
+      failover().lost_update_ops += it->second.take().ops;
       node_.stats().bump("store.update_batches_dropped");
-      it->second.request = MemRequest{};
-      it->second.bytes = 0;
     }
   }
 
@@ -732,12 +813,15 @@ void RemoteBackend::check_invariants() const {
                 "remote byte accounting drifted");
 
   // Update batching: bytes must track the op count exactly.
-  for (const auto& [holder, batch] : update_batches_) {
+  for (const auto& [holder, stream] : update_streams_) {
     RMS_CHECK_MSG(
-        batch.bytes ==
-            static_cast<std::int64_t>(batch.request.updates.size()) *
-                store_.config().update_op_bytes,
-        "update batch byte accounting out of sync with queued ops");
+        stream.pending_ops() ==
+            static_cast<std::int64_t>(stream.peek().updates.size()),
+        "update stream op accounting out of sync with the open batch");
+    RMS_CHECK_MSG(
+        stream.pending_bytes() ==
+            stream.pending_ops() * store_.config().update_op_bytes,
+        "update stream byte accounting out of sync with queued ops");
   }
 
   fallback_->check_invariants();

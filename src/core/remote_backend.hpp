@@ -5,10 +5,13 @@
 // Evicted lines are pushed to a memory-available node chosen from the
 // AvailabilityTable (optionally mirrored on a second node, replicate_k = 1);
 // probes fault them back, or — in update mode during the counting phase —
-// become one-way batched update operations. All synchronous traffic goes
-// through a cluster::RpcClient whose failure callback feeds the suspicion
+// become one-way batched update operations coalesced through a
+// transport::Stream per target. All synchronous traffic goes through a
+// transport::Transport whose failure callback feeds the suspicion
 // machinery, so an unresponsive holder is detected in-band and its lines are
 // re-homed: backup copies are promoted, the rest restart empty (orphaned).
+// With `rpc_window >= 2` end-of-pass collection pipelines its fetches
+// across memory servers instead of serializing one round-trip per holder.
 // Evictions that find no live destination degrade to an owned DiskBackend —
 // the same fallback TieredBackend uses deliberately when its remote budget
 // fills up.
@@ -19,10 +22,11 @@
 #include <unordered_set>
 #include <vector>
 
-#include "cluster/rpc_client.hpp"
 #include "core/disk_backend.hpp"
 #include "core/hash_line_store.hpp"
 #include "core/swap_backend.hpp"
+#include "transport/stream.hpp"
+#include "transport/transport.hpp"
 
 namespace rms::core {
 
@@ -58,6 +62,7 @@ class RemoteBackend : public SwapBackend {
   std::size_t disk_lines() const override;
   std::int64_t remote_held_bytes() const override { return remote_bytes_; }
   std::int64_t outstanding_rpcs() const override;
+  int rpc_window() const override { return xport_.window(); }
   void check_invariants() const override;
 
  protected:
@@ -72,15 +77,10 @@ class RemoteBackend : public SwapBackend {
   cluster::Node& node_;
 
  private:
-  struct UpdateBatch {
-    MemRequest request;
-    std::int64_t bytes = 0;
-  };
-
-  /// RpcClient::call plus the store's FailoverStats accounting.
+  /// Transport::call plus the store's FailoverStats accounting.
   sim::Task<cluster::RpcResult> rpc(net::Message msg);
   /// First-time suspicion bookkeeping (table mark + counters). Idempotent;
-  /// wired as the RpcClient failure callback.
+  /// wired as the transport failure callback.
   void declare_dead(net::NodeId holder);
   /// True while `holder` is suspected; fresh heartbeats in the availability
   /// table (crash + restart) clear the local suspicion lazily.
@@ -96,6 +96,10 @@ class RemoteBackend : public SwapBackend {
   void queue_update(LineId id, const mining::Itemset& itemset);
   sim::Task<> send_update_batch(net::NodeId holder);
   sim::Task<> maybe_flush_batch(net::NodeId holder);
+  /// collect_fetch with rpc_window >= 2: pin every holder's lines, issue
+  /// the fetch RPCs through Transport::pipeline so their round-trips
+  /// overlap, then post-process replies in holder order.
+  sim::Task<> collect_fetch_pipelined(const std::vector<net::NodeId>& holders);
   /// -1 when no live, fresh node has room (callers degrade).
   net::NodeId pick_destination(std::int64_t bytes, net::NodeId exclude = -1);
   /// lines_by_holder_ mutations paired with remote_bytes_ accounting.
@@ -105,7 +109,7 @@ class RemoteBackend : public SwapBackend {
   const bool update_mode_;
   const char* name_;
   AvailabilityTable* avail_;
-  cluster::RpcClient rpc_;
+  transport::Transport xport_;
   std::unique_ptr<DiskBackend> fallback_;
 
   // Location bookkeeping for migration, collection, and recovery.
@@ -113,7 +117,9 @@ class RemoteBackend : public SwapBackend {
   std::unordered_map<net::NodeId, std::unordered_set<LineId>>
       replicas_by_holder_;
   std::unordered_set<net::NodeId> suspected_;
-  std::unordered_map<net::NodeId, UpdateBatch> update_batches_;
+  /// One-way update batching, one byte-budgeted stream per target node.
+  std::unordered_map<net::NodeId, transport::Stream<MemRequest>>
+      update_streams_;
   std::unordered_map<LineId, std::vector<mining::Itemset>> pending_updates_;
   std::int64_t remote_bytes_ = 0;
 

@@ -99,6 +99,9 @@ class SwapBackend {
   virtual std::size_t disk_lines() const { return 0; }
   virtual std::int64_t remote_held_bytes() const { return 0; }
   virtual std::int64_t outstanding_rpcs() const { return 0; }
+  /// Per-peer RPC window the backend's transport runs with (1 = the fully
+  /// synchronous paper behaviour; backends without RPCs report 1).
+  virtual int rpc_window() const { return 1; }
   /// Backend-side consistency checks, called from
   /// HashLineStore::check_invariants(). Aborts on violation.
   virtual void check_invariants() const {}

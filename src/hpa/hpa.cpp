@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "cluster/cpu_charger.hpp"
 #include "cluster/fault.hpp"
 #include "core/availability.hpp"
 #include "core/hash_line_store.hpp"
@@ -13,17 +14,22 @@
 #include "sim/process.hpp"
 #include "sim/simulation.hpp"
 #include "sim/sync.hpp"
+#include "transport/stream.hpp"
+#include "transport/tags.hpp"
+#include "transport/transport.hpp"
 
 namespace rms::hpa {
 namespace {
 
+using cluster::CpuCharger;
 using cluster::Node;
 using mining::Itemset;
 using net::NodeId;
 
-constexpr net::Tag kPass1Counts = 200;
-constexpr net::Tag kCountData = 201;
-constexpr net::Tag kLargeExchange = 202;
+// Mining-phase wire tags, from the central registry (docs/PROTOCOL.md).
+constexpr net::Tag kPass1Counts = transport::TagRegistry::kPass1Counts;
+constexpr net::Tag kCountData = transport::TagRegistry::kCountData;
+constexpr net::Tag kLargeExchange = transport::TagRegistry::kLargeExchange;
 
 /// Counting-phase payload: a 4 KB message block of k-itemsets, or the
 /// end-of-stream marker a sender broadcasts after finishing its scan.
@@ -38,34 +44,6 @@ struct Pass1Counts {
 
 struct LargeList {
   std::vector<mining::CountedItemset> larges;
-};
-
-/// Charge CPU in chunks: accumulates logical operations and converts them
-/// into one `compute` await per `chunk` operations, keeping the event count
-/// proportional to messages/faults instead of probes.
-class CpuCharger {
- public:
-  CpuCharger(Node& node, Time per_op, std::int64_t chunk = 8192)
-      : node_(node), per_op_(per_op), chunk_(chunk) {}
-
-  sim::Task<> add(std::int64_t ops) {
-    pending_ += ops;
-    if (pending_ >= chunk_) co_await flush();
-  }
-
-  sim::Task<> flush() {
-    if (pending_ > 0) {
-      const Time t = per_op_ * pending_;
-      pending_ = 0;
-      co_await node_.compute(t);
-    }
-  }
-
- private:
-  Node& node_;
-  Time per_op_;
-  std::int64_t chunk_;
-  std::int64_t pending_ = 0;
 };
 
 class Runner {
@@ -252,8 +230,9 @@ sim::Task<> Runner::pass1(std::size_t idx) {
     co_await node.compute(costs.per_message_cpu);
   }
   std::vector<std::uint32_t> total = counts;
+  transport::Inbox inbox(node, kPass1Counts);
   for (std::size_t j = 0; j + 1 < cfg_.app_nodes; ++j) {
-    net::Message msg = co_await node.mailbox().recv(kPass1Counts);
+    net::Message msg = co_await inbox.recv();
     const auto& remote = msg.as<Pass1Counts>();
     RMS_CHECK(remote.counts.size() == total.size());
     co_await node.compute(costs.per_message_cpu);
@@ -327,6 +306,7 @@ sim::Task<> Runner::build_store(std::size_t idx, std::size_t k) {
   scfg.replicate_k = cfg_.replicate_k;
   scfg.rpc_deadline = cfg_.rpc_deadline;
   scfg.rpc_max_retries = cfg_.rpc_max_retries;
+  scfg.rpc_window = cfg_.rpc_window;
   scfg.trace = cfg_.trace;
   stores_[idx] = std::make_unique<core::HashLineStore>(node, scfg,
                                                        avail_[idx].get());
@@ -358,22 +338,24 @@ sim::Process Runner::count_sender(std::size_t idx, std::size_t k) {
   const mining::TransactionDb& part = partitions_[idx];
   const cluster::CostModel& costs = cfg_.cluster.costs;
 
+  // One byte-budgeted stream per destination. The budget rounds the 4 KB
+  // wire block down to a whole number of itemsets, so a stream comes due at
+  // exactly the batch boundary the hand-rolled capacity check used.
   const std::int64_t itemset_wire_bytes = static_cast<std::int64_t>(k) * 4 + 4;
-  const std::size_t batch_capacity = static_cast<std::size_t>(
-      std::max<std::int64_t>(1, cfg_.message_block_bytes / itemset_wire_bytes));
+  const std::int64_t batch_capacity =
+      std::max<std::int64_t>(1, cfg_.message_block_bytes / itemset_wire_bytes);
 
-  std::vector<std::vector<Itemset>> batches(cfg_.app_nodes);
-  for (auto& b : batches) b.reserve(batch_capacity);
+  std::vector<transport::Stream<CountMsg>> streams;
+  streams.reserve(cfg_.app_nodes);
+  for (std::size_t j = 0; j < cfg_.app_nodes; ++j) {
+    streams.emplace_back(batch_capacity * itemset_wire_bytes);
+  }
 
   auto flush = [&](std::size_t owner) -> sim::Task<> {
-    if (batches[owner].empty()) co_return;
-    CountMsg msg;
-    msg.itemsets = std::move(batches[owner]);
-    batches[owner].clear();
-    batches[owner].reserve(batch_capacity);
-    const auto bytes = static_cast<std::int64_t>(msg.itemsets.size()) *
-                       itemset_wire_bytes;
-    node.send_to(app_id(owner), kCountData, bytes, std::move(msg));
+    if (streams[owner].empty()) co_return;
+    auto closed = streams[owner].take();
+    node.send_to(app_id(owner), kCountData, closed.bytes,
+                 std::move(closed.batch));
     co_await node.compute(costs.per_message_cpu);
   };
 
@@ -404,8 +386,10 @@ sim::Process Runner::count_sender(std::size_t idx, std::size_t k) {
     co_await gen.add(static_cast<std::int64_t>(scratch.size()));
     for (const Itemset& s : scratch) {
       const std::size_t owner = owner_of_line(global_line(s));
-      batches[owner].push_back(s);
-      if (batches[owner].size() >= batch_capacity) co_await flush(owner);
+      transport::Stream<CountMsg>& stream = streams[owner];
+      stream.open().itemsets.push_back(s);
+      stream.note(itemset_wire_bytes);
+      if (stream.due()) co_await flush(owner);
     }
   }
   if (pending_bytes > 0) {
@@ -433,8 +417,9 @@ sim::Process Runner::count_receiver(std::size_t idx, std::size_t k) {
   core::HashLineStore& store = *stores_[idx];
 
   std::size_t eos_seen = 0;
+  transport::Inbox inbox(node, kCountData);
   while (eos_seen < cfg_.app_nodes) {
-    net::Message msg = co_await node.mailbox().recv(kCountData);
+    net::Message msg = co_await inbox.recv();
     const auto& data = msg.as<CountMsg>();
     if (data.eos) {
       ++eos_seen;
@@ -480,8 +465,9 @@ sim::Task<> Runner::determine_large(std::size_t idx, std::size_t k) {
   }
 
   std::vector<mining::CountedItemset> global = std::move(local.larges);
+  transport::Inbox inbox(node, kLargeExchange);
   for (std::size_t j = 0; j + 1 < cfg_.app_nodes; ++j) {
-    net::Message msg = co_await node.mailbox().recv(kLargeExchange);
+    net::Message msg = co_await inbox.recv();
     const auto& remote = msg.as<LargeList>();
     co_await node.compute(costs.per_message_cpu);
     global.insert(global.end(), remote.larges.begin(), remote.larges.end());
@@ -662,6 +648,7 @@ HpaResult Runner::run() {
     Node& node = cluster_->node(mem_id(i));
     core::MemoryServer::Config mscfg;
     mscfg.message_block_bytes = cfg_.message_block_bytes;
+    mscfg.rpc_window = cfg_.rpc_window;
     mscfg.trace = cfg_.trace;
     servers_[i] = std::make_unique<core::MemoryServer>(node, mscfg);
     sim_.spawn(servers_[i]->serve());
@@ -791,6 +778,9 @@ void Runner::register_gauges() {
     }));
     m.add_gauge("outstanding_rpcs", node, store_gauge([](const auto& s) {
       return static_cast<double>(s.outstanding_rpcs());
+    }));
+    m.add_gauge("rpc_window", node, store_gauge([](const auto& s) {
+      return static_cast<double>(s.rpc_window());
     }));
     m.add_gauge("heartbeat_staleness_s", node, [this, i]() -> double {
       return to_seconds(avail_[i]->oldest_report_age(sim_.now()));

@@ -93,6 +93,10 @@ struct HpaConfig {
   /// Per-attempt RPC deadline / retry budget for the swap path.
   Time rpc_deadline = msec(2000);
   int rpc_max_retries = 2;
+  /// Sliding-window size for swap-path and migration RPCs (transport flow
+  /// control). 1 preserves the paper's fully synchronous behaviour
+  /// bit-for-bit; >= 2 pipelines end-of-pass fetches across holders.
+  int rpc_window = 1;
   /// Failure detector: declare a memory node dead after this many missed
   /// availability heartbeats.
   int suspect_after_misses = 3;

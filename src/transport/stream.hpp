@@ -1,0 +1,77 @@
+// Stream<Batch>: one-way, byte-budgeted batching for push-style traffic.
+//
+// The paper's remote-update policy wins because it replaces blocking fault
+// round-trips with one-way streamed messages coalesced into wire blocks.
+// Stream is the batching half of that idiom, factored out of the three
+// places that each hand-rolled it (remote-update batches in RemoteBackend,
+// migration-data blocks in MemoryServer, count-phase itemset blocks in hpa):
+// the caller appends operations into an open Batch, notes the accounted
+// bytes of each, and flushes when the stream reports `due()` — i.e. the
+// pending bytes reached the flush budget (typically message_block_bytes).
+//
+// Stream owns only accounting; the caller owns the Batch layout (header
+// initialization via `if (stream.empty())` before appending) and the actual
+// send. `take()` closes the batch and resets the stream, returning the batch
+// together with its accounted bytes/ops so the caller can size the wire
+// message and charge per-message CPU exactly as before.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace rms::transport {
+
+template <typename Batch>
+class Stream {
+ public:
+  explicit Stream(std::int64_t flush_budget_bytes)
+      : budget_(flush_budget_bytes) {
+    RMS_CHECK(budget_ > 0);
+  }
+
+  bool empty() const { return ops_ == 0; }
+  /// True once the pending bytes reached the flush budget.
+  bool due() const { return bytes_ >= budget_; }
+
+  std::int64_t pending_bytes() const { return bytes_; }
+  std::int64_t pending_ops() const { return ops_; }
+  std::int64_t budget() const { return budget_; }
+
+  /// The batch under construction. Callers initialize header fields when
+  /// `empty()` and append operations directly.
+  Batch& open() { return batch_; }
+  /// Read-only view of the batch under construction (invariant checks).
+  const Batch& peek() const { return batch_; }
+
+  /// Account `op_bytes` of wire payload for `ops` just-appended operations.
+  void note(std::int64_t op_bytes, std::int64_t ops = 1) {
+    RMS_CHECK(op_bytes >= 0 && ops >= 1);
+    bytes_ += op_bytes;
+    ops_ += ops;
+  }
+
+  struct Closed {
+    Batch batch{};
+    std::int64_t bytes = 0;
+    std::int64_t ops = 0;
+  };
+
+  /// Close the current batch and reset the stream for the next one.
+  Closed take() {
+    Closed closed{std::move(batch_), bytes_, ops_};
+    batch_ = Batch{};
+    bytes_ = 0;
+    ops_ = 0;
+    return closed;
+  }
+
+ private:
+  Batch batch_{};
+  std::int64_t budget_;
+  std::int64_t bytes_ = 0;
+  std::int64_t ops_ = 0;
+};
+
+}  // namespace rms::transport

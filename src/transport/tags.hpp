@@ -1,0 +1,110 @@
+// TagRegistry: the central catalog of message tags on the cluster.
+//
+// Every message on the simulated wire carries a tag that routes it into a
+// per-tag mailbox channel on the destination node (the simulated equivalent
+// of the paper's per-purpose TLI transport endpoints). Before the transport
+// layer existed, each subsystem hard-coded its own `constexpr Tag`; this
+// registry is now the single place the tag space is laid out:
+//
+//   [0, kDynamicBase)            well-known service tags (the wire protocol
+//                                catalog in docs/PROTOCOL.md)
+//   [kDynamicBase, kReplyTagBase) runtime-registered service tags for tests
+//                                and ad-hoc examples
+//   [kReplyTagBase, 2^31)        per-node reply-tag windows handed out by
+//                                Node::alloc_reply_tag and retired by the
+//                                mailbox when an RPC completes
+//
+// The header is deliberately a leaf (it depends only on net::Tag) so both
+// cluster/ (mailbox reply-tag retirement) and transport/ (connections,
+// streams) can include it without cycles.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.hpp"
+#include "net/network.hpp"
+
+namespace rms::transport {
+
+class TagRegistry {
+ public:
+  // ---- Well-known service tags (the wire-protocol catalog) ----
+  /// Memory service: swap-out / swap-in / update / fetch / migration /
+  /// replica traffic handled by the MemoryServer loop on memory nodes.
+  static constexpr net::Tag kMemService = 100;
+  /// Periodic availability broadcasts from monitor processes to the
+  /// availability clients on application nodes.
+  static constexpr net::Tag kAvailInfo = 110;
+  /// HPA pass 1: all-to-all partial item-count exchange.
+  static constexpr net::Tag kPass1Counts = 200;
+  /// HPA counting phase: 4 KB blocks of k-itemsets, sender -> owner.
+  static constexpr net::Tag kCountData = 201;
+  /// HPA determination: all-to-all local large-itemset exchange.
+  static constexpr net::Tag kLargeExchange = 202;
+
+  /// Runtime-registered service tags start here.
+  static constexpr net::Tag kDynamicBase = 1000;
+
+  // ---- Reply-tag space ----
+  // Reply tags live above all service tags; each node hands them out
+  // round-robin from its own window so concurrent RPCs never collide, and
+  // the window is sized so tags are effectively unique per run (8M RPCs per
+  // node before a wrap). The mailbox opens a reply tag at allocation and
+  // retires it when the RPC completes; reply-range deposits on a tag that is
+  // not open are late stragglers and are dropped (counted, never queued).
+  static constexpr net::Tag kReplyTagBase = 1 << 23;
+  static constexpr net::Tag kReplyTagWindow = 1 << 23;
+
+  static constexpr bool is_reply_tag(net::Tag tag) {
+    return tag >= kReplyTagBase;
+  }
+  static constexpr net::Tag reply_window_start(net::NodeId node) {
+    return kReplyTagBase + node * kReplyTagWindow;
+  }
+
+  /// Register (or look up) a dynamic service tag by name. Registration
+  /// order determines the tag value, so deterministic call order yields
+  /// deterministic tags; re-registering a name returns the same tag.
+  net::Tag register_service(const std::string& name) {
+    const auto it = by_name_.find(name);
+    if (it != by_name_.end()) return it->second;
+    const net::Tag tag =
+        kDynamicBase + static_cast<net::Tag>(dynamic_names_.size());
+    RMS_CHECK_MSG(tag < kReplyTagBase, "dynamic tag space exhausted");
+    by_name_.emplace(name, tag);
+    dynamic_names_.push_back(name);
+    return tag;
+  }
+
+  /// Human-readable name for a tag (docs, traces, test failures).
+  std::string name_of(net::Tag tag) const {
+    switch (tag) {
+      case kMemService: return "mem_service";
+      case kAvailInfo: return "avail_info";
+      case kPass1Counts: return "pass1_counts";
+      case kCountData: return "count_data";
+      case kLargeExchange: return "large_exchange";
+      default: break;
+    }
+    if (is_reply_tag(tag)) return "reply";
+    const auto idx = static_cast<std::size_t>(tag - kDynamicBase);
+    if (tag >= kDynamicBase && idx < dynamic_names_.size()) {
+      return dynamic_names_[idx];
+    }
+    return "unknown";
+  }
+
+  /// Process-wide registry (tests and examples that need ad-hoc tags).
+  static TagRegistry& global() {
+    static TagRegistry instance;
+    return instance;
+  }
+
+ private:
+  std::unordered_map<std::string, net::Tag> by_name_;
+  std::vector<std::string> dynamic_names_;
+};
+
+}  // namespace rms::transport

@@ -1,0 +1,147 @@
+#include "transport/transport.hpp"
+
+#include <algorithm>
+
+#include "obs/trace.hpp"
+
+namespace rms::transport {
+
+bool Connection::CreditAwaiter::await_ready() {
+  if (conn.in_flight_ < conn.transport_.options_.window) {
+    ++conn.in_flight_;
+    conn.peak_in_flight_ = std::max(conn.peak_in_flight_, conn.in_flight_);
+    return true;
+  }
+  return false;
+}
+
+void Connection::CreditAwaiter::await_suspend(std::coroutine_handle<> h) {
+  ++conn.credit_waits_;
+  conn.transport_.node_.stats().bump("transport.credit_waits");
+  conn.waiters_.push_back(h);
+}
+
+void Connection::release() {
+  RMS_CHECK(in_flight_ > 0);
+  if (!waiters_.empty()) {
+    // Hand the slot straight to the longest-waiting caller (in_flight_ is
+    // unchanged); wake it through the event queue for determinism.
+    const std::coroutine_handle<> h = waiters_.front();
+    waiters_.pop_front();
+    transport_.node_.sim().schedule_now(h);
+    return;
+  }
+  --in_flight_;
+}
+
+Transport::Transport(cluster::Node& node, TransportOptions options)
+    : node_(node), options_(options) {
+  RMS_CHECK(options_.deadline > 0 && options_.max_retries >= 0);
+  RMS_CHECK_MSG(options_.window >= 1, "transport window must be >= 1");
+  latency_ms_ = node_.stats().histogram_mut("rpc.latency_ms");
+}
+
+Connection& Transport::connection(net::NodeId peer) {
+  auto it = connections_.find(peer);
+  if (it == connections_.end()) {
+    it = connections_
+             .emplace(peer, std::make_unique<Connection>(*this, peer))
+             .first;
+  }
+  return *it->second;
+}
+
+int Transport::in_flight_to(net::NodeId peer) const {
+  const auto it = connections_.find(peer);
+  return it == connections_.end() ? 0 : it->second->in_flight();
+}
+
+int Transport::peak_in_flight_to(net::NodeId peer) const {
+  const auto it = connections_.find(peer);
+  return it == connections_.end() ? 0 : it->second->peak_in_flight();
+}
+
+std::int64_t Transport::credit_waits() const {
+  std::int64_t total = 0;
+  for (const auto& [peer, conn] : connections_) total += conn->credit_waits();
+  return total;
+}
+
+sim::Task<cluster::RpcResult> Transport::call(net::Message msg) {
+  const net::NodeId peer = msg.dst;
+  Connection& conn = connection(peer);
+  co_await conn.acquire();
+  const Time started = node_.sim().now();
+  ++in_flight_;
+  cluster::RpcResult res = co_await node_.request_with_deadline(
+      std::move(msg), options_.deadline, options_.max_retries);
+  --in_flight_;
+  conn.release();
+  retries_ += res.attempts - 1;
+  // Every attempt but a successful last one expired its deadline.
+  deadline_misses_ += res.ok() ? res.attempts - 1 : res.attempts;
+  if (res.ok()) {
+    consecutive_failures_.erase(peer);
+    failure_latched_.erase(peer);  // a success ends the suspicion episode
+  } else {
+    ++failed_calls_;
+    ++consecutive_failures_[peer];
+    if (on_failure_ && failure_latched_.insert(peer).second) {
+      on_failure_(peer);
+    }
+  }
+  const Time ended = node_.sim().now();
+  latency_ms_->add(to_millis(ended - started));
+  if (options_.trace != nullptr) {
+    options_.trace->span(obs::EventKind::kRpc, node_.id(), started, ended,
+                         peer, res.attempts);
+    if (res.attempts > 1) {
+      options_.trace->instant(obs::EventKind::kRpcRetry, node_.id(), ended,
+                              peer, res.attempts - 1);
+    }
+    if (!res.ok()) {
+      options_.trace->instant(obs::EventKind::kRpcFailed, node_.id(), ended,
+                              peer, res.attempts);
+    }
+  }
+  co_return res;
+}
+
+sim::Process pipeline_worker(Transport& transport,
+                             std::vector<net::Message>& msgs,
+                             std::vector<cluster::RpcResult>& out,
+                             std::size_t& next) {
+  while (next < msgs.size()) {
+    const std::size_t i = next++;
+    out[i] = co_await transport.call(std::move(msgs[i]));
+  }
+}
+
+sim::Task<std::vector<cluster::RpcResult>> Transport::pipeline(
+    std::vector<net::Message> msgs) {
+  std::vector<cluster::RpcResult> out(msgs.size());
+  if (msgs.empty()) co_return out;
+  const int workers =
+      std::min<int>(options_.window, static_cast<int>(msgs.size()));
+  if (workers <= 1) {
+    // Strictly sequential: the exact pre-transport event sequence (no
+    // worker processes are spawned, so no extra scheduler events exist).
+    for (std::size_t i = 0; i < msgs.size(); ++i) {
+      out[i] = co_await call(std::move(msgs[i]));
+    }
+    co_return out;
+  }
+  // The worker pool pulls from a shared cursor so call issue order stays
+  // the caller's order even when completions interleave. All locals outlive
+  // the workers: pipeline() only returns after joining every one.
+  std::size_t next = 0;
+  std::vector<sim::Process> pool;
+  pool.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    pool.push_back(node_.sim().spawn(pipeline_worker(*this, msgs, out, next)));
+  }
+  for (const sim::Process& worker : pool) co_await worker;
+  co_return out;
+}
+
+}  // namespace rms::transport

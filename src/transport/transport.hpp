@@ -1,0 +1,206 @@
+// Transport: the unified async messaging stack for the cluster.
+//
+// Node::request_with_deadline is the mechanism (stable reply tag,
+// exponential backoff, timeout sentinel); Transport is the policy layer
+// every RPC caller shares — it subsumes the old cluster::RpcClient and adds
+// per-peer flow control:
+//
+//   - Each peer gets a lazily created Connection with a sliding window of
+//     outstanding requests (`TransportOptions::window`, default 1 — the old
+//     fully synchronous behaviour). The (n+1)-th concurrent call to a peer
+//     suspends on an awaitable credit and resumes, FIFO, when a slot frees.
+//   - pipeline() issues a batch of RPCs through up to `window` concurrent
+//     workers and returns the completion set in issue order — this is what
+//     lets end-of-pass collection overlap fetches across memory servers.
+//   - Failure policy: deadline/retry/backoff are per-transport options;
+//     when a call to a peer exhausts every attempt, `on_failure` fires once
+//     per suspicion episode (re-armed by a later success or by forgive()).
+//
+// At window = 1 with credit available, call() adds zero scheduler events
+// over the old RpcClient path, so paper-figure benches stay bit-identical
+// unless a window is explicitly swept.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "sim/task.hpp"
+#include "transport/tags.hpp"
+
+namespace rms::obs {
+class TraceRecorder;
+}
+
+namespace rms::transport {
+
+/// Per-traffic-class transport policy knobs.
+struct TransportOptions {
+  /// Per-attempt deadline; doubles on each retry (exponential backoff).
+  Time deadline = msec(2000);
+  /// Retries beyond the first attempt before the call is declared failed.
+  int max_retries = 2;
+  /// Maximum outstanding requests per peer connection. 1 preserves the old
+  /// synchronous one-call-at-a-time behaviour bit-for-bit.
+  int window = 1;
+  /// Optional trace sink (null: no tracing). Each call records a span plus
+  /// retry/failure instants on the caller's node track.
+  obs::TraceRecorder* trace = nullptr;
+};
+
+class Transport;
+
+/// Per-peer state: the sliding window of outstanding requests plus the FIFO
+/// of callers waiting for a credit.
+class Connection {
+ public:
+  Connection(Transport& transport, net::NodeId peer)
+      : transport_(transport), peer_(peer) {}
+
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  net::NodeId peer() const { return peer_; }
+  int in_flight() const { return in_flight_; }
+  /// High-water mark of concurrently outstanding requests.
+  int peak_in_flight() const { return peak_in_flight_; }
+  /// Calls that had to suspend waiting for a window slot.
+  std::int64_t credit_waits() const { return credit_waits_; }
+
+ private:
+  friend class Transport;
+
+  struct CreditAwaiter {
+    Connection& conn;
+    bool await_ready();
+    void await_suspend(std::coroutine_handle<> h);
+    void await_resume() const noexcept {}
+  };
+
+  /// Awaitable credit: synchronous when a slot is free (zero extra events),
+  /// otherwise suspends FIFO until release() hands the slot over.
+  CreditAwaiter acquire() { return CreditAwaiter{*this}; }
+  void release();
+
+  Transport& transport_;
+  net::NodeId peer_;
+  int in_flight_ = 0;
+  int peak_in_flight_ = 0;
+  std::int64_t credit_waits_ = 0;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+class Transport {
+ public:
+  Transport(cluster::Node& node, TransportOptions options);
+
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
+
+  /// Invoked synchronously the first time a peer exhausts every attempt of
+  /// a call (the peer is presumed crashed). Fires once per suspicion
+  /// episode: re-armed when a later call to the peer succeeds or when the
+  /// failover layer calls forgive(). Must not suspend.
+  void set_on_failure(std::function<void(net::NodeId)> fn) {
+    on_failure_ = std::move(fn);
+  }
+
+  /// Clear the failure latch for `peer` (the failover layer decided the
+  /// peer is alive again), so a later total failure fires on_failure anew.
+  void forgive(net::NodeId peer) { failure_latched_.erase(peer); }
+
+  /// Issue one deadline-bounded call, holding a window credit on the peer's
+  /// connection for its duration. Suspends first if the window is full.
+  sim::Task<cluster::RpcResult> call(net::Message msg);
+
+  /// Issue a batch of RPCs and await the completion set (indexed in issue
+  /// order). With window <= 1 the batch runs strictly sequentially — the
+  /// exact pre-transport event sequence; otherwise up to `window` worker
+  /// processes overlap the calls, each still subject to per-peer credits.
+  sim::Task<std::vector<cluster::RpcResult>> pipeline(
+      std::vector<net::Message> msgs);
+
+  /// One-way send through the transport (no reply, no credit: flow control
+  /// for push traffic is byte-budgeted batching via transport::Stream).
+  void send(net::Message msg) { node_.send(std::move(msg)); }
+  template <typename T>
+  void send_to(net::NodeId dst, net::Tag tag, std::int64_t bytes, T body) {
+    node_.send_to(dst, tag, bytes, std::move(body));
+  }
+
+  const TransportOptions& options() const { return options_; }
+  cluster::Node& node() { return node_; }
+
+  // ---- Introspection ----
+  /// Attempts beyond the first, summed over every call.
+  std::int64_t retries() const { return retries_; }
+  /// Deadlines that expired (every attempt but a successful last one).
+  std::int64_t deadline_misses() const { return deadline_misses_; }
+  /// Calls that exhausted every attempt.
+  std::int64_t failed_calls() const { return failed_calls_; }
+  /// Back-to-back failed calls to `peer` since its last success.
+  int consecutive_failures(net::NodeId peer) const {
+    const auto it = consecutive_failures_.find(peer);
+    return it == consecutive_failures_.end() ? 0 : it->second;
+  }
+  /// Calls issued but not yet returned, across all peers (a metrics gauge:
+  /// visible spikes during retry storms and pipelined bursts).
+  std::int64_t in_flight() const { return in_flight_; }
+  /// Outstanding calls on one peer's connection window.
+  int in_flight_to(net::NodeId peer) const;
+  /// Calls that suspended waiting for a window credit, across all peers.
+  std::int64_t credit_waits() const;
+  /// High-water mark of one connection's window occupancy.
+  int peak_in_flight_to(net::NodeId peer) const;
+  int window() const { return options_.window; }
+
+ private:
+  friend class Connection;
+  friend sim::Process pipeline_worker(Transport& transport,
+                                      std::vector<net::Message>& msgs,
+                                      std::vector<cluster::RpcResult>& out,
+                                      std::size_t& next);
+
+  Connection& connection(net::NodeId peer);
+
+  cluster::Node& node_;
+  TransportOptions options_;
+  std::function<void(net::NodeId)> on_failure_;
+  std::int64_t retries_ = 0;
+  std::int64_t deadline_misses_ = 0;
+  std::int64_t failed_calls_ = 0;
+  std::int64_t in_flight_ = 0;
+  Histogram* latency_ms_ = nullptr;  // node stats "rpc.latency_ms"
+  std::unordered_map<net::NodeId, int> consecutive_failures_;
+  std::unordered_map<net::NodeId, std::unique_ptr<Connection>> connections_;
+  /// Peers whose current suspicion episode already fired on_failure.
+  std::unordered_set<net::NodeId> failure_latched_;
+};
+
+/// Thin receive-side veneer: a named endpoint for one service tag on a
+/// node's mailbox, so server loops and collectors address their traffic
+/// through the transport layer's tag catalog instead of raw tag constants.
+class Inbox {
+ public:
+  Inbox(cluster::Node& node, net::Tag tag) : node_(node), tag_(tag) {}
+
+  net::Tag tag() const { return tag_; }
+  auto recv() { return node_.mailbox().recv(tag_); }
+  std::optional<net::Message> try_recv() {
+    return node_.mailbox().try_recv(tag_);
+  }
+  std::size_t pending() { return node_.mailbox().pending(tag_); }
+
+ private:
+  cluster::Node& node_;
+  net::Tag tag_;
+};
+
+}  // namespace rms::transport

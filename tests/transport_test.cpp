@@ -1,0 +1,348 @@
+// Transport-layer tests: tag registry layout, byte-budgeted streams,
+// window flow control (saturation, FIFO credit handover), retry/duplicate
+// tolerance, reply-tag retirement, crash-mid-window failure latching, and
+// pipelined completion sets.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "sim/process.hpp"
+#include "sim/simulation.hpp"
+#include "transport/stream.hpp"
+#include "transport/tags.hpp"
+#include "transport/transport.hpp"
+
+namespace rms::transport {
+namespace {
+
+using cluster::Cluster;
+using cluster::ClusterConfig;
+using cluster::Node;
+
+struct Ping {
+  int value = 0;
+};
+struct Pong {
+  int value = 0;
+};
+
+ClusterConfig small_config(std::size_t n = 4) {
+  ClusterConfig c;
+  c.num_nodes = n;
+  return c;
+}
+
+net::Tag echo_tag() {
+  return TagRegistry::global().register_service("transport_test.echo");
+}
+
+/// Replies to every request on `tag` after `service` of wall time, forever.
+sim::Process echo_server(Node& n, net::Tag tag, Time service) {
+  for (;;) {
+    net::Message m = co_await n.mailbox().recv(tag);
+    if (service > 0) co_await n.sim().timeout(service);
+    n.reply(m, 16, Pong{m.as<Ping>().value});
+  }
+}
+
+/// One transport call; appends the echoed value to `done` on completion.
+sim::Process one_call(Transport& t, net::NodeId dst, net::Tag tag, int v,
+                      std::vector<int>& done) {
+  cluster::RpcResult r = co_await t.call(
+      net::Message::make(t.node().id(), dst, tag, 16, Ping{v}));
+  EXPECT_TRUE(r.ok());
+  if (r.ok()) done.push_back(r.reply->as<Pong>().value);
+}
+
+sim::Process failing_call(Transport& t, net::NodeId dst, net::Tag tag,
+                          int& failures) {
+  cluster::RpcResult r = co_await t.call(
+      net::Message::make(t.node().id(), dst, tag, 16, Ping{0}));
+  if (!r.ok()) ++failures;
+}
+
+// ---- TagRegistry ----------------------------------------------------------
+
+TEST(TagRegistry, LayoutSeparatesServiceAndReplySpace) {
+  EXPECT_FALSE(TagRegistry::is_reply_tag(TagRegistry::kMemService));
+  EXPECT_FALSE(TagRegistry::is_reply_tag(TagRegistry::kLargeExchange));
+  EXPECT_FALSE(TagRegistry::is_reply_tag(TagRegistry::kDynamicBase));
+  EXPECT_TRUE(TagRegistry::is_reply_tag(TagRegistry::reply_window_start(0)));
+  // Per-node windows are disjoint.
+  EXPECT_EQ(TagRegistry::reply_window_start(1) -
+                TagRegistry::reply_window_start(0),
+            TagRegistry::kReplyTagWindow);
+}
+
+TEST(TagRegistry, DynamicRegistrationIsSequentialAndIdempotent) {
+  TagRegistry reg;
+  const net::Tag a = reg.register_service("alpha");
+  const net::Tag b = reg.register_service("beta");
+  EXPECT_EQ(a, TagRegistry::kDynamicBase);
+  EXPECT_EQ(b, a + 1);
+  EXPECT_EQ(reg.register_service("alpha"), a);
+  EXPECT_EQ(reg.name_of(a), "alpha");
+  EXPECT_EQ(reg.name_of(TagRegistry::kMemService), "mem_service");
+  EXPECT_EQ(reg.name_of(TagRegistry::kCountData), "count_data");
+  EXPECT_EQ(reg.name_of(TagRegistry::reply_window_start(2)), "reply");
+  EXPECT_EQ(reg.name_of(999), "unknown");
+}
+
+// ---- Stream ---------------------------------------------------------------
+
+TEST(Stream, ComesDueExactlyAtTheByteBudget) {
+  struct Batch {
+    std::vector<int> xs;
+  };
+  Stream<Batch> s(100);
+  EXPECT_TRUE(s.empty());
+  EXPECT_FALSE(s.due());
+  for (int i = 0; i < 3; ++i) {
+    s.open().xs.push_back(i);
+    s.note(30);
+  }
+  EXPECT_FALSE(s.due());  // 90 < 100
+  EXPECT_EQ(s.pending_ops(), 3);
+  EXPECT_EQ(s.pending_bytes(), 90);
+  s.open().xs.push_back(3);
+  s.note(30);
+  EXPECT_TRUE(s.due());  // 120 >= 100
+
+  const auto closed = s.take();
+  EXPECT_EQ(closed.ops, 4);
+  EXPECT_EQ(closed.bytes, 120);
+  EXPECT_EQ(closed.batch.xs, (std::vector<int>{0, 1, 2, 3}));
+  // take() resets for the next batch.
+  EXPECT_TRUE(s.empty());
+  EXPECT_FALSE(s.due());
+  EXPECT_TRUE(s.open().xs.empty());
+}
+
+// ---- Window flow control --------------------------------------------------
+
+TEST(Transport, WindowSaturationBlocksTheThirdCall) {
+  sim::Simulation sim;
+  Cluster cl(sim, small_config());
+  sim.spawn(echo_server(cl.node(1), echo_tag(), msec(10)));
+
+  Transport t(cl.node(0), TransportOptions{sec(1), 0, /*window=*/2});
+  std::vector<int> done;
+  for (int v : {1, 2, 3}) sim.spawn(one_call(t, 1, echo_tag(), v, done));
+  sim.run();
+
+  EXPECT_EQ(done, (std::vector<int>{1, 2, 3}));
+  // Two calls fit the window; the third had to wait for a credit.
+  EXPECT_EQ(t.peak_in_flight_to(1), 2);
+  EXPECT_EQ(t.credit_waits(), 1);
+  EXPECT_EQ(t.in_flight(), 0);
+  EXPECT_EQ(t.in_flight_to(1), 0);
+  EXPECT_EQ(cl.node(0).stats().counter("transport.credit_waits"), 1);
+}
+
+TEST(Transport, CreditHandoverIsFifoPerPeer) {
+  sim::Simulation sim;
+  Cluster cl(sim, small_config());
+  sim.spawn(echo_server(cl.node(1), echo_tag(), msec(5)));
+
+  Transport t(cl.node(0), TransportOptions{sec(1), 0, /*window=*/1});
+  std::vector<int> done;
+  for (int v : {1, 2, 3, 4, 5}) sim.spawn(one_call(t, 1, echo_tag(), v, done));
+  sim.run();
+
+  // Issue order is completion order: each waiter inherits the slot in FIFO
+  // order, and the window of 1 serializes the calls.
+  EXPECT_EQ(done, (std::vector<int>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(t.peak_in_flight_to(1), 1);
+  EXPECT_EQ(t.credit_waits(), 4);
+}
+
+TEST(Transport, WindowIsPerPeerNotGlobal) {
+  sim::Simulation sim;
+  Cluster cl(sim, small_config());
+  sim.spawn(echo_server(cl.node(1), echo_tag(), msec(10)));
+  sim.spawn(echo_server(cl.node(2), echo_tag(), msec(10)));
+
+  Transport t(cl.node(0), TransportOptions{sec(1), 0, /*window=*/1});
+  std::vector<int> done;
+  sim.spawn(one_call(t, 1, echo_tag(), 1, done));
+  sim.spawn(one_call(t, 2, echo_tag(), 2, done));
+  sim.run();
+
+  // One outstanding call per peer; neither waited on the other's window.
+  EXPECT_EQ(done.size(), 2u);
+  EXPECT_EQ(t.credit_waits(), 0);
+  EXPECT_EQ(t.peak_in_flight_to(1), 1);
+  EXPECT_EQ(t.peak_in_flight_to(2), 1);
+}
+
+// ---- Retry + duplicate tolerance ------------------------------------------
+
+TEST(Transport, DuplicateReplyAfterRetryIsDroppedNotDelivered) {
+  sim::Simulation sim;
+  Cluster cl(sim, small_config());
+  // The server replies to *every* request (the original and the retry), but
+  // only after 150 ms — past the first 100 ms deadline, inside the doubled
+  // second one. The second reply arrives after the call settled.
+  sim.spawn(echo_server(cl.node(1), echo_tag(), msec(150)));
+
+  Transport t(cl.node(0),
+              TransportOptions{msec(100), /*max_retries=*/1, /*window=*/1});
+  std::vector<int> done;
+  sim.spawn(one_call(t, 1, echo_tag(), 42, done));
+  sim.run();
+
+  EXPECT_EQ(done, (std::vector<int>{42}));
+  EXPECT_EQ(t.retries(), 1);
+  EXPECT_EQ(t.deadline_misses(), 1);
+  EXPECT_EQ(t.failed_calls(), 0);
+  // The straggler reply hit a retired tag: dropped and counted, and no
+  // channel was left behind to leak.
+  EXPECT_EQ(cl.node(0).stats().counter("node.late_replies_dropped"), 1);
+  EXPECT_EQ(cl.node(0).mailbox().open_reply_count(), 0u);
+  EXPECT_EQ(cl.node(0).mailbox().channel_count(), 0u);
+}
+
+TEST(Node, LateReplyAfterTimeoutIsDroppedAndCounted) {
+  // Regression for the raw request_with_deadline path: a reply that loses
+  // the race against the deadline must not queue forever on a dead tag.
+  sim::Simulation sim;
+  Cluster cl(sim, small_config());
+  sim.spawn(echo_server(cl.node(1), echo_tag(), msec(200)));
+
+  bool failed = false;
+  auto caller = [](Node& n, net::Tag tag, bool& out) -> sim::Process {
+    cluster::RpcResult r = co_await n.request_with_deadline(
+        net::Message::make(n.id(), 1, tag, 16, Ping{1}), msec(50), 0);
+    out = !r.ok();
+  };
+  sim.spawn(caller(cl.node(0), echo_tag(), failed));
+  sim.run();
+
+  EXPECT_TRUE(failed);
+  EXPECT_EQ(cl.node(0).stats().counter("node.late_replies_dropped"), 1);
+  EXPECT_EQ(cl.node(0).mailbox().open_reply_count(), 0u);
+  EXPECT_EQ(cl.node(0).mailbox().channel_count(), 0u);
+}
+
+// ---- Failure latching -----------------------------------------------------
+
+TEST(Transport, CrashMidWindowFailsAllOutstandingAndLatchesOnFailure) {
+  sim::Simulation sim;
+  Cluster cl(sim, small_config());
+  sim.spawn(echo_server(cl.node(1), echo_tag(), msec(50)));
+
+  Transport t(cl.node(0),
+              TransportOptions{msec(100), /*max_retries=*/0, /*window=*/4});
+  int on_failure_calls = 0;
+  t.set_on_failure([&](net::NodeId peer) {
+    EXPECT_EQ(peer, 1);
+    ++on_failure_calls;
+  });
+
+  int failures = 0;
+  for (int i = 0; i < 3; ++i) sim.spawn(failing_call(t, 1, echo_tag(), failures));
+  // The peer crashes while all three calls are in flight; its pending
+  // replies and everything re-sent to it vanish.
+  sim.call_at(msec(5), [&] { cl.node(1).crash(); });
+  sim.run();
+
+  EXPECT_EQ(failures, 3);
+  EXPECT_EQ(t.failed_calls(), 3);
+  EXPECT_EQ(t.consecutive_failures(1), 3);
+  // All credits were returned even though every call failed.
+  EXPECT_EQ(t.in_flight(), 0);
+  EXPECT_EQ(t.in_flight_to(1), 0);
+  // One suspicion episode -> exactly one on_failure, not one per call.
+  EXPECT_EQ(on_failure_calls, 1);
+}
+
+TEST(Transport, ForgiveReArmsTheFailureLatch) {
+  sim::Simulation sim;
+  Cluster cl(sim, small_config());
+
+  // No server at all: every call to node 1 fails.
+  Transport t(cl.node(0),
+              TransportOptions{msec(50), /*max_retries=*/0, /*window=*/1});
+  int on_failure_calls = 0;
+  t.set_on_failure([&](net::NodeId) { ++on_failure_calls; });
+
+  int failures = 0;
+  auto episode = [&](Time at) {
+    sim.call_at(at, [&] { sim.spawn(failing_call(t, 1, echo_tag(), failures)); });
+  };
+  episode(0);
+  episode(msec(100));  // same episode: still latched, no second callback
+  sim.call_at(msec(200), [&] { t.forgive(1); });
+  episode(msec(300));  // new episode after forgive(): fires again
+  sim.run();
+
+  EXPECT_EQ(failures, 3);
+  EXPECT_EQ(on_failure_calls, 2);
+}
+
+// ---- Pipelining -----------------------------------------------------------
+
+sim::Process pipeline_driver(Transport& t, std::vector<net::Message> msgs,
+                             std::vector<int>& values, Time& elapsed) {
+  const Time started = t.node().sim().now();
+  std::vector<cluster::RpcResult> results = co_await t.pipeline(std::move(msgs));
+  elapsed = t.node().sim().now() - started;
+  for (const cluster::RpcResult& r : results) {
+    EXPECT_TRUE(r.ok());
+    if (r.ok()) values.push_back(r.reply->as<Pong>().value);
+  }
+}
+
+std::vector<net::Message> four_echoes(Node& from) {
+  // Two messages per peer, interleaved, values encode issue order.
+  std::vector<net::Message> msgs;
+  for (int i = 0; i < 4; ++i) {
+    const net::NodeId dst = 1 + (i % 2);
+    msgs.push_back(net::Message::make(from.id(), dst, echo_tag(), 16, Ping{i}));
+  }
+  return msgs;
+}
+
+Time run_pipeline(int window, std::vector<int>& values) {
+  sim::Simulation sim;
+  Cluster cl(sim, small_config());
+  sim.spawn(echo_server(cl.node(1), echo_tag(), msec(10)));
+  sim.spawn(echo_server(cl.node(2), echo_tag(), msec(10)));
+  Transport t(cl.node(0), TransportOptions{sec(1), 0, window});
+  Time elapsed = 0;
+  sim.spawn(pipeline_driver(t, four_echoes(cl.node(0)), values, elapsed));
+  sim.run();
+  return elapsed;
+}
+
+TEST(Transport, PipelineReturnsCompletionSetInIssueOrder) {
+  std::vector<int> seq, par;
+  const Time serial = run_pipeline(1, seq);
+  const Time overlapped = run_pipeline(4, par);
+
+  // Issue-order indexing holds at any window.
+  EXPECT_EQ(seq, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(par, (std::vector<int>{0, 1, 2, 3}));
+  // At window 4 the two peers serve their two calls concurrently; the batch
+  // finishes measurably earlier than the strictly sequential window-1 run.
+  EXPECT_LT(overlapped, serial);
+}
+
+TEST(Transport, EmptyPipelineCompletesImmediately) {
+  sim::Simulation sim;
+  Cluster cl(sim, small_config());
+  Transport t(cl.node(0), TransportOptions{sec(1), 0, 4});
+  bool done = false;
+  auto driver = [](Transport& tr, bool& out) -> sim::Process {
+    std::vector<cluster::RpcResult> r = co_await tr.pipeline({});
+    EXPECT_TRUE(r.empty());
+    out = true;
+  };
+  sim.spawn(driver(t, done));
+  sim.run();
+  EXPECT_TRUE(done);
+}
+
+}  // namespace
+}  // namespace rms::transport
