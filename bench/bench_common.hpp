@@ -68,6 +68,13 @@ inline std::map<std::string, std::string> with_common_flags(
   extra.emplace("rpc-window",
                 "transport sliding-window size for swap/migration RPCs "
                 "(default 1: the paper's synchronous behaviour)");
+  extra.emplace("corrupt-rate",
+                "payload-corruption injection: per-message bit-flip "
+                "probability on the wire (default 0: no injection)");
+  extra.emplace("corrupt-at-ms",
+                "corruption episode start, virtual ms (default 500)");
+  extra.emplace("corrupt-for-ms",
+                "corruption episode duration, virtual ms (default 120000)");
   extra.emplace("trace-out",
                 "write a Chrome trace_event JSON (chrome://tracing) here");
   extra.emplace("metrics-out", "write per-node gauge time-series JSON here");
@@ -107,6 +114,19 @@ inline ExperimentEnv::ExperimentEnv(
     base.partition_weights = hpa::paper_table3_weights();
   }
   base.rpc_window = static_cast<int>(flags.get_int("rpc-window", 1));
+
+  // Optional wire-corruption injection, for chaos benches and the
+  // corruption-seeded determinism replay in CI. Self-repair (checksums +
+  // replicas) keeps the mined result exact; the artifact's integrity block
+  // records what was detected and repaired.
+  const double corrupt_rate = flags.get_double("corrupt-rate", 0.0);
+  if (corrupt_rate > 0.0) {
+    hpa::HpaConfig::Corruption ep;
+    ep.at = msec(flags.get_int("corrupt-at-ms", 500));
+    ep.duration = msec(flags.get_int("corrupt-for-ms", 120000));
+    ep.flip_rate = corrupt_rate;
+    base.corruption.push_back(ep);
+  }
 
   observer = obs::RunObserver::from_paths({flags.get("trace-out", ""),
                                            flags.get("metrics-out", ""),

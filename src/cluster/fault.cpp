@@ -2,7 +2,7 @@
 
 namespace rms::cluster {
 
-void FaultPlan::install(Cluster& cluster) const {
+void FaultPlan::install(Cluster& cluster, CorruptionHooks hooks) const {
   sim::Simulation& sim = cluster.sim();
   for (const Crash& c : crashes) {
     RMS_CHECK(c.node >= 0 && static_cast<std::size_t>(c.node) < cluster.size());
@@ -22,6 +22,26 @@ void FaultPlan::install(Cluster& cluster) const {
     sim.call_at(b.at, [net, rate = b.loss_rate] { net->set_loss_rate(rate); });
     sim.call_at(b.at + b.duration,
                 [net, base_loss] { net->set_loss_rate(base_loss); });
+  }
+  for (const Corruption& c : corruption) {
+    RMS_CHECK(c.at >= 0 && c.duration > 0);
+    RMS_CHECK(c.flip_rate >= 0.0 && c.flip_rate < 1.0);
+    RMS_CHECK(c.rest_flip_rate >= 0.0 && c.rest_flip_rate < 1.0);
+    if (c.flip_rate > 0.0) {
+      net::Network* net = &cluster.network();
+      sim.call_at(c.at, [net, rate = c.flip_rate, node = c.node] {
+        net->set_corruption(rate, node);
+      });
+      sim.call_at(c.at + c.duration, [net] { net->set_corruption(0.0, -1); });
+    }
+    if (c.rest_flip_rate > 0.0 && hooks.at_rest) {
+      sim.call_at(c.at, [fn = hooks.at_rest, node = c.node,
+                         rate = c.rest_flip_rate] { fn(node, rate); });
+    }
+    if (c.scrub && hooks.scrub) {
+      sim.call_at(c.at + c.duration,
+                  [fn = hooks.scrub, node = c.node] { fn(node); });
+    }
   }
 }
 

@@ -13,11 +13,23 @@
 // every run stays deterministic.
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "cluster/cluster.hpp"
 
 namespace rms::cluster {
+
+/// At-rest corruption callbacks a FaultPlan drives. The cluster layer knows
+/// nothing about memory servers, so the application wires these up (hpa
+/// iterates its MemoryServers): `at_rest(node, flip_rate)` flips bits in
+/// the lines a node currently stores (node < 0: every memory node);
+/// `scrub(node)` runs the server-side verify pass that drops mismatched
+/// copies.
+struct CorruptionHooks {
+  std::function<void(NodeId, double)> at_rest;
+  std::function<void(NodeId)> scrub;
+};
 
 struct FaultPlan {
   /// Crash-stop `node` at `at`; with `restart_at >= 0` the node rejoins
@@ -37,12 +49,31 @@ struct FaultPlan {
     double loss_rate = 0.3;
   };
 
+  /// Payload-corruption episode. Between `at` and `at + duration` every
+  /// message touching `node` (src or dst; node < 0: every link) has each
+  /// line payload corrupted with probability `flip_rate`. `rest_flip_rate`
+  /// additionally flips bits in the lines stored *at rest* on `node` (or
+  /// all memory nodes) once, at `at`; with `scrub` set the servers run a
+  /// verify pass at `at + duration` that drops mismatched copies. Both
+  /// at-rest actions need CorruptionHooks wired by the application layer.
+  struct Corruption {
+    Time at = 0;
+    Time duration = 0;
+    double flip_rate = 0.0;       // in-flight, per payload per delivery
+    double rest_flip_rate = 0.0;  // at-rest, per stored line, once at `at`
+    NodeId node = -1;             // -1: every link / every memory node
+    bool scrub = false;
+  };
+
   std::vector<Crash> crashes;
   std::vector<LossBurst> loss_bursts;
+  std::vector<Corruption> corruption;
 
   /// Schedule every scripted fault on the cluster's clock. The cluster must
   /// outlive the simulation run (the callbacks hold references into it).
-  void install(Cluster& cluster) const;
+  /// `hooks` is only needed when corruption episodes use rest_flip_rate or
+  /// scrub; the default ignores those actions.
+  void install(Cluster& cluster, CorruptionHooks hooks = {}) const;
 };
 
 }  // namespace rms::cluster

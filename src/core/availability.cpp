@@ -39,6 +39,7 @@ std::optional<net::NodeId> AvailabilityTable::choose_destination(
     const net::NodeId n = memory_nodes_[at];
     if (n == exclude) continue;
     if (dead(n)) continue;
+    if (quarantined(n)) continue;
     if (now >= 0 && expired(n, now)) continue;
     if (available(n) >= bytes_needed) {
       cursor_ = (at + 1) % memory_nodes_.size();
@@ -46,6 +47,25 @@ std::optional<net::NodeId> AvailabilityTable::choose_destination(
     }
   }
   return std::nullopt;
+}
+
+std::optional<net::NodeId> AvailabilityTable::choose_best_effort(
+    net::NodeId exclude, Time now) {
+  std::optional<net::NodeId> best;
+  std::int64_t best_room = -1;
+  for (const net::NodeId n : memory_nodes_) {
+    if (n == exclude) continue;
+    if (dead(n)) continue;
+    if (quarantined(n)) continue;
+    if (now >= 0 && expired(n, now)) continue;
+    const auto it = entries_.find(n);
+    if (it == entries_.end() || !it->second.valid) continue;
+    if (it->second.available > best_room) {
+      best_room = it->second.available;
+      best = n;
+    }
+  }
+  return best;
 }
 
 bool AvailabilityTable::expired(net::NodeId node, Time now) const {
@@ -64,6 +84,17 @@ void AvailabilityTable::mark_dead(net::NodeId node) {
 bool AvailabilityTable::dead(net::NodeId node) const {
   const auto it = entries_.find(node);
   return it != entries_.end() && it->second.dead;
+}
+
+void AvailabilityTable::quarantine(net::NodeId node) {
+  const auto it = entries_.find(node);
+  RMS_CHECK_MSG(it != entries_.end(), "quarantine on an unregistered node");
+  it->second.quarantined = true;
+}
+
+bool AvailabilityTable::quarantined(net::NodeId node) const {
+  const auto it = entries_.find(node);
+  return it != entries_.end() && it->second.quarantined;
 }
 
 Time AvailabilityTable::last_update(net::NodeId node) const {

@@ -48,6 +48,17 @@ class AvailabilityTable {
                                                 net::NodeId exclude = -1,
                                                 Time now = -1);
 
+  /// Best-effort variant for replica placement: the live, fresh,
+  /// non-quarantined node with the most reported room, with no minimum.
+  /// Local debits between two monitor reports routinely drive every
+  /// estimate below the threshold even though the servers have plenty of
+  /// real room (servers never hard-reject a store; sustained overload is
+  /// corrected by withdrawal-driven migration). Denying a mirror on such a
+  /// stale estimate would leave the line one corruption away from loss, so
+  /// redundancy placement degrades to "least loaded" instead of "none".
+  std::optional<net::NodeId> choose_best_effort(net::NodeId exclude = -1,
+                                                Time now = -1);
+
   /// Expire entries not refreshed within `max_age` (<= 0 disables, the
   /// default). Typically N monitor intervals.
   void set_max_age(Time max_age) { max_age_ = max_age; }
@@ -58,6 +69,13 @@ class AvailabilityTable {
   /// choice until a fresh report revives it.
   void mark_dead(net::NodeId node);
   bool dead(net::NodeId node) const;
+
+  /// Integrity verdicts. A quarantined node served repeatedly corrupt
+  /// payloads: it is excluded from destination choice for the rest of the
+  /// run. Unlike `dead`, quarantine is sticky — fresh heartbeats do not
+  /// clear it (the node is alive, just untrusted).
+  void quarantine(net::NodeId node);
+  bool quarantined(net::NodeId node) const;
   /// Time of the last accepted report (-1 before the first one).
   Time last_update(net::NodeId node) const;
   /// Heartbeat staleness: age of the oldest accepted report across live
@@ -80,6 +98,7 @@ class AvailabilityTable {
     Time updated = -1;
     bool valid = false;
     bool dead = false;
+    bool quarantined = false;  // sticky: update() never clears it
   };
 
   std::vector<net::NodeId> memory_nodes_;

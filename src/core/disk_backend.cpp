@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/protocol.hpp"
+
 namespace rms::core {
 
 using Where = HashLineStore::Where;
@@ -14,7 +16,10 @@ DiskBackend::DiskBackend(HashLineStore& store)
 
 sim::Task<> DiskBackend::swap_out(LineId id) {
   auto& l = store_.line(id);
-  disk_store_[id] = std::move(l.entries);
+  SpillRecord rec;
+  rec.checksum = line_checksum(l.entries);  // stamp before the move
+  rec.entries = std::move(l.entries);
+  disk_store_[id] = std::move(rec);
   l.entries.clear();
   l.where = Where::kDisk;
   l.holder = -1;
@@ -25,6 +30,27 @@ sim::Task<> DiskBackend::swap_out(LineId id) {
       disk::Access::kSequential);
 }
 
+bool DiskBackend::restore_verified(LineId id) {
+  const auto it = disk_store_.find(id);
+  RMS_CHECK(it != disk_store_.end());
+  auto& l = store_.line(id);
+  if (it->second.checksum != line_checksum(it->second.entries)) {
+    // The local copy rotted; there is no other copy to repair from. Never
+    // restore garbage — orphan the line (resident and empty, counted).
+    ++store_.integrity_mut().checksum_mismatches;
+    ++store_.integrity_mut().lines_lost;
+    node_.stats().bump("store.checksum_mismatches");
+    node_.stats().bump("store.disk_corrupt_lines");
+    disk_store_.erase(it);
+    l.where = Where::kResident;
+    store_.orphan_accounting(id);
+    return false;
+  }
+  l.entries = std::move(it->second.entries);
+  disk_store_.erase(it);
+  return true;
+}
+
 sim::Task<> DiskBackend::fault_in(LineId id) {
   auto& l = store_.line(id);
   RMS_CHECK(l.where == Where::kDisk);
@@ -33,11 +59,9 @@ sim::Task<> DiskBackend::fault_in(LineId id) {
   co_await node_.swap_disk().read(
       std::max<std::int64_t>(l.bytes, store_.config().message_block_bytes),
       disk::Access::kRandom);
-  const auto it = disk_store_.find(id);
-  RMS_CHECK(it != disk_store_.end());
-  l.entries = std::move(it->second);
-  disk_store_.erase(it);
-  // Still kFaulting: the store charges residency and re-links the LRU.
+  restore_verified(id);
+  // Still kFaulting on success: the store charges residency and re-links
+  // the LRU. On mismatch the line is already an orphan (resident, empty).
 }
 
 sim::Task<> DiskBackend::collect_finish() {
@@ -47,17 +71,13 @@ sim::Task<> DiskBackend::collect_finish() {
     co_await node_.swap_disk().read(
         std::max<std::int64_t>(l.bytes, store_.config().message_block_bytes),
         disk::Access::kSequential);
-    const auto it = disk_store_.find(id);
-    RMS_CHECK(it != disk_store_.end());
-    l.entries = std::move(it->second);
-    disk_store_.erase(it);
-    store_.make_resident(id);
+    if (restore_verified(id)) store_.make_resident(id);
   }
 }
 
 void DiskBackend::check_invariants() const {
   // Every parked line has exactly one stored copy; stored copies belong to
-  // lines that are on disk or mid-fault.
+  // lines that are on disk or mid-fault and carry a checksum stamp.
   std::size_t on_disk = 0;
   for (std::size_t i = 0; i < store_.num_lines(); ++i) {
     const auto& l = store_.line(static_cast<LineId>(i));
@@ -66,10 +86,11 @@ void DiskBackend::check_invariants() const {
     RMS_CHECK_MSG(disk_store_.count(static_cast<LineId>(i)) == 1,
                   "disk line without a stored copy");
   }
-  for (const auto& [id, entries] : disk_store_) {
+  for (const auto& [id, rec] : disk_store_) {
     const auto& l = store_.line(id);
     RMS_CHECK_MSG(l.where == Where::kDisk || l.where == Where::kFaulting,
                   "stored copy for a line that is not on disk");
+    RMS_CHECK_MSG(rec.checksum != 0, "spill record without a checksum stamp");
   }
   RMS_CHECK_MSG(on_disk <= disk_store_.size(),
                 "disk store lost track of parked lines");

@@ -5,6 +5,7 @@
 // full.
 #pragma once
 
+#include <cstdint>
 #include <unordered_map>
 
 #include "core/hash_line_store.hpp"
@@ -35,8 +36,21 @@ class DiskBackend final : public SwapBackend {
   void check_invariants() const override;
 
  private:
+  /// Spilled contents with the checksum stamped at swap_out; verified on
+  /// every read back. A mismatch (media corruption — nothing in the
+  /// simulator injects it, but the read path never trusts the bytes)
+  /// orphans the line instead of restoring garbage.
+  struct SpillRecord {
+    mining::HashLine entries;
+    std::uint64_t checksum = 0;
+  };
+
+  /// Returns false (and counts the loss, erasing the record) when the
+  /// stored copy fails verification; the line is orphaned by the caller.
+  bool restore_verified(LineId id);
+
   cluster::Node& node_;
-  std::unordered_map<LineId, mining::HashLine> disk_store_;
+  std::unordered_map<LineId, SpillRecord> disk_store_;
   std::int64_t* swap_outs_;  // backend.disk.swap_outs
   std::int64_t* faults_;     // backend.disk.faults
 };

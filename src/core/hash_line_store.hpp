@@ -47,6 +47,7 @@
 #include "common/stats.hpp"
 #include "core/availability.hpp"
 #include "core/failover.hpp"
+#include "core/integrity.hpp"
 #include "core/policy.hpp"
 #include "core/protocol.hpp"
 #include "mining/hash_line_table.hpp"
@@ -98,6 +99,16 @@ class HashLineStore {
     /// synchronous behaviour bit-for-bit; >= 2 lets end-of-pass collection
     /// pipeline fetches across memory servers.
     int rpc_window = 1;
+    // ---- integrity (checksummed lines + self-repair) ----
+    /// After this many corrupt payloads from one holder, quarantine it in
+    /// the AvailabilityTable (excluded from destination choice for the
+    /// rest of the run).
+    int quarantine_after = 3;
+    /// kTiered only: keep a checksummed disk-shadow copy of every line
+    /// parked in remote memory, charged to the local swap disk, so a
+    /// corrupt or lost primary without a replica repairs from disk instead
+    /// of orphaning. Off by default (extra disk traffic changes timing).
+    bool integrity_disk_shadow = false;
     /// Optional trace sink (null: tracing fully disabled). Spans for
     /// swap-out / fault-in, instants for orphans and tiered spills; the
     /// remote backend adds RPC/failover events. Must outlive the store.
@@ -194,6 +205,7 @@ class HashLineStore {
   std::int64_t outstanding_rpcs() const;  // swap-path RPCs in flight
   int rpc_window() const;                 // active sliding-window size
   const FailoverStats& failover() const { return failover_; }
+  const IntegrityStats& integrity() const { return integrity_; }
   /// Store-owned registry: the residency core's counters ("store.*") plus
   /// the active backend's ("backend.<name>.*"), rendered uniformly by
   /// hpa::print_report and the benches.
@@ -236,6 +248,7 @@ class HashLineStore {
   /// Wake every probe parked on `id` (no-op when nobody waits).
   void fire_migration_trigger(LineId id);
   FailoverStats& failover_mut() { return failover_; }
+  IntegrityStats& integrity_mut() { return integrity_; }
   StatsRegistry& stats_mut() { return stats_; }
 
  private:
@@ -281,6 +294,7 @@ class HashLineStore {
   std::int64_t* pagefaults_ = nullptr;  // &stats_.slot("store.pagefaults")
   std::int64_t* swap_outs_ = nullptr;   // &stats_.slot("store.swap_outs")
   FailoverStats failover_;
+  IntegrityStats integrity_;
 
   // Constructed last (reads config/avail/stats through the accessors).
   std::unique_ptr<SwapBackend> backend_;

@@ -1,0 +1,56 @@
+#include "core/integrity.hpp"
+
+#include <memory>
+#include <vector>
+
+#include "core/protocol.hpp"
+
+namespace rms::core {
+namespace {
+
+/// Indices of `lines` elements that drew a corruption hit. One bernoulli
+/// per stamped, non-empty payload keeps the draw sequence independent of
+/// whether anything actually flips.
+std::vector<std::size_t> draw_hits(const std::vector<LinePayload>& lines,
+                                   double rate, Pcg32& rng) {
+  std::vector<std::size_t> hits;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (lines[i].checksum == 0 || lines[i].entries.empty()) continue;
+    if (rng.bernoulli(rate)) hits.push_back(i);
+  }
+  return hits;
+}
+
+/// Flip one bit of one entry's count; the stale checksum now testifies
+/// against the payload.
+void flip(LinePayload& p, Pcg32& rng) {
+  const auto n = static_cast<std::uint32_t>(p.entries.size());
+  p.entries[rng.below(n)].count ^= 0x4u;
+}
+
+}  // namespace
+
+int corrupt_line_payloads(net::Message& msg, double rate, Pcg32& rng) {
+  if (rate <= 0.0) return 0;
+  if (msg.is<MemRequest>()) {
+    const MemRequest& req = msg.as<MemRequest>();
+    const std::vector<std::size_t> hits = draw_hits(req.lines, rate, rng);
+    if (hits.empty()) return 0;
+    MemRequest copy = req;
+    for (std::size_t i : hits) flip(copy.lines[i], rng);
+    msg.body = std::make_shared<const MemRequest>(std::move(copy));
+    return static_cast<int>(hits.size());
+  }
+  if (msg.is<MemReply>()) {
+    const MemReply& rep = msg.as<MemReply>();
+    const std::vector<std::size_t> hits = draw_hits(rep.lines, rate, rng);
+    if (hits.empty()) return 0;
+    MemReply copy = rep;
+    for (std::size_t i : hits) flip(copy.lines[i], rng);
+    msg.body = std::make_shared<const MemReply>(std::move(copy));
+    return static_cast<int>(hits.size());
+  }
+  return 0;
+}
+
+}  // namespace rms::core

@@ -1,0 +1,71 @@
+// Line-integrity accounting and the payload corruptor.
+//
+// The paper's premise — mining state living in *other machines'* memory for
+// most of a multi-pass run — makes silent corruption the nastiest failure
+// mode: a flipped bit in a swapped line would be counted straight into
+// support totals. The integrity layer closes that hole end-to-end:
+//
+//   - every line payload carries a checksum (core/protocol.hpp), stamped
+//     when the line leaves its owner and verified on every hop back;
+//   - IntegrityStats aggregates what the verification machinery saw:
+//     mismatches, repairs (replica / disk shadow), lines lost outright,
+//     re-replications and holder quarantines;
+//   - corrupt_line_payloads() is the fault-injection hook the Network
+//     drives (type-erased through net::Network::CorruptFn — net/ stays
+//     ignorant of the core wire protocol).
+//
+// The corruptor flips a bit in one entry's *count* and never touches
+// line_id, update ops, or the checksum itself: every injected fault is
+// detectable by construction, so tests can assert "never silently used"
+// rather than "usually caught".
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "net/network.hpp"
+
+namespace rms::core {
+
+/// What the checksum machinery observed, summed over one store (and merged
+/// across app nodes into the run result, like FailoverStats).
+struct IntegrityStats {
+  /// Checksum mismatches detected on fetched / faulted / spilled payloads.
+  std::int64_t checksum_mismatches = 0;
+  /// Corrupt lines recovered by promoting the replicate_k backup copy.
+  std::int64_t repaired_from_replica = 0;
+  /// Lines recovered from the TieredBackend's local disk shadow.
+  std::int64_t repaired_from_disk = 0;
+  /// Corrupt lines with no good copy left: orphaned (counts lost, never
+  /// silently used).
+  std::int64_t lines_lost = 0;
+  /// Under-replicated lines re-mirrored to a fresh backup mid-run.
+  std::int64_t re_replications = 0;
+  /// Holders excluded from placement after repeated corrupt payloads.
+  std::int64_t quarantines = 0;
+
+  void merge(const IntegrityStats& o) {
+    checksum_mismatches += o.checksum_mismatches;
+    repaired_from_replica += o.repaired_from_replica;
+    repaired_from_disk += o.repaired_from_disk;
+    lines_lost += o.lines_lost;
+    re_replications += o.re_replications;
+    quarantines += o.quarantines;
+  }
+
+  bool any() const {
+    return checksum_mismatches != 0 || repaired_from_replica != 0 ||
+           repaired_from_disk != 0 || lines_lost != 0 ||
+           re_replications != 0 || quarantines != 0;
+  }
+};
+
+/// Payload corruptor for net::Network::set_corruptor: with probability
+/// `rate` per stamped, non-empty line payload carried by a MemRequest /
+/// MemReply, flip a bit in one entry's count. Messages without line
+/// payloads draw nothing; a message with no hits is left untouched (the
+/// immutable body is deep-copied only when a flip actually lands). Returns
+/// the number of payloads corrupted.
+int corrupt_line_payloads(net::Message& msg, double rate, Pcg32& rng);
+
+}  // namespace rms::core

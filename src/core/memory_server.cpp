@@ -138,6 +138,13 @@ sim::Task<> MemoryServer::handle(net::Message msg, std::uint64_t epoch) {
       co_await node_.compute(costs.swap_service);
       if (abandoned()) co_return;
       for (const LinePayload& line : req.lines) {
+        // A payload corrupted in flight is refused: the owner's next
+        // swap-in misses (ok=false) and recovery falls back to the replica
+        // or disk copy — bad data never enters the store.
+        if (line.checksum != 0 && !payload_intact(line)) {
+          node_.stats().bump("server.rx_corrupt_lines");
+          continue;
+        }
         // allow_replace: after a false suspicion the owner may have promoted
         // a backup elsewhere while this node kept a stale primary; the
         // owner's fresh swap-out is authoritative.
@@ -189,7 +196,14 @@ sim::Task<> MemoryServer::handle(net::Message msg, std::uint64_t epoch) {
         ++applied;
         for (mining::CountedItemset& e : target->entries) {
           if (e.items == op.itemset) {
+            // Maintain the line checksum incrementally: the digest sum is
+            // order-independent, so a corruption-induced mismatch persists
+            // through any number of applied updates.
+            const std::uint64_t before = entry_digest(e);
             ++e.count;
+            if (target->checksum != 0) {
+              target->checksum += entry_digest(e) - before;
+            }
             break;
           }
         }
@@ -213,6 +227,14 @@ sim::Task<> MemoryServer::handle(net::Message msg, std::uint64_t epoch) {
         std::sort(ids.begin(), ids.end());
         for (LineId id : ids) {
           LinePayload line = release_line(req.owner, id);
+          // Verify *before* any server-side rewrite: re-stamping a payload
+          // corrupted at rest would launder the damage. A mismatched line
+          // is withheld — the owner's un-fetched recovery promotes the
+          // replica or orphans it.
+          if (line.checksum != 0 && !payload_intact(line)) {
+            node_.stats().bump("server.fetch_corrupt_lines");
+            continue;
+          }
           if (req.fetch_min_count > 0) {
             std::erase_if(line.entries,
                           [&](const mining::CountedItemset& e) {
@@ -221,6 +243,7 @@ sim::Task<> MemoryServer::handle(net::Message msg, std::uint64_t epoch) {
             line.accounted_bytes =
                 static_cast<std::int64_t>(line.entries.size()) *
                 mining::Itemset::kAccountedBytes;
+            if (line.checksum != 0) line.checksum = line_checksum(line.entries);
             node_.stats().bump("server.filtered_fetch_lines");
           }
           bytes += line.accounted_bytes;
@@ -247,6 +270,10 @@ sim::Task<> MemoryServer::handle(net::Message msg, std::uint64_t epoch) {
       co_await node_.compute(costs.swap_service);
       if (abandoned()) co_return;
       for (const LinePayload& line : req.lines) {
+        if (line.checksum != 0 && !payload_intact(line)) {
+          node_.stats().bump("server.rx_corrupt_lines");
+          continue;
+        }
         // allow_replace: a slow ack makes the pushing server retry the
         // whole block; adopting the duplicate in place is idempotent.
         adopt_line(req.owner, line, /*allow_replace=*/true);
@@ -261,6 +288,10 @@ sim::Task<> MemoryServer::handle(net::Message msg, std::uint64_t epoch) {
       co_await node_.compute(costs.swap_service);
       if (abandoned()) co_return;
       for (const LinePayload& line : req.lines) {
+        if (line.checksum != 0 && !payload_intact(line)) {
+          node_.stats().bump("server.rx_corrupt_lines");
+          continue;
+        }
         store_replica(req.owner, line);
       }
       node_.stats().bump("server.replica_stores",
@@ -281,6 +312,14 @@ sim::Task<> MemoryServer::handle(net::Message msg, std::uint64_t epoch) {
         if (oit == replicas_.end()) break;
         const auto it = oit->second.find(id);
         if (it == oit->second.end()) continue;
+        // A replica corrupted at rest must not become the new primary:
+        // drop it instead, and the owner orphans the line (it is missing
+        // from `migrated`).
+        if (it->second.checksum != 0 && !payload_intact(it->second)) {
+          node_.stats().bump("server.rx_corrupt_lines");
+          drop_replica(req.owner, id);
+          continue;
+        }
         LinePayload line = std::move(it->second);
         stored_bytes_ -= line.accounted_bytes;
         node_.memory().donated_bytes -= line.accounted_bytes;
@@ -325,6 +364,11 @@ sim::Task<> MemoryServer::handle(net::Message msg, std::uint64_t epoch) {
       if (abandoned()) co_return;
       node_.stats().bump("server.pings");
       node_.reply(msg, 16, MemReply{});
+      break;
+    }
+
+    case MemRequest::Kind::kReplicaSync: {
+      co_await handle_replica_sync(msg, epoch);
       break;
     }
   }
@@ -403,6 +447,120 @@ sim::Task<> MemoryServer::handle_migrate_directive(const net::Message& msg,
                      static_cast<std::int64_t>(done.migrated.size()));
   node_.reply(msg, 16 + 8 * static_cast<std::int64_t>(done.migrated.size()),
               std::move(done));
+}
+
+sim::Task<> MemoryServer::handle_replica_sync(const net::Message& msg,
+                                              std::uint64_t epoch) {
+  // Redundancy restoration: the owner lost a line's backup (replica
+  // promotion, holder death) and asks this node — the current primary
+  // holder — to re-mirror. Unlike migration the primaries stay put: copies
+  // of the requested lines are batched into message blocks and pushed
+  // one-way to the new backup, exactly like the owner's own kReplicaStore
+  // pushes at swap-out. The reply lists the lines actually synced so the
+  // owner only records backups that exist.
+  const auto& req = msg.as<MemRequest>();
+  const cluster::CostModel& costs = node_.costs();
+  RMS_CHECK(req.migrate_dest >= 0 && req.migrate_dest != node_.id());
+
+  MemReply done;
+  transport::Stream<MemRequest> stream(config_.message_block_bytes);
+  auto flush_block = [&] {
+    if (stream.empty()) return;
+    auto closed = stream.take();
+    node_.send_to(req.migrate_dest, kMemService,
+                  std::max<std::int64_t>(closed.bytes, 64),
+                  std::move(closed.batch));
+  };
+
+  for (LineId id : req.migrate_lines) {
+    const LinePayload* line = find_line(req.owner, id);
+    if (line == nullptr) continue;  // faulted home / lost before we got here
+    co_await node_.compute(costs.per_update_apply);
+    if (node_.epoch() != epoch) co_return;
+    if (stream.empty()) {
+      stream.open().kind = MemRequest::Kind::kReplicaStore;
+      stream.open().owner = req.owner;
+    }
+    stream.note(std::max<std::int64_t>(line->accounted_bytes, 16));
+    stream.open().lines.push_back(*line);
+    done.migrated.push_back(id);
+    if (stream.due()) {
+      co_await node_.compute(costs.per_message_cpu);
+      if (node_.epoch() != epoch) co_return;
+      flush_block();
+    }
+  }
+  if (!stream.empty()) {
+    co_await node_.compute(costs.per_message_cpu);
+    if (node_.epoch() != epoch) co_return;
+    flush_block();
+  }
+
+  done.ok = done.migrated.size() == req.migrate_lines.size();
+  node_.stats().bump("server.replica_syncs",
+                     static_cast<std::int64_t>(done.migrated.size()));
+  node_.reply(msg, 16 + 8 * static_cast<std::int64_t>(done.migrated.size()),
+              std::move(done));
+}
+
+int MemoryServer::corrupt_stored(double flip_rate, Pcg32& rng) {
+  RMS_CHECK(flip_rate >= 0.0 && flip_rate < 1.0);
+  if (flip_rate <= 0.0) return 0;
+  int corrupted = 0;
+  // Deterministic sweep order: owners sorted, line ids sorted, primaries
+  // before replicas — the injection is part of the reproducible schedule.
+  const auto sweep = [&](std::unordered_map<net::NodeId, OwnerLines>& map) {
+    std::vector<net::NodeId> owners;
+    owners.reserve(map.size());
+    for (const auto& [owner, lines] : map) owners.push_back(owner);
+    std::sort(owners.begin(), owners.end());
+    for (net::NodeId owner : owners) {
+      OwnerLines& lines = map[owner];
+      std::vector<LineId> ids;
+      ids.reserve(lines.size());
+      for (const auto& [id, line] : lines) ids.push_back(id);
+      std::sort(ids.begin(), ids.end());
+      for (LineId id : ids) {
+        LinePayload& line = lines[id];
+        if (line.checksum == 0 || line.entries.empty()) continue;
+        if (!rng.bernoulli(flip_rate)) continue;
+        const auto n = static_cast<std::uint32_t>(line.entries.size());
+        line.entries[rng.below(n)].count ^= 0x4u;
+        ++corrupted;
+      }
+    }
+  };
+  sweep(store_);
+  sweep(replicas_);
+  if (corrupted > 0) {
+    node_.stats().bump("server.at_rest_corruptions", corrupted);
+  }
+  return corrupted;
+}
+
+int MemoryServer::verify_stored() {
+  int dropped = 0;
+  const auto scrub = [&](std::unordered_map<net::NodeId, OwnerLines>& map,
+                         std::size_t& line_count) {
+    for (auto& [owner, lines] : map) {
+      for (auto it = lines.begin(); it != lines.end();) {
+        const LinePayload& line = it->second;
+        if (line.checksum != 0 && !payload_intact(line)) {
+          stored_bytes_ -= line.accounted_bytes;
+          node_.memory().donated_bytes -= line.accounted_bytes;
+          --line_count;
+          it = lines.erase(it);
+          ++dropped;
+        } else {
+          ++it;
+        }
+      }
+    }
+  };
+  scrub(store_, stored_lines_);
+  scrub(replicas_, replica_lines_);
+  if (dropped > 0) node_.stats().bump("server.scrub_mismatches", dropped);
+  return dropped;
 }
 
 }  // namespace rms::core

@@ -25,6 +25,7 @@
 #include <unordered_map>
 
 #include "cluster/cluster.hpp"
+#include "common/rng.hpp"
 #include "core/protocol.hpp"
 #include "sim/process.hpp"
 #include "sim/task.hpp"
@@ -68,6 +69,18 @@ class MemoryServer {
   std::int64_t stored_bytes() const { return stored_bytes_; }
   cluster::Node& node() { return node_; }
 
+  /// At-rest fault injection (FaultPlan corruption episodes): flip one
+  /// count bit in each stored, stamped line — primaries and replicas —
+  /// with probability `flip_rate`. Deterministic iteration order (owners
+  /// and line ids sorted). Returns the number of lines corrupted.
+  int corrupt_stored(double flip_rate, Pcg32& rng);
+
+  /// Scrub pass: recompute every stored payload's checksum and drop the
+  /// mismatched copies (a dropped primary answers later swap-ins with
+  /// ok=false, so the owner recovers from the replica or orphans — the bad
+  /// data is never shipped). Returns the number of copies dropped.
+  int verify_stored();
+
  private:
   // Per-owner line maps: the (owner, line) key is the pair itself, so line
   // ids with bits >= 40 can never collide across owners.
@@ -76,6 +89,8 @@ class MemoryServer {
   sim::Task<> handle(net::Message msg, std::uint64_t epoch);
   sim::Task<> handle_migrate_directive(const net::Message& msg,
                                        std::uint64_t epoch);
+  sim::Task<> handle_replica_sync(const net::Message& msg,
+                                  std::uint64_t epoch);
   void adopt_line(net::NodeId owner, LinePayload line, bool allow_replace);
   LinePayload release_line(net::NodeId owner, LineId id);
   void store_replica(net::NodeId owner, LinePayload line);

@@ -32,7 +32,43 @@ struct LinePayload {
   LineId line_id = -1;
   mining::HashLine entries;
   std::int64_t accounted_bytes = 0;
+  /// Content checksum over `entries`, stamped when the line leaves its
+  /// owner (swap-out / disk spill) and carried through every store, fetch,
+  /// migration and replica hop. 0 means "unstamped" — verification is
+  /// skipped (pre-checksum peers, hand-built test payloads).
+  std::uint64_t checksum = 0;
 };
+
+/// Per-entry digest for the line checksum: splitmix64-style finalizer over
+/// the itemset hash and the counter. The digest changes whenever a single
+/// count bit flips, which is exactly the corruption the injector produces.
+inline std::uint64_t entry_digest(const mining::CountedItemset& e) {
+  std::uint64_t x =
+      e.items.hash() ^ (0x9e3779b97f4a7c15ULL * (e.count + 1ULL));
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Order-independent line checksum: a nonzero basis plus the sum of the
+/// entry digests. Commutativity is load-bearing — the memory server applies
+/// kUpdateBatch ops as per-entry increments and maintains the checksum
+/// incrementally (+= digest(after) - digest(before)), so a mismatch, once
+/// introduced, persists through any number of subsequent updates.
+inline std::uint64_t line_checksum(const mining::HashLine& entries) {
+  std::uint64_t sum = 0x9e3779b97f4a7c15ULL;  // nonzero: 0 means unstamped
+  for (const mining::CountedItemset& e : entries) sum += entry_digest(e);
+  return sum;
+}
+
+/// True when the payload is stamped and its entries match the checksum.
+/// Callers treat unstamped payloads (checksum == 0) as trusted.
+inline bool payload_intact(const LinePayload& p) {
+  return p.checksum != 0 && p.checksum == line_checksum(p.entries);
+}
 
 /// One remote update operation (§4.4): probe `itemset` in line `line_id`,
 /// incrementing its counter if it is a registered candidate.
@@ -54,6 +90,10 @@ struct MemRequest {
     kReplicaPromote,    // rpc: promote replicas migrate_lines[] to primaries
     kReplicaDrop,       // one-way: drop replica line_id (-1: all of owner)
     kPing,              // rpc: liveness probe (failure-detector confirmation)
+    // ---- integrity extension (redundancy restoration) ----
+    kReplicaSync,       // rpc: push replica copies of my primaries
+                        // migrate_lines[] to migrate_dest; reply.migrated =
+                        // the lines actually synced
   };
 
   Kind kind = Kind::kSwapOut;
@@ -65,8 +105,9 @@ struct MemRequest {
   std::uint32_t fetch_min_count = 0;
   std::vector<LinePayload> lines;     // kSwapOut / kMigrateData / kReplicaStore
   std::vector<UpdateOp> updates;      // kUpdateBatch
-  net::NodeId migrate_dest = -1;      // kMigrateDirective
-  std::vector<LineId> migrate_lines;  // kMigrateDirective / kReplicaPromote
+  net::NodeId migrate_dest = -1;      // kMigrateDirective / kReplicaSync
+  std::vector<LineId> migrate_lines;  // kMigrateDirective / kReplicaPromote /
+                                      // kReplicaSync
 };
 
 struct MemReply {
@@ -76,8 +117,9 @@ struct MemReply {
   /// degrade; they never treat ok=false as success.
   bool ok = true;
   std::vector<LinePayload> lines;  // kSwapIn (1) / kFetch (n)
-  std::vector<LineId> migrated;    // kMigrateDirective / kReplicaPromote:
-                                   // lines actually moved / promoted
+  std::vector<LineId> migrated;    // kMigrateDirective / kReplicaPromote /
+                                   // kReplicaSync: lines actually moved /
+                                   // promoted / synced
 };
 
 /// Monitor broadcast payload: "the process broadcasts it to all application

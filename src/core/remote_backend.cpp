@@ -1,6 +1,7 @@
 #include "core/remote_backend.hpp"
 
 #include <algorithm>
+#include <map>
 #include <string>
 
 #include "obs/trace.hpp"
@@ -138,7 +139,7 @@ void RemoteBackend::drop_backup(LineId id) {
   l.backup = -1;
 }
 
-sim::Task<> RemoteBackend::recover_lost_line(LineId id) {
+sim::Task<> RemoteBackend::recover_lost_line(LineId id, RecoverCause cause) {
   auto& l = store_.line(id);
   if (l.backup >= 0) {
     const net::NodeId backup = l.backup;
@@ -160,6 +161,13 @@ sim::Task<> RemoteBackend::recover_lost_line(LineId id) {
           hold_insert(backup, id);
           ++failover().promoted_lines;
           node_.stats().bump("store.replica_promotions");
+          if (cause == RecoverCause::kCorrupt) {
+            ++integrity().repaired_from_replica;
+            node_.stats().bump("store.repaired_from_replica");
+          }
+          // Promotion consumed the backup copy: the line is now
+          // under-replicated until re_replicate restores the mirror.
+          unreplicated_.insert(id);
           if (obs::TraceRecorder* trace = store_.config().trace) {
             trace->instant(obs::EventKind::kPromote, node_.id(),
                            node_.sim().now(), id, backup);
@@ -171,8 +179,61 @@ sim::Task<> RemoteBackend::recover_lost_line(LineId id) {
       // On total failure the transport callback already declared it dead.
     }
   }
+  if (co_await repair_from_disk(id)) {
+    ++integrity().repaired_from_disk;
+    node_.stats().bump("store.repaired_from_disk");
+    unreplicated_.erase(id);
+    co_return;
+  }
   l.where = Where::kResident;
+  if (cause == RecoverCause::kCorrupt) ++integrity().lines_lost;
+  unreplicated_.erase(id);
   orphan_line(id);  // resident and empty; stays out of the LRU
+}
+
+sim::Task<bool> RemoteBackend::repair_from_disk(LineId id) {
+  // The base backend's only local copy is the unmirrored-swap-out shadow
+  // (simple swapping, no mirror node known at eviction time).
+  const auto it = unmirrored_shadow_.find(id);
+  if (it == unmirrored_shadow_.end()) co_return false;
+  auto& l = store_.line(id);
+  co_await node_.swap_disk().read(
+      std::max<std::int64_t>(l.bytes, store_.config().message_block_bytes),
+      disk::Access::kRandom);
+  UnmirroredShadow sh = std::move(it->second);
+  unmirrored_shadow_.erase(it);
+  if (sh.checksum != line_checksum(sh.entries)) {
+    // Defensive — nothing in the simulator corrupts local disk contents.
+    node_.stats().bump("store.shadow_corrupt_lines");
+    co_return false;
+  }
+  l.entries = std::move(sh.entries);
+  store_.make_resident(id);
+  node_.stats().bump("store.shadow_repairs");
+  co_return true;
+}
+
+bool RemoteBackend::verify_payload(const LinePayload& payload,
+                                   net::NodeId holder) {
+  if (payload.checksum == 0 || payload_intact(payload)) return true;
+  ++integrity().checksum_mismatches;
+  node_.stats().bump("store.checksum_mismatches");
+  if (obs::TraceRecorder* trace = store_.config().trace) {
+    trace->instant(obs::EventKind::kChecksumMismatch, node_.id(),
+                   node_.sim().now(), payload.line_id, holder);
+  }
+  const int strikes = ++corrupt_strikes_[holder];
+  if (strikes >= store_.config().quarantine_after && avail_ != nullptr &&
+      !avail_->quarantined(holder)) {
+    avail_->quarantine(holder);
+    ++integrity().quarantines;
+    node_.stats().bump("store.quarantines");
+    if (obs::TraceRecorder* trace = store_.config().trace) {
+      trace->instant(obs::EventKind::kQuarantine, node_.id(),
+                     node_.sim().now(), holder, strikes);
+    }
+  }
+  return false;
 }
 
 // ---------------------------------------------------------------------------
@@ -180,12 +241,19 @@ sim::Task<> RemoteBackend::recover_lost_line(LineId id) {
 // ---------------------------------------------------------------------------
 
 net::NodeId RemoteBackend::pick_destination(std::int64_t bytes,
-                                            net::NodeId exclude) {
+                                            net::NodeId exclude,
+                                            bool best_effort) {
   RMS_CHECK(avail_ != nullptr);
-  const auto dest = avail_->choose_destination(
+  auto dest = avail_->choose_destination(
       bytes + store_.config().destination_headroom_bytes, exclude,
       node_.sim().now());
+  if (!dest.has_value() && best_effort) {
+    dest = avail_->choose_best_effort(exclude, node_.sim().now());
+    if (dest.has_value()) node_.stats().bump("store.best_effort_replicas");
+  }
   if (!dest.has_value()) return -1;
+  RMS_CHECK_MSG(!avail_->quarantined(*dest),
+                "quarantined node chosen as a swap destination");
   avail_->debit(*dest, bytes);
   return *dest;
 }
@@ -212,11 +280,17 @@ sim::Task<> RemoteBackend::swap_out(LineId id) {
   LinePayload payload;
   payload.line_id = id;
   payload.accounted_bytes = l.bytes;
+  // Stamp once before the contents move: primary and mirror carry the same
+  // checksum, and every later verification compares against this value.
+  const std::uint64_t sum = line_checksum(l.entries);
+  payload.checksum = sum;
 
   // Mirror on a second memory node before the primary push so a crash of
   // either node between here and the next probe loses nothing.
   net::NodeId backup = -1;
-  if (store_.config().replicate_k > 0) backup = pick_destination(l.bytes, dest);
+  if (store_.config().replicate_k > 0) {
+    backup = pick_destination(l.bytes, dest, /*best_effort=*/true);
+  }
   if (backup >= 0) {
     MemRequest rreq;
     rreq.kind = MemRequest::Kind::kReplicaStore;
@@ -225,6 +299,7 @@ sim::Task<> RemoteBackend::swap_out(LineId id) {
     copy.line_id = id;
     copy.entries = l.entries;  // deep copy; primary gets the move below
     copy.accounted_bytes = l.bytes;
+    copy.checksum = sum;
     rreq.lines.push_back(std::move(copy));
     node_.send_to(backup, kMemService, store_.config().message_block_bytes,
                   std::move(rreq));
@@ -238,12 +313,33 @@ sim::Task<> RemoteBackend::swap_out(LineId id) {
     }
   }
 
+  // Redundancy was requested but no second node is known right now (during
+  // congestion the table often has a single fresh report): degrade the
+  // mirror to a local disk shadow rather than leaving the line one
+  // corruption away from loss. Exact until fault-in — simple swapping never
+  // mutates remote contents. Update mode skips this (a snapshot would go
+  // stale against remotely-applied ops) and relies on re_replicate instead.
+  UnmirroredShadow sh;
+  const bool shadow_this =
+      store_.config().replicate_k > 0 && backup < 0 && !update_mode_;
+  if (shadow_this) {
+    sh.checksum = sum;
+    sh.entries = l.entries;  // deep copy; primary gets the move below
+  }
+
   payload.entries = std::move(l.entries);
   req.lines.push_back(std::move(payload));
   l.entries.clear();
   l.where = Where::kRemote;
   l.holder = dest;
   hold_insert(dest, id);
+  if (store_.config().replicate_k > 0) {
+    if (backup < 0) {
+      unreplicated_.insert(id);  // no mirror destination had room
+    } else {
+      unreplicated_.erase(id);
+    }
+  }
   ++*swap_outs_;
   node_.stats().bump("store.remote_swap_out");
   // One-way push, padded to a message block (§5.1); the sender only pays
@@ -252,6 +348,13 @@ sim::Task<> RemoteBackend::swap_out(LineId id) {
                 std::move(req));
   co_await node_.compute(node_.costs().per_message_cpu);
   if (backup >= 0) co_await node_.compute(node_.costs().per_message_cpu);
+  if (shadow_this) {
+    unmirrored_shadow_[id] = std::move(sh);
+    node_.stats().bump("store.unmirrored_shadow_writes");
+    co_await node_.swap_disk().write(
+        std::max<std::int64_t>(l.bytes, store_.config().message_block_bytes),
+        disk::Access::kSequential);
+  }
 }
 
 sim::Task<> RemoteBackend::fault_in(LineId id) {
@@ -268,6 +371,7 @@ sim::Task<> RemoteBackend::fault_in(LineId id) {
   while (!have_content) {
     const net::NodeId holder = l.holder;
     bool lost = false;
+    bool corrupt = false;
     if (holder_suspect(holder)) {
       lost = true;
     } else {
@@ -289,10 +393,19 @@ sim::Task<> RemoteBackend::fault_in(LineId id) {
         co_await node_.compute(node_.costs().per_message_cpu);
         if (rep.ok) {
           RMS_CHECK(rep.lines.size() == 1 && rep.lines[0].line_id == id);
-          l.entries = rep.lines[0].entries;
-          hold_erase(holder, id);
-          drop_backup(id);
-          have_content = true;
+          if (!verify_payload(rep.lines[0], holder)) {
+            // Corrupted in storage or on the wire: never use it. Repair
+            // from the replica (or disk copy) instead.
+            corrupt = true;
+            lost = true;
+          } else {
+            l.entries = rep.lines[0].entries;
+            hold_erase(holder, id);
+            drop_backup(id);
+            unreplicated_.erase(id);
+            unmirrored_shadow_.erase(id);  // home again; snapshot is garbage
+            have_content = true;
+          }
         } else {
           // The holder answered but no longer has the line: it crashed and
           // restarted in between. The node itself is fine.
@@ -303,13 +416,15 @@ sim::Task<> RemoteBackend::fault_in(LineId id) {
     }
     if (lost) {
       hold_erase(holder, id);
-      co_await recover_lost_line(id);
+      co_await recover_lost_line(
+          id, corrupt ? RecoverCause::kCorrupt : RecoverCause::kLost);
       if (l.where == Where::kRemote) {
         // Promoted to a surviving backup: retry the swap-in there.
         l.where = Where::kFaulting;
         continue;
       }
-      // Orphaned: resident and empty, counted; nothing left to load.
+      // Orphaned (resident and empty) or repaired from the local disk
+      // copy: either way the line is resident and nothing is left to load.
       co_return;
     }
   }
@@ -366,8 +481,15 @@ sim::Task<> RemoteBackend::send_update_batch(net::NodeId holder) {
   if (it == update_streams_.end() || it->second.empty()) co_return;
   auto closed = it->second.take();
   if (holder_suspect(holder)) {
-    // Nobody home; delivering would be a silent drop anyway. Count it.
-    failover().lost_update_ops += closed.ops;
+    // Nobody home; delivering would be a silent drop anyway. An op is truly
+    // lost only when this target held the line's sole copy: mirror ops
+    // (primary elsewhere) survive at the primary, and primary ops with a
+    // live backup survive at the mirror — counting whole batches here would
+    // double-count them against the copies that still apply.
+    for (const UpdateOp& op : closed.batch.updates) {
+      const auto& l = store_.line(op.line_id);
+      if (l.holder == holder && l.backup < 0) ++failover().lost_update_ops;
+    }
     node_.stats().bump("store.update_batches_dropped");
     co_return;
   }
@@ -428,6 +550,7 @@ sim::Task<bool> RemoteBackend::collect_fetch() {
     for (LineId id : ids) hold_erase(holder, id);
 
     std::unordered_set<LineId> got;
+    std::unordered_set<LineId> corrupt_ids;
     if (!holder_suspect(holder)) {
       MemRequest req;
       req.kind = MemRequest::Kind::kFetch;
@@ -446,9 +569,14 @@ sim::Task<bool> RemoteBackend::collect_fetch() {
             node_.stats().bump("store.stale_fetch_lines");
             continue;
           }
+          if (!verify_payload(payload, holder)) {
+            corrupt_ids.insert(payload.line_id);
+            continue;  // repaired from the replica below, never used
+          }
           l.entries = payload.entries;
           store_.make_resident(payload.line_id);
           drop_backup(payload.line_id);
+          unreplicated_.erase(payload.line_id);
           got.insert(payload.line_id);
         }
       } else {
@@ -456,10 +584,12 @@ sim::Task<bool> RemoteBackend::collect_fetch() {
       }
     }
     // Lines the holder no longer has (crash-restart wiped them, or the
-    // holder is dead): promote the backup or orphan.
+    // holder is dead) or served corrupt: promote the backup or orphan.
     for (LineId id : ids) {
       if (got.count(id)) continue;
-      co_await recover_lost_line(id);
+      co_await recover_lost_line(id, corrupt_ids.count(id)
+                                         ? RecoverCause::kCorrupt
+                                         : RecoverCause::kLost);
     }
   }
   co_return true;
@@ -512,6 +642,7 @@ sim::Task<> RemoteBackend::collect_fetch_pipelined(
     const std::vector<LineId>& ids = pinned[h];
     if (ids.empty()) continue;
     std::unordered_set<LineId> got;
+    std::unordered_set<LineId> corrupt_ids;
     if (k < msg_holder.size() && msg_holder[k] == h) {
       cluster::RpcResult& res = results[k++];
       if (res.ok()) {
@@ -523,9 +654,14 @@ sim::Task<> RemoteBackend::collect_fetch_pipelined(
             node_.stats().bump("store.stale_fetch_lines");
             continue;
           }
+          if (!verify_payload(payload, holder)) {
+            corrupt_ids.insert(payload.line_id);
+            continue;
+          }
           l.entries = payload.entries;
           store_.make_resident(payload.line_id);
           drop_backup(payload.line_id);
+          unreplicated_.erase(payload.line_id);
           got.insert(payload.line_id);
         }
       } else {
@@ -534,13 +670,18 @@ sim::Task<> RemoteBackend::collect_fetch_pipelined(
     }
     for (LineId id : ids) {
       if (got.count(id)) continue;
-      co_await recover_lost_line(id);
+      co_await recover_lost_line(id, corrupt_ids.count(id)
+                                         ? RecoverCause::kCorrupt
+                                         : RecoverCause::kLost);
     }
   }
 }
 
 sim::Task<> RemoteBackend::collect_finish() {
-  // Remote lines are all home; surviving backup copies are now garbage.
+  // Remote lines are all home; surviving backup copies are now garbage and
+  // nothing is left to re-replicate.
+  unreplicated_.clear();
+  unmirrored_shadow_.clear();
   for (auto& [backup, ids] : replicas_by_holder_) {
     if (ids.empty()) continue;
     ids.clear();
@@ -704,21 +845,37 @@ sim::Task<> RemoteBackend::on_holder_failure(net::NodeId dead) {
   declare_dead(dead);
 
   // Queued one-way updates towards the dead node would be silent drops.
+  // Count only the ops whose sole copy was there (see send_update_batch):
+  // mirror ops survive at the primary, primary ops with a live backup
+  // survive at the mirror — this runs before the backup-clearing block
+  // below so those backups still read as alive.
   {
     const auto it = update_streams_.find(dead);
     if (it != update_streams_.end() && !it->second.empty()) {
-      failover().lost_update_ops += it->second.take().ops;
+      const auto closed = it->second.take();
+      for (const UpdateOp& op : closed.batch.updates) {
+        const auto& l = store_.line(op.line_id);
+        if (l.holder == dead && l.backup < 0) ++failover().lost_update_ops;
+      }
       node_.stats().bump("store.update_batches_dropped");
     }
   }
 
-  // Backup copies stored at the dead node died with it.
+  // Backup copies stored at the dead node died with it; their primaries
+  // are under-replicated until re_replicate runs below.
+  std::vector<LineId> need_replica;
   {
     const auto it = replicas_by_holder_.find(dead);
     if (it != replicas_by_holder_.end()) {
       for (LineId id : it->second) {
         auto& l = store_.line(id);
-        if (l.backup == dead) l.backup = -1;
+        if (l.backup == dead) {
+          l.backup = -1;
+          unreplicated_.insert(id);
+          if (l.where == Where::kRemote && l.holder != dead) {
+            need_replica.push_back(id);
+          }
+        }
       }
       it->second.clear();
     }
@@ -746,6 +903,7 @@ sim::Task<> RemoteBackend::on_holder_failure(net::NodeId dead) {
     auto& l = store_.line(id);
     if (l.where == Where::kRemote) {
       // Promoted: flush updates buffered while the line was dark.
+      need_replica.push_back(id);
       const auto pend = pending_updates_.find(id);
       if (pend != pending_updates_.end()) {
         for (const mining::Itemset& s : pend->second) {
@@ -759,6 +917,134 @@ sim::Task<> RemoteBackend::on_holder_failure(net::NodeId dead) {
   }
 
   for (LineId id : victims) store_.fire_migration_trigger(id);
+
+  // Restore replicate_k: promotion consumed the promoted lines' mirrors,
+  // and primaries whose backup died with `dead` lost theirs.
+  if (store_.config().replicate_k > 0 && !need_replica.empty()) {
+    co_await re_replicate(std::move(need_replica));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Redundancy restoration
+// ---------------------------------------------------------------------------
+
+sim::Task<> RemoteBackend::re_replicate(std::vector<LineId> ids) {
+  if (store_.config().replicate_k <= 0) co_return;
+  // Park the still-eligible lines kMigrating before the first suspend:
+  // probes buffer their ops (update mode) or wait on the line trigger
+  // (simple swapping), so nothing issued during our awaits can miss the
+  // new replica. Grouped per holder, holders visited in sorted order.
+  std::sort(ids.begin(), ids.end());
+  std::map<net::NodeId, std::vector<LineId>> by_holder;
+  std::vector<LineId> parked;
+  for (LineId id : ids) {
+    auto& l = store_.line(id);
+    if (l.where != Where::kRemote || l.backup >= 0) continue;
+    l.where = Where::kMigrating;
+    by_holder[l.holder].push_back(id);
+    parked.push_back(id);
+  }
+  for (auto& [holder, want] : by_holder) {
+    if (holder_suspect(holder)) {
+      // The holder died while we worked through earlier groups. Its
+      // failure handler skipped these lines (we parked them), so settle
+      // them here: no backup survives, repair from disk or orphan.
+      for (LineId id : want) {
+        auto& l = store_.line(id);
+        if (l.where == Where::kMigrating && l.holder == holder) {
+          hold_erase(holder, id);
+          co_await recover_lost_line(id);
+        }
+      }
+      continue;
+    }
+    // Flush queued ops first (same-pair FIFO lands them before the sync
+    // RPC) so the holder's snapshot includes everything sent so far.
+    co_await send_update_batch(holder);
+    std::int64_t bytes = 0;
+    for (LineId id : want) bytes += store_.line(id).bytes;
+    const net::NodeId dest =
+        pick_destination(bytes, holder, /*best_effort=*/true);
+    if (dest < 0) {
+      // No live, fresh node has room; the lines stay under-replicated (and
+      // in unreplicated_) until a later trigger retries.
+      node_.stats().bump("store.re_replication_no_destination");
+      continue;
+    }
+    MemRequest req;
+    req.kind = MemRequest::Kind::kReplicaSync;
+    req.owner = node_.id();
+    req.migrate_dest = dest;
+    req.migrate_lines = want;
+    cluster::RpcResult res = co_await rpc(net::Message::make(
+        node_.id(), holder, kMemService,
+        16 + 8 * static_cast<std::int64_t>(want.size()), std::move(req)));
+    if (!res.ok()) {
+      // The holder went silent mid-sync: its primaries are gone too.
+      co_await on_holder_failure(holder);
+      for (LineId id : want) {
+        auto& l = store_.line(id);
+        if (l.where == Where::kMigrating && l.holder == holder) {
+          hold_erase(holder, id);
+          co_await recover_lost_line(id);
+        }
+      }
+      continue;
+    }
+    const auto& rep = res.reply->as<MemReply>();
+    co_await node_.compute(node_.costs().per_message_cpu);
+    const std::unordered_set<LineId> synced(rep.migrated.begin(),
+                                            rep.migrated.end());
+    for (LineId id : want) {
+      auto& l = store_.line(id);
+      const bool still = l.where == Where::kMigrating &&
+                         l.holder == holder && l.backup < 0;
+      if (synced.count(id) && still) {
+        l.backup = dest;
+        replicas_by_holder_[dest].insert(id);
+        unreplicated_.erase(id);
+        ++integrity().re_replications;
+        ++failover().replicas_stored;
+        node_.stats().bump("store.re_replications");
+        if (obs::TraceRecorder* trace = store_.config().trace) {
+          trace->instant(obs::EventKind::kReReplicate, node_.id(),
+                         node_.sim().now(), id, dest);
+        }
+      } else if (synced.count(id)) {
+        // The copy landed but the line's state moved on meanwhile; tell
+        // the new backup to drop the stray replica.
+        MemRequest drop;
+        drop.kind = MemRequest::Kind::kReplicaDrop;
+        drop.owner = node_.id();
+        drop.line_id = id;
+        node_.send_to(dest, kMemService, 16, std::move(drop));
+      }
+      // Lines the holder no longer had (res.ok with a partial `migrated`:
+      // it restarted and lost them) stay under-replicated; the next
+      // swap-in discovers the loss and recovers normally.
+    }
+  }
+  // Un-park: restore kRemote, requeue ops buffered while the lines were in
+  // flight (queue_update now mirrors them to the new backup), and wake any
+  // probe blocked on the trigger.
+  for (LineId id : parked) {
+    auto& l = store_.line(id);
+    if (l.where == Where::kMigrating) {
+      l.where = Where::kRemote;
+      const auto pend = pending_updates_.find(id);
+      if (pend != pending_updates_.end()) {
+        for (const mining::Itemset& s : pend->second) {
+          --*updates_sent_;  // queue_update counts it again
+          queue_update(id, s);
+        }
+        pending_updates_.erase(pend);
+        co_await maybe_flush_batch(l.holder);
+        co_await maybe_flush_batch(l.backup);
+      }
+    }
+    store_.fire_migration_trigger(id);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -790,6 +1076,14 @@ void RemoteBackend::check_invariants() const {
       const auto it = lines_by_holder_.find(l.holder);
       RMS_CHECK_MSG(it != lines_by_holder_.end() && it->second.count(id),
                     "remote line missing from its holder's set");
+      // Redundancy: with replication on, every remote primary lacking a
+      // mirror must be queued for re-replication (stale extras — lines
+      // that since came home — are allowed in the set).
+      if (store_.config().replicate_k > 0 && l.backup < 0) {
+        RMS_CHECK_MSG(unreplicated_.count(id) > 0,
+                      "under-replicated remote line not queued for "
+                      "re-replication");
+      }
     }
   }
   RMS_CHECK_MSG(with_backup == tracked_replicas,
@@ -822,6 +1116,13 @@ void RemoteBackend::check_invariants() const {
         stream.pending_bytes() ==
             stream.pending_ops() * store_.config().update_op_bytes,
         "update stream byte accounting out of sync with queued ops");
+  }
+
+  RMS_CHECK_MSG(!update_mode_ || unmirrored_shadow_.empty(),
+                "unmirrored shadow populated in update mode");
+  for (const auto& [id, sh] : unmirrored_shadow_) {
+    RMS_CHECK_MSG(sh.checksum != 0,
+                  "unmirrored shadow copy without a checksum stamp");
   }
 
   fallback_->check_invariants();

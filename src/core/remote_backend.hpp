@@ -73,6 +73,13 @@ class RemoteBackend : public SwapBackend {
   /// Accounted bytes of primary copies currently parked remotely.
   std::int64_t remote_bytes() const { return remote_bytes_; }
   FailoverStats& failover() { return store_.failover_mut(); }
+  IntegrityStats& integrity() { return store_.integrity_mut(); }
+
+  /// Last-resort repair hook: produce the line's contents from a local disk
+  /// copy (TieredBackend's integrity shadow). Returns true when the line was
+  /// made resident with verified contents; the base backend keeps no such
+  /// copy and always fails.
+  virtual sim::Task<bool> repair_from_disk(LineId id);
 
   cluster::Node& node_;
 
@@ -89,10 +96,26 @@ class RemoteBackend : public SwapBackend {
   void orphan_line(LineId id);
   /// Stop tracking (and drop) the backup copy of a line that came home.
   void drop_backup(LineId id);
-  /// The primary copy of `id` is lost (holder dead or wiped): promote the
-  /// backup if one survives (line becomes kRemote at the backup) or orphan
-  /// (line becomes resident and empty). Caller owns the line's state.
-  sim::Task<> recover_lost_line(LineId id);
+  /// Why a primary copy needs recovering: lost with its holder (crash /
+  /// restart wipe) or withheld because it failed checksum verification.
+  enum class RecoverCause { kLost, kCorrupt };
+  /// The primary copy of `id` is unusable (holder dead, wiped, or serving
+  /// corrupt data): promote the backup if one survives (line becomes
+  /// kRemote at the backup), repair from a local disk copy if the subclass
+  /// keeps one, or orphan (line becomes resident and empty — bad data is
+  /// never used). Caller owns the line's state.
+  sim::Task<> recover_lost_line(LineId id,
+                                RecoverCause cause = RecoverCause::kLost);
+  /// Verify a fetched payload against its checksum. On mismatch: count it,
+  /// strike (and possibly quarantine) the holder, and return false — the
+  /// caller must treat the line as lost with RecoverCause::kCorrupt.
+  /// Unstamped payloads (checksum == 0) pass.
+  bool verify_payload(const LinePayload& payload, net::NodeId holder);
+  /// Restore replicate_k for lines whose backup copy is gone (promotion
+  /// consumed it, or the backup node died): push a kReplicaSync directive to
+  /// each line's holder so it copies the primary to a freshly chosen backup
+  /// node. Parks the lines kMigrating across its awaits.
+  sim::Task<> re_replicate(std::vector<LineId> ids);
   void queue_update(LineId id, const mining::Itemset& itemset);
   sim::Task<> send_update_batch(net::NodeId holder);
   sim::Task<> maybe_flush_batch(net::NodeId holder);
@@ -100,8 +123,11 @@ class RemoteBackend : public SwapBackend {
   /// the fetch RPCs through Transport::pipeline so their round-trips
   /// overlap, then post-process replies in holder order.
   sim::Task<> collect_fetch_pipelined(const std::vector<net::NodeId>& holders);
-  /// -1 when no live, fresh node has room (callers degrade).
-  net::NodeId pick_destination(std::int64_t bytes, net::NodeId exclude = -1);
+  /// -1 when no live, fresh node has room (callers degrade). With
+  /// `best_effort` (replica placement) a stale-estimate miss falls back to
+  /// the least-loaded live node instead: mirrors must not silently lapse.
+  net::NodeId pick_destination(std::int64_t bytes, net::NodeId exclude = -1,
+                               bool best_effort = false);
   /// lines_by_holder_ mutations paired with remote_bytes_ accounting.
   void hold_insert(net::NodeId holder, LineId id);
   void hold_erase(net::NodeId holder, LineId id);
@@ -117,6 +143,26 @@ class RemoteBackend : public SwapBackend {
   std::unordered_map<net::NodeId, std::unordered_set<LineId>>
       replicas_by_holder_;
   std::unordered_set<net::NodeId> suspected_;
+  /// Checksum-mismatch strikes per holder; at config().quarantine_after the
+  /// holder is quarantined in the availability table.
+  std::unordered_map<net::NodeId, int> corrupt_strikes_;
+  /// Remote primaries that should carry a backup (replicate_k > 0) but
+  /// currently do not: fed by promotion and backup-node death, drained by
+  /// re_replicate. May hold stale ids (lines that since came home); the
+  /// invariant is one-directional — every under-replicated remote line is
+  /// listed here.
+  std::unordered_set<LineId> unreplicated_;
+  /// Last-resort redundancy for simple swapping: a local disk copy of a
+  /// swap-out that found no mirror node (during congestion the availability
+  /// table often knows just one fresh destination). Remote contents are
+  /// immutable outside update mode, so the copy stays exact until the line
+  /// comes home. Consulted by repair_from_disk; never populated in update
+  /// mode, where a snapshot would go stale against remotely-applied ops.
+  struct UnmirroredShadow {
+    mining::HashLine entries;
+    std::uint64_t checksum = 0;
+  };
+  std::unordered_map<LineId, UnmirroredShadow> unmirrored_shadow_;
   /// One-way update batching, one byte-budgeted stream per target node.
   std::unordered_map<net::NodeId, transport::Stream<MemRequest>>
       update_streams_;

@@ -177,7 +177,11 @@ class Runner {
 
   HpaResult result_;
   core::FailoverStats failover_total_;
+  core::IntegrityStats integrity_total_;
   StatsRegistry store_stats_total_;
+  /// At-rest corruption draws (FaultPlan episodes); fixed stream so runs
+  /// with identical configs corrupt identically.
+  Pcg32 corrupt_rest_rng_{0xa27e57, 0x11};
   Time pass_start_ = 0;
   Time build_start_ = 0;
   Time count_start_ = 0;
@@ -304,6 +308,8 @@ sim::Task<> Runner::build_store(std::size_t idx, std::size_t k) {
   scfg.message_block_bytes = cfg_.message_block_bytes;
   if (cfg_.remote_determination) scfg.fetch_filter_min_count = min_count_;
   scfg.replicate_k = cfg_.replicate_k;
+  scfg.quarantine_after = cfg_.quarantine_after;
+  scfg.integrity_disk_shadow = cfg_.integrity_disk_shadow;
   scfg.rpc_deadline = cfg_.rpc_deadline;
   scfg.rpc_max_retries = cfg_.rpc_max_retries;
   scfg.rpc_window = cfg_.rpc_window;
@@ -587,6 +593,7 @@ sim::Process Runner::app_main(std::size_t idx) {
     co_await barrier_->arrive();
     if (cfg_.validate_invariants) stores_[idx]->check_invariants();
     failover_total_.merge(stores_[idx]->failover());
+    integrity_total_.merge(stores_[idx]->integrity());
     store_stats_total_.merge(stores_[idx]->stats());
     stores_[idx].reset();
   }
@@ -693,7 +700,8 @@ HpaResult Runner::run() {
     });
   }
 
-  // Fault injection: crash-stops and loss bursts (robustness extension).
+  // Fault injection: crash-stops, loss bursts, and corruption episodes
+  // (robustness extensions).
   {
     cluster::FaultPlan plan;
     for (const HpaConfig::Crash& c : cfg_.crashes) {
@@ -702,7 +710,40 @@ HpaResult Runner::run() {
           mem_id(c.memory_node_index), c.at, c.restart_at});
     }
     plan.loss_bursts = cfg_.loss_bursts;
-    plan.install(*cluster_);
+    bool any_wire_corruption = false;
+    for (const HpaConfig::Corruption& c : cfg_.corruption) {
+      NodeId focus = -1;
+      if (c.memory_node_index >= 0) {
+        RMS_CHECK(static_cast<std::size_t>(c.memory_node_index) <
+                  cfg_.memory_nodes);
+        focus = mem_id(static_cast<std::size_t>(c.memory_node_index));
+      }
+      plan.corruption.push_back(cluster::FaultPlan::Corruption{
+          c.at, c.duration, c.flip_rate, c.rest_flip_rate, focus, c.scrub});
+      if (c.flip_rate > 0.0) any_wire_corruption = true;
+    }
+    // The corruptor is installed only when an episode needs it: with no
+    // injection the delivery path never draws from the corruption RNG and
+    // results stay bit-identical with pre-integrity builds.
+    if (any_wire_corruption) {
+      cluster_->network().set_corruptor(core::corrupt_line_payloads);
+    }
+    cluster::CorruptionHooks hooks;
+    if (!cfg_.corruption.empty()) {
+      hooks.at_rest = [this](NodeId node, double rate) {
+        for (auto& server : servers_) {
+          if (node >= 0 && server->node().id() != node) continue;
+          server->corrupt_stored(rate, corrupt_rest_rng_);
+        }
+      };
+      hooks.scrub = [this](NodeId node) {
+        for (auto& server : servers_) {
+          if (node >= 0 && server->node().id() != node) continue;
+          server->verify_stored();
+        }
+      };
+    }
+    plan.install(*cluster_, hooks);
   }
 
   if (cfg_.metrics != nullptr) {
@@ -739,6 +780,7 @@ HpaResult Runner::run() {
     }
   }
   result_.failover = failover_total_;
+  result_.integrity = integrity_total_;
 
   // Destroy still-suspended daemon frames (monitors, servers) while the
   // cluster objects their locals reference are alive.

@@ -21,6 +21,7 @@
 #include "cluster/fault.hpp"
 #include "common/stats.hpp"
 #include "core/failover.hpp"
+#include "core/integrity.hpp"
 #include "core/policy.hpp"
 #include "mining/apriori.hpp"
 #include "mining/generator.hpp"
@@ -88,6 +89,29 @@ struct HpaConfig {
   std::vector<Crash> crashes;
   /// Scripted periods of elevated message loss on every link.
   std::vector<cluster::FaultPlan::LossBurst> loss_bursts;
+
+  // ---- corruption injection + integrity (this extension) ----
+  /// Scripted payload-corruption episodes. While active, line payloads on
+  /// the wire flip a count bit with probability `flip_rate` per payload
+  /// (focused on one memory node's links when `memory_node_index` >= 0,
+  /// cluster-wide at -1); `rest_flip_rate` corrupts stored lines at rest on
+  /// the matching memory servers once at `at`; `scrub` schedules a server
+  /// verify pass at `at + duration` that drops mismatched copies.
+  struct Corruption {
+    Time at = 0;
+    Time duration = 0;
+    double flip_rate = 0.0;
+    double rest_flip_rate = 0.0;
+    std::ptrdiff_t memory_node_index = -1;  // -1: every node / link
+    bool scrub = false;
+  };
+  std::vector<Corruption> corruption;
+  /// Quarantine a holder in the availability table after this many checksum
+  /// mismatches on payloads it served (it stops attracting swap-outs).
+  int quarantine_after = 3;
+  /// kTiered only: keep a checksummed local disk shadow of every remotely
+  /// parked line, enabling corruption repair without replicate_k.
+  bool integrity_disk_shadow = false;
   /// Mirror each swapped-out line on a second memory node (0 or 1).
   int replicate_k = 0;
   /// Per-attempt RPC deadline / retry budget for the swap path.
@@ -155,6 +179,10 @@ struct HpaResult {
   /// Failover accounting merged across every node's store and every pass
   /// (all zero when no fault-handling machinery fired).
   core::FailoverStats failover;
+
+  /// Line-integrity accounting (checksums, repair, re-replication) merged
+  /// the same way; all zero when nothing corrupted and redundancy held.
+  core::IntegrityStats integrity;
 
   const PassReport* pass(std::size_t k) const;
 };

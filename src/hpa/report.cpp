@@ -70,6 +70,20 @@ void print_report(const HpaResult& result) {
         static_cast<long long>(f.updates_mirrored),
         static_cast<long long>(f.lost_update_ops));
   }
+
+  const core::IntegrityStats& g = result.integrity;
+  if (g.any()) {
+    std::printf(
+        "integrity: %lld checksum mismatches, %lld repaired from replica, "
+        "%lld repaired from disk, %lld lines lost, %lld re-replications, "
+        "%lld holders quarantined\n",
+        static_cast<long long>(g.checksum_mismatches),
+        static_cast<long long>(g.repaired_from_replica),
+        static_cast<long long>(g.repaired_from_disk),
+        static_cast<long long>(g.lines_lost),
+        static_cast<long long>(g.re_replications),
+        static_cast<long long>(g.quarantines));
+  }
 }
 
 std::string describe(const HpaConfig& config) {

@@ -36,7 +36,8 @@ Network::Network(sim::Simulation& sim, std::size_t num_nodes,
     : sim_(sim),
       params_(params),
       delivery_(num_nodes),
-      loss_rng_(0xca11ab1e, 0x1c) {
+      loss_rng_(0xca11ab1e, 0x1c),
+      corrupt_rng_(0xb17f11b5, 0x1d) {
   RMS_CHECK(num_nodes > 0);
   RMS_CHECK(params_.bandwidth_bps > 0);
   RMS_CHECK(params_.loss_rate >= 0.0 && params_.loss_rate < 1.0);
@@ -56,6 +57,14 @@ Network::PairState& Network::pair(NodeId src, NodeId dst) {
 void Network::set_loss_rate(double loss_rate) {
   RMS_CHECK(loss_rate >= 0.0 && loss_rate < 1.0);
   params_.loss_rate = loss_rate;
+}
+
+void Network::set_corruptor(CorruptFn fn) { corruptor_ = std::move(fn); }
+
+void Network::set_corruption(double rate, NodeId focus) {
+  RMS_CHECK(rate >= 0.0 && rate < 1.0);
+  corrupt_rate_ = rate;
+  corrupt_node_ = focus;
 }
 
 void Network::set_delivery(NodeId node, DeliveryFn fn) {
@@ -148,6 +157,15 @@ void Network::arrive(Message msg, std::uint64_t seq) {
 }
 
 void Network::deliver_now(Message msg) {
+  // Corruption episodes flip bits just before delivery — after reordering,
+  // so retransmitted attempts are not double-exposed. rate == 0 (the
+  // default) draws nothing, keeping injection-free runs bit-identical.
+  if (corrupt_rate_ > 0.0 && corruptor_ &&
+      (corrupt_node_ < 0 || msg.src == corrupt_node_ ||
+       msg.dst == corrupt_node_)) {
+    const int n = corruptor_(msg, corrupt_rate_, corrupt_rng_);
+    if (n > 0) stats_.bump("net.corrupted_payloads", n);
+  }
   auto& deliver = delivery_[static_cast<std::size_t>(msg.dst)];
   RMS_CHECK_MSG(static_cast<bool>(deliver),
                 "message sent to a node with no delivery hook");

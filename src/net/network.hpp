@@ -110,6 +110,11 @@ struct LinkParams {
 class Network {
  public:
   using DeliveryFn = std::function<void(Message)>;
+  /// Payload corruptor: mutates the message in place with the given per-
+  /// payload flip probability and returns how many payloads were corrupted.
+  /// Type-erased so net/ stays ignorant of the application wire protocol
+  /// (core installs corrupt_line_payloads here).
+  using CorruptFn = std::function<int(Message&, double, Pcg32&)>;
 
   Network(sim::Simulation& sim, std::size_t num_nodes, LinkParams params);
 
@@ -133,6 +138,15 @@ class Network {
   /// Takes effect from the next transmission attempt, including pending
   /// retransmissions — `transfer` re-reads the parameter per attempt.
   void set_loss_rate(double loss_rate);
+
+  /// Install the payload corruptor (null disables injection entirely).
+  void set_corruptor(CorruptFn fn);
+
+  /// Scripted corruption episodes: each delivered message touching `focus`
+  /// (src or dst; focus < 0 means every link) runs through the corruptor
+  /// with per-payload probability `rate`. rate = 0 ends the episode and,
+  /// like loss_rate = 0, draws nothing — disabled runs stay bit-identical.
+  void set_corruption(double rate, NodeId focus = -1);
 
   /// Time to clock `payload_bytes` (+headers) through one port.
   Time transmission_time(std::int64_t payload_bytes) const;
@@ -160,6 +174,10 @@ class Network {
   std::vector<DeliveryFn> delivery_;
   std::unordered_map<std::uint64_t, PairState> pairs_;
   Pcg32 loss_rng_;
+  CorruptFn corruptor_;
+  double corrupt_rate_ = 0.0;
+  NodeId corrupt_node_ = -1;  // -1: every link
+  Pcg32 corrupt_rng_;
   StatsRegistry stats_;
 };
 

@@ -68,6 +68,9 @@ void config_json(JsonWriter& w, const hpa::HpaConfig& cfg) {
   w.kv("remote_determination", cfg.remote_determination);
   w.kv("crashes", static_cast<std::uint64_t>(cfg.crashes.size()));
   w.kv("withdrawals", static_cast<std::uint64_t>(cfg.withdrawals.size()));
+  w.kv("corruption_episodes", static_cast<std::uint64_t>(cfg.corruption.size()));
+  w.kv("quarantine_after", cfg.quarantine_after);
+  w.kv("integrity_disk_shadow", cfg.integrity_disk_shadow);
   w.end_object();
 }
 
@@ -108,6 +111,17 @@ void failover_json(JsonWriter& w, const core::FailoverStats& f) {
   w.kv("replicas_stored", f.replicas_stored);
   w.kv("updates_mirrored", f.updates_mirrored);
   w.kv("lost_update_ops", f.lost_update_ops);
+  w.end_object();
+}
+
+void integrity_json(JsonWriter& w, const core::IntegrityStats& g) {
+  w.begin_object();
+  w.kv("checksum_mismatches", g.checksum_mismatches);
+  w.kv("repaired_from_replica", g.repaired_from_replica);
+  w.kv("repaired_from_disk", g.repaired_from_disk);
+  w.kv("lines_lost", g.lines_lost);
+  w.kv("re_replications", g.re_replications);
+  w.kv("quarantines", g.quarantines);
   w.end_object();
 }
 
@@ -177,6 +191,7 @@ void RunObserver::end_run(const hpa::HpaResult& result) {
   rec.total_time = result.total_time;
   rec.stats = result.stats;
   rec.failover = result.failover;
+  rec.integrity = result.integrity;
 }
 
 std::string RunObserver::artifact_json() const {
@@ -201,6 +216,8 @@ std::string RunObserver::artifact_json() const {
       stats_json(w, rec.stats);
       w.key("failover");
       failover_json(w, rec.failover);
+      w.key("integrity");
+      integrity_json(w, rec.integrity);
     }
     if (metrics_ && i < metrics_->runs().size()) {
       w.key("metrics");

@@ -77,6 +77,7 @@ class RunObserver {
     Time total_time = 0;
     StatsRegistry stats;
     core::FailoverStats failover;
+    core::IntegrityStats integrity;
   };
 
   Paths paths_;

@@ -37,6 +37,9 @@ const KindInfo& info(EventKind kind) {
       {"replica_store", "failover", "line", "backup"},
       {"update_batch", "store", "holder", "ops"},
       {"barrier", "phase", "k", ""},
+      {"checksum_mismatch", "integrity", "line", "holder"},
+      {"quarantine", "integrity", "node", "strikes"},
+      {"re_replicate", "integrity", "line", "backup"},
   };
   const auto idx = static_cast<std::size_t>(kind);
   RMS_CHECK(idx < sizeof(kTable) / sizeof(kTable[0]));

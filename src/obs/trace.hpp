@@ -57,6 +57,10 @@ enum class EventKind : std::uint8_t {
   kReplicaStore,   // replica pushed (arg0 line, arg1 backup holder)
   kUpdateBatch,    // one-way update batch sent (arg0 holder, arg1 ops)
   kBarrier,        // phase-barrier arrival (arg0 k)
+  kChecksumMismatch,  // fetched payload failed verification (arg0 line,
+                      // arg1 holder)
+  kQuarantine,     // holder quarantined for corruption (arg0 node, arg1 strikes)
+  kReReplicate,    // redundancy restored (arg0 line, arg1 new backup)
 };
 
 struct TraceEvent {

@@ -107,6 +107,28 @@ TEST(AvailabilityTable, MarkDeadExcludesUntilANewerReportRevives) {
   EXPECT_EQ(picks, (std::set<net::NodeId>{5, 6}));
 }
 
+TEST(AvailabilityTable, QuarantinedNodeIsNeverChosenAndStaysQuarantined) {
+  AvailabilityTable t({5, 6});
+  t.update(AvailabilityInfo{5, 10 << 20, 1}, 0);
+  t.update(AvailabilityInfo{6, 10 << 20, 1}, 0);
+  t.quarantine(5);
+  EXPECT_TRUE(t.quarantined(5));
+  EXPECT_FALSE(t.dead(5));  // alive, just untrusted
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(*t.choose_destination(1 << 20), 6);
+  }
+  // Unlike mark_dead, a fresh heartbeat does NOT clear quarantine: the node
+  // keeps reporting (it is up) but keeps serving corrupt data.
+  EXPECT_TRUE(t.update(AvailabilityInfo{5, 10 << 20, 2}, sec(1)));
+  EXPECT_TRUE(t.quarantined(5));
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(*t.choose_destination(1 << 20), 6);
+  }
+  // With every node quarantined, nobody qualifies (callers degrade to disk).
+  t.quarantine(6);
+  EXPECT_FALSE(t.choose_destination(1 << 20).has_value());
+}
+
 TEST(Availability, FailureDetectorSuspectsASilentMonitor) {
   sim::Simulation sim;
   cluster::ClusterConfig cfg;
