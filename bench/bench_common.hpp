@@ -68,6 +68,9 @@ inline std::map<std::string, std::string> with_common_flags(
   extra.emplace("rpc-window",
                 "transport sliding-window size for swap/migration RPCs "
                 "(default 1: the paper's synchronous behaviour)");
+  extra.emplace("placement",
+                "swap-destination policy: paper-rr | least-loaded | power2 "
+                "| affinity (default paper-rr: the paper's heuristic)");
   extra.emplace("corrupt-rate",
                 "payload-corruption injection: per-message bit-flip "
                 "probability on the wire (default 0: no injection)");
@@ -114,6 +117,17 @@ inline ExperimentEnv::ExperimentEnv(
     base.partition_weights = hpa::paper_table3_weights();
   }
   base.rpc_window = static_cast<int>(flags.get_int("rpc-window", 1));
+
+  const std::string placement_name = flags.get("placement", "paper-rr");
+  if (const auto kind = placement::parse_policy(placement_name)) {
+    base.placement = *kind;
+  } else {
+    std::fprintf(stderr,
+                 "unknown --placement '%s' (expected paper-rr | least-loaded "
+                 "| power2 | affinity)\n",
+                 placement_name.c_str());
+    std::exit(2);
+  }
 
   // Optional wire-corruption injection, for chaos benches and the
   // corruption-seeded determinism replay in CI. Self-repair (checksums +

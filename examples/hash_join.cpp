@@ -47,7 +47,7 @@ struct JoinWorld {
   sim::Simulation sim;
   std::unique_ptr<cluster::Cluster> cl;
   std::vector<std::unique_ptr<core::MemoryServer>> servers;
-  std::unique_ptr<core::AvailabilityTable> table;
+  std::unique_ptr<placement::MemoryBroker> table;
   std::vector<std::unique_ptr<core::HashLineStore>> stores;
 
   explicit JoinWorld(core::SwapPolicy policy, std::int64_t limit,
@@ -66,7 +66,7 @@ struct JoinWorld {
           std::make_unique<core::MemoryServer>(cl->node(id), mscfg));
       sim.spawn(servers.back()->serve());
     }
-    table = std::make_unique<core::AvailabilityTable>(mem_ids);
+    table = std::make_unique<placement::MemoryBroker>(mem_ids);
     for (net::NodeId id : mem_ids) {
       table->update(core::AvailabilityInfo{id, 32 << 20, 1}, 0);
     }

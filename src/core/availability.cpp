@@ -1,124 +1,10 @@
 #include "core/availability.hpp"
 
-#include <algorithm>
+#include <unordered_map>
 
 #include "transport/transport.hpp"
 
 namespace rms::core {
-
-AvailabilityTable::AvailabilityTable(std::vector<net::NodeId> memory_nodes)
-    : memory_nodes_(std::move(memory_nodes)) {
-  for (net::NodeId n : memory_nodes_) entries_.emplace(n, Entry{});
-}
-
-bool AvailabilityTable::update(const AvailabilityInfo& info, Time now) {
-  const auto it = entries_.find(info.node);
-  RMS_CHECK_MSG(it != entries_.end(),
-                "availability report from an unregistered node");
-  Entry& e = it->second;
-  if (e.valid && info.seq <= e.seq) return false;  // stale broadcast
-  e.available = info.available_bytes;
-  e.seq = info.seq;
-  e.updated = now;
-  e.valid = true;
-  e.dead = false;  // a live heartbeat revives a suspected node
-  return true;
-}
-
-std::int64_t AvailabilityTable::available(net::NodeId node) const {
-  const auto it = entries_.find(node);
-  if (it == entries_.end() || !it->second.valid) return 0;
-  return it->second.available;
-}
-
-std::optional<net::NodeId> AvailabilityTable::choose_destination(
-    std::int64_t bytes_needed, net::NodeId exclude, Time now) {
-  if (memory_nodes_.empty()) return std::nullopt;
-  for (std::size_t i = 0; i < memory_nodes_.size(); ++i) {
-    const std::size_t at = (cursor_ + i) % memory_nodes_.size();
-    const net::NodeId n = memory_nodes_[at];
-    if (n == exclude) continue;
-    if (dead(n)) continue;
-    if (quarantined(n)) continue;
-    if (now >= 0 && expired(n, now)) continue;
-    if (available(n) >= bytes_needed) {
-      cursor_ = (at + 1) % memory_nodes_.size();
-      return n;
-    }
-  }
-  return std::nullopt;
-}
-
-std::optional<net::NodeId> AvailabilityTable::choose_best_effort(
-    net::NodeId exclude, Time now) {
-  std::optional<net::NodeId> best;
-  std::int64_t best_room = -1;
-  for (const net::NodeId n : memory_nodes_) {
-    if (n == exclude) continue;
-    if (dead(n)) continue;
-    if (quarantined(n)) continue;
-    if (now >= 0 && expired(n, now)) continue;
-    const auto it = entries_.find(n);
-    if (it == entries_.end() || !it->second.valid) continue;
-    if (it->second.available > best_room) {
-      best_room = it->second.available;
-      best = n;
-    }
-  }
-  return best;
-}
-
-bool AvailabilityTable::expired(net::NodeId node, Time now) const {
-  if (max_age_ <= 0) return false;
-  const auto it = entries_.find(node);
-  if (it == entries_.end() || !it->second.valid) return false;
-  return now - it->second.updated > max_age_;
-}
-
-void AvailabilityTable::mark_dead(net::NodeId node) {
-  const auto it = entries_.find(node);
-  RMS_CHECK_MSG(it != entries_.end(), "mark_dead on an unregistered node");
-  it->second.dead = true;
-}
-
-bool AvailabilityTable::dead(net::NodeId node) const {
-  const auto it = entries_.find(node);
-  return it != entries_.end() && it->second.dead;
-}
-
-void AvailabilityTable::quarantine(net::NodeId node) {
-  const auto it = entries_.find(node);
-  RMS_CHECK_MSG(it != entries_.end(), "quarantine on an unregistered node");
-  it->second.quarantined = true;
-}
-
-bool AvailabilityTable::quarantined(net::NodeId node) const {
-  const auto it = entries_.find(node);
-  return it != entries_.end() && it->second.quarantined;
-}
-
-Time AvailabilityTable::last_update(net::NodeId node) const {
-  const auto it = entries_.find(node);
-  if (it == entries_.end() || !it->second.valid) return -1;
-  return it->second.updated;
-}
-
-Time AvailabilityTable::oldest_report_age(Time now) const {
-  Time oldest = 0;
-  for (const net::NodeId n : memory_nodes_) {
-    const auto it = entries_.find(n);
-    if (it == entries_.end() || !it->second.valid || it->second.dead) continue;
-    oldest = std::max(oldest, now - it->second.updated);
-  }
-  return oldest;
-}
-
-void AvailabilityTable::debit(net::NodeId node, std::int64_t bytes) {
-  const auto it = entries_.find(node);
-  if (it == entries_.end() || !it->second.valid) return;
-  it->second.available =
-      it->second.available >= bytes ? it->second.available - bytes : 0;
-}
 
 sim::Process availability_monitor(cluster::Node& node, MonitorConfig config) {
   sim::Simulation& sim = node.sim();
@@ -143,7 +29,8 @@ sim::Process availability_monitor(cluster::Node& node, MonitorConfig config) {
   }
 }
 
-sim::Process availability_client(cluster::Node& node, AvailabilityTable& table,
+sim::Process availability_client(cluster::Node& node,
+                                 placement::MemoryBroker& broker,
                                  ClientConfig config,
                                  ShortageHandler on_shortage) {
   // Tracks which shortage events were already handled so one withdrawal
@@ -153,12 +40,12 @@ sim::Process availability_client(cluster::Node& node, AvailabilityTable& table,
   for (;;) {
     net::Message msg = co_await inbox.recv();
     const auto& info = msg.as<AvailabilityInfo>();
-    // The table write lands at delivery time, without queueing for the CPU:
-    // the failure detector keys off these timestamps, and a long compute
-    // chunk holding this node's CPU (e.g. the candidate-generation scan)
-    // must not read as a cluster of dead memory nodes. CPU is charged only
-    // when a report triggers actual work.
-    if (!table.update(info, node.sim().now())) continue;
+    // The broker write lands at delivery time, without queueing for the
+    // CPU: the failure detector keys off these timestamps, and a long
+    // compute chunk holding this node's CPU (e.g. the candidate-generation
+    // scan) must not read as a cluster of dead memory nodes. CPU is charged
+    // only when a report triggers actual work.
+    if (!broker.update(info, node.sim().now())) continue;
     node.stats().bump("client.availability_updates");
 
     const bool is_short =
@@ -175,7 +62,8 @@ sim::Process availability_client(cluster::Node& node, AvailabilityTable& table,
   }
 }
 
-sim::Process failure_detector(cluster::Node& node, AvailabilityTable& table,
+sim::Process failure_detector(cluster::Node& node,
+                              placement::MemoryBroker& broker,
                               DetectorConfig config,
                               SuspectHandler on_suspect) {
   RMS_CHECK(config.expected_interval > 0);
@@ -192,9 +80,9 @@ sim::Process failure_detector(cluster::Node& node, AvailabilityTable& table,
   for (;;) {
     co_await node.sim().timeout(check);
     const Time now = node.sim().now();
-    for (net::NodeId n : table.memory_nodes()) {
-      if (table.dead(n)) continue;
-      const Time last = table.last_update(n);
+    for (net::NodeId n : broker.memory_nodes()) {
+      if (broker.dead(n)) continue;
+      const Time last = broker.last_update(n);
       if (last < 0) continue;  // never reported; never chosen either
       if (now - last <= silence_limit) continue;
       if (config.confirm_with_rpc) {
@@ -211,7 +99,7 @@ sim::Process failure_detector(cluster::Node& node, AvailabilityTable& table,
           continue;
         }
       }
-      table.mark_dead(n);
+      broker.mark_dead(n);
       node.stats().bump("detector.suspicions");
       if (on_suspect) co_await on_suspect(n);
     }

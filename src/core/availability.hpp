@@ -3,109 +3,22 @@
 // Memory-available nodes run an AvailabilityMonitor process that samples the
 // node's free memory every `interval` (the paper uses `netstat -k` on a 3 s
 // period) and broadcasts it to all application execution nodes. Each
-// application node runs an availability client process that keeps the last
-// report per memory node in an AvailabilityTable — the paper's shared-memory
-// segment — which swap-destination choice and migration policy read.
+// application node runs an availability client process that feeds the last
+// report per memory node into its placement::MemoryBroker — the paper's
+// shared-memory segment, now owned by the placement subsystem — which every
+// swap-destination choice and the migration policy read. A companion
+// failure-detector process scans the same view for silent monitors.
 #pragma once
 
 #include <functional>
-#include <optional>
-#include <unordered_map>
-#include <vector>
 
 #include "cluster/cluster.hpp"
 #include "core/protocol.hpp"
+#include "placement/placement.hpp"
 #include "sim/process.hpp"
 #include "sim/task.hpp"
 
 namespace rms::core {
-
-class AvailabilityTable {
- public:
-  /// `memory_nodes`: the candidate memory-available nodes, in preference
-  /// order for the round-robin destination scan.
-  explicit AvailabilityTable(std::vector<net::NodeId> memory_nodes);
-
-  /// Record a monitor broadcast; stale (out-of-order) reports are dropped.
-  /// Returns true if the entry changed. A fresh report revives a node that
-  /// was marked dead (crash + restart: the monitor resumes broadcasting
-  /// with its sequence intact).
-  bool update(const AvailabilityInfo& info, Time now);
-
-  /// Last reported available bytes (0 until the first report arrives — an
-  /// unknown node is never chosen as a swap destination).
-  std::int64_t available(net::NodeId node) const;
-
-  /// Pick a destination with at least `bytes_needed` reported available,
-  /// round-robin across qualifying nodes so that consecutive swap-outs
-  /// spread over all memory-available nodes. Returns nullopt if nobody
-  /// qualifies. `exclude` removes a node from consideration (the shorted
-  /// holder during migration). Nodes marked dead are always skipped; with a
-  /// max age configured and `now >= 0`, entries whose last report is older
-  /// than the max age are treated as invalid too (a node that died right
-  /// after one fat report must not attract swap-outs forever).
-  std::optional<net::NodeId> choose_destination(std::int64_t bytes_needed,
-                                                net::NodeId exclude = -1,
-                                                Time now = -1);
-
-  /// Best-effort variant for replica placement: the live, fresh,
-  /// non-quarantined node with the most reported room, with no minimum.
-  /// Local debits between two monitor reports routinely drive every
-  /// estimate below the threshold even though the servers have plenty of
-  /// real room (servers never hard-reject a store; sustained overload is
-  /// corrected by withdrawal-driven migration). Denying a mirror on such a
-  /// stale estimate would leave the line one corruption away from loss, so
-  /// redundancy placement degrades to "least loaded" instead of "none".
-  std::optional<net::NodeId> choose_best_effort(net::NodeId exclude = -1,
-                                                Time now = -1);
-
-  /// Expire entries not refreshed within `max_age` (<= 0 disables, the
-  /// default). Typically N monitor intervals.
-  void set_max_age(Time max_age) { max_age_ = max_age; }
-  Time max_age() const { return max_age_; }
-  bool expired(net::NodeId node, Time now) const;
-
-  /// Failure-detector verdicts. A dead node is excluded from destination
-  /// choice until a fresh report revives it.
-  void mark_dead(net::NodeId node);
-  bool dead(net::NodeId node) const;
-
-  /// Integrity verdicts. A quarantined node served repeatedly corrupt
-  /// payloads: it is excluded from destination choice for the rest of the
-  /// run. Unlike `dead`, quarantine is sticky — fresh heartbeats do not
-  /// clear it (the node is alive, just untrusted).
-  void quarantine(net::NodeId node);
-  bool quarantined(net::NodeId node) const;
-  /// Time of the last accepted report (-1 before the first one).
-  Time last_update(net::NodeId node) const;
-  /// Heartbeat staleness: age of the oldest accepted report across live
-  /// memory nodes (0 when nothing has reported). A metrics gauge — a rising
-  /// value means monitors have gone quiet.
-  Time oldest_report_age(Time now) const;
-
-  /// Debit a local estimate after choosing a destination, so many swap-outs
-  /// between two monitor reports do not all pile onto one node.
-  void debit(net::NodeId node, std::int64_t bytes);
-
-  const std::vector<net::NodeId>& memory_nodes() const {
-    return memory_nodes_;
-  }
-
- private:
-  struct Entry {
-    std::int64_t available = 0;
-    std::uint64_t seq = 0;
-    Time updated = -1;
-    bool valid = false;
-    bool dead = false;
-    bool quarantined = false;  // sticky: update() never clears it
-  };
-
-  std::vector<net::NodeId> memory_nodes_;
-  std::unordered_map<net::NodeId, Entry> entries_;
-  std::size_t cursor_ = 0;  // round-robin position
-  Time max_age_ = 0;        // <= 0: reports never expire
-};
 
 struct MonitorConfig {
   Time interval = sec(3);  // the paper's default sampling period
@@ -127,9 +40,11 @@ struct ClientConfig {
 using ShortageHandler = std::function<sim::Task<>(net::NodeId holder)>;
 
 /// The client process running on an application execution node: receives
-/// kAvailInfo broadcasts, refreshes `table`, and drives migration when a
-/// holder runs short. Spawn once per application node.
-sim::Process availability_client(cluster::Node& node, AvailabilityTable& table,
+/// kAvailInfo broadcasts, refreshes the broker's availability view, and
+/// drives migration when a holder runs short. Spawn once per application
+/// node.
+sim::Process availability_client(cluster::Node& node,
+                                 placement::MemoryBroker& broker,
                                  ClientConfig config,
                                  ShortageHandler on_shortage);
 
@@ -139,7 +54,8 @@ struct DetectorConfig {
   /// Declare a memory node dead after this many missed heartbeats — i.e.
   /// when its last accepted report is older than miss_threshold intervals.
   int miss_threshold = 3;
-  /// How often the detector scans the table; defaults to one interval.
+  /// How often the detector scans the broker's view; defaults to one
+  /// interval.
   Time check_interval = 0;  // <= 0: use expected_interval
   /// Confirm heartbeat silence with a direct kPing RPC (through the shared
   /// transport::Transport) before delivering the verdict: a node whose
@@ -156,14 +72,15 @@ struct DetectorConfig {
 using SuspectHandler = std::function<sim::Task<>(net::NodeId suspect)>;
 
 /// The failure-detector process running on an application execution node: a
-/// periodic scan over the availability table that marks a memory node dead
-/// after `miss_threshold` missed heartbeats (kAvailInfo seq/timestamps are
-/// maintained by the availability client) and awaits the suspect handler.
-/// It runs on a timer, not on message arrival, so it still fires when every
-/// monitor has gone silent. Nodes that never reported are ignored — they
-/// were never eligible as swap destinations. Spawn once per application
-/// node, alongside the availability client.
-sim::Process failure_detector(cluster::Node& node, AvailabilityTable& table,
+/// periodic scan over the broker's availability view that marks a memory
+/// node dead after `miss_threshold` missed heartbeats (kAvailInfo
+/// seq/timestamps are maintained by the availability client) and awaits the
+/// suspect handler. It runs on a timer, not on message arrival, so it still
+/// fires when every monitor has gone silent. Nodes that never reported are
+/// ignored — they were never eligible as swap destinations. Spawn once per
+/// application node, alongside the availability client.
+sim::Process failure_detector(cluster::Node& node,
+                              placement::MemoryBroker& broker,
                               DetectorConfig config, SuspectHandler on_suspect);
 
 }  // namespace rms::core

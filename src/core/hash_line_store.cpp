@@ -8,10 +8,10 @@
 namespace rms::core {
 
 HashLineStore::HashLineStore(cluster::Node& node, Config config,
-                             AvailabilityTable* avail)
+                             placement::MemoryBroker* broker)
     : node_(node),
       config_(config),
-      avail_(avail),
+      broker_(broker),
       eviction_rng_(config.eviction_seed,
                     static_cast<std::uint64_t>(node.id()) * 2 + 1) {
   RMS_CHECK(config_.num_lines > 0);
@@ -20,8 +20,8 @@ HashLineStore::HashLineStore(cluster::Node& node, Config config,
   RMS_CHECK(config_.rpc_deadline > 0 && config_.rpc_max_retries >= 0);
   RMS_CHECK_MSG(config_.rpc_window >= 1, "rpc_window must be >= 1");
   if (uses_remote_memory(config_.policy)) {
-    RMS_CHECK_MSG(avail_ != nullptr,
-                  "remote policies need an AvailabilityTable");
+    RMS_CHECK_MSG(broker_ != nullptr,
+                  "remote policies need a placement::MemoryBroker");
   }
   lines_.resize(config_.num_lines);
   pagefaults_ = &stats_.slot("store.pagefaults");

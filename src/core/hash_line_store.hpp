@@ -14,8 +14,8 @@
 //   kDiskSwap      — DiskBackend: line written to the local swap disk; a
 //                    later probe faults it back (>= 13 ms, 7,200 rpm model).
 //   kRemoteSwap    — RemoteBackend: line pushed to a memory-available node
-//                    chosen from the AvailabilityTable; a probe faults it
-//                    back (~2.3 ms).
+//                    chosen by the placement::MemoryBroker; a probe faults
+//                    it back (~2.3 ms).
 //   kRemoteUpdate  — RemoteBackend in update mode: during the counting phase
 //                    an evicted line stays fixed remotely and probes become
 //                    one-way, batched update messages (§4.4).
@@ -45,12 +45,12 @@
 #include "cluster/cluster.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
-#include "core/availability.hpp"
 #include "core/failover.hpp"
 #include "core/integrity.hpp"
 #include "core/policy.hpp"
 #include "core/protocol.hpp"
 #include "mining/hash_line_table.hpp"
+#include "placement/placement.hpp"
 #include "sim/sync.hpp"
 #include "sim/task.hpp"
 
@@ -101,7 +101,7 @@ class HashLineStore {
     int rpc_window = 1;
     // ---- integrity (checksummed lines + self-repair) ----
     /// After this many corrupt payloads from one holder, quarantine it in
-    /// the AvailabilityTable (excluded from destination choice for the
+    /// the placement broker (excluded from destination choice for the
     /// rest of the run).
     int quarantine_after = 3;
     /// kTiered only: keep a checksummed disk-shadow copy of every line
@@ -141,7 +141,8 @@ class HashLineStore {
     std::int32_t vec_pos = -1;  // index into resident_vec_
   };
 
-  HashLineStore(cluster::Node& node, Config config, AvailabilityTable* avail);
+  HashLineStore(cluster::Node& node, Config config,
+                placement::MemoryBroker* broker);
   ~HashLineStore();  // out of line: SwapBackend is incomplete here
 
   HashLineStore(const HashLineStore&) = delete;
@@ -173,7 +174,7 @@ class HashLineStore {
       const std::function<void(const mining::CountedItemset&)>& fn);
 
   /// Migration (availability client callback): move this node's lines away
-  /// from `holder` to a destination chosen from the availability table.
+  /// from `holder` to a destination chosen by the placement broker.
   sim::Task<> migrate_away(net::NodeId holder);
 
   /// Failure handling (failure detector callback, also invoked in-band when
@@ -227,7 +228,7 @@ class HashLineStore {
   // SwapBackends move line contents and drive location transitions through
   // these; the store keeps the byte accounting and the LRU consistent.
   cluster::Node& node() { return node_; }
-  AvailabilityTable* availability() { return avail_; }
+  placement::MemoryBroker* broker() { return broker_; }
   Line& line(LineId id) {
     RMS_CHECK(id >= 0 && static_cast<std::size_t>(id) < lines_.size());
     return lines_[static_cast<std::size_t>(id)];
@@ -275,7 +276,7 @@ class HashLineStore {
 
   cluster::Node& node_;
   Config config_;
-  AvailabilityTable* avail_;
+  placement::MemoryBroker* broker_;
   Phase phase_ = Phase::kBuild;
 
   std::vector<Line> lines_;
@@ -296,7 +297,7 @@ class HashLineStore {
   FailoverStats failover_;
   IntegrityStats integrity_;
 
-  // Constructed last (reads config/avail/stats through the accessors).
+  // Constructed last (reads config/broker/stats through the accessors).
   std::unique_ptr<SwapBackend> backend_;
 };
 

@@ -20,7 +20,7 @@ RemoteBackend::RemoteBackend(HashLineStore& store, Options options,
       node_(store.node()),
       update_mode_(options.update_mode),
       name_(stat_ns),
-      avail_(store.availability()),
+      broker_(store.broker()),
       xport_(store.node(),
              transport::TransportOptions{store.config().rpc_deadline,
                                          store.config().rpc_max_retries,
@@ -32,8 +32,8 @@ RemoteBackend::RemoteBackend(HashLineStore& store, Options options,
       swap_outs_(&store.stats_mut().slot(ns_key(stat_ns, "swap_outs"))),
       faults_(&store.stats_mut().slot(ns_key(stat_ns, "faults"))),
       degraded_(&store.stats_mut().slot(ns_key(stat_ns, "degraded_to_disk"))) {
-  RMS_CHECK_MSG(avail_ != nullptr,
-                "remote backends need an AvailabilityTable");
+  RMS_CHECK_MSG(broker_ != nullptr,
+                "remote backends need a placement::MemoryBroker");
   // In-band timeout verdicts: a peer that exhausts every attempt is marked
   // suspect the moment the last deadline expires, before the failed call
   // even returns to its caller. The transport latches the episode, so a
@@ -94,7 +94,7 @@ void RemoteBackend::declare_dead(net::NodeId holder) {
   if (!suspected_.insert(holder).second) return;
   ++failover().suspicions;
   node_.stats().bump("store.suspicions");
-  if (avail_ != nullptr && !avail_->dead(holder)) avail_->mark_dead(holder);
+  if (broker_ != nullptr && !broker_->dead(holder)) broker_->mark_dead(holder);
   if (obs::TraceRecorder* trace = store_.config().trace) {
     trace->instant(obs::EventKind::kSuspicion, node_.id(), node_.sim().now(),
                    holder);
@@ -103,8 +103,8 @@ void RemoteBackend::declare_dead(net::NodeId holder) {
 
 bool RemoteBackend::holder_suspect(net::NodeId holder) {
   if (suspected_.count(holder) == 0) return false;
-  if (avail_ != nullptr && !avail_->dead(holder)) {
-    // The availability table accepted a newer heartbeat: the node restarted
+  if (broker_ != nullptr && !broker_->dead(holder)) {
+    // The broker accepted a newer heartbeat: the node restarted
     // (its store wiped — our lines there were already re-homed). Forgive,
     // re-arming the transport's failure latch so a relapse re-fires
     // declare_dead.
@@ -223,9 +223,9 @@ bool RemoteBackend::verify_payload(const LinePayload& payload,
                    node_.sim().now(), payload.line_id, holder);
   }
   const int strikes = ++corrupt_strikes_[holder];
-  if (strikes >= store_.config().quarantine_after && avail_ != nullptr &&
-      !avail_->quarantined(holder)) {
-    avail_->quarantine(holder);
+  if (strikes >= store_.config().quarantine_after && broker_ != nullptr &&
+      !broker_->quarantined(holder)) {
+    broker_->quarantine(holder);
     ++integrity().quarantines;
     node_.stats().bump("store.quarantines");
     if (obs::TraceRecorder* trace = store_.config().trace) {
@@ -241,29 +241,35 @@ bool RemoteBackend::verify_payload(const LinePayload& payload,
 // ---------------------------------------------------------------------------
 
 net::NodeId RemoteBackend::pick_destination(std::int64_t bytes,
+                                            placement::Purpose purpose,
                                             net::NodeId exclude,
-                                            bool best_effort) {
-  RMS_CHECK(avail_ != nullptr);
-  auto dest = avail_->choose_destination(
-      bytes + store_.config().destination_headroom_bytes, exclude,
-      node_.sim().now());
-  if (!dest.has_value() && best_effort) {
-    dest = avail_->choose_best_effort(exclude, node_.sim().now());
-    if (dest.has_value()) node_.stats().bump("store.best_effort_replicas");
-  }
-  if (!dest.has_value()) return -1;
-  RMS_CHECK_MSG(!avail_->quarantined(*dest),
-                "quarantined node chosen as a swap destination");
-  avail_->debit(*dest, bytes);
-  return *dest;
+                                            bool best_effort,
+                                            net::NodeId prev) {
+  RMS_CHECK(broker_ != nullptr);
+  placement::PlacementRequest req;
+  req.bytes = bytes;
+  req.headroom = store_.config().destination_headroom_bytes;
+  req.exclude = exclude;
+  req.previous_holder = prev;
+  req.now = node_.sim().now();
+  req.best_effort = best_effort;
+  req.purpose = purpose;
+  const placement::PlacementDecision d = broker_->choose(req);
+  if (d.best_effort_used) node_.stats().bump("store.best_effort_replicas");
+  return d.node;
 }
 
 sim::Task<> RemoteBackend::swap_out(LineId id) {
   auto& l = store_.line(id);
-  const net::NodeId dest = pick_destination(l.bytes);
+  // `l.holder` still names where the line last lived (the field survives
+  // fault-in) — the affinity policy's hint; others ignore it.
+  const net::NodeId dest = pick_destination(l.bytes, placement::Purpose::kSwapOut,
+                                            /*exclude=*/-1,
+                                            /*best_effort=*/false, l.holder);
   if (dest < 0) {
     // Graceful degradation: no live, fresh memory node has room, but the
     // run must complete — fall back to the local swap disk.
+    broker_->note_fallback_disk();
     ++failover().degraded_evictions;
     ++*degraded_;
     node_.stats().bump("store.degraded_disk_swap");
@@ -289,7 +295,8 @@ sim::Task<> RemoteBackend::swap_out(LineId id) {
   // either node between here and the next probe loses nothing.
   net::NodeId backup = -1;
   if (store_.config().replicate_k > 0) {
-    backup = pick_destination(l.bytes, dest, /*best_effort=*/true);
+    backup = pick_destination(l.bytes, placement::Purpose::kReplica, dest,
+                              /*best_effort=*/true, l.backup);
   }
   if (backup >= 0) {
     MemRequest rreq;
@@ -736,7 +743,8 @@ sim::Task<> RemoteBackend::migrate_away(net::NodeId holder) {
   //    marked, nothing can refill this batch behind our back.
   co_await send_update_batch(holder);
 
-  const net::NodeId dest = pick_destination(marked_bytes, holder);
+  const net::NodeId dest =
+      pick_destination(marked_bytes, placement::Purpose::kMigration, holder);
   if (dest < 0) {
     // No live, fresh destination: leave the lines where they are; the
     // shortage will re-trigger on a later broadcast if it persists. Updates
@@ -965,7 +973,8 @@ sim::Task<> RemoteBackend::re_replicate(std::vector<LineId> ids) {
     std::int64_t bytes = 0;
     for (LineId id : want) bytes += store_.line(id).bytes;
     const net::NodeId dest =
-        pick_destination(bytes, holder, /*best_effort=*/true);
+        pick_destination(bytes, placement::Purpose::kReReplicate, holder,
+                         /*best_effort=*/true);
     if (dest < 0) {
       // No live, fresh node has room; the lines stay under-replicated (and
       // in unreplicated_) until a later trigger retries.

@@ -2,8 +2,8 @@
 // RPC protocol — the paper's contribution (§4.3 simple swapping, §4.4 remote
 // updates) plus the crash-tolerance extension.
 //
-// Evicted lines are pushed to a memory-available node chosen from the
-// AvailabilityTable (optionally mirrored on a second node, replicate_k = 1);
+// Evicted lines are pushed to a memory-available node chosen by the
+// placement::MemoryBroker (optionally mirrored, replicate_k = 1);
 // probes fault them back, or — in update mode during the counting phase —
 // become one-way batched update operations coalesced through a
 // transport::Stream per target. All synchronous traffic goes through a
@@ -86,11 +86,11 @@ class RemoteBackend : public SwapBackend {
  private:
   /// Transport::call plus the store's FailoverStats accounting.
   sim::Task<cluster::RpcResult> rpc(net::Message msg);
-  /// First-time suspicion bookkeeping (table mark + counters). Idempotent;
+  /// First-time suspicion bookkeeping (broker mark + counters). Idempotent;
   /// wired as the transport failure callback.
   void declare_dead(net::NodeId holder);
-  /// True while `holder` is suspected; fresh heartbeats in the availability
-  /// table (crash + restart) clear the local suspicion lazily.
+  /// True while `holder` is suspected; fresh heartbeats in the broker's
+  /// availability view (crash + restart) clear the local suspicion lazily.
   bool holder_suspect(net::NodeId holder);
   /// The line's only copy is gone: restart it empty and count the loss.
   void orphan_line(LineId id);
@@ -123,18 +123,24 @@ class RemoteBackend : public SwapBackend {
   /// the fetch RPCs through Transport::pipeline so their round-trips
   /// overlap, then post-process replies in holder order.
   sim::Task<> collect_fetch_pipelined(const std::vector<net::NodeId>& holders);
-  /// -1 when no live, fresh node has room (callers degrade). With
-  /// `best_effort` (replica placement) a stale-estimate miss falls back to
-  /// the least-loaded live node instead: mirrors must not silently lapse.
-  net::NodeId pick_destination(std::int64_t bytes, net::NodeId exclude = -1,
-                               bool best_effort = false);
+  /// One broker decision (placement::MemoryBroker::choose) plus this
+  /// store's accounting. -1 when no live, fresh node has room (callers
+  /// degrade). With `best_effort` (replica placement) a stale-estimate miss
+  /// falls back to the least-loaded live node instead: mirrors must not
+  /// silently lapse. `prev` is the line's previous holder when one is
+  /// known — the affinity policy's hint.
+  net::NodeId pick_destination(std::int64_t bytes,
+                               placement::Purpose purpose,
+                               net::NodeId exclude = -1,
+                               bool best_effort = false,
+                               net::NodeId prev = -1);
   /// lines_by_holder_ mutations paired with remote_bytes_ accounting.
   void hold_insert(net::NodeId holder, LineId id);
   void hold_erase(net::NodeId holder, LineId id);
 
   const bool update_mode_;
   const char* name_;
-  AvailabilityTable* avail_;
+  placement::MemoryBroker* broker_;
   transport::Transport xport_;
   std::unique_ptr<DiskBackend> fallback_;
 
@@ -144,7 +150,7 @@ class RemoteBackend : public SwapBackend {
       replicas_by_holder_;
   std::unordered_set<net::NodeId> suspected_;
   /// Checksum-mismatch strikes per holder; at config().quarantine_after the
-  /// holder is quarantined in the availability table.
+  /// holder is quarantined in the placement broker.
   std::unordered_map<net::NodeId, int> corrupt_strikes_;
   /// Remote primaries that should carry a backup (replicate_k > 0) but
   /// currently do not: fed by promotion and backup-node death, drained by
@@ -153,8 +159,8 @@ class RemoteBackend : public SwapBackend {
   /// listed here.
   std::unordered_set<LineId> unreplicated_;
   /// Last-resort redundancy for simple swapping: a local disk copy of a
-  /// swap-out that found no mirror node (during congestion the availability
-  /// table often knows just one fresh destination). Remote contents are
+  /// swap-out that found no mirror node (during congestion the broker
+  /// often knows just one fresh destination). Remote contents are
   /// immutable outside update mode, so the copy stays exact until the line
   /// comes home. Consulted by repair_from_disk; never populated in update
   /// mode, where a snapshot would go stale against remotely-applied ops.

@@ -164,7 +164,7 @@ class Runner {
   std::vector<mining::TransactionDb> partitions_;
   std::uint32_t min_count_ = 1;
 
-  std::vector<std::unique_ptr<core::AvailabilityTable>> avail_;
+  std::vector<std::unique_ptr<placement::MemoryBroker>> brokers_;
   std::vector<std::unique_ptr<core::HashLineStore>> stores_;
   std::vector<std::unique_ptr<core::MemoryServer>> servers_;
 
@@ -315,7 +315,7 @@ sim::Task<> Runner::build_store(std::size_t idx, std::size_t k) {
   scfg.rpc_window = cfg_.rpc_window;
   scfg.trace = cfg_.trace;
   stores_[idx] = std::make_unique<core::HashLineStore>(node, scfg,
-                                                       avail_[idx].get());
+                                                       brokers_[idx].get());
 
   // Full candidate-stream scan (hash + destination test for every
   // candidate, §2.2 step 1).
@@ -663,19 +663,26 @@ HpaResult Runner::run() {
         node, core::MonitorConfig{cfg_.monitor_interval, app_ids}));
   }
 
-  // Application nodes: availability clients with the migration hook, plus a
-  // failure detector whose verdicts re-home lines off dead holders.
-  avail_.resize(cfg_.app_nodes);
+  // Application nodes: one placement::MemoryBroker each (availability view
+  // + destination policy), an availability client feeding it with the
+  // migration hook, plus a failure detector whose verdicts re-home lines
+  // off dead holders.
+  brokers_.resize(cfg_.app_nodes);
   stores_.resize(cfg_.app_nodes);
   for (std::size_t i = 0; i < cfg_.app_nodes; ++i) {
-    avail_[i] = std::make_unique<core::AvailabilityTable>(memory_ids);
+    brokers_[i] = std::make_unique<placement::MemoryBroker>(
+        memory_ids, cfg_.placement, static_cast<std::uint64_t>(app_id(i)));
     if (cfg_.stale_after_intervals > 0) {
-      avail_[i]->set_max_age(cfg_.monitor_interval * cfg_.stale_after_intervals);
+      brokers_[i]->set_max_age(cfg_.monitor_interval *
+                               cfg_.stale_after_intervals);
+    }
+    if (cfg_.trace != nullptr) {
+      brokers_[i]->set_trace(cfg_.trace, static_cast<std::int32_t>(app_id(i)));
     }
     core::ClientConfig clcfg;
     clcfg.shortage_threshold_bytes = cfg_.shortage_threshold_bytes;
     sim_.spawn(core::availability_client(
-        cluster_->node(app_id(i)), *avail_[i], clcfg,
+        cluster_->node(app_id(i)), *brokers_[i], clcfg,
         [this, i](NodeId holder) -> sim::Task<> {
           if (stores_[i]) co_await stores_[i]->migrate_away(holder);
         }));
@@ -684,7 +691,7 @@ HpaResult Runner::run() {
       dcfg.expected_interval = cfg_.monitor_interval;
       dcfg.miss_threshold = cfg_.suspect_after_misses;
       sim_.spawn(core::failure_detector(
-          cluster_->node(app_id(i)), *avail_[i], dcfg,
+          cluster_->node(app_id(i)), *brokers_[i], dcfg,
           [this, i](NodeId suspect) -> sim::Task<> {
             if (stores_[i]) co_await stores_[i]->handle_holder_failure(suspect);
           }));
@@ -779,6 +786,14 @@ HpaResult Runner::run() {
       result_.stats.bump(name, value);
     }
   }
+  // Placement decision counters live in the brokers (which outlive the
+  // per-pass stores); zero-valued slots are pre-registered scratch and are
+  // skipped so disk-only runs do not grow placement keys.
+  for (const auto& broker : brokers_) {
+    for (const auto& [name, value] : broker->stats().counters()) {
+      if (value != 0) result_.stats.bump(name, value);
+    }
+  }
   result_.failover = failover_total_;
   result_.integrity = integrity_total_;
 
@@ -825,7 +840,7 @@ void Runner::register_gauges() {
       return static_cast<double>(s.rpc_window());
     }));
     m.add_gauge("heartbeat_staleness_s", node, [this, i]() -> double {
-      return to_seconds(avail_[i]->oldest_report_age(sim_.now()));
+      return to_seconds(brokers_[i]->oldest_report_age(sim_.now()));
     });
   }
   // Per-memory-node donation (how much RAM the node is lending out).

@@ -25,6 +25,7 @@
 #include "core/policy.hpp"
 #include "mining/apriori.hpp"
 #include "mining/generator.hpp"
+#include "placement/placement.hpp"
 
 namespace rms::obs {
 class TraceRecorder;
@@ -49,6 +50,10 @@ struct HpaConfig {
   core::SwapPolicy policy = core::SwapPolicy::kNoLimit;
   /// Victim selection for evictions (paper: LRU; others for ablation).
   core::EvictionPolicy eviction = core::EvictionPolicy::kLru;
+  /// Swap-destination strategy for each node's placement::MemoryBroker
+  /// (--placement on the benches). kPaperRoundRobin is bit-identical to the
+  /// paper's hard-coded heuristic.
+  placement::PolicyKind placement = placement::PolicyKind::kPaperRoundRobin;
   /// kTiered only: per-node byte budget for primary copies parked in remote
   /// memory; evictions past it spill to the local disk (-1 = unlimited).
   std::int64_t tiered_remote_budget_bytes = -1;
@@ -106,7 +111,7 @@ struct HpaConfig {
     bool scrub = false;
   };
   std::vector<Corruption> corruption;
-  /// Quarantine a holder in the availability table after this many checksum
+  /// Quarantine a holder in the placement broker after this many checksum
   /// mismatches on payloads it served (it stops attracting swap-outs).
   int quarantine_after = 3;
   /// kTiered only: keep a checksummed local disk shadow of every remotely

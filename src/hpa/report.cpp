@@ -37,6 +37,18 @@ void print_report(const HpaResult& result) {
     std::printf("  %s = %lld\n", name.c_str(), static_cast<long long>(value));
   }
 
+  // Broker decision counters ("placement.<policy>.<counter>"); absent when
+  // no placement decision was ever made (disk-only or unlimited runs).
+  bool placement_header = false;
+  for (const auto& [name, value] : result.stats.counters()) {
+    if (value == 0 || name.rfind("placement.", 0) != 0) continue;
+    if (!placement_header) {
+      std::printf("placement counters:\n");
+      placement_header = true;
+    }
+    std::printf("  %s = %lld\n", name.c_str(), static_cast<long long>(value));
+  }
+
   // Latency distributions (RPC, fault-in) — the percentiles the paper's
   // latency argument actually turns on.
   bool hist_header = false;

@@ -57,6 +57,7 @@ void config_json(JsonWriter& w, const hpa::HpaConfig& cfg) {
   w.kv("app_nodes", static_cast<std::uint64_t>(cfg.app_nodes));
   w.kv("memory_nodes", static_cast<std::uint64_t>(cfg.memory_nodes));
   w.kv("policy", core::to_string(cfg.policy));
+  w.kv("placement", placement::policy_name(cfg.placement));
   w.kv("memory_limit_bytes", cfg.memory_limit_bytes);
   w.kv("tiered_remote_budget_bytes", cfg.tiered_remote_budget_bytes);
   w.kv("min_support", cfg.min_support);

@@ -40,6 +40,7 @@ const KindInfo& info(EventKind kind) {
       {"checksum_mismatch", "integrity", "line", "holder"},
       {"quarantine", "integrity", "node", "strikes"},
       {"re_replicate", "integrity", "line", "backup"},
+      {"placement", "placement", "node", "bytes"},
   };
   const auto idx = static_cast<std::size_t>(kind);
   RMS_CHECK(idx < sizeof(kTable) / sizeof(kTable[0]));

@@ -61,6 +61,7 @@ enum class EventKind : std::uint8_t {
                       // arg1 holder)
   kQuarantine,     // holder quarantined for corruption (arg0 node, arg1 strikes)
   kReReplicate,    // redundancy restored (arg0 line, arg1 new backup)
+  kPlacement,      // broker destination decision (arg0 node or -1, arg1 bytes)
 };
 
 struct TraceEvent {

@@ -1,0 +1,340 @@
+#include "placement/placement.hpp"
+
+#include <algorithm>
+
+#include "obs/trace.hpp"
+
+namespace rms::placement {
+
+const char* policy_name(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kPaperRoundRobin: return "paper-rr";
+    case PolicyKind::kLeastLoaded: return "least-loaded";
+    case PolicyKind::kPowerOfTwoChoices: return "power2";
+    case PolicyKind::kAffinity: return "affinity";
+  }
+  return "?";
+}
+
+std::optional<PolicyKind> parse_policy(const std::string& name) {
+  for (PolicyKind k : all_policies()) {
+    if (name == policy_name(k)) return k;
+  }
+  return std::nullopt;
+}
+
+std::vector<PolicyKind> all_policies() {
+  return {PolicyKind::kPaperRoundRobin, PolicyKind::kLeastLoaded,
+          PolicyKind::kPowerOfTwoChoices, PolicyKind::kAffinity};
+}
+
+namespace {
+
+/// The paper's heuristic (§4.2): scan from a cursor, first node with room
+/// wins, cursor lands one past the winner so consecutive swap-outs spread
+/// over all memory-available nodes. The cursor advances only on success —
+/// exactly the pre-broker AvailabilityTable::choose_destination, which the
+/// placement_test regression holds this policy to.
+class PaperRoundRobin final : public PlacementPolicy {
+ public:
+  PolicyKind kind() const override { return PolicyKind::kPaperRoundRobin; }
+
+  std::optional<net::NodeId> pick(MemoryBroker& broker,
+                                  const PlacementRequest& req) override {
+    (void)req;
+    const auto& nodes = broker.memory_nodes();
+    if (nodes.empty()) return std::nullopt;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      const std::size_t at = (cursor_ + i) % nodes.size();
+      if (!broker.candidate_ok(at)) continue;
+      cursor_ = (at + 1) % nodes.size();
+      return nodes[at];
+    }
+    return std::nullopt;
+  }
+
+ private:
+  std::size_t cursor_ = 0;
+};
+
+/// Qualifying node with the most reported room; ties break towards the
+/// earlier node in memory_nodes order (deterministic).
+class LeastLoaded final : public PlacementPolicy {
+ public:
+  PolicyKind kind() const override { return PolicyKind::kLeastLoaded; }
+
+  std::optional<net::NodeId> pick(MemoryBroker& broker,
+                                  const PlacementRequest& req) override {
+    (void)req;
+    const auto& nodes = broker.memory_nodes();
+    std::optional<net::NodeId> best;
+    std::int64_t best_room = -1;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      if (!broker.candidate_ok(i)) continue;
+      const std::int64_t room = broker.available(nodes[i]);
+      if (room > best_room) {
+        best_room = room;
+        best = nodes[i];
+      }
+    }
+    return best;
+  }
+};
+
+/// Two random qualifying candidates, pick the roomier — the classic
+/// load-balancing result: under stale estimates two choices get most of the
+/// benefit of full information at a fraction of the herding. Draws come
+/// from the broker's per-node PCG stream, so runs stay bit-reproducible.
+class PowerOfTwoChoices final : public PlacementPolicy {
+ public:
+  PolicyKind kind() const override { return PolicyKind::kPowerOfTwoChoices; }
+
+  std::optional<net::NodeId> pick(MemoryBroker& broker,
+                                  const PlacementRequest& req) override {
+    (void)req;
+    const auto& nodes = broker.memory_nodes();
+    eligible_.clear();
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      if (broker.candidate_ok(i)) eligible_.push_back(i);
+    }
+    if (eligible_.empty()) return std::nullopt;
+    if (eligible_.size() == 1) return nodes[eligible_[0]];
+    const auto m = static_cast<std::uint32_t>(eligible_.size());
+    std::uint32_t a = broker.rng().below(m);
+    std::uint32_t b = broker.rng().below(m - 1);
+    if (b >= a) ++b;  // two *distinct* candidates
+    const std::size_t ia = eligible_[a];
+    const std::size_t ib = eligible_[b];
+    // Ties break towards the earlier node in memory_nodes order.
+    const std::int64_t room_a = broker.available(nodes[ia]);
+    const std::int64_t room_b = broker.available(nodes[ib]);
+    if (room_a > room_b) return nodes[ia];
+    if (room_b > room_a) return nodes[ib];
+    return nodes[std::min(ia, ib)];
+  }
+
+ private:
+  std::vector<std::size_t> eligible_;  // scratch, reused across picks
+};
+
+/// Prefer the line's previous holder while it still qualifies: the holder
+/// may still have the line's replica or shadow warm, and steering a line
+/// back where it lived concentrates each owner's lines on fewer servers.
+/// Falls back to the paper scan (own cursor) when the hint misses.
+class Affinity final : public PlacementPolicy {
+ public:
+  PolicyKind kind() const override { return PolicyKind::kAffinity; }
+
+  std::optional<net::NodeId> pick(MemoryBroker& broker,
+                                  const PlacementRequest& req) override {
+    const auto& nodes = broker.memory_nodes();
+    if (req.previous_holder >= 0) {
+      for (std::size_t i = 0; i < nodes.size(); ++i) {
+        if (nodes[i] != req.previous_holder) continue;
+        if (broker.candidate_ok(i)) {
+          broker.note("affinity_hits");
+          return nodes[i];
+        }
+        break;
+      }
+    }
+    if (nodes.empty()) return std::nullopt;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      const std::size_t at = (cursor_ + i) % nodes.size();
+      if (!broker.candidate_ok(at)) continue;
+      cursor_ = (at + 1) % nodes.size();
+      return nodes[at];
+    }
+    return std::nullopt;
+  }
+
+ private:
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<PlacementPolicy> make_policy(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kPaperRoundRobin:
+      return std::make_unique<PaperRoundRobin>();
+    case PolicyKind::kLeastLoaded: return std::make_unique<LeastLoaded>();
+    case PolicyKind::kPowerOfTwoChoices:
+      return std::make_unique<PowerOfTwoChoices>();
+    case PolicyKind::kAffinity: return std::make_unique<Affinity>();
+  }
+  RMS_CHECK_MSG(false, "unknown placement policy");
+  return nullptr;
+}
+
+MemoryBroker::MemoryBroker(std::vector<net::NodeId> memory_nodes,
+                           PolicyKind policy, std::uint64_t rng_stream)
+    : memory_nodes_(std::move(memory_nodes)),
+      candidate_ok_(memory_nodes_.size(), 0),
+      rng_(0x9e3779b97f4a7c15ULL, rng_stream) {
+  for (net::NodeId n : memory_nodes_) entries_.emplace(n, Entry{});
+  set_policy(make_policy(policy));
+}
+
+void MemoryBroker::set_policy(std::unique_ptr<PlacementPolicy> policy) {
+  RMS_CHECK(policy != nullptr);
+  policy_ = std::move(policy);
+  chosen_ = &slot("chosen");
+  denied_ = &slot("denied");
+  fallback_disk_ = &slot("fallback_disk");
+  stale_skip_ = &slot("stale_skip");
+  best_effort_ = &slot("best_effort");
+}
+
+std::int64_t& MemoryBroker::slot(const char* leaf) {
+  return stats_.slot(std::string("placement.") +
+                     policy_name(policy_->kind()) + "." + leaf);
+}
+
+void MemoryBroker::note(const char* leaf) { ++slot(leaf); }
+
+void MemoryBroker::note_fallback_disk() { ++*fallback_disk_; }
+
+PlacementDecision MemoryBroker::choose(const PlacementRequest& req) {
+  // Satellite fix: staleness expiry used to be silently disabled by call
+  // sites passing now = -1. The broker makes the clock structural — with a
+  // max age configured, every decision must carry the simulation time.
+  RMS_CHECK_MSG(max_age_ <= 0 || req.now >= 0,
+                "placement with a max age needs the simulation clock");
+  const std::int64_t threshold = req.bytes + req.headroom;
+  for (std::size_t i = 0; i < memory_nodes_.size(); ++i) {
+    const net::NodeId n = memory_nodes_[i];
+    bool ok = false;
+    if (n != req.exclude && !dead(n) && !quarantined(n)) {
+      if (req.now >= 0 && expired(n, req.now)) {
+        ++*stale_skip_;  // live and trusted, but its report has gone stale
+      } else {
+        ok = available(n) >= threshold;
+      }
+    }
+    candidate_ok_[i] = ok ? 1 : 0;
+  }
+
+  PlacementDecision decision;
+  std::optional<net::NodeId> picked = policy_->pick(*this, req);
+  if (!picked.has_value() && req.best_effort) {
+    picked = least_loaded_live(req);
+    if (picked.has_value()) {
+      decision.best_effort_used = true;
+      ++*best_effort_;
+    }
+  }
+  if (picked.has_value()) {
+    RMS_CHECK_MSG(!quarantined(*picked),
+                  "quarantined node chosen as a swap destination");
+    decision.node = *picked;
+    debit(*picked, req.bytes);
+    ++*chosen_;
+  } else {
+    ++*denied_;
+  }
+  if (trace_ != nullptr) {
+    trace_->instant(obs::EventKind::kPlacement, track_,
+                    req.now >= 0 ? req.now : 0, decision.node, req.bytes);
+  }
+  return decision;
+}
+
+std::optional<net::NodeId> MemoryBroker::least_loaded_live(
+    const PlacementRequest& req) {
+  // Local debits between two monitor reports routinely drive every estimate
+  // below the threshold even though the servers have plenty of real room
+  // (servers never hard-reject a store; sustained overload is corrected by
+  // withdrawal-driven migration). Denying a mirror on such a stale estimate
+  // would leave the line one corruption away from loss, so redundancy
+  // placement degrades to "least loaded" instead of "none".
+  std::optional<net::NodeId> best;
+  std::int64_t best_room = -1;
+  for (const net::NodeId n : memory_nodes_) {
+    if (n == req.exclude) continue;
+    if (dead(n)) continue;
+    if (quarantined(n)) continue;
+    if (req.now >= 0 && expired(n, req.now)) continue;
+    const auto it = entries_.find(n);
+    if (it == entries_.end() || !it->second.valid) continue;
+    if (it->second.available > best_room) {
+      best_room = it->second.available;
+      best = n;
+    }
+  }
+  return best;
+}
+
+bool MemoryBroker::update(const core::AvailabilityInfo& info, Time now) {
+  const auto it = entries_.find(info.node);
+  RMS_CHECK_MSG(it != entries_.end(),
+                "availability report from an unregistered node");
+  Entry& e = it->second;
+  if (e.valid && info.seq <= e.seq) return false;  // stale broadcast
+  e.available = info.available_bytes;
+  e.seq = info.seq;
+  e.updated = now;
+  e.valid = true;
+  e.dead = false;  // a live heartbeat revives a suspected node
+  return true;
+}
+
+std::int64_t MemoryBroker::available(net::NodeId node) const {
+  const auto it = entries_.find(node);
+  if (it == entries_.end() || !it->second.valid) return 0;
+  return it->second.available;
+}
+
+bool MemoryBroker::expired(net::NodeId node, Time now) const {
+  if (max_age_ <= 0) return false;
+  const auto it = entries_.find(node);
+  if (it == entries_.end() || !it->second.valid) return false;
+  return now - it->second.updated > max_age_;
+}
+
+void MemoryBroker::mark_dead(net::NodeId node) {
+  const auto it = entries_.find(node);
+  RMS_CHECK_MSG(it != entries_.end(), "mark_dead on an unregistered node");
+  it->second.dead = true;
+}
+
+bool MemoryBroker::dead(net::NodeId node) const {
+  const auto it = entries_.find(node);
+  return it != entries_.end() && it->second.dead;
+}
+
+void MemoryBroker::quarantine(net::NodeId node) {
+  const auto it = entries_.find(node);
+  RMS_CHECK_MSG(it != entries_.end(), "quarantine on an unregistered node");
+  it->second.quarantined = true;
+}
+
+bool MemoryBroker::quarantined(net::NodeId node) const {
+  const auto it = entries_.find(node);
+  return it != entries_.end() && it->second.quarantined;
+}
+
+Time MemoryBroker::last_update(net::NodeId node) const {
+  const auto it = entries_.find(node);
+  if (it == entries_.end() || !it->second.valid) return -1;
+  return it->second.updated;
+}
+
+Time MemoryBroker::oldest_report_age(Time now) const {
+  Time oldest = 0;
+  for (const net::NodeId n : memory_nodes_) {
+    const auto it = entries_.find(n);
+    if (it == entries_.end() || !it->second.valid || it->second.dead) continue;
+    oldest = std::max(oldest, now - it->second.updated);
+  }
+  return oldest;
+}
+
+void MemoryBroker::debit(net::NodeId node, std::int64_t bytes) {
+  const auto it = entries_.find(node);
+  if (it == entries_.end() || !it->second.valid) return;
+  it->second.available =
+      it->second.available >= bytes ? it->second.available - bytes : 0;
+}
+
+}  // namespace rms::placement

@@ -1,0 +1,273 @@
+// rms::placement — the unified swap-destination decision subsystem.
+//
+// The paper's central mechanism is choosing remote memory *dynamically* from
+// whatever nodes currently have room (§4.2, Fig. 2). Before this subsystem
+// existed that choice was smeared across the layers: AvailabilityTable held
+// a round-robin scan, RemoteBackend wrapped it with threshold/exclusion/
+// best-effort fallback logic, and the replica, re-replication and migration
+// paths each re-derived freshness and quarantine handling. The MemoryBroker
+// absorbs all of it:
+//
+//   * the availability view (per-node last report, seq ordering, staleness
+//     expiry) — what AvailabilityTable used to be;
+//   * liveness and trust state (failure-detector deaths, integrity-layer
+//     quarantines);
+//   * per-node in-flight debits (local estimate adjustments between two
+//     monitor reports so consecutive swap-outs do not pile onto one node);
+//   * one decision API: choose(PlacementRequest) -> PlacementDecision,
+//     behind a pluggable PlacementPolicy.
+//
+// Policies (selected per run, --placement on every bench):
+//
+//   kPaperRoundRobin  — the paper's heuristic: scan from a cursor, first
+//                       node with room wins. Bit-identical to the
+//                       pre-broker AvailabilityTable::choose_destination.
+//   kLeastLoaded      — qualifying node with the most reported room.
+//   kPowerOfTwoChoices— two random qualifying candidates, pick the roomier
+//                       (the classic load-balancing win under stale
+//                       estimates).
+//   kAffinity         — prefer the line's previous holder when it still
+//                       qualifies (maximizes replica/shadow reuse and
+//                       server-side locality), else the paper scan.
+//
+// Every decision shares one eligibility filter (exclude / dead / quarantine
+// / staleness / threshold-with-headroom), one best-effort fallback (least
+// loaded live node, used for replica placement where "no mirror" is worse
+// than "loaded mirror"), and one debit step — the logic that used to be
+// copy-pasted between RemoteBackend::pick_destination and the replica /
+// kReplicaSync paths. Decisions are counted per policy
+// ("placement.<policy>.{chosen,denied,fallback_disk,stale_skip,...}") and
+// traced as kPlacement instants.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/time.hpp"
+#include "core/protocol.hpp"
+#include "net/network.hpp"
+
+namespace rms::obs {
+class TraceRecorder;
+}
+
+namespace rms::placement {
+
+/// Destination-choice strategy. kPaperRoundRobin reproduces the paper's
+/// behaviour bit-for-bit and is the default everywhere.
+enum class PolicyKind {
+  kPaperRoundRobin,
+  kLeastLoaded,
+  kPowerOfTwoChoices,
+  kAffinity,
+};
+
+/// Canonical flag spelling: "paper-rr", "least-loaded", "power2",
+/// "affinity". Also the counter namespace ("placement.<name>.*").
+const char* policy_name(PolicyKind kind);
+/// Parse a --placement value; nullopt for an unknown spelling.
+std::optional<PolicyKind> parse_policy(const std::string& name);
+/// Every policy, in declaration order (bench sweeps, test matrices).
+std::vector<PolicyKind> all_policies();
+
+/// Why a destination is being chosen. Does not change eligibility — it
+/// feeds the decision trace and lets policies specialize if they care.
+enum class Purpose : std::uint8_t {
+  kSwapOut,      // primary copy of an evicted line
+  kReplica,      // mirror copy at swap-out time (replicate_k)
+  kMigration,    // target for a holder running short
+  kReReplicate,  // restoring a lost mirror (kReplicaSync)
+};
+
+struct PlacementRequest {
+  /// Bytes the destination will be debited for on success.
+  std::int64_t bytes = 0;
+  /// Extra headroom the destination must report beyond `bytes` before it
+  /// qualifies (Config::destination_headroom_bytes).
+  std::int64_t headroom = 0;
+  /// A node removed from consideration (the shorted holder during
+  /// migration, the primary's holder for a mirror).
+  net::NodeId exclude = -1;
+  /// The line's previous holder, when known (-1 otherwise). Only kAffinity
+  /// reads it.
+  net::NodeId previous_holder = -1;
+  /// Simulation clock for staleness expiry. Must be >= 0 whenever a max
+  /// age is configured — the broker rejects a disabled clock instead of
+  /// silently skipping expiry (the old `now = -1` call-site bug).
+  Time now = -1;
+  /// Replica placement: when no node meets the threshold, degrade to the
+  /// least-loaded live node instead of returning "none" (a mirror denied
+  /// on a stale estimate would leave the line one corruption from loss).
+  bool best_effort = false;
+  Purpose purpose = Purpose::kSwapOut;
+};
+
+struct PlacementDecision {
+  net::NodeId node = -1;  // -1: denied (callers degrade to disk or skip)
+  /// The threshold scan failed and the best-effort fallback produced the
+  /// node (callers count these as best-effort replicas).
+  bool best_effort_used = false;
+
+  bool ok() const { return node >= 0; }
+};
+
+class MemoryBroker;
+
+/// Pluggable destination strategy. pick() runs after the broker has
+/// classified every memory node for the request (see
+/// MemoryBroker::candidate_ok); it returns a node for which candidate_ok
+/// is true, or nullopt when no candidate qualifies. The broker applies the
+/// shared best-effort fallback, debit, counters and trace around it.
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+  virtual PolicyKind kind() const = 0;
+  virtual std::optional<net::NodeId> pick(MemoryBroker& broker,
+                                          const PlacementRequest& req) = 0;
+};
+
+/// Factory for the built-in strategies.
+std::unique_ptr<PlacementPolicy> make_policy(PolicyKind kind);
+
+/// The placement subsystem's heart: one instance per application execution
+/// node, shared by every placement consumer on it (swap-out, replica
+/// placement, migration targeting, re-replication) and fed by the
+/// availability client, the failure detector, and the integrity layer.
+class MemoryBroker {
+ public:
+  /// `memory_nodes`: the candidate memory-available nodes, in preference
+  /// order for the round-robin scan. `rng_stream` decorrelates the
+  /// randomized policies across brokers (pass the owning node id).
+  explicit MemoryBroker(std::vector<net::NodeId> memory_nodes,
+                        PolicyKind policy = PolicyKind::kPaperRoundRobin,
+                        std::uint64_t rng_stream = 0);
+
+  MemoryBroker(const MemoryBroker&) = delete;
+  MemoryBroker& operator=(const MemoryBroker&) = delete;
+
+  // ---- Decision API ----
+
+  /// Choose a destination for `req` under the active policy: classify
+  /// every memory node once, let the policy pick, apply the best-effort
+  /// fallback when requested, debit the winner, count and trace the
+  /// decision. Aborts if a max age is configured but `req.now` is
+  /// negative — staleness expiry must never be silently disabled.
+  PlacementDecision choose(const PlacementRequest& req);
+
+  /// The active policy (decision counters are namespaced by its name).
+  PolicyKind policy() const { return policy_->kind(); }
+  /// Swap in a strategy (tests and custom policies); resets nothing else.
+  void set_policy(std::unique_ptr<PlacementPolicy> policy);
+
+  /// A denied swap-out that degraded to the local disk; counted under
+  /// "placement.<policy>.fallback_disk" next to the decisions themselves.
+  void note_fallback_disk();
+
+  // ---- Availability view (fed by the availability client) ----
+
+  /// Record a monitor broadcast; stale (out-of-order) reports are dropped.
+  /// Returns true if the entry changed. A fresh report revives a node that
+  /// was marked dead (crash + restart: the monitor resumes broadcasting
+  /// with its sequence intact).
+  bool update(const core::AvailabilityInfo& info, Time now);
+
+  /// Last reported available bytes minus in-flight debits (0 until the
+  /// first report arrives — an unknown node is never chosen).
+  std::int64_t available(net::NodeId node) const;
+
+  /// Expire entries not refreshed within `max_age` (<= 0 disables, the
+  /// default). Typically N monitor intervals.
+  void set_max_age(Time max_age) { max_age_ = max_age; }
+  Time max_age() const { return max_age_; }
+  bool expired(net::NodeId node, Time now) const;
+
+  /// Failure-detector verdicts. A dead node is excluded from destination
+  /// choice until a fresh report revives it.
+  void mark_dead(net::NodeId node);
+  bool dead(net::NodeId node) const;
+
+  /// Integrity verdicts. A quarantined node served repeatedly corrupt
+  /// payloads: it is excluded from destination choice for the rest of the
+  /// run. Unlike `dead`, quarantine is sticky — fresh heartbeats do not
+  /// clear it (the node is alive, just untrusted).
+  void quarantine(net::NodeId node);
+  bool quarantined(net::NodeId node) const;
+
+  /// Time of the last accepted report (-1 before the first one).
+  Time last_update(net::NodeId node) const;
+  /// Heartbeat staleness: age of the oldest accepted report across live
+  /// memory nodes (0 when nothing has reported). A metrics gauge — a
+  /// rising value means monitors have gone quiet.
+  Time oldest_report_age(Time now) const;
+
+  /// Debit a local estimate (choose() does this for its winner; exposed
+  /// for callers that place bytes outside the broker's decisions).
+  void debit(net::NodeId node, std::int64_t bytes);
+
+  const std::vector<net::NodeId>& memory_nodes() const {
+    return memory_nodes_;
+  }
+
+  // ---- Policy support surface ----
+
+  /// True when memory_nodes()[i] passed the eligibility filter for the
+  /// request currently being decided (exclude, liveness, trust, freshness,
+  /// threshold + headroom). Valid only inside PlacementPolicy::pick.
+  bool candidate_ok(std::size_t i) const { return candidate_ok_[i]; }
+  /// Deterministic per-broker stream for randomized policies.
+  Pcg32& rng() { return rng_; }
+  /// Policy-internal event counter ("placement.<policy>.<leaf>").
+  void note(const char* leaf);
+
+  // ---- Observability ----
+
+  /// Per-policy decision counters; merged into the run's stats by the
+  /// runner, so they land in reports and run artifacts.
+  const StatsRegistry& stats() const { return stats_; }
+  /// Trace decisions as kPlacement instants on `track` (the owning node).
+  void set_trace(obs::TraceRecorder* trace, std::int32_t track) {
+    trace_ = trace;
+    track_ = track;
+  }
+
+ private:
+  struct Entry {
+    std::int64_t available = 0;
+    std::uint64_t seq = 0;
+    Time updated = -1;
+    bool valid = false;
+    bool dead = false;
+    bool quarantined = false;  // sticky: update() never clears it
+  };
+
+  /// Best-effort fallback: the live, fresh, non-quarantined node with the
+  /// most reported room, no minimum (the old choose_best_effort).
+  std::optional<net::NodeId> least_loaded_live(const PlacementRequest& req);
+
+  std::int64_t& slot(const char* leaf);
+
+  std::vector<net::NodeId> memory_nodes_;
+  std::unordered_map<net::NodeId, Entry> entries_;
+  Time max_age_ = 0;  // <= 0: reports never expire
+
+  std::unique_ptr<PlacementPolicy> policy_;
+  std::vector<char> candidate_ok_;  // scratch, sized like memory_nodes_
+  Pcg32 rng_;
+
+  StatsRegistry stats_;
+  std::int64_t* chosen_ = nullptr;
+  std::int64_t* denied_ = nullptr;
+  std::int64_t* fallback_disk_ = nullptr;
+  std::int64_t* stale_skip_ = nullptr;
+  std::int64_t* best_effort_ = nullptr;
+
+  obs::TraceRecorder* trace_ = nullptr;
+  std::int32_t track_ = -1;
+};
+
+}  // namespace rms::placement

@@ -1,19 +1,34 @@
-// Availability mechanism tests: table semantics, monitor broadcasting at the
-// configured interval, client updates, and shortage-handler arming.
+// Availability mechanism tests: broker view semantics, monitor broadcasting
+// at the configured interval, client updates, and shortage-handler arming.
 #include <gtest/gtest.h>
 
+#include <optional>
 #include <set>
 
 #include "cluster/cluster.hpp"
 #include "core/availability.hpp"
+#include "placement/placement.hpp"
 #include "sim/process.hpp"
 #include "sim/simulation.hpp"
 
 namespace rms::core {
 namespace {
 
-TEST(AvailabilityTable, UpdateAndStaleness) {
-  AvailabilityTable t({10, 11});
+// Drive the broker the way RemoteBackend does: one placement request per
+// swap-out, debiting the estimate on success.
+std::optional<net::NodeId> pick(placement::MemoryBroker& b, std::int64_t bytes,
+                                net::NodeId exclude = -1, Time now = -1) {
+  placement::PlacementRequest req;
+  req.bytes = bytes;
+  req.exclude = exclude;
+  req.now = now;
+  const placement::PlacementDecision d = b.choose(req);
+  if (!d.ok()) return std::nullopt;
+  return d.node;
+}
+
+TEST(MemoryBroker, UpdateAndStaleness) {
+  placement::MemoryBroker t({10, 11});
   EXPECT_EQ(t.available(10), 0);
   EXPECT_TRUE(t.update(AvailabilityInfo{10, 5 << 20, 1}, msec(1)));
   EXPECT_EQ(t.available(10), 5 << 20);
@@ -24,47 +39,50 @@ TEST(AvailabilityTable, UpdateAndStaleness) {
   EXPECT_EQ(t.available(10), 9 << 20);
 }
 
-TEST(AvailabilityTable, ChooseRoundRobinsOverQualifyingNodes) {
-  AvailabilityTable t({5, 6, 7});
+TEST(MemoryBroker, ChooseRoundRobinsOverQualifyingNodes) {
+  placement::MemoryBroker t({5, 6, 7});
   t.update(AvailabilityInfo{5, 10 << 20, 1}, 0);
   t.update(AvailabilityInfo{6, 10 << 20, 1}, 0);
   t.update(AvailabilityInfo{7, 10 << 20, 1}, 0);
   std::vector<net::NodeId> picks;
-  for (int i = 0; i < 6; ++i) picks.push_back(*t.choose_destination(1 << 20));
+  for (int i = 0; i < 6; ++i) picks.push_back(*pick(t, 1 << 20));
   EXPECT_EQ(picks, (std::vector<net::NodeId>{5, 6, 7, 5, 6, 7}));
 }
 
-TEST(AvailabilityTable, ChooseSkipsShortAndExcludedNodes) {
-  AvailabilityTable t({5, 6, 7});
+TEST(MemoryBroker, ChooseSkipsShortAndExcludedNodes) {
+  placement::MemoryBroker t({5, 6, 7});
   t.update(AvailabilityInfo{5, 1 << 10, 1}, 0);  // too small
   t.update(AvailabilityInfo{6, 10 << 20, 1}, 0);
   t.update(AvailabilityInfo{7, 10 << 20, 1}, 0);
-  EXPECT_EQ(*t.choose_destination(1 << 20), 6);
-  EXPECT_EQ(*t.choose_destination(1 << 20, /*exclude=*/7), 6);
-  EXPECT_EQ(*t.choose_destination(1 << 20), 7);
+  EXPECT_EQ(*pick(t, 1 << 20), 6);
+  EXPECT_EQ(*pick(t, 1 << 20, /*exclude=*/7), 6);
+  EXPECT_EQ(*pick(t, 1 << 20), 7);
 }
 
-TEST(AvailabilityTable, ChooseReturnsNulloptWhenNobodyQualifies) {
-  AvailabilityTable t({5});
-  EXPECT_FALSE(t.choose_destination(1).has_value());  // never reported
+TEST(MemoryBroker, ChooseDeniesWhenNobodyQualifies) {
+  placement::MemoryBroker t({5});
+  EXPECT_FALSE(pick(t, 1).has_value());  // never reported
   t.update(AvailabilityInfo{5, 100, 1}, 0);
-  EXPECT_FALSE(t.choose_destination(1000).has_value());
-  EXPECT_TRUE(t.choose_destination(50).has_value());
+  EXPECT_FALSE(pick(t, 1000).has_value());
+  EXPECT_TRUE(pick(t, 50).has_value());
+  // Decisions are tallied per policy.
+  EXPECT_EQ(t.stats().counter("placement.paper-rr.chosen"), 1);
+  EXPECT_EQ(t.stats().counter("placement.paper-rr.denied"), 2);
 }
 
-TEST(AvailabilityTable, DebitReducesEstimateUntilNextReport) {
-  AvailabilityTable t({5});
+TEST(MemoryBroker, ChooseDebitsTheEstimateUntilNextReport) {
+  placement::MemoryBroker t({5});
   t.update(AvailabilityInfo{5, 1 << 20, 1}, 0);
-  t.debit(5, 1 << 19);
-  EXPECT_EQ(t.available(5), 1 << 19);
-  t.debit(5, 1 << 20);  // clamps at zero
+  EXPECT_TRUE(pick(t, 1 << 19).has_value());
+  EXPECT_EQ(t.available(5), 1 << 19);  // choose() debits what it granted
+  t.debit(5, 1 << 20);                 // clamps at zero
   EXPECT_EQ(t.available(5), 0);
   t.update(AvailabilityInfo{5, 2 << 20, 2}, 0);
   EXPECT_EQ(t.available(5), 2 << 20);
 }
 
-TEST(AvailabilityTable, StaleEntriesStopAttractingSwapOuts) {
-  AvailabilityTable t({5, 6});
+TEST(MemoryBroker, StaleEntriesStopAttractingSwapOuts) {
+  placement::MemoryBroker t({5, 6});
   t.set_max_age(sec(1));
   t.update(AvailabilityInfo{5, 10 << 20, 1}, 0);
   t.update(AvailabilityInfo{6, 10 << 20, 1}, sec(2));
@@ -72,29 +90,28 @@ TEST(AvailabilityTable, StaleEntriesStopAttractingSwapOuts) {
   EXPECT_TRUE(t.expired(5, msec(2500)));
   EXPECT_FALSE(t.expired(6, msec(2500)));
   for (int i = 0; i < 4; ++i) {
-    EXPECT_EQ(*t.choose_destination(1 << 20, -1, msec(2500)), 6);
+    EXPECT_EQ(*pick(t, 1 << 20, -1, msec(2500)), 6);
   }
-  // Without a clock the age filter is off (standalone-table callers).
-  EXPECT_TRUE(t.choose_destination(1 << 20).has_value());
+  EXPECT_GE(t.stats().counter("placement.paper-rr.stale_skip"), 4);
   // A fresh report re-qualifies the node.
   t.update(AvailabilityInfo{5, 10 << 20, 2}, msec(2600));
   EXPECT_FALSE(t.expired(5, msec(2700)));
   std::vector<net::NodeId> picks;
   for (int i = 0; i < 2; ++i) {
-    picks.push_back(*t.choose_destination(1 << 20, -1, msec(2700)));
+    picks.push_back(*pick(t, 1 << 20, -1, msec(2700)));
   }
   EXPECT_EQ((std::set<net::NodeId>(picks.begin(), picks.end())),
             (std::set<net::NodeId>{5, 6}));
 }
 
-TEST(AvailabilityTable, MarkDeadExcludesUntilANewerReportRevives) {
-  AvailabilityTable t({5, 6});
+TEST(MemoryBroker, MarkDeadExcludesUntilANewerReportRevives) {
+  placement::MemoryBroker t({5, 6});
   t.update(AvailabilityInfo{5, 10 << 20, 1}, 0);
   t.update(AvailabilityInfo{6, 10 << 20, 1}, 0);
   t.mark_dead(5);
   EXPECT_TRUE(t.dead(5));
   for (int i = 0; i < 4; ++i) {
-    EXPECT_EQ(*t.choose_destination(1 << 20), 6);
+    EXPECT_EQ(*pick(t, 1 << 20), 6);
   }
   // A stale (same-seq) report does not revive.
   EXPECT_FALSE(t.update(AvailabilityInfo{5, 10 << 20, 1}, sec(1)));
@@ -103,30 +120,30 @@ TEST(AvailabilityTable, MarkDeadExcludesUntilANewerReportRevives) {
   EXPECT_TRUE(t.update(AvailabilityInfo{5, 10 << 20, 2}, sec(2)));
   EXPECT_FALSE(t.dead(5));
   std::set<net::NodeId> picks;
-  for (int i = 0; i < 4; ++i) picks.insert(*t.choose_destination(1 << 20));
+  for (int i = 0; i < 4; ++i) picks.insert(*pick(t, 1 << 20));
   EXPECT_EQ(picks, (std::set<net::NodeId>{5, 6}));
 }
 
-TEST(AvailabilityTable, QuarantinedNodeIsNeverChosenAndStaysQuarantined) {
-  AvailabilityTable t({5, 6});
+TEST(MemoryBroker, QuarantinedNodeIsNeverChosenAndStaysQuarantined) {
+  placement::MemoryBroker t({5, 6});
   t.update(AvailabilityInfo{5, 10 << 20, 1}, 0);
   t.update(AvailabilityInfo{6, 10 << 20, 1}, 0);
   t.quarantine(5);
   EXPECT_TRUE(t.quarantined(5));
   EXPECT_FALSE(t.dead(5));  // alive, just untrusted
   for (int i = 0; i < 4; ++i) {
-    EXPECT_EQ(*t.choose_destination(1 << 20), 6);
+    EXPECT_EQ(*pick(t, 1 << 20), 6);
   }
   // Unlike mark_dead, a fresh heartbeat does NOT clear quarantine: the node
   // keeps reporting (it is up) but keeps serving corrupt data.
   EXPECT_TRUE(t.update(AvailabilityInfo{5, 10 << 20, 2}, sec(1)));
   EXPECT_TRUE(t.quarantined(5));
   for (int i = 0; i < 4; ++i) {
-    EXPECT_EQ(*t.choose_destination(1 << 20), 6);
+    EXPECT_EQ(*pick(t, 1 << 20), 6);
   }
   // With every node quarantined, nobody qualifies (callers degrade to disk).
   t.quarantine(6);
-  EXPECT_FALSE(t.choose_destination(1 << 20).has_value());
+  EXPECT_FALSE(pick(t, 1 << 20).has_value());
 }
 
 TEST(Availability, FailureDetectorSuspectsASilentMonitor) {
@@ -135,7 +152,7 @@ TEST(Availability, FailureDetectorSuspectsASilentMonitor) {
   cfg.num_nodes = 2;  // 0: app node, 1: monitored memory node
   cluster::Cluster cl(sim, cfg);
 
-  AvailabilityTable table({1});
+  placement::MemoryBroker table({1});
   ClientConfig ccfg;
   sim.spawn(availability_client(cl.node(0), table, ccfg,
                                 [](net::NodeId) -> sim::Task<> { co_return; }));
@@ -238,7 +255,7 @@ TEST(Availability, ClientUpdatesTableAndFiresShortageOnce) {
   cfg.num_nodes = 2;
   cluster::Cluster cl(sim, cfg);
 
-  AvailabilityTable table({1});
+  placement::MemoryBroker table({1});
   int shortage_calls = 0;
   ClientConfig ccfg;
   ccfg.shortage_threshold_bytes = 1 << 20;
@@ -273,7 +290,7 @@ TEST(Availability, ShortageRearmsAfterRecovery) {
   cfg.num_nodes = 2;
   cluster::Cluster cl(sim, cfg);
 
-  AvailabilityTable table({1});
+  placement::MemoryBroker table({1});
   int shortage_calls = 0;
   ClientConfig ccfg;
   ccfg.shortage_threshold_bytes = 1 << 20;

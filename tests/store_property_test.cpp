@@ -37,7 +37,7 @@ TEST_P(StorePropertyTest, RandomOpsMatchReferenceModel) {
   sim.spawn(s1.serve());
   sim.spawn(s2.serve());
   sim.spawn(s3.serve());
-  AvailabilityTable table({1, 2, 3});
+  placement::MemoryBroker table({1, 2, 3});
   table.update(AvailabilityInfo{1, 8 << 20, 1}, 0);
   table.update(AvailabilityInfo{2, 8 << 20, 1}, 0);
   table.update(AvailabilityInfo{3, 8 << 20, 1}, 0);

@@ -31,7 +31,7 @@ struct World {
   std::unique_ptr<cluster::Cluster> cl;
   std::unique_ptr<MemoryServer> server1;
   std::unique_ptr<MemoryServer> server2;
-  AvailabilityTable table{{1, 2}};
+  placement::MemoryBroker table{{1, 2}};
 
   World() {
     cluster::ClusterConfig cfg;
