@@ -82,6 +82,8 @@ inline std::map<std::string, std::string> with_common_flags(
                 "write a Chrome trace_event JSON (chrome://tracing) here");
   extra.emplace("metrics-out", "write per-node gauge time-series JSON here");
   extra.emplace("json-out", "write the machine-readable run artifact here");
+  extra.emplace("profile-out",
+                "write the per-pass attribution profile JSON here");
   return extra;
 }
 
@@ -142,9 +144,9 @@ inline ExperimentEnv::ExperimentEnv(
     base.corruption.push_back(ep);
   }
 
-  observer = obs::RunObserver::from_paths({flags.get("trace-out", ""),
-                                           flags.get("metrics-out", ""),
-                                           flags.get("json-out", "")});
+  observer = obs::RunObserver::from_paths(
+      {flags.get("trace-out", ""), flags.get("metrics-out", ""),
+       flags.get("json-out", ""), flags.get("profile-out", "")});
 }
 
 inline void ExperimentEnv::finish(const TablePrinter& table,

@@ -18,14 +18,21 @@ int main(int argc, char** argv) {
   bench::ExperimentEnv env(
       argc, argv,
       {{"fine", "sweep 0.5 MB steps like the paper's x-axis"},
+       {"limit-mb", "run a single usage limit instead of the 12-15 MB sweep"},
        {"monitor-interval-ms", "availability monitoring period (default "
                                "3000, the paper's 3 s)"}});
   const bool fine = env.flags.get_bool("fine", false);
   const Time interval = msec(env.flags.get_int("monitor-interval-ms", 3000));
 
   std::vector<double> limits_mb;
-  for (double v = 12.0; v <= 15.0 + 1e-9; v += fine ? 0.5 : 1.0) {
-    limits_mb.push_back(v);
+  if (env.flags.has("limit-mb")) {
+    // Single-point mode (3 runs instead of 12): the perf-baseline harness
+    // uses it to keep the fig5 leg fast.
+    limits_mb.push_back(env.flags.get_double("limit-mb", 12.0));
+  } else {
+    for (double v = 12.0; v <= 15.0 + 1e-9; v += fine ? 0.5 : 1.0) {
+      limits_mb.push_back(v);
+    }
   }
 
   TablePrinter table(

@@ -12,6 +12,8 @@
 #include "common/table.hpp"
 #include "hpa/hpa.hpp"
 #include "hpa/report.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
 
 using namespace rms;
 
@@ -68,6 +70,8 @@ int main(int argc, char** argv) {
        {"remote-determination", "servers filter sub-threshold entries out "
                                 "of end-of-pass fetches (extension)"},
        {"paper-skew", "use the paper's Table-3 partition skew (8 app nodes)"},
+       {"profile", "run the per-pass attribution profiler and print the "
+                   "time-attribution table"},
        {"csv", "write the per-pass table to this CSV path"}});
 
   hpa::HpaConfig cfg;
@@ -112,9 +116,22 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --profile: attach a recorder + profiler pair so the report can render
+  // the attribution table (the recorder feeds the profiler at push time).
+  obs::TraceRecorder recorder;
+  obs::PassProfiler profiler;
+  const bool profile = flags.get_bool("profile", false);
+  if (profile) {
+    recorder.set_profile_hook(&profiler);
+    cfg.trace = &recorder;
+    cfg.profiler = &profiler;
+    profiler.begin_run(hpa::describe(cfg));
+  }
+
   std::printf("running: %s\n", hpa::describe(cfg).c_str());
   const hpa::HpaResult r = hpa::run_hpa(cfg);
-  hpa::print_report(r);
+  if (profile) profiler.end_run(recorder.dropped());
+  hpa::print_report(r, profile ? &profiler.runs().back() : nullptr);
 
   TablePrinter table("per-pass detail",
                      {"pass", "C", "L", "time [s]", "max faults",

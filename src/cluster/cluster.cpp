@@ -1,5 +1,6 @@
 #include "cluster/cluster.hpp"
 
+#include "obs/trace.hpp"
 #include "transport/tags.hpp"
 
 namespace rms::cluster {
@@ -34,8 +35,20 @@ const CostModel& Node::costs() const { return cluster_.config().costs; }
 
 sim::Task<> Node::compute(Time t) {
   RMS_CHECK(t >= 0);
+  const Time started = sim().now();
   auto lease = co_await cpu_->acquire();
   co_await sim().timeout(t);
+  if (profile_hook_ != nullptr) {
+    // The interval includes cpu queueing: the caller's wall time, which is
+    // what per-pass attribution accounts for.
+    profile_hook_->on_busy(id_, obs::EventKind::kCompute, started, sim().now());
+  }
+}
+
+void Node::set_profile_hook(obs::ProfileHook* hook) {
+  profile_hook_ = hook;
+  data_disk_->set_profile_hook(hook, id_);
+  swap_disk_->set_profile_hook(hook, id_);
 }
 
 void Node::send(net::Message msg) {

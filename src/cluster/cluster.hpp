@@ -23,6 +23,11 @@
 #include "sim/simulation.hpp"
 #include "sim/task.hpp"
 
+namespace rms::obs {
+class ProfileHook;
+enum class EventKind : std::uint8_t;
+}  // namespace rms::obs
+
 namespace rms::cluster {
 
 using net::NodeId;
@@ -96,6 +101,10 @@ class Node {
   /// same node serialize here).
   sim::Task<> compute(Time t);
 
+  /// Feed every CPU charge and disk access on this node to `hook` as busy
+  /// intervals (obs profiler; too hot for the trace ring). Null detaches.
+  void set_profile_hook(obs::ProfileHook* hook);
+
   /// Send a message (loopback delivers directly, paying only CPU cost).
   void send(net::Message msg);
 
@@ -156,6 +165,7 @@ class Node {
   bool alive_ = true;
   std::uint64_t epoch_ = 0;
   std::vector<std::function<void()>> crash_hooks_;
+  obs::ProfileHook* profile_hook_ = nullptr;
 };
 
 struct ClusterConfig {

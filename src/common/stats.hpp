@@ -76,6 +76,9 @@ class Histogram {
   double percentile(double p) const {
     if (total_ == 0) return 0.0;
     RMS_CHECK(p >= 0.0 && p <= 1.0);
+    // A single sample IS every percentile; the bucket upper edge would
+    // over-report it (and disagree with summary().max()).
+    if (total_ == 1) return summary_.max();
     const auto target = static_cast<std::uint64_t>(
         p * static_cast<double>(total_ - 1)) + 1;
     std::uint64_t seen = 0;

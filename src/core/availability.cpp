@@ -90,8 +90,9 @@ sim::Process failure_detector(cluster::Node& node,
         MemRequest req;
         req.kind = MemRequest::Kind::kPing;
         req.owner = node.id();
-        const cluster::RpcResult res = co_await ping.call(net::Message::make(
-            node.id(), n, kMemService, 16, std::move(req)));
+        const cluster::RpcResult res = co_await ping.call(
+            net::Message::make(node.id(), n, kMemService, 16, std::move(req)),
+            rpc_op(MemRequest::Kind::kPing));
         if (res.ok()) {
           // Alive after all (the broadcast path is lossy or congested);
           // leave the entry stale so a fresh report revives it normally.

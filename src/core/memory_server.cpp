@@ -404,8 +404,8 @@ sim::Task<> MemoryServer::handle_migrate_directive(const net::Message& msg,
     net::Message data = net::Message::make(
         node_.id(), req.migrate_dest, kMemService,
         std::max<std::int64_t>(closed.bytes, 64), closed.batch);
-    const cluster::RpcResult res =
-        co_await migrate_xport_.call(std::move(data));
+    const cluster::RpcResult res = co_await migrate_xport_.call(
+        std::move(data), rpc_op(MemRequest::Kind::kMigrateData));
     if (node_.epoch() != epoch) co_return;  // we crashed mid-push
     if (res.ok()) {
       done.migrated.insert(done.migrated.end(), in_flight.begin(),

@@ -96,6 +96,23 @@ struct MemRequest {
                         // the lines actually synced
   };
 
+  static constexpr const char* to_string(Kind k) {
+    switch (k) {
+      case Kind::kSwapOut: return "swap_out";
+      case Kind::kSwapIn: return "swap_in";
+      case Kind::kUpdateBatch: return "update_batch";
+      case Kind::kFetch: return "fetch";
+      case Kind::kMigrateDirective: return "migrate_directive";
+      case Kind::kMigrateData: return "migrate_data";
+      case Kind::kReplicaStore: return "replica_store";
+      case Kind::kReplicaPromote: return "replica_promote";
+      case Kind::kReplicaDrop: return "replica_drop";
+      case Kind::kPing: return "ping";
+      case Kind::kReplicaSync: return "replica_sync";
+    }
+    return "unknown";
+  }
+
   Kind kind = Kind::kSwapOut;
   net::NodeId owner = -1;  // application node owning the lines
   LineId line_id = -1;     // kSwapIn
@@ -121,6 +138,12 @@ struct MemReply {
                                    // kReplicaSync: lines actually moved /
                                    // promoted / synced
 };
+
+/// Transport `op` annotation for a MemRequest kind (profiler's RPC-by-service
+/// split; see obs::rpc_op_name). 0 is reserved for untagged calls.
+inline constexpr std::int64_t rpc_op(MemRequest::Kind k) {
+  return 1 + static_cast<std::int64_t>(k);
+}
 
 /// Monitor broadcast payload: "the process broadcasts it to all application
 /// execution nodes" (§4.2).

@@ -83,7 +83,10 @@ void RemoteBackend::hold_erase(net::NodeId holder, LineId id) {
 // ---------------------------------------------------------------------------
 
 sim::Task<cluster::RpcResult> RemoteBackend::rpc(net::Message msg) {
-  cluster::RpcResult res = co_await xport_.call(std::move(msg));
+  // Annotate the call's trace span with the protocol op (profiler RPC split).
+  const std::int64_t op =
+      msg.is<MemRequest>() ? rpc_op(msg.as<MemRequest>().kind) : 0;
+  cluster::RpcResult res = co_await xport_.call(std::move(msg), op);
   failover().rpc_retries += res.attempts - 1;
   // Every attempt but a successful last one expired its deadline.
   failover().deadline_misses += res.ok() ? res.attempts - 1 : res.attempts;
@@ -501,12 +504,17 @@ sim::Task<> RemoteBackend::send_update_batch(net::NodeId holder) {
     co_return;
   }
   node_.stats().bump("store.update_batches");
-  if (obs::TraceRecorder* trace = store_.config().trace) {
-    trace->instant(obs::EventKind::kUpdateBatch, node_.id(), node_.sim().now(),
-                   holder, closed.ops);
-  }
+  // Span, not instant: send -> local stack drain, so flush time is
+  // attributable (the remote apply shows up as the holder's kServe span).
+  obs::TraceRecorder* trace = store_.config().trace;
+  const Time flush_started = node_.sim().now();
+  const std::int64_t batch_ops = closed.ops;
   xport_.send_to(holder, kMemService, closed.bytes, std::move(closed.batch));
   co_await node_.compute(node_.costs().per_message_cpu);
+  if (trace != nullptr) {
+    trace->span(obs::EventKind::kUpdateBatch, node_.id(), flush_started,
+                node_.sim().now(), holder, batch_ops);
+  }
 }
 
 sim::Task<> RemoteBackend::maybe_flush_batch(net::NodeId holder) {
@@ -635,8 +643,8 @@ sim::Task<> RemoteBackend::collect_fetch_pipelined(
                                       std::move(req)));
     msg_holder.push_back(h);
   }
-  std::vector<cluster::RpcResult> results =
-      co_await xport_.pipeline(std::move(msgs));
+  std::vector<cluster::RpcResult> results = co_await xport_.pipeline(
+      std::move(msgs), rpc_op(MemRequest::Kind::kFetch));
   for (std::size_t k = 0; k < results.size(); ++k) {
     cluster::RpcResult& res = results[k];
     failover().rpc_retries += res.attempts - 1;

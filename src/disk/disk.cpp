@@ -1,5 +1,7 @@
 #include "disk/disk.hpp"
 
+#include "obs/trace.hpp"
+
 namespace rms::disk {
 
 DiskParams DiskParams::barracuda_7200() {
@@ -58,6 +60,10 @@ sim::Task<> Disk::access(std::int64_t bytes, Access acc, const char* op) {
   stats_.bump(std::string("disk.") + op + ".bytes", bytes);
   stats_.sample(std::string("disk.") + op + ".latency_ms",
                 to_millis(sim_.now() - start));
+  if (profile_hook_ != nullptr) {
+    profile_hook_->on_busy(profile_track_, obs::EventKind::kDiskIo, start,
+                           sim_.now());
+  }
 }
 
 sim::Task<> Disk::read(std::int64_t bytes, Access acc) {

@@ -18,6 +18,11 @@
 #include "sim/simulation.hpp"
 #include "sim/task.hpp"
 
+namespace rms::obs {
+class ProfileHook;
+enum class EventKind : std::uint8_t;
+}  // namespace rms::obs
+
 namespace rms::disk {
 
 struct DiskParams {
@@ -57,6 +62,13 @@ class Disk {
   StatsRegistry& stats() { return stats_; }
   const StatsRegistry& stats() const { return stats_; }
 
+  /// Feed every access (arm queueing included) to `hook` as a kDiskIo busy
+  /// interval on `track` (the owning node's id). Null detaches.
+  void set_profile_hook(obs::ProfileHook* hook, std::int32_t track) {
+    profile_hook_ = hook;
+    profile_track_ = track;
+  }
+
  private:
   sim::Task<> access(std::int64_t bytes, Access access, const char* op);
   Time positioning_time(Access access);
@@ -66,6 +78,8 @@ class Disk {
   sim::Resource arm_;
   Pcg32 rng_;
   StatsRegistry stats_;
+  obs::ProfileHook* profile_hook_ = nullptr;
+  std::int32_t profile_track_ = 0;
 };
 
 }  // namespace rms::disk

@@ -624,6 +624,12 @@ HpaResult Runner::run() {
   cluster::ClusterConfig ccfg = cfg_.cluster;
   ccfg.num_nodes = cfg_.app_nodes + cfg_.memory_nodes;
   cluster_ = std::make_unique<cluster::Cluster>(sim_, ccfg);
+  if (cfg_.profiler != nullptr) {
+    for (std::size_t i = 0; i < cluster_->size(); ++i) {
+      cluster_->node(static_cast<cluster::NodeId>(i))
+          .set_profile_hook(cfg_.profiler);
+    }
+  }
   barrier_ = std::make_unique<sim::Barrier>(sim_, cfg_.app_nodes);
 
   if (cfg_.shared_db != nullptr) {

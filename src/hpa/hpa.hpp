@@ -30,6 +30,7 @@
 namespace rms::obs {
 class TraceRecorder;
 class MetricsSampler;
+class ProfileHook;
 }
 
 namespace rms::hpa {
@@ -151,6 +152,11 @@ struct HpaConfig {
   /// `monitor_interval` granularity. The runner registers its gauges, spawns
   /// the sampling process, and clears the gauges before returning.
   obs::MetricsSampler* metrics = nullptr;
+  /// Profiler sink: when set, every node feeds CPU and disk busy intervals
+  /// directly to it (bypassing the trace ring) so per-pass attribution stays
+  /// exact even when the ring drops events. Stamped by obs::RunObserver; pair
+  /// with `trace` (the profiler also consumes the recorded spans).
+  obs::ProfileHook* profiler = nullptr;
 };
 
 struct PassReport {

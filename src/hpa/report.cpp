@@ -3,10 +3,84 @@
 #include <cstdio>
 
 #include "common/table.hpp"
+#include "obs/profile.hpp"
 
 namespace rms::hpa {
 
-void print_report(const HpaResult& result) {
+namespace {
+
+/// Per-pass attribution shares, categories aggregated across nodes, plus the
+/// pass straggler — the compact "where did the time go" view.
+void print_profile(const obs::RunProfile& profile) {
+  if (profile.trace_dropped > 0) {
+    std::printf(
+        "WARNING: trace ring dropped %llu events — the exported trace file "
+        "is incomplete (attribution below is exact: the profiler taps "
+        "events before the ring).\n",
+        static_cast<unsigned long long>(profile.trace_dropped));
+  }
+  if (!profile.complete()) {
+    std::printf(
+        "WARNING: profiler buffer dropped %llu events — attribution is "
+        "PARTIAL; the lost time is bucketed as unattributed.\n",
+        static_cast<unsigned long long>(profile.events_dropped));
+  }
+  if (profile.passes.empty()) return;
+
+  std::vector<std::string> headers = {"pass"};
+  for (std::size_t c = 0; c < obs::kProfileCategories; ++c) {
+    headers.push_back(std::string(obs::category_name(
+                          static_cast<obs::ProfileCategory>(c))) +
+                      " %");
+  }
+  headers.push_back("straggler");
+  TablePrinter t("time attribution: share of pass time per category",
+                 headers);
+  for (const obs::PassProfile& p : profile.passes) {
+    std::array<double, obs::kProfileCategories> sums{};
+    double total = 0.0;
+    for (const obs::NodeProfile& n : p.nodes) {
+      total += static_cast<double>(n.duration);
+      for (std::size_t c = 0; c < obs::kProfileCategories; ++c) {
+        sums[c] += static_cast<double>(n.time[c]);
+      }
+    }
+    std::vector<std::string> row = {TablePrinter::integer(p.k)};
+    for (std::size_t c = 0; c < obs::kProfileCategories; ++c) {
+      row.push_back(total > 0.0
+                        ? TablePrinter::num(100.0 * sums[c] / total, 1)
+                        : "-");
+    }
+    // The pass straggler waits least at the barriers: everyone waited for it.
+    row.push_back(p.stragglers.empty()
+                      ? "-"
+                      : "node " + std::to_string(p.stragglers.front().node));
+    t.add_row(row);
+  }
+  t.print();
+
+  for (const obs::PassProfile& p : profile.passes) {
+    if (p.critical_path.empty()) continue;
+    std::printf("pass %lld critical path:", static_cast<long long>(p.k));
+    for (const obs::CriticalSegment& seg : p.critical_path) {
+      // Dominant category of the straggler's segment.
+      std::size_t best = obs::kProfileCategories - 1;
+      for (std::size_t c = 0; c < obs::kProfileCategories; ++c) {
+        if (seg.time[c] > seg.time[best]) best = c;
+      }
+      std::printf(
+          " %s[node %d, %.2fs, %s]",
+          obs::TraceRecorder::kind_name(seg.phase), seg.node,
+          to_seconds(seg.end - seg.start),
+          obs::category_name(static_cast<obs::ProfileCategory>(best)));
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+void print_report(const HpaResult& result, const obs::RunProfile* profile) {
   TablePrinter t("HPA run: per-pass summary",
                  {"pass", "candidates C", "large L", "time [s]",
                   "pagefaults(max node)", "swap-outs", "updates"});
@@ -96,6 +170,8 @@ void print_report(const HpaResult& result) {
         static_cast<long long>(g.re_replications),
         static_cast<long long>(g.quarantines));
   }
+
+  if (profile != nullptr) print_profile(*profile);
 }
 
 std::string describe(const HpaConfig& config) {

@@ -3,11 +3,18 @@
 
 #include "hpa/hpa.hpp"
 
+namespace rms::obs {
+struct RunProfile;
+}
+
 namespace rms::hpa {
 
 /// Print per-pass candidate/large counts and timings plus swap statistics
-/// (the quick view examples show after a run).
-void print_report(const HpaResult& result);
+/// (the quick view examples show after a run). With a profile, additionally
+/// render the per-pass attribution table, the critical path, and loud
+/// warnings when the trace ring or the profiler buffer dropped events.
+void print_report(const HpaResult& result,
+                  const obs::RunProfile* profile = nullptr);
 
 /// Describe a configuration in one line (policy, limit, node counts).
 std::string describe(const HpaConfig& config);

@@ -155,7 +155,18 @@ void metrics_run_json(JsonWriter& w, const MetricsSampler::Run& run) {
 }  // namespace
 
 RunObserver::RunObserver(Paths paths) : paths_(std::move(paths)) {
-  if (!paths_.trace.empty()) trace_ = std::make_unique<TraceRecorder>();
+  // The artifact embeds the per-pass attribution profile, so --json-out
+  // alone enables profiling; the profiler in turn needs the recorder as its
+  // event source (the recorder's ring is never read for it — events are
+  // tapped at push time).
+  const bool profiling = !paths_.artifact.empty() || !paths_.profile.empty();
+  if (!paths_.trace.empty() || profiling) {
+    trace_ = std::make_unique<TraceRecorder>();
+  }
+  if (profiling) {
+    profiler_ = std::make_unique<PassProfiler>();
+    trace_->set_profile_hook(profiler_.get());
+  }
   // The artifact embeds the sampled series, so --json-out alone still
   // enables the sampler (gauge reads are O(nodes) per interval — cheap).
   if (!paths_.metrics.empty() || !paths_.artifact.empty()) {
@@ -164,7 +175,8 @@ RunObserver::RunObserver(Paths paths) : paths_(std::move(paths)) {
 }
 
 std::unique_ptr<RunObserver> RunObserver::from_paths(Paths paths) {
-  if (paths.trace.empty() && paths.metrics.empty() && paths.artifact.empty()) {
+  if (paths.trace.empty() && paths.metrics.empty() && paths.artifact.empty() &&
+      paths.profile.empty()) {
     return nullptr;
   }
   return std::make_unique<RunObserver>(std::move(paths));
@@ -173,19 +185,26 @@ std::unique_ptr<RunObserver> RunObserver::from_paths(Paths paths) {
 void RunObserver::begin_run(hpa::HpaConfig& cfg, const std::string& label) {
   cfg.trace = trace_.get();
   cfg.metrics = metrics_.get();
+  cfg.profiler = profiler_.get();
   if (trace_) trace_->begin_run(label);
   if (metrics_) metrics_->begin_run(label);
+  if (profiler_) {
+    profiler_->begin_run(label);
+    drop_mark_ = trace_->dropped();
+  }
   RunRecord rec;
   rec.label = label;
   rec.config = cfg;
   rec.config.shared_db = nullptr;
   rec.config.trace = nullptr;
   rec.config.metrics = nullptr;
+  rec.config.profiler = nullptr;
   runs_.push_back(std::move(rec));
 }
 
 void RunObserver::end_run(const hpa::HpaResult& result) {
   RMS_CHECK_MSG(!runs_.empty(), "end_run without begin_run");
+  if (profiler_) profiler_->end_run(trace_->dropped() - drop_mark_);
   RunRecord& rec = runs_.back();
   rec.have_result = true;
   rec.passes = result.passes;
@@ -198,7 +217,7 @@ void RunObserver::end_run(const hpa::HpaResult& result) {
 std::string RunObserver::artifact_json() const {
   JsonWriter w;
   w.begin_object();
-  w.kv("schema", "rmswap.run_artifact/v1");
+  w.kv("schema", "rmswap.run_artifact/v2");
   w.key("runs");
   w.begin_array();
   for (std::size_t i = 0; i < runs_.size(); ++i) {
@@ -224,10 +243,17 @@ std::string RunObserver::artifact_json() const {
       w.key("metrics");
       metrics_run_json(w, metrics_->runs()[i]);
     }
+    if (profiler_ && i < profiler_->runs().size()) {
+      w.key("profile");
+      profile_json(w, profiler_->runs()[i]);
+    }
     w.end_object();
   }
   w.end_array();
-  if (trace_) {
+  // Only when a trace *file* was requested: --json-out alone now creates the
+  // recorder (as the profiler's event source), and stamping its ring totals
+  // here would perturb artifacts that never asked for tracing.
+  if (trace_ && !paths_.trace.empty()) {
     w.key("trace");
     w.begin_object();
     w.kv("recorded", trace_->recorded());
@@ -258,6 +284,10 @@ bool RunObserver::write() const {
   if (!paths_.artifact.empty()) {
     emit("run artifact", paths_.artifact,
          write_file(paths_.artifact, artifact_json()));
+  }
+  if (profiler_ && !paths_.profile.empty()) {
+    emit("attribution profile", paths_.profile,
+         write_file(paths_.profile, profile_file_json(profiler_->runs())));
   }
   return ok;
 }

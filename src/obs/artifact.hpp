@@ -9,9 +9,11 @@
 //
 //   --trace-out    Chrome trace_event JSON (chrome://tracing / Perfetto)
 //   --metrics-out  per-node gauge time-series ("rmswap.metrics/v1")
-//   --json-out     run artifact ("rmswap.run_artifact/v1"): per-pass
+//   --json-out     run artifact ("rmswap.run_artifact/v2"): per-pass
 //                  reports, StatsRegistry counters / summaries / histogram
-//                  percentiles, failover stats, and the sampled time-series
+//                  percentiles, failover stats, the sampled time-series,
+//                  and the per-pass attribution profile
+//   --profile-out  standalone attribution profile ("rmswap.profile/v1")
 //
 // Unlike trace.hpp / metrics.hpp (which depend only on common/ and sim/),
 // this layer knows about hpa:: — it is sibling tooling over the application
@@ -24,6 +26,7 @@
 
 #include "hpa/hpa.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "obs/trace.hpp"
 
 namespace rms::obs {
@@ -38,9 +41,10 @@ void stats_json(JsonWriter& w, const StatsRegistry& stats);
 class RunObserver {
  public:
   struct Paths {
-    std::string trace;     // empty: no trace recording at all
+    std::string trace;     // chrome trace file (optional)
     std::string metrics;   // metrics series file (optional)
     std::string artifact;  // run-artifact file (optional)
+    std::string profile;   // standalone attribution-profile file (optional)
   };
 
   explicit RunObserver(Paths paths);
@@ -67,6 +71,13 @@ class RunObserver {
 
   TraceRecorder* trace() { return trace_.get(); }
   MetricsSampler* metrics() { return metrics_.get(); }
+  PassProfiler* profiler() { return profiler_.get(); }
+  /// The finished profile of the most recent run (for print_report); null
+  /// when profiling is off or no run has ended.
+  const RunProfile* last_profile() const {
+    return profiler_ && !profiler_->runs().empty() ? &profiler_->runs().back()
+                                                   : nullptr;
+  }
 
  private:
   struct RunRecord {
@@ -83,6 +94,9 @@ class RunObserver {
   Paths paths_;
   std::unique_ptr<TraceRecorder> trace_;
   std::unique_ptr<MetricsSampler> metrics_;
+  std::unique_ptr<PassProfiler> profiler_;
+  /// trace_->dropped() at the current run's begin (per-run drop delta).
+  std::uint64_t drop_mark_ = 0;
   std::vector<RunRecord> runs_;
 };
 

@@ -1,0 +1,503 @@
+#include "obs/profile.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "obs/json.hpp"
+
+namespace rms::obs {
+
+namespace {
+
+const char* kCategoryNames[kProfileCategories] = {
+    "fault_in", "swap_out", "migrate",      "serve",        "rpc",
+    "stream",   "disk_io",  "compute",      "barrier_wait", "unattributed",
+};
+
+/// Transport `op` annotation names: index 0 is the untagged default, then
+/// 1 + core::MemRequest::Kind in declaration order. profile_test cross-checks
+/// this table against core::rpc_op/core::to_string so obs/ need not include
+/// the protocol header.
+const char* kRpcOpNames[] = {
+    "other",         "swap_out",      "swap_in",      "update_batch",
+    "fetch",         "migrate_directive", "migrate_data", "replica_store",
+    "replica_promote", "replica_drop", "ping",         "replica_sync",
+};
+
+/// Sweep category for a span kind; kProfileCategories = not attributable.
+std::size_t category_of(EventKind kind) {
+  switch (kind) {
+    case EventKind::kFaultIn:
+      return static_cast<std::size_t>(ProfileCategory::kFaultIn);
+    case EventKind::kSwapOut:
+      return static_cast<std::size_t>(ProfileCategory::kSwapOut);
+    case EventKind::kMigrate:
+      return static_cast<std::size_t>(ProfileCategory::kMigrate);
+    case EventKind::kServe:
+      return static_cast<std::size_t>(ProfileCategory::kServe);
+    case EventKind::kRpc:
+      return static_cast<std::size_t>(ProfileCategory::kRpc);
+    case EventKind::kUpdateBatch:
+      return static_cast<std::size_t>(ProfileCategory::kStream);
+    case EventKind::kDiskIo:
+      return static_cast<std::size_t>(ProfileCategory::kDiskIo);
+    case EventKind::kCompute:
+      return static_cast<std::size_t>(ProfileCategory::kCompute);
+    default:
+      return kProfileCategories;
+  }
+}
+
+bool slow_table_kind(EventKind kind) {
+  switch (kind) {
+    case EventKind::kFaultIn:
+    case EventKind::kSwapOut:
+    case EventKind::kMigrate:
+    case EventKind::kServe:
+    case EventKind::kRpc:
+    case EventKind::kUpdateBatch:
+    case EventKind::kDiskIo:
+      return true;
+    default:
+      // kCompute is excluded: charges arrive in artificial scheduler-sized
+      // chunks, so "slowest compute" would rank an implementation detail.
+      return false;
+  }
+}
+
+/// One clipped busy interval on a node's timeline.
+struct Interval {
+  Time start;
+  Time end;
+  std::uint8_t cat;  // index into ProfileCategory, < kBarrierWait index
+};
+
+/// Priority boundary sweep over [s, e): at every instant the lowest category
+/// index active owns the time; instants with nothing active accrue to
+/// kUnattributed. Exact in integer ns: the emitted segments partition
+/// [s, e), so out[] sums to exactly e - s (plus whatever it already held).
+void sweep(const std::vector<Interval>& ivs, Time s, Time e,
+           std::array<Time, kProfileCategories>& out) {
+  if (e <= s) return;
+  struct Point {
+    Time pos;
+    std::uint8_t cat;
+    std::int8_t delta;
+  };
+  std::vector<Point> pts;
+  pts.reserve(ivs.size() * 2);
+  for (const Interval& iv : ivs) {
+    const Time a = std::max(iv.start, s);
+    const Time b = std::min(iv.end, e);
+    if (a >= b) continue;
+    pts.push_back(Point{a, iv.cat, +1});
+    pts.push_back(Point{b, iv.cat, -1});
+  }
+  std::sort(pts.begin(), pts.end(),
+            [](const Point& x, const Point& y) { return x.pos < y.pos; });
+
+  std::array<std::int64_t, kProfileCategories> active{};
+  const auto winner = [&active]() -> std::size_t {
+    for (std::size_t c = 0; c < kProfileCategories; ++c) {
+      if (active[c] > 0) return c;
+    }
+    return static_cast<std::size_t>(ProfileCategory::kUnattributed);
+  };
+  Time cursor = s;
+  std::size_t i = 0;
+  while (i < pts.size()) {
+    const Time pos = pts[i].pos;
+    if (pos > cursor) {
+      out[winner()] += pos - cursor;
+      cursor = pos;
+    }
+    // Apply every delta at this position before measuring the next segment.
+    while (i < pts.size() && pts[i].pos == pos) {
+      active[pts[i].cat] += pts[i].delta;
+      ++i;
+    }
+  }
+  if (cursor < e) out[winner()] += e - cursor;
+}
+
+}  // namespace
+
+const char* category_name(ProfileCategory c) {
+  const auto idx = static_cast<std::size_t>(c);
+  RMS_CHECK(idx < kProfileCategories);
+  return kCategoryNames[idx];
+}
+
+const char* rpc_op_name(std::int64_t op) {
+  constexpr auto kN =
+      static_cast<std::int64_t>(sizeof(kRpcOpNames) / sizeof(kRpcOpNames[0]));
+  return (op >= 0 && op < kN) ? kRpcOpNames[op] : "unknown";
+}
+
+Time NodeProfile::total() const {
+  Time sum = 0;
+  for (const Time t : time) sum += t;
+  return sum;
+}
+
+const NodeProfile* PassProfile::node_profile(std::int32_t node) const {
+  for (const NodeProfile& n : nodes) {
+    if (n.node == node) return &n;
+  }
+  return nullptr;
+}
+
+PassProfiler::PassProfiler(Options options) : options_(options) {
+  RMS_CHECK(options_.max_buffered_events > 0);
+}
+
+RunProfile& PassProfiler::current() {
+  if (runs_.empty()) runs_.emplace_back();  // implicit unlabeled run
+  return runs_.back();
+}
+
+void PassProfiler::begin_run(const std::string& label) {
+  // An unlabeled implicit run with nothing in it is renamed, mirroring
+  // TraceRecorder::begin_run.
+  if (!(runs_.size() == 1 && runs_[0].label.empty() &&
+        runs_[0].passes.empty() && events_.empty() && pending_.empty())) {
+    runs_.emplace_back();
+  } else if (runs_.empty()) {
+    runs_.emplace_back();
+  }
+  runs_.back().label = label;
+  events_.clear();
+  pending_.clear();
+  tail_busy_.clear();
+}
+
+void PassProfiler::end_run(std::uint64_t trace_dropped) {
+  for (const PendingPass& p : pending_) analyze(p);
+  pending_.clear();
+  events_.clear();
+  tail_busy_.clear();
+  current().trace_dropped = trace_dropped;
+}
+
+void PassProfiler::buffer(const TraceEvent& ev) {
+  if (events_.size() >= options_.max_buffered_events) {
+    ++current().events_dropped;
+    return;
+  }
+  events_.push_back(ev);
+}
+
+void PassProfiler::on_event(const TraceEvent& ev) {
+  if (ev.kind == EventKind::kPass && ev.track == TraceRecorder::kPhaseTrack &&
+      ev.duration >= 0) {
+    // Pass k just closed. Its straggling spans (a server still draining a
+    // one-way batch) may record after this point, so analysis of k waits
+    // until the NEXT pass closes (or end_run); only the pass before last is
+    // ripe now. The buffer therefore holds at most ~two passes of events.
+    pending_.push_back(
+        PendingPass{ev.arg0, ev.start, ev.start + ev.duration});
+    while (pending_.size() > 1) {
+      analyze(pending_.front());
+      evict(pending_.front().end);
+      pending_.erase(pending_.begin());
+    }
+    return;
+  }
+  buffer(ev);
+}
+
+void PassProfiler::on_busy(std::int32_t track, EventKind kind, Time start,
+                           Time end) {
+  if (end <= start) return;
+  // Contiguous same-kind busy intervals coalesce losslessly (CpuCharger
+  // chunks arrive back-to-back by the thousand); the sweep sees one
+  // interval either way, the buffer holds far fewer events.
+  const auto it = tail_busy_.find(track);
+  if (it != tail_busy_.end() && it->second.kind == kind &&
+      it->second.end == start && it->second.index < events_.size()) {
+    TraceEvent& tail = events_[it->second.index];
+    tail.duration = end - tail.start;
+    it->second.end = end;
+    return;
+  }
+  TraceEvent ev;
+  ev.start = start;
+  ev.duration = end - start;
+  ev.track = track;
+  ev.kind = kind;
+  if (events_.size() >= options_.max_buffered_events) {
+    ++current().events_dropped;
+    tail_busy_.erase(track);
+    return;
+  }
+  tail_busy_[track] = TailBusy{events_.size(), kind, end};
+  events_.push_back(ev);
+}
+
+void PassProfiler::evict(Time upto) {
+  const auto ends_by = [upto](const TraceEvent& ev) {
+    const Time end = ev.duration < 0 ? ev.start : ev.start + ev.duration;
+    return end <= upto;
+  };
+  events_.erase(std::remove_if(events_.begin(), events_.end(), ends_by),
+                events_.end());
+  tail_busy_.clear();  // indices shifted; coalescing restarts cleanly
+}
+
+void PassProfiler::analyze(const PendingPass& pass) {
+  PassProfile out;
+  out.k = pass.k;
+  out.start = pass.start;
+  out.end = pass.end;
+  const Time s = pass.start;
+  const Time e = pass.end;
+
+  std::map<std::int32_t, std::vector<Interval>> ivs;
+  std::map<std::int32_t, std::vector<Time>> barriers;
+  std::map<std::int32_t, std::map<std::int64_t, Time>> rpc_ops;
+  struct Phase {
+    Time start = -1;
+    Time end = -1;
+  };
+  Phase phases[3];  // build, count, determine
+  std::vector<SlowOp> slow;
+
+  for (const TraceEvent& ev : events_) {
+    if (ev.duration < 0) {
+      if (ev.kind == EventKind::kBarrier && ev.track >= 0 &&
+          ev.arg0 == pass.k && ev.start >= s && ev.start <= e) {
+        barriers[ev.track].push_back(ev.start);
+      }
+      continue;
+    }
+    if (ev.track == TraceRecorder::kPhaseTrack) {
+      if (ev.arg0 != pass.k) continue;
+      if (ev.kind == EventKind::kBuildPhase) {
+        phases[0] = Phase{ev.start, ev.start + ev.duration};
+      } else if (ev.kind == EventKind::kCountPhase) {
+        phases[1] = Phase{ev.start, ev.start + ev.duration};
+      } else if (ev.kind == EventKind::kDeterminePhase) {
+        phases[2] = Phase{ev.start, ev.start + ev.duration};
+      }
+      continue;
+    }
+    if (ev.track < 0) continue;
+    const Time a = std::max(ev.start, s);
+    const Time b = std::min(ev.start + ev.duration, e);
+    if (a >= b) continue;
+    const std::size_t cat = category_of(ev.kind);
+    if (cat < kProfileCategories) {
+      ivs[ev.track].push_back(
+          Interval{a, b, static_cast<std::uint8_t>(cat)});
+      if (ev.kind == EventKind::kRpc) rpc_ops[ev.track][ev.arg2] += b - a;
+    }
+    if (slow_table_kind(ev.kind)) {
+      slow.push_back(SlowOp{ev.kind, ev.track, ev.start, ev.duration, ev.arg0,
+                            ev.arg1, ev.arg2});
+    }
+  }
+
+  // ---- barrier skew ----
+  // Groups pair the g-th arrival of every participating node; the release
+  // is the slowest arrival and everyone else's gap is attributable barrier
+  // wait. Uneven counts (a node missed an instrumented barrier — does not
+  // happen on healthy app nodes) degrade gracefully: skip skew attribution
+  // for the pass rather than pair arrivals across different barriers.
+  std::size_t groups = 0;
+  bool barriers_consistent = !barriers.empty();
+  for (auto& [track, arrivals] : barriers) {
+    std::sort(arrivals.begin(), arrivals.end());
+    if (groups == 0) groups = arrivals.size();
+    if (arrivals.size() != groups) barriers_consistent = false;
+  }
+  std::map<std::int32_t, Time> idle;
+  if (barriers_consistent && groups > 0) {
+    for (std::size_t g = 0; g < groups; ++g) {
+      Time release = 0;
+      for (const auto& [track, arrivals] : barriers) {
+        release = std::max(release, arrivals[g]);
+      }
+      for (const auto& [track, arrivals] : barriers) {
+        const Time wait = release - arrivals[g];
+        idle[track] += wait;
+        if (wait > 0) {
+          ivs[track].push_back(Interval{
+              std::max(arrivals[g], s), std::min(release, e),
+              static_cast<std::uint8_t>(ProfileCategory::kBarrierWait)});
+        }
+      }
+    }
+    for (const auto& [track, wait] : idle) {
+      out.stragglers.push_back(Straggler{track, wait});
+    }
+    std::sort(out.stragglers.begin(), out.stragglers.end(),
+              [](const Straggler& x, const Straggler& y) {
+                return x.barrier_wait != y.barrier_wait
+                           ? x.barrier_wait < y.barrier_wait
+                           : x.node < y.node;
+              });
+  }
+
+  // ---- per-node attribution ----
+  for (const auto& [track, list] : ivs) {
+    NodeProfile np;
+    np.node = track;
+    np.duration = e - s;
+    sweep(list, s, e, np.time);
+    const auto it = rpc_ops.find(track);
+    if (it != rpc_ops.end()) np.rpc_by_op = it->second;
+    out.nodes.push_back(std::move(np));
+  }
+
+  // ---- critical path ----
+  // The chain of "who released each phase barrier": for every phase, the
+  // straggler (last arrival) from phase start to its arrival, broken down
+  // by category. Needs one barrier group per phase and all three phase
+  // spans; pass 1 and degraded passes simply export an empty path.
+  if (barriers_consistent && groups == 3 && phases[0].start >= 0 &&
+      phases[1].start >= 0 && phases[2].start >= 0) {
+    static constexpr EventKind kPhaseKind[3] = {EventKind::kBuildPhase,
+                                                EventKind::kCountPhase,
+                                                EventKind::kDeterminePhase};
+    for (std::size_t g = 0; g < 3; ++g) {
+      std::int32_t straggler = -1;
+      Time arrival = -1;
+      for (const auto& [track, arrivals] : barriers) {
+        if (arrivals[g] > arrival) {
+          arrival = arrivals[g];
+          straggler = track;
+        }
+      }
+      CriticalSegment seg;
+      seg.phase = kPhaseKind[g];
+      seg.node = straggler;
+      seg.start = phases[g].start;
+      seg.end = arrival;
+      const auto it = ivs.find(straggler);
+      if (it != ivs.end()) sweep(it->second, seg.start, seg.end, seg.time);
+      out.critical_path.push_back(seg);
+    }
+  }
+
+  // ---- top-K slowest operations ----
+  std::sort(slow.begin(), slow.end(), [](const SlowOp& x, const SlowOp& y) {
+    if (x.duration != y.duration) return x.duration > y.duration;
+    if (x.start != y.start) return x.start < y.start;
+    return x.node < y.node;
+  });
+  if (slow.size() > options_.top_k) slow.resize(options_.top_k);
+  out.slowest = std::move(slow);
+
+  current().passes.push_back(std::move(out));
+}
+
+// ---------------------------------------------------------------------------
+// JSON export
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void categories_json(JsonWriter& w,
+                     const std::array<Time, kProfileCategories>& time) {
+  for (std::size_t c = 0; c < kProfileCategories; ++c) {
+    w.kv(std::string(kCategoryNames[c]) + "_s", to_seconds(time[c]));
+  }
+}
+
+void pass_profile_json(JsonWriter& w, const PassProfile& p) {
+  w.begin_object();
+  w.kv("k", p.k);
+  w.kv("start_s", to_seconds(p.start));
+  w.kv("duration_s", to_seconds(p.duration()));
+  w.key("nodes");
+  w.begin_array();
+  for (const NodeProfile& n : p.nodes) {
+    w.begin_object();
+    w.kv("node", static_cast<std::int64_t>(n.node));
+    w.kv("duration_s", to_seconds(n.duration));
+    categories_json(w, n.time);
+    if (!n.rpc_by_op.empty()) {
+      w.key("rpc_by_op_s");
+      w.begin_object();
+      for (const auto& [op, t] : n.rpc_by_op) {
+        w.kv(rpc_op_name(op), to_seconds(t));
+      }
+      w.end_object();
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.key("stragglers");
+  w.begin_array();
+  for (const Straggler& sg : p.stragglers) {
+    w.begin_object();
+    w.kv("node", static_cast<std::int64_t>(sg.node));
+    w.kv("barrier_wait_s", to_seconds(sg.barrier_wait));
+    w.end_object();
+  }
+  w.end_array();
+  w.key("critical_path");
+  w.begin_array();
+  for (const CriticalSegment& seg : p.critical_path) {
+    w.begin_object();
+    w.kv("phase", TraceRecorder::kind_name(seg.phase));
+    w.kv("node", static_cast<std::int64_t>(seg.node));
+    w.kv("start_s", to_seconds(seg.start));
+    w.kv("end_s", to_seconds(seg.end));
+    categories_json(w, seg.time);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("slowest");
+  w.begin_array();
+  for (const SlowOp& op : p.slowest) {
+    w.begin_object();
+    w.kv("kind", TraceRecorder::kind_name(op.kind));
+    w.kv("node", static_cast<std::int64_t>(op.node));
+    w.kv("start_s", to_seconds(op.start));
+    w.kv("duration_ms", to_millis(op.duration));
+    w.kv("arg0", op.arg0);
+    w.kv("arg1", op.arg1);
+    if (op.kind == EventKind::kRpc) w.kv("op", rpc_op_name(op.arg2));
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+void profile_body(JsonWriter& w, const RunProfile& run) {
+  w.kv("trace_dropped", run.trace_dropped);
+  w.kv("events_dropped", run.events_dropped);
+  w.kv("complete", run.complete());
+  w.key("passes");
+  w.begin_array();
+  for (const PassProfile& p : run.passes) pass_profile_json(w, p);
+  w.end_array();
+}
+
+}  // namespace
+
+void profile_json(JsonWriter& w, const RunProfile& run) {
+  w.begin_object();
+  profile_body(w, run);
+  w.end_object();
+}
+
+std::string profile_file_json(const std::vector<RunProfile>& runs) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("schema", "rmswap.profile/v1");
+  w.key("runs");
+  w.begin_array();
+  for (const RunProfile& run : runs) {
+    w.begin_object();
+    w.kv("label", run.label);
+    profile_body(w, run);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace rms::obs

@@ -1,0 +1,217 @@
+// PassProfiler: per-pass, per-node attribution of where virtual time went.
+//
+// The paper's argument is a time-breakdown argument (Tables 2-4): remote
+// swapping wins because fault service dominates pass time on disk and
+// shrinks by an order of magnitude over the network. The trace layer records
+// every span, but a span dump is not an answer to "where did pass 2 go?".
+// The profiler turns the event stream into, per pass and per node:
+//
+//   - an attributed wall-time breakdown over mutually exclusive categories
+//     (fault-in wait, swap-out wait, migration, server service, RPC wait,
+//     update-batch streaming, disk I/O, CPU, barrier skew), with the
+//     invariant that the categories plus an explicit `unattributed` residual
+//     sum to the pass duration EXACTLY (integer nanoseconds, no rounding);
+//   - RPC wait additionally split by service tag (core::rpc_op annotation);
+//   - barrier/straggler skew: how long each node idled at each phase
+//     barrier waiting for the slowest arrival, and a straggler ranking;
+//   - the pass critical path: the chain of phase segments ending at each
+//     phase barrier, owned by that phase's straggler, with its own category
+//     breakdown — the longest causal chain through the pass;
+//   - a top-K slowest-operations table.
+//
+// Exactness under overlap: a fault-in span contains an RPC span which
+// contains the server's serve span; naive per-category sums double-count.
+// The profiler instead runs a boundary sweep per node: at every instant the
+// highest-priority active category owns the time (priority = the enum order
+// below, fault-in highest), so category times are disjoint by construction
+// and sum to the window length. `rpc_by_op` is reported separately as an
+// *inclusive* view (it overlaps fault_in/swap_out by design).
+//
+// Loss model: the profiler is fed by TraceRecorder's push-time hook plus
+// direct Node/Disk busy hooks, so TraceRecorder ring overflow — routine at
+// bench scale — cannot corrupt attribution (`trace_dropped` reports it for
+// the trace *file*'s sake). The profiler's own buffer is bounded; if it
+// caps, events are counted in `events_dropped` and the lost time lands in
+// `unattributed` — the sums stay exact, the run is flagged incomplete.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "obs/trace.hpp"
+
+namespace rms::obs {
+
+class JsonWriter;
+
+/// Attribution categories. Declaration order IS the sweep priority, highest
+/// first: when spans overlap on one node's timeline, the earliest-listed
+/// active category owns the instant.
+enum class ProfileCategory : std::uint8_t {
+  kFaultIn,       // synchronous swap-in wait (kFaultIn spans)
+  kSwapOut,       // eviction wait (kSwapOut spans)
+  kMigrate,       // migrate_away directives (kMigrate spans)
+  kServe,         // memory-server request service (kServe spans)
+  kRpc,           // transport call wait not inside the above (kRpc spans)
+  kStream,        // one-way update-batch flush, send -> drain (kUpdateBatch)
+  kDiskIo,        // disk access incl. arm queueing (kDiskIo busy intervals)
+  kCompute,       // CPU charge incl. cpu queueing (kCompute busy intervals)
+  kBarrierWait,   // idle at a phase barrier waiting for the straggler
+  kUnattributed,  // residual: pass time no instrumented span covers
+};
+inline constexpr std::size_t kProfileCategories = 10;
+
+/// Stable category name ("fault_in", "compute", ...; artifact keys append
+/// "_s").
+const char* category_name(ProfileCategory c);
+
+/// Name for a Transport::call `op` annotation (0 = "other"; 1 + kind mirrors
+/// core::rpc_op — kept in lockstep by a unit test so obs/ stays independent
+/// of core/).
+const char* rpc_op_name(std::int64_t op);
+
+/// One node's attributed breakdown over one pass window.
+struct NodeProfile {
+  std::int32_t node = 0;
+  Time duration = 0;  // == the pass window length
+  std::array<Time, kProfileCategories> time{};
+  /// Inclusive RPC wait per service-tag annotation (overlaps the exclusive
+  /// categories above: a swap-in's RPC time is *attributed* to fault_in).
+  std::map<std::int64_t, Time> rpc_by_op;
+
+  Time category(ProfileCategory c) const {
+    return time[static_cast<std::size_t>(c)];
+  }
+  /// Sum over every category including kUnattributed; == duration always.
+  Time total() const;
+};
+
+/// Barrier skew of one node over one pass, for the straggler ranking.
+struct Straggler {
+  std::int32_t node = 0;
+  /// Total idle across the pass's phase barriers; the pass straggler waits
+  /// least (everyone else was waiting for it).
+  Time barrier_wait = 0;
+};
+
+/// One hop of the critical path: the phase's straggler node from phase
+/// start to its barrier arrival, with its own category breakdown.
+struct CriticalSegment {
+  EventKind phase = EventKind::kBuildPhase;  // build / count / determine
+  std::int32_t node = 0;                     // last arrival at this barrier
+  Time start = 0;
+  Time end = 0;  // the straggler's arrival == the barrier release
+  std::array<Time, kProfileCategories> time{};
+};
+
+/// One row of the top-K slowest-operations table.
+struct SlowOp {
+  EventKind kind = EventKind::kRpc;
+  std::int32_t node = 0;
+  Time start = 0;
+  Time duration = 0;
+  std::int64_t arg0 = 0;
+  std::int64_t arg1 = 0;
+  std::int64_t arg2 = 0;
+};
+
+struct PassProfile {
+  std::int64_t k = 0;
+  Time start = 0;
+  Time end = 0;
+  Time duration() const { return end - start; }
+  /// Every node that showed activity in the window, ascending by id.
+  std::vector<NodeProfile> nodes;
+  /// Ascending by barrier_wait: front() is the pass straggler. Empty when
+  /// the pass had no instrumented barriers (pass 1).
+  std::vector<Straggler> stragglers;
+  /// Build -> count -> determine segments; empty when barrier/phase data is
+  /// incomplete.
+  std::vector<CriticalSegment> critical_path;
+  /// Slowest individual operations overlapping the window, descending.
+  std::vector<SlowOp> slowest;
+
+  const NodeProfile* node_profile(std::int32_t node) const;
+};
+
+struct RunProfile {
+  std::string label;
+  std::vector<PassProfile> passes;
+  /// TraceRecorder ring drops during this run: the exported Chrome trace is
+  /// incomplete past this count. Attribution is NOT affected (the profiler
+  /// taps events before the ring).
+  std::uint64_t trace_dropped = 0;
+  /// Events the profiler's own buffer refused; their time is in
+  /// kUnattributed. 0 = attribution saw every event.
+  std::uint64_t events_dropped = 0;
+  bool complete() const { return events_dropped == 0; }
+};
+
+class PassProfiler final : public ProfileHook {
+ public:
+  struct Options {
+    /// Buffered-event cap (events live until their pass is analyzed —
+    /// roughly two passes of traffic). Beyond it events are counted in
+    /// events_dropped and their time degrades to kUnattributed.
+    std::size_t max_buffered_events = std::size_t{1} << 22;
+    /// Rows in the slowest-operations table.
+    std::size_t top_k = 10;
+  };
+
+  PassProfiler() : PassProfiler(Options{}) {}
+  explicit PassProfiler(Options options);
+
+  /// Open a new run section (mirrors TraceRecorder::begin_run).
+  void begin_run(const std::string& label);
+  /// Close the current run: analyze every pass still pending. Pass the
+  /// recorder's ring-drop delta for this run (0 when unknown/none).
+  void end_run(std::uint64_t trace_dropped = 0);
+
+  // ProfileHook: passive, record-only.
+  void on_event(const TraceEvent& ev) override;
+  void on_busy(std::int32_t track, EventKind kind, Time start,
+               Time end) override;
+
+  const std::vector<RunProfile>& runs() const { return runs_; }
+  const Options& options() const { return options_; }
+
+ private:
+  struct PendingPass {
+    std::int64_t k = 0;
+    Time start = 0;
+    Time end = 0;
+  };
+
+  RunProfile& current();
+  void buffer(const TraceEvent& ev);
+  void analyze(const PendingPass& pass);
+  /// Drop buffered events that ended at or before `upto` (they can no
+  /// longer overlap a later pass window).
+  void evict(Time upto);
+
+  Options options_;
+  std::vector<RunProfile> runs_;
+  std::vector<TraceEvent> events_;
+  std::vector<PendingPass> pending_;
+  /// Tail compute/disk interval per track for lossless coalescing of
+  /// contiguous busy intervals (CpuCharger chunks arrive back-to-back).
+  struct TailBusy {
+    std::size_t index = 0;
+    EventKind kind = EventKind::kCompute;
+    Time end = -1;
+  };
+  std::map<std::int32_t, TailBusy> tail_busy_;
+};
+
+/// Append one run's profile as the currently-open JSON object's content
+/// (the artifact's "profile" section).
+void profile_json(JsonWriter& w, const RunProfile& run);
+
+/// Standalone "rmswap.profile/v1" document for --profile-out.
+std::string profile_file_json(const std::vector<RunProfile>& runs);
+
+}  // namespace rms::obs

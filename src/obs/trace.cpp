@@ -14,13 +14,14 @@ struct KindInfo {
   const char* category;
   const char* arg0;
   const char* arg1;
+  const char* arg2 = "";
 };
 
 const KindInfo& info(EventKind kind) {
   static const KindInfo kTable[] = {
       {"swap_out", "store", "line", "bytes"},
       {"fault_in", "store", "line", "bytes"},
-      {"rpc", "rpc", "peer", "attempts"},
+      {"rpc", "rpc", "peer", "attempts", "op"},
       {"serve", "server", "kind", "owner"},
       {"migrate", "migration", "holder", "lines_moved"},
       {"pass", "phase", "k", ""},
@@ -41,6 +42,9 @@ const KindInfo& info(EventKind kind) {
       {"quarantine", "integrity", "node", "strikes"},
       {"re_replicate", "integrity", "line", "backup"},
       {"placement", "placement", "node", "bytes"},
+      {"stall", "rpc", "peer", "in_flight"},
+      {"compute", "cpu", "", ""},
+      {"disk_io", "disk", "bytes", ""},
   };
   const auto idx = static_cast<std::size_t>(kind);
   RMS_CHECK(idx < sizeof(kTable) / sizeof(kTable[0]));
@@ -158,6 +162,7 @@ std::string TraceRecorder::chrome_trace_json() const {
     w.begin_object();
     if (ki.arg0[0] != '\0') w.kv(ki.arg0, ev.arg0);
     if (ki.arg1[0] != '\0') w.kv(ki.arg1, ev.arg1);
+    if (ki.arg2[0] != '\0') w.kv(ki.arg2, ev.arg2);
     w.end_object();
     w.end_object();
   }

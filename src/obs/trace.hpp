@@ -62,6 +62,14 @@ enum class EventKind : std::uint8_t {
   kQuarantine,     // holder quarantined for corruption (arg0 node, arg1 strikes)
   kReReplicate,    // redundancy restored (arg0 line, arg1 new backup)
   kPlacement,      // broker destination decision (arg0 node or -1, arg1 bytes)
+  // Appended post-/v1 (existing kinds keep their values so traces stay
+  // comparable across versions).
+  kStall,          // instant: sender blocked on a window credit (arg0 peer,
+                   // arg1 in-flight)
+  kCompute,        // span: CPU charge incl. queueing (profiler feed — too hot
+                   // for the ring, delivered via ProfileHook::on_busy)
+  kDiskIo,         // span: disk access incl. arm queueing (profiler feed,
+                   // arg0 bytes)
 };
 
 struct TraceEvent {
@@ -72,6 +80,26 @@ struct TraceEvent {
   EventKind kind = EventKind::kBarrier;
   std::int64_t arg0 = 0;
   std::int64_t arg1 = 0;
+  std::int64_t arg2 = 0;   // kRpc: service-tag annotation (core::rpc_op)
+};
+
+/// Push-time event sink. A TraceRecorder with a hook forwards every event to
+/// it *before* ring placement, so ring overflow can never lose an event on
+/// the analysis side (the exported trace file still drops; see dropped()).
+/// Node/Disk additionally feed CPU charges and disk accesses — far too hot
+/// for the ring — straight to the hook as busy intervals.
+///
+/// Hook implementations must be passive (no awaits, no charges, no
+/// randomness): they run inside instrumented hot paths and must not perturb
+/// virtual time. obs::PassProfiler is the canonical implementation.
+class ProfileHook {
+ public:
+  virtual ~ProfileHook() = default;
+  /// Every recorded span/instant, in record order.
+  virtual void on_event(const TraceEvent& ev) = 0;
+  /// A busy interval bypassing the ring. `kind` is kCompute or kDiskIo.
+  virtual void on_busy(std::int32_t track, EventKind kind, Time start,
+                       Time end) = 0;
 };
 
 class TraceRecorder {
@@ -90,13 +118,19 @@ class TraceRecorder {
   void begin_run(const std::string& label);
 
   void span(EventKind kind, std::int32_t track, Time start, Time end,
-            std::int64_t arg0 = 0, std::int64_t arg1 = 0) {
-    push(TraceEvent{start, end - start, track, run_, kind, arg0, arg1});
+            std::int64_t arg0 = 0, std::int64_t arg1 = 0,
+            std::int64_t arg2 = 0) {
+    push(TraceEvent{start, end - start, track, run_, kind, arg0, arg1, arg2});
   }
   void instant(EventKind kind, std::int32_t track, Time at,
                std::int64_t arg0 = 0, std::int64_t arg1 = 0) {
-    push(TraceEvent{at, -1, track, run_, kind, arg0, arg1});
+    push(TraceEvent{at, -1, track, run_, kind, arg0, arg1, 0});
   }
+
+  /// Forward every subsequent event to `hook` at push time (before the ring,
+  /// so a full ring cannot lose it). Null detaches.
+  void set_profile_hook(ProfileHook* hook) { hook_ = hook; }
+  ProfileHook* profile_hook() const { return hook_; }
 
   // ---- Introspection / export ----
   /// Events currently held (<= capacity).
@@ -122,6 +156,7 @@ class TraceRecorder {
 
  private:
   void push(const TraceEvent& ev) {
+    if (hook_ != nullptr) hook_->on_event(ev);
     ring_[static_cast<std::size_t>(total_ % ring_.size())] = ev;
     ++total_;
   }
@@ -130,6 +165,7 @@ class TraceRecorder {
   std::uint64_t total_ = 0;
   std::int32_t run_ = 0;
   std::vector<std::string> run_labels_;
+  ProfileHook* hook_ = nullptr;
 };
 
 }  // namespace rms::obs

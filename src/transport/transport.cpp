@@ -18,6 +18,11 @@ bool Connection::CreditAwaiter::await_ready() {
 void Connection::CreditAwaiter::await_suspend(std::coroutine_handle<> h) {
   ++conn.credit_waits_;
   conn.transport_.node_.stats().bump("transport.credit_waits");
+  if (conn.transport_.options_.trace != nullptr) {
+    conn.transport_.options_.trace->instant(
+        obs::EventKind::kStall, conn.transport_.node_.id(),
+        conn.transport_.node_.sim().now(), conn.peer_, conn.in_flight_);
+  }
   conn.waiters_.push_back(h);
 }
 
@@ -67,7 +72,8 @@ std::int64_t Transport::credit_waits() const {
   return total;
 }
 
-sim::Task<cluster::RpcResult> Transport::call(net::Message msg) {
+sim::Task<cluster::RpcResult> Transport::call(net::Message msg,
+                                              std::int64_t op) {
   const net::NodeId peer = msg.dst;
   Connection& conn = connection(peer);
   co_await conn.acquire();
@@ -94,7 +100,7 @@ sim::Task<cluster::RpcResult> Transport::call(net::Message msg) {
   latency_ms_->add(to_millis(ended - started));
   if (options_.trace != nullptr) {
     options_.trace->span(obs::EventKind::kRpc, node_.id(), started, ended,
-                         peer, res.attempts);
+                         peer, res.attempts, op);
     if (res.attempts > 1) {
       options_.trace->instant(obs::EventKind::kRpcRetry, node_.id(), ended,
                               peer, res.attempts - 1);
@@ -110,15 +116,15 @@ sim::Task<cluster::RpcResult> Transport::call(net::Message msg) {
 sim::Process pipeline_worker(Transport& transport,
                              std::vector<net::Message>& msgs,
                              std::vector<cluster::RpcResult>& out,
-                             std::size_t& next) {
+                             std::size_t& next, std::int64_t op) {
   while (next < msgs.size()) {
     const std::size_t i = next++;
-    out[i] = co_await transport.call(std::move(msgs[i]));
+    out[i] = co_await transport.call(std::move(msgs[i]), op);
   }
 }
 
 sim::Task<std::vector<cluster::RpcResult>> Transport::pipeline(
-    std::vector<net::Message> msgs) {
+    std::vector<net::Message> msgs, std::int64_t op) {
   std::vector<cluster::RpcResult> out(msgs.size());
   if (msgs.empty()) co_return out;
   const int workers =
@@ -127,7 +133,7 @@ sim::Task<std::vector<cluster::RpcResult>> Transport::pipeline(
     // Strictly sequential: the exact pre-transport event sequence (no
     // worker processes are spawned, so no extra scheduler events exist).
     for (std::size_t i = 0; i < msgs.size(); ++i) {
-      out[i] = co_await call(std::move(msgs[i]));
+      out[i] = co_await call(std::move(msgs[i]), op);
     }
     co_return out;
   }
@@ -138,7 +144,8 @@ sim::Task<std::vector<cluster::RpcResult>> Transport::pipeline(
   std::vector<sim::Process> pool;
   pool.reserve(static_cast<std::size_t>(workers));
   for (int w = 0; w < workers; ++w) {
-    pool.push_back(node_.sim().spawn(pipeline_worker(*this, msgs, out, next)));
+    pool.push_back(
+        node_.sim().spawn(pipeline_worker(*this, msgs, out, next, op)));
   }
   for (const sim::Process& worker : pool) co_await worker;
   co_return out;

@@ -118,14 +118,16 @@ class Transport {
 
   /// Issue one deadline-bounded call, holding a window credit on the peer's
   /// connection for its duration. Suspends first if the window is full.
-  sim::Task<cluster::RpcResult> call(net::Message msg);
+  /// `op` is a free-form service-tag annotation recorded on the call's trace
+  /// span (core::rpc_op; 0 = untagged) — it never affects behaviour.
+  sim::Task<cluster::RpcResult> call(net::Message msg, std::int64_t op = 0);
 
   /// Issue a batch of RPCs and await the completion set (indexed in issue
   /// order). With window <= 1 the batch runs strictly sequentially — the
   /// exact pre-transport event sequence; otherwise up to `window` worker
   /// processes overlap the calls, each still subject to per-peer credits.
   sim::Task<std::vector<cluster::RpcResult>> pipeline(
-      std::vector<net::Message> msgs);
+      std::vector<net::Message> msgs, std::int64_t op = 0);
 
   /// One-way send through the transport (no reply, no credit: flow control
   /// for push traffic is byte-budgeted batching via transport::Stream).
@@ -166,7 +168,7 @@ class Transport {
   friend sim::Process pipeline_worker(Transport& transport,
                                       std::vector<net::Message>& msgs,
                                       std::vector<cluster::RpcResult>& out,
-                                      std::size_t& next);
+                                      std::size_t& next, std::int64_t op);
 
   Connection& connection(net::NodeId peer);
 

@@ -187,6 +187,44 @@ TEST(Histogram, EmptyAndSingle) {
   EXPECT_DOUBLE_EQ(h.summary().mean(), 2.5);
 }
 
+TEST(Histogram, EmptyReportsAllPercentilesEqualToMax) {
+  const Histogram h;
+  // Empty: every percentile and the summary max agree (all zero) — report
+  // consumers can print p50/p95/p99/max without special-casing.
+  for (const double p : {0.0, 0.5, 0.95, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.percentile(p), h.summary().max());
+  }
+  EXPECT_DOUBLE_EQ(h.summary().max(), 0.0);
+}
+
+TEST(Histogram, SingleSampleReportsAllPercentilesEqualToMax) {
+  Histogram h;
+  h.add(13.2);
+  // One sample IS the whole distribution: p50 = p95 = p99 = max exactly
+  // (the log-bucket upper edge must not inflate it).
+  for (const double p : {0.0, 0.5, 0.95, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.percentile(p), 13.2);
+    EXPECT_DOUBLE_EQ(h.percentile(p), h.summary().max());
+  }
+}
+
+TEST(Summary, EmptyIsConsistentZeros) {
+  const Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(Summary, SingleSampleMinMeanMaxCoincide) {
+  Summary s;
+  s.add(-4.25);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.min(), -4.25);
+  EXPECT_DOUBLE_EQ(s.max(), -4.25);
+  EXPECT_DOUBLE_EQ(s.mean(), -4.25);
+}
+
 TEST(Histogram, TinyAndHugeValuesClampToEdgeBuckets) {
   Histogram h;
   h.add(-5.0);     // below range

@@ -111,7 +111,7 @@ TEST(TraceRecorder, ChromeTraceJsonShape) {
 }
 
 TEST(TraceRecorder, KindNamesCoverEveryKind) {
-  for (int k = 0; k <= static_cast<int>(EventKind::kBarrier); ++k) {
+  for (int k = 0; k <= static_cast<int>(EventKind::kDiskIo); ++k) {
     const auto kind = static_cast<EventKind>(k);
     EXPECT_NE(TraceRecorder::kind_name(kind), nullptr);
     EXPECT_GT(std::string(TraceRecorder::kind_name(kind)).size(), 0u);

@@ -1,0 +1,369 @@
+// PassProfiler tests: hand-built event sequences with known attribution
+// (the exact-sum invariant, barrier skew, critical path), the rpc-op name
+// table's lockstep with the core protocol, graceful degradation, and an
+// end-to-end check that attribution shares are stable across identical runs.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/protocol.hpp"
+#include "hpa/hpa.hpp"
+#include "mining/generator.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
+
+namespace rms::obs {
+namespace {
+
+/// Emit a pass span on the phase track — the profiler's analysis trigger.
+void close_pass(TraceRecorder& t, std::int64_t k, Time start, Time end) {
+  t.span(EventKind::kPass, TraceRecorder::kPhaseTrack, start, end, k);
+}
+
+/// Force analysis of everything pending.
+void finish(PassProfiler& p) { p.end_run(); }
+
+TEST(PassProfiler, CategoriesSumToPassDurationExactly) {
+  TraceRecorder t;
+  PassProfiler p;
+  t.set_profile_hook(&p);
+
+  // Node 0, window [0, 300] ns: compute [0,100], rpc [50,150] (overlaps
+  // compute by 50), fault-in [120,200] (overlaps rpc by 30). Priority
+  // fault_in > rpc > compute:
+  //   compute owns [0,50)            =  50
+  //   rpc owns [50,120)              =  70
+  //   fault_in owns [120,200)        =  80
+  //   unattributed [200,300)         = 100
+  p.on_busy(0, EventKind::kCompute, 0, 100);
+  t.span(EventKind::kRpc, 0, 50, 150, /*peer=*/1, /*attempts=*/1);
+  t.span(EventKind::kFaultIn, 0, 120, 200, /*line=*/7, /*bytes=*/64);
+  close_pass(t, 2, 0, 300);
+  finish(p);
+
+  ASSERT_EQ(p.runs().size(), 1u);
+  const RunProfile& run = p.runs()[0];
+  ASSERT_EQ(run.passes.size(), 1u);
+  const PassProfile& pass = run.passes[0];
+  EXPECT_EQ(pass.k, 2);
+  EXPECT_EQ(pass.duration(), 300);
+  const NodeProfile* n0 = pass.node_profile(0);
+  ASSERT_NE(n0, nullptr);
+  EXPECT_EQ(n0->category(ProfileCategory::kCompute), 50);
+  EXPECT_EQ(n0->category(ProfileCategory::kRpc), 70);
+  EXPECT_EQ(n0->category(ProfileCategory::kFaultIn), 80);
+  EXPECT_EQ(n0->category(ProfileCategory::kUnattributed), 100);
+  // The invariant: exact integer equality, not approximate.
+  EXPECT_EQ(n0->total(), pass.duration());
+}
+
+TEST(PassProfiler, SpansAreClippedToThePassWindow) {
+  TraceRecorder t;
+  PassProfiler p;
+  t.set_profile_hook(&p);
+
+  // Spans straddling both window edges; only the inside parts count.
+  t.span(EventKind::kSwapOut, 3, 50, 150, 1, 64);    // clips to [100,150]
+  t.span(EventKind::kServe, 3, 380, 450, 0, 0);      // clips to [380,400]
+  t.span(EventKind::kMigrate, 3, 500, 600, 2, 4);    // outside entirely
+  close_pass(t, 2, 100, 400);
+  finish(p);
+
+  const PassProfile& pass = p.runs()[0].passes[0];
+  const NodeProfile* n = pass.node_profile(3);
+  ASSERT_NE(n, nullptr);
+  EXPECT_EQ(n->category(ProfileCategory::kSwapOut), 50);
+  EXPECT_EQ(n->category(ProfileCategory::kServe), 20);
+  EXPECT_EQ(n->category(ProfileCategory::kMigrate), 0);
+  EXPECT_EQ(n->category(ProfileCategory::kUnattributed), 230);
+  EXPECT_EQ(n->total(), 300);
+}
+
+TEST(PassProfiler, BarrierSkewMatchesSlowestNode) {
+  TraceRecorder t;
+  PassProfiler p;
+  t.set_profile_hook(&p);
+
+  // One barrier group in pass 2: arrivals 100 / 150 / 200. Release = 200,
+  // so node 0 idles 100, node 1 idles 50, node 2 (the straggler) idles 0.
+  t.instant(EventKind::kBarrier, 0, 100, /*k=*/2);
+  t.instant(EventKind::kBarrier, 1, 150, 2);
+  t.instant(EventKind::kBarrier, 2, 200, 2);
+  close_pass(t, 2, 0, 250);
+  finish(p);
+
+  const PassProfile& pass = p.runs()[0].passes[0];
+  ASSERT_EQ(pass.stragglers.size(), 3u);
+  // Ascending by wait: front() is the pass straggler (waited least).
+  EXPECT_EQ(pass.stragglers[0].node, 2);
+  EXPECT_EQ(pass.stragglers[0].barrier_wait, 0);
+  EXPECT_EQ(pass.stragglers[1].node, 1);
+  EXPECT_EQ(pass.stragglers[1].barrier_wait, 50);
+  EXPECT_EQ(pass.stragglers[2].node, 0);
+  EXPECT_EQ(pass.stragglers[2].barrier_wait, 100);
+  // The idle interval is attributed as barrier wait, and sums stay exact.
+  const NodeProfile* n0 = pass.node_profile(0);
+  ASSERT_NE(n0, nullptr);
+  EXPECT_EQ(n0->category(ProfileCategory::kBarrierWait), 100);
+  EXPECT_EQ(n0->total(), pass.duration());
+}
+
+TEST(PassProfiler, CriticalPathOnSyntheticThreeNodePass) {
+  TraceRecorder t;
+  PassProfiler p;
+  t.set_profile_hook(&p);
+
+  // Pass 2 over [0, 1000]: build [0,300], count [300,800], determine
+  // [800,1000]; three barrier groups (one per phase) on tracks 0/1/2.
+  // Stragglers: build -> node 1 (arrives 300), count -> node 2 (800),
+  // determine -> node 0 (1000).
+  t.instant(EventKind::kBarrier, 0, 200, 2);
+  t.instant(EventKind::kBarrier, 1, 300, 2);
+  t.instant(EventKind::kBarrier, 2, 250, 2);
+  t.instant(EventKind::kBarrier, 0, 700, 2);
+  t.instant(EventKind::kBarrier, 1, 650, 2);
+  t.instant(EventKind::kBarrier, 2, 800, 2);
+  t.instant(EventKind::kBarrier, 0, 1000, 2);
+  t.instant(EventKind::kBarrier, 1, 900, 2);
+  t.instant(EventKind::kBarrier, 2, 950, 2);
+  // The build straggler spent its segment in fault-in wait.
+  t.span(EventKind::kFaultIn, 1, 0, 300, 9, 64);
+  // Phase spans (recorded at pass end, on the phase track, arg0 = k).
+  t.span(EventKind::kBuildPhase, TraceRecorder::kPhaseTrack, 0, 300, 2);
+  t.span(EventKind::kCountPhase, TraceRecorder::kPhaseTrack, 300, 800, 2);
+  t.span(EventKind::kDeterminePhase, TraceRecorder::kPhaseTrack, 800, 1000, 2);
+  close_pass(t, 2, 0, 1000);
+  finish(p);
+
+  const PassProfile& pass = p.runs()[0].passes[0];
+  ASSERT_EQ(pass.critical_path.size(), 3u);
+  EXPECT_EQ(pass.critical_path[0].phase, EventKind::kBuildPhase);
+  EXPECT_EQ(pass.critical_path[0].node, 1);
+  EXPECT_EQ(pass.critical_path[0].start, 0);
+  EXPECT_EQ(pass.critical_path[0].end, 300);
+  // The straggler's segment breakdown shows what it was doing.
+  EXPECT_EQ(pass.critical_path[0]
+                .time[static_cast<std::size_t>(ProfileCategory::kFaultIn)],
+            300);
+  EXPECT_EQ(pass.critical_path[1].phase, EventKind::kCountPhase);
+  EXPECT_EQ(pass.critical_path[1].node, 2);
+  EXPECT_EQ(pass.critical_path[1].end, 800);
+  EXPECT_EQ(pass.critical_path[2].phase, EventKind::kDeterminePhase);
+  EXPECT_EQ(pass.critical_path[2].node, 0);
+  EXPECT_EQ(pass.critical_path[2].end, 1000);
+}
+
+TEST(PassProfiler, RpcByOpIsInclusiveAndKeyedByAnnotation) {
+  TraceRecorder t;
+  PassProfiler p;
+  t.set_profile_hook(&p);
+
+  const std::int64_t fetch = core::rpc_op(core::MemRequest::Kind::kFetch);
+  const std::int64_t swap_in = core::rpc_op(core::MemRequest::Kind::kSwapIn);
+  // A swap-in RPC nested inside a fault-in span: exclusively the time is
+  // fault_in, but rpc_by_op still sees the full RPC wait (inclusive view).
+  t.span(EventKind::kFaultIn, 0, 100, 300, 1, 64);
+  t.span(EventKind::kRpc, 0, 120, 280, 9, 1, swap_in);
+  t.span(EventKind::kRpc, 0, 400, 500, 9, 1, fetch);
+  close_pass(t, 2, 0, 600);
+  finish(p);
+
+  const NodeProfile* n = p.runs()[0].passes[0].node_profile(0);
+  ASSERT_NE(n, nullptr);
+  EXPECT_EQ(n->category(ProfileCategory::kFaultIn), 200);
+  EXPECT_EQ(n->category(ProfileCategory::kRpc), 100);  // only the bare fetch
+  ASSERT_EQ(n->rpc_by_op.size(), 2u);
+  EXPECT_EQ(n->rpc_by_op.at(swap_in), 160);
+  EXPECT_EQ(n->rpc_by_op.at(fetch), 100);
+  EXPECT_EQ(n->total(), 600);
+}
+
+TEST(PassProfiler, BusyIntervalsCoalesceLosslessly) {
+  PassProfiler p;
+  // Back-to-back compute chunks (the CpuCharger pattern) coalesce into one
+  // interval; a gap or a different kind starts a new one.
+  p.on_busy(0, EventKind::kCompute, 0, 10);
+  p.on_busy(0, EventKind::kCompute, 10, 25);
+  p.on_busy(0, EventKind::kCompute, 25, 40);
+  p.on_busy(0, EventKind::kDiskIo, 40, 60);
+  p.on_busy(0, EventKind::kCompute, 70, 80);
+  TraceEvent pass;
+  pass.kind = EventKind::kPass;
+  pass.track = TraceRecorder::kPhaseTrack;
+  pass.start = 0;
+  pass.duration = 100;
+  pass.arg0 = 2;
+  p.on_event(pass);
+  finish(p);
+
+  const NodeProfile* n = p.runs()[0].passes[0].node_profile(0);
+  ASSERT_NE(n, nullptr);
+  EXPECT_EQ(n->category(ProfileCategory::kCompute), 50);
+  EXPECT_EQ(n->category(ProfileCategory::kDiskIo), 20);
+  EXPECT_EQ(n->category(ProfileCategory::kUnattributed), 30);
+  EXPECT_EQ(n->total(), 100);
+}
+
+TEST(PassProfiler, BufferCapDegradesGracefully) {
+  PassProfiler::Options opt;
+  opt.max_buffered_events = 4;
+  TraceRecorder t;
+  PassProfiler p(opt);
+  t.set_profile_hook(&p);
+
+  for (int i = 0; i < 10; ++i) {
+    t.span(EventKind::kServe, 1, i * 10, i * 10 + 5, 0, 0);
+  }
+  close_pass(t, 2, 0, 100);
+  finish(p);
+
+  const RunProfile& run = p.runs()[0];
+  EXPECT_FALSE(run.complete());
+  EXPECT_EQ(run.events_dropped, 6u);
+  // The retained events still attribute exactly; lost time is unattributed.
+  const NodeProfile* n = run.passes[0].node_profile(1);
+  ASSERT_NE(n, nullptr);
+  EXPECT_EQ(n->category(ProfileCategory::kServe), 20);  // 4 retained spans
+  EXPECT_EQ(n->total(), 100);
+}
+
+TEST(PassProfiler, RpcOpNamesMatchTheCoreProtocol) {
+  using Kind = core::MemRequest::Kind;
+  for (const Kind k :
+       {Kind::kSwapOut, Kind::kSwapIn, Kind::kUpdateBatch, Kind::kFetch,
+        Kind::kMigrateDirective, Kind::kMigrateData, Kind::kReplicaStore,
+        Kind::kReplicaPromote, Kind::kReplicaDrop, Kind::kPing,
+        Kind::kReplicaSync}) {
+    EXPECT_STREQ(rpc_op_name(core::rpc_op(k)), core::MemRequest::to_string(k));
+  }
+  EXPECT_STREQ(rpc_op_name(0), "other");
+  EXPECT_STREQ(rpc_op_name(-1), "unknown");
+  EXPECT_STREQ(rpc_op_name(1000), "unknown");
+}
+
+TEST(PassProfiler, ProfileJsonCarriesSchemaAndSections) {
+  TraceRecorder t;
+  PassProfiler p;
+  t.set_profile_hook(&p);
+  p.begin_run("demo");
+  t.span(EventKind::kFaultIn, 0, 0, 100, 1, 64);
+  close_pass(t, 2, 0, 200);
+  finish(p);
+
+  const std::string json = profile_file_json(p.runs());
+  EXPECT_NE(json.find("rmswap.profile/v1"), std::string::npos);
+  EXPECT_NE(json.find("\"demo\""), std::string::npos);
+  EXPECT_NE(json.find("\"fault_in_s\""), std::string::npos);
+  EXPECT_NE(json.find("\"unattributed_s\""), std::string::npos);
+  EXPECT_NE(json.find("\"stragglers\""), std::string::npos);
+  EXPECT_NE(json.find("\"critical_path\""), std::string::npos);
+  EXPECT_NE(json.find("\"slowest\""), std::string::npos);
+  EXPECT_NE(json.find("\"complete\":true"), std::string::npos);
+}
+
+TEST(PassProfiler, SlowestOperationsRankDescending) {
+  TraceRecorder t;
+  PassProfiler p;
+  t.set_profile_hook(&p);
+  t.span(EventKind::kFaultIn, 0, 0, 50, 1, 64);
+  t.span(EventKind::kFaultIn, 1, 10, 210, 2, 64);
+  t.span(EventKind::kServe, 2, 20, 120, 0, 0);
+  close_pass(t, 2, 0, 300);
+  finish(p);
+
+  const PassProfile& pass = p.runs()[0].passes[0];
+  ASSERT_EQ(pass.slowest.size(), 3u);
+  EXPECT_EQ(pass.slowest[0].duration, 200);
+  EXPECT_EQ(pass.slowest[0].node, 1);
+  EXPECT_EQ(pass.slowest[1].duration, 100);
+  EXPECT_EQ(pass.slowest[2].duration, 50);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: a real (small) HPA run.
+// ---------------------------------------------------------------------------
+
+hpa::HpaConfig small_config() {
+  hpa::HpaConfig c;
+  c.app_nodes = 4;
+  c.memory_nodes = 4;
+  mining::QuestParams w;
+  w.num_transactions = 3000;
+  w.num_items = 200;
+  w.avg_transaction_size = 8;
+  w.avg_pattern_size = 3;
+  w.num_patterns = 40;
+  w.seed = 3;
+  c.workload = w;
+  c.min_support = 0.02;
+  c.hash_lines = 4096;
+  return c;
+}
+
+RunProfile profiled_run(const hpa::HpaConfig& base) {
+  TraceRecorder recorder;
+  PassProfiler profiler;
+  recorder.set_profile_hook(&profiler);
+  hpa::HpaConfig cfg = base;
+  cfg.trace = &recorder;
+  cfg.profiler = &profiler;
+  profiler.begin_run("e2e");
+  hpa::run_hpa(cfg);
+  profiler.end_run(recorder.dropped());
+  return profiler.runs().back();
+}
+
+TEST(PassProfilerEndToEnd, ExactSumsAndStableSharesAcrossRuns) {
+  const hpa::HpaConfig cfg = small_config();
+  const RunProfile a = profiled_run(cfg);
+  const RunProfile b = profiled_run(cfg);
+
+  ASSERT_FALSE(a.passes.empty());
+  EXPECT_TRUE(a.complete());
+  for (const PassProfile& pass : a.passes) {
+    EXPECT_GT(pass.duration(), 0);
+    ASSERT_FALSE(pass.nodes.empty());
+    for (const NodeProfile& n : pass.nodes) {
+      // The tentpole invariant, on real traffic: exact to the nanosecond.
+      EXPECT_EQ(n.total(), pass.duration())
+          << "pass " << pass.k << " node " << n.node;
+    }
+    // Passes beyond the first see the instrumented barriers.
+    if (pass.k >= 2) {
+      EXPECT_FALSE(pass.stragglers.empty()) << "pass " << pass.k;
+      EXPECT_EQ(pass.critical_path.size(), 3u) << "pass " << pass.k;
+    }
+  }
+
+  // Determinism: an identical config yields the identical profile (virtual
+  // time is exact, so this is equality, not tolerance).
+  ASSERT_EQ(a.passes.size(), b.passes.size());
+  for (std::size_t i = 0; i < a.passes.size(); ++i) {
+    EXPECT_EQ(a.passes[i].duration(), b.passes[i].duration());
+    ASSERT_EQ(a.passes[i].nodes.size(), b.passes[i].nodes.size());
+    for (std::size_t j = 0; j < a.passes[i].nodes.size(); ++j) {
+      EXPECT_EQ(a.passes[i].nodes[j].time, b.passes[i].nodes[j].time);
+    }
+  }
+}
+
+TEST(PassProfilerEndToEnd, ComputeDominatesAnUnlimitedRun) {
+  const RunProfile run = profiled_run(small_config());
+  // With no memory limit there is no swapping: pass-2 time is mostly CPU
+  // (plus barrier skew); fault-in and swap-out must be zero.
+  const PassProfile& p2 = run.passes.back();
+  Time compute = 0, faults = 0, swaps = 0, total = 0;
+  for (const NodeProfile& n : p2.nodes) {
+    compute += n.category(ProfileCategory::kCompute);
+    faults += n.category(ProfileCategory::kFaultIn);
+    swaps += n.category(ProfileCategory::kSwapOut);
+    total += n.duration;
+  }
+  EXPECT_EQ(faults, 0);
+  EXPECT_EQ(swaps, 0);
+  EXPECT_GT(compute, 0);
+  EXPECT_GT(total, 0);
+}
+
+}  // namespace
+}  // namespace rms::obs

@@ -1,0 +1,206 @@
+#!/usr/bin/env python3
+"""Continuous perf-regression baseline over the paper-reproduction benches.
+
+Runs a fixed set of small bench recipes (fig4 policy comparison, fig5
+migration, table3 partition skew -- all at --scale 0.01 so a full sweep
+stays under a few minutes), extracts per-pass durations and per-category
+attribution shares from the run artifacts, and either:
+
+    --update   rewrite BENCH_BASELINE.json with the measured values
+    --check    compare against BENCH_BASELINE.json; exit non-zero when any
+               pass duration drifts more than --tolerance (relative, default
+               5%) or any attribution share moves more than
+               --share-tolerance (absolute, default 0.10)
+
+Every invocation also writes a BENCH_<run-id>.json trajectory file next to
+the baseline so CI can upload the measured point even when the check fails.
+
+The simulator is deterministic, so "perf" here is simulated wall time: a
+regression means the modelled system got slower (more faults, more blocking,
+worse overlap), not that the host machine was busy. That is exactly the
+quantity the paper's figures report, and it is stable enough for a 5% gate.
+
+Stdlib only. Requires an already-built tree (--build-dir, default ./build).
+"""
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+# Categories mirror src/obs/profile.cpp; shares are aggregated over nodes.
+CATEGORIES = [
+    "fault_in", "swap_out", "migrate", "serve", "rpc",
+    "stream", "disk_io", "compute", "barrier_wait", "unattributed",
+]
+
+# recipe name -> (binary under <build-dir>/bench, extra args). Scale 0.01
+# keeps each leg to seconds of host time while still swapping (the Table-3
+# skew node holds ~15.4 MB of candidates against the 12 MB limit).
+RECIPES = {
+    "fig4": ("bench_fig4_policy_comparison",
+             ["--scale", "0.01", "--no-ext", "--limit-mb", "12"]),
+    "fig5": ("bench_fig5_migration",
+             ["--scale", "0.01", "--limit-mb", "12"]),
+    "table3": ("bench_table3_partition_skew", ["--scale", "0.01"]),
+}
+
+SCHEMA = "rmswap.bench_baseline/v1"
+
+
+def run_recipe(build_dir, name):
+    binary, args = RECIPES[name]
+    path = os.path.join(build_dir, "bench", binary)
+    if not os.path.exists(path):
+        sys.exit(f"error: {path} not built (configure+build first)")
+    with tempfile.TemporaryDirectory() as tmp:
+        out = os.path.join(tmp, "artifact.json")
+        cmd = [path] + args + ["--json-out", out]
+        print(f"[{name}] {' '.join(cmd)}", file=sys.stderr)
+        subprocess.run(cmd, check=True, stdout=subprocess.DEVNULL)
+        with open(out, "r", encoding="utf-8") as f:
+            return json.load(f)
+
+
+def extract(doc):
+    """Artifact -> {run label: [{k, duration_s, shares{cat: frac}}]}."""
+    runs = {}
+    for run in doc.get("runs", []):
+        if not run.get("completed"):
+            continue
+        passes = []
+        profile_passes = {p["k"]: p
+                          for p in run.get("profile", {}).get("passes", [])}
+        for p in run.get("passes", []):
+            entry = {"k": p["k"], "duration_s": p["duration_s"]}
+            prof = profile_passes.get(p["k"])
+            if prof is not None:
+                total = sum(n["duration_s"] for n in prof["nodes"])
+                shares = {}
+                for cat in CATEGORIES:
+                    t = sum(n[f"{cat}_s"] for n in prof["nodes"])
+                    shares[cat] = round(t / total, 6) if total > 0 else 0.0
+                entry["shares"] = shares
+            passes.append(entry)
+        runs[run["label"]] = passes
+    return runs
+
+
+def measure(build_dir, recipes):
+    return {name: extract(run_recipe(build_dir, name)) for name in recipes}
+
+
+def compare(baseline, measured, tolerance, share_tolerance):
+    problems = []
+
+    def fail(msg):
+        problems.append(msg)
+        print(f"FAIL: {msg}", file=sys.stderr)
+
+    for recipe, base_runs in baseline.get("recipes", {}).items():
+        got_runs = measured.get(recipe)
+        if got_runs is None:
+            fail(f"{recipe}: recipe missing from this measurement")
+            continue
+        for label, base_passes in base_runs.items():
+            got_passes = got_runs.get(label)
+            if got_passes is None:
+                fail(f"{recipe}/{label}: run missing (labels changed?)")
+                continue
+            got_by_k = {p["k"]: p for p in got_passes}
+            for bp in base_passes:
+                gp = got_by_k.get(bp["k"])
+                if gp is None:
+                    fail(f"{recipe}/{label}: pass {bp['k']} missing")
+                    continue
+                ref, now = bp["duration_s"], gp["duration_s"]
+                rel = abs(now - ref) / ref if ref > 0 else 0.0
+                status = "ok" if rel <= tolerance else "FAIL"
+                print(f"  {status}: {recipe}/{label} pass {bp['k']}: "
+                      f"{ref:.3f}s -> {now:.3f}s ({rel * 100:+.2f}%)")
+                if rel > tolerance:
+                    fail(f"{recipe}/{label} pass {bp['k']}: duration "
+                         f"{ref:.6f}s -> {now:.6f}s, drift {rel * 100:.2f}% "
+                         f"> {tolerance * 100:.1f}%")
+                for cat, ref_share in bp.get("shares", {}).items():
+                    now_share = gp.get("shares", {}).get(cat, 0.0)
+                    if abs(now_share - ref_share) > share_tolerance:
+                        fail(f"{recipe}/{label} pass {bp['k']}: {cat} share "
+                             f"{ref_share:.3f} -> {now_share:.3f} (moved "
+                             f"more than {share_tolerance:.2f})")
+    return problems
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    mode = ap.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--update", action="store_true",
+                      help="rewrite the baseline with measured values")
+    mode.add_argument("--check", action="store_true",
+                      help="compare measured values against the baseline")
+    ap.add_argument("--build-dir", default="build",
+                    help="CMake build tree holding bench/ binaries")
+    ap.add_argument("--baseline", default=None,
+                    help="baseline path (default: BENCH_BASELINE.json next "
+                         "to this script's repo root)")
+    ap.add_argument("--tolerance", type=float, default=0.05,
+                    help="relative pass-duration tolerance (default 0.05)")
+    ap.add_argument("--share-tolerance", type=float, default=0.10,
+                    help="absolute attribution-share tolerance (default "
+                         "0.10)")
+    ap.add_argument("--run-id", default="local",
+                    help="suffix for the BENCH_<run-id>.json trajectory "
+                         "file (e.g. the CI run number)")
+    ap.add_argument("--out", default=None,
+                    help="trajectory file path (default: "
+                         "BENCH_<run-id>.json in the working directory)")
+    args = ap.parse_args()
+
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    baseline_path = args.baseline or os.path.join(repo_root,
+                                                  "BENCH_BASELINE.json")
+    measured = measure(args.build_dir, RECIPES)
+
+    # Always leave a trajectory point, pass or fail: CI uploads these so a
+    # regression can be bisected from artifacts alone.
+    out_path = args.out or f"BENCH_{args.run_id}.json"
+    with open(out_path, "w", encoding="utf-8") as f:
+        json.dump({"schema": SCHEMA, "run_id": args.run_id,
+                   "recipes": measured}, f, indent=1, sort_keys=True)
+        f.write("\n")
+    print(f"trajectory written to {out_path}", file=sys.stderr)
+
+    if args.update:
+        # No timestamps or host info: the baseline is checked in, and the
+        # simulator is deterministic, so the file should only change when
+        # the modelled performance does.
+        with open(baseline_path, "w", encoding="utf-8") as f:
+            json.dump({"schema": SCHEMA, "tolerance": args.tolerance,
+                       "recipes": measured}, f, indent=1, sort_keys=True)
+            f.write("\n")
+        print(f"baseline written to {baseline_path}", file=sys.stderr)
+        return 0
+
+    try:
+        with open(baseline_path, "r", encoding="utf-8") as f:
+            baseline = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"error: cannot read baseline {baseline_path}: {e} "
+                 f"(run with --update to create it)")
+    if baseline.get("schema") != SCHEMA:
+        sys.exit(f"error: {baseline_path}: unexpected schema "
+                 f"{baseline.get('schema')!r}")
+    problems = compare(baseline, measured, args.tolerance,
+                       args.share_tolerance)
+    if problems:
+        print(f"{len(problems)} perf-baseline problem(s)", file=sys.stderr)
+        return 1
+    print("perf baseline: all passes within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

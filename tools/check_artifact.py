@@ -37,11 +37,70 @@ def load(path, what):
         return None
 
 
+# One key per profiler category, in the profiler's priority order. The sum
+# of these per node must equal the pass duration (the profiler attributes
+# every nanosecond; "unattributed" is the explicit residual bucket).
+_PROFILE_CATEGORIES = [
+    "fault_in_s", "swap_out_s", "migrate_s", "serve_s", "rpc_s",
+    "stream_s", "disk_io_s", "compute_s", "barrier_wait_s",
+    "unattributed_s",
+]
+
+
+def check_profile_body(who, prof):
+    for key in ("trace_dropped", "events_dropped"):
+        expect(isinstance(prof.get(key), int) and prof[key] >= 0,
+               f"{who}: profile.{key} missing or negative")
+    expect(isinstance(prof.get("complete"), bool),
+           f"{who}: profile.complete missing")
+    passes = prof.get("passes")
+    if not expect(isinstance(passes, list) and passes,
+                  f"{who}: profile.passes missing or empty"):
+        return
+    exact = prof.get("events_dropped", 1) == 0
+    for p in passes:
+        pw = f"{who} profile pass k={p.get('k')}"
+        dur = p.get("duration_s")
+        if not expect(isinstance(dur, (int, float)) and dur > 0,
+                      f"{pw}: duration_s not positive"):
+            continue
+        nodes = p.get("nodes")
+        if not expect(isinstance(nodes, list) and nodes,
+                      f"{pw}: nodes missing or empty"):
+            continue
+        for n in nodes:
+            nw = f"{pw} node {n.get('node')}"
+            total = 0.0
+            for cat in _PROFILE_CATEGORIES:
+                v = n.get(cat)
+                if not expect(isinstance(v, (int, float)) and v >= 0,
+                              f"{nw}: {cat} missing or negative"):
+                    break
+                total += v
+            else:
+                ndur = n.get("duration_s", dur)
+                # Exact in integer nanoseconds; 1e-6 relative covers the
+                # double-to-decimal printing only. A degraded profiler
+                # (events_dropped > 0) still sums exactly, but keep the
+                # check scoped to the guarantee the code makes.
+                if exact:
+                    expect(abs(total - ndur) <= 1e-6 * max(ndur, 1e-9),
+                           f"{nw}: categories sum to {total}, "
+                           f"duration is {ndur}")
+        waits = [s.get("barrier_wait_s", 0)
+                 for s in p.get("stragglers", [])]
+        expect(all(a <= b for a, b in zip(waits, waits[1:])),
+               f"{pw}: stragglers not sorted by ascending wait")
+        slow = [s.get("duration_ms", 0) for s in p.get("slowest", [])]
+        expect(all(a >= b for a, b in zip(slow, slow[1:])),
+               f"{pw}: slowest ops not sorted by descending duration")
+
+
 def check_run_artifact(path):
     doc = load(path, "run artifact")
     if doc is None:
         return
-    expect(doc.get("schema") == "rmswap.run_artifact/v1",
+    expect(doc.get("schema") == "rmswap.run_artifact/v2",
            f"{path}: schema is {doc.get('schema')!r}")
     runs = doc.get("runs")
     if not expect(isinstance(runs, list) and runs,
@@ -70,6 +129,10 @@ def check_run_artifact(path):
         for name, h in run.get("histograms", {}).items():
             expect(h.get("p50", 0) <= h.get("p95", 0) <= h.get("p99", 0),
                    f"{who}: histogram {name} percentiles not monotone")
+        prof = run.get("profile")
+        if expect(isinstance(prof, dict),
+                  f"{who}: completed run has no 'profile' section"):
+            check_profile_body(who, prof)
         metrics = run.get("metrics")
         if metrics is not None:
             n_series = len(metrics.get("series", []))
@@ -130,20 +193,43 @@ def check_metrics(path):
     print(f"ok: {path}: {len(runs)} run(s)")
 
 
+def check_profile(path):
+    doc = load(path, "attribution profile")
+    if doc is None:
+        return
+    expect(doc.get("schema") == "rmswap.profile/v1",
+           f"{path}: schema is {doc.get('schema')!r}")
+    runs = doc.get("runs")
+    if not expect(isinstance(runs, list) and runs,
+                  f"{path}: 'runs' missing or empty"):
+        return
+    for i, run in enumerate(runs):
+        who = f"{path} runs[{i}]"
+        expect(isinstance(run.get("label"), str) and run["label"],
+               f"{who}: missing label")
+        check_profile_body(who, run)
+    print(f"ok: {path}: {len(runs)} run(s)")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--run-artifact", help="rmswap.run_artifact/v1 file")
+    ap.add_argument("--run-artifact", help="rmswap.run_artifact/v2 file")
     ap.add_argument("--trace", help="Chrome trace_event file")
     ap.add_argument("--metrics", help="rmswap.metrics/v1 file")
+    ap.add_argument("--profile", help="rmswap.profile/v1 file")
     args = ap.parse_args()
-    if not (args.run_artifact or args.trace or args.metrics):
-        ap.error("pass at least one of --run-artifact / --trace / --metrics")
+    if not (args.run_artifact or args.trace or args.metrics
+            or args.profile):
+        ap.error("pass at least one of --run-artifact / --trace / "
+                 "--metrics / --profile")
     if args.run_artifact:
         check_run_artifact(args.run_artifact)
     if args.trace:
         check_trace(args.trace)
     if args.metrics:
         check_metrics(args.metrics)
+    if args.profile:
+        check_profile(args.profile)
     return 1 if _PROBLEMS else 0
 
 
