@@ -20,6 +20,7 @@
 #include "hpa/hpa.hpp"
 #include "mining/generator.hpp"
 #include "obs/artifact.hpp"
+#include "runtime/registry.hpp"
 
 namespace rms::bench {
 
@@ -248,6 +249,42 @@ inline PolicyFlags parse_policy_flags(const Flags& flags,
   p.limit_mb = flags.get_double("limit-mb", default_limit_mb);
   p.tiered_budget_mb = flags.get_double("tiered-budget-mb", -1.0);
   return p;
+}
+
+// ---- shared workload selection --------------------------------------------
+//
+// Multi-workload benches select from the runtime workload catalog the same
+// way the single-policy benches select their backend.
+
+/// Register --workload / --list-workloads help text.
+inline std::map<std::string, std::string> with_workload_flags(
+    std::map<std::string, std::string> extra = {}) {
+  extra.emplace("workload",
+                "workload to run: " + runtime::workload_names() +
+                    " (default hpa)");
+  extra.emplace("list-workloads", "print the workload catalog and exit");
+  return extra;
+}
+
+/// Resolve the flags registered by with_workload_flags to a catalog name.
+/// --list-workloads prints the catalog and exits 0; an unknown name exits 2
+/// with a friendly error naming the valid workloads.
+inline std::string parse_workload_flag(const Flags& flags,
+                                       const std::string& default_name =
+                                           "hpa") {
+  if (flags.get_bool("list-workloads", false)) {
+    for (const runtime::WorkloadInfo& info : runtime::workload_catalog()) {
+      std::printf("%-16s %s\n", info.name.c_str(), info.description.c_str());
+    }
+    std::exit(0);
+  }
+  const std::string name = flags.get("workload", default_name);
+  if (!runtime::find_workload(name)) {
+    std::fprintf(stderr, "unknown --workload '%s' (expected %s)\n",
+                 name.c_str(), runtime::workload_names().c_str());
+    std::exit(2);
+  }
+  return name;
 }
 
 }  // namespace rms::bench

@@ -94,7 +94,7 @@ int main(int argc, char** argv) {
         swap_t = r.pass(2)->duration;
       } else {
         update_t = r.pass(2)->duration;
-        determine_t = r.pass(2)->determine_time;
+        determine_t = r.pass(2)->phase(hpa::kDeterminePhase);
       }
     }
     wtable.add_row({TablePrinter::num(window, 0), bench::secs(swap_t),

@@ -2,12 +2,11 @@
 //
 // The paper motivates the cluster for "data mining and ad hoc query
 // processing in databases"; this example is the second domain: a
-// distributed counting hash join R ⋈ S. Build-side tuples are hashed into
-// the same per-node hash-line stores the miner uses (entries encode
-// (join key, row tag)); when the build side exceeds the per-node memory
-// limit, lines spill to memory-available nodes exactly like candidate
-// itemsets, and probe-side lookups fault them back (`count_matches`, a read
-// query one-way updates cannot answer).
+// distributed counting hash join R ⋈ S, implemented in
+// src/workloads/hash_join.{hpp,cpp} as a runtime::Workload (two phases,
+// "build" and "probe", on the same PhasedRunner that drives the miner).
+// This driver just parses flags, runs the join under three swap policies,
+// and renders the comparison.
 //
 //   $ hash_join [--build-rows 40000] [--probe-rows 40000] [--limit-kb 192]
 //
@@ -15,150 +14,15 @@
 // reports the remote-memory traffic the spill produced, under both remote
 // swapping and local-disk swapping.
 #include <cstdio>
-#include <unordered_map>
-#include <vector>
 
-#include "cluster/cluster.hpp"
-#include "cluster/cpu_charger.hpp"
 #include "common/flags.hpp"
-#include "common/rng.hpp"
-#include "core/availability.hpp"
-#include "core/hash_line_store.hpp"
-#include "core/memory_server.hpp"
 #include "obs/artifact.hpp"
 #include "obs/json.hpp"
-#include "sim/process.hpp"
-#include "sim/simulation.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "workloads/hash_join.hpp"
 
 using namespace rms;
-
-namespace {
-
-struct Row {
-  mining::Item key = 0;
-  std::uint32_t row_id = 0;
-};
-
-struct JoinWorld {
-  static constexpr std::size_t kAppNodes = 4;
-  static constexpr std::size_t kMemNodes = 4;
-  static constexpr std::size_t kLinesPerNode = 512;
-
-  sim::Simulation sim;
-  std::unique_ptr<cluster::Cluster> cl;
-  std::vector<std::unique_ptr<core::MemoryServer>> servers;
-  std::unique_ptr<placement::MemoryBroker> table;
-  std::vector<std::unique_ptr<core::HashLineStore>> stores;
-
-  explicit JoinWorld(core::SwapPolicy policy, std::int64_t limit,
-                     std::int64_t tiered_budget = -1,
-                     obs::TraceRecorder* trace = nullptr) {
-    cluster::ClusterConfig ccfg;
-    ccfg.num_nodes = kAppNodes + kMemNodes;
-    cl = std::make_unique<cluster::Cluster>(sim, ccfg);
-    std::vector<net::NodeId> mem_ids;
-    for (std::size_t m = 0; m < kMemNodes; ++m) {
-      const auto id = static_cast<net::NodeId>(kAppNodes + m);
-      mem_ids.push_back(id);
-      core::MemoryServer::Config mscfg;
-      mscfg.trace = trace;
-      servers.push_back(
-          std::make_unique<core::MemoryServer>(cl->node(id), mscfg));
-      sim.spawn(servers.back()->serve());
-    }
-    table = std::make_unique<placement::MemoryBroker>(mem_ids);
-    for (net::NodeId id : mem_ids) {
-      table->update(core::AvailabilityInfo{id, 32 << 20, 1}, 0);
-    }
-    for (std::size_t n = 0; n < kAppNodes; ++n) {
-      core::HashLineStore::Config scfg;
-      scfg.num_lines = kLinesPerNode;
-      scfg.memory_limit_bytes = limit;
-      scfg.policy = limit < 0 ? core::SwapPolicy::kNoLimit : policy;
-      scfg.tiered_remote_budget_bytes = tiered_budget;
-      scfg.trace = trace;
-      stores.push_back(std::make_unique<core::HashLineStore>(
-          cl->node(static_cast<net::NodeId>(n)), scfg, table.get()));
-    }
-  }
-
-  // Key -> (owner node, local line).
-  std::pair<std::size_t, core::LineId> place(mining::Item key) const {
-    const std::uint64_t h = (key * 0x9e3779b97f4a7c15ULL) >> 16;
-    const std::size_t gline = h % (kLinesPerNode * kAppNodes);
-    return {gline % kAppNodes,
-            static_cast<core::LineId>(gline / kAppNodes)};
-  }
-};
-
-// Build-table entry for one R row: {join key, tagged row id}. A plain
-// function because GCC 12 miscompiles initializer-list construction inside
-// coroutines ("array used as initializer").
-mining::Itemset make_entry(mining::Item key, std::uint32_t row_id) {
-  mining::Itemset s;
-  s.push_back(key);
-  s.push_back(1'000'000u + row_id);
-  return s;
-}
-
-sim::Process run_join(JoinWorld& w, const std::vector<Row>& build,
-                      const std::vector<Row>& probe, std::uint64_t& output,
-                      bool& done, bool stop_sim) {
-  // Per-row CPU is charged in chunks on the owning node with the same
-  // CpuCharger the miner's scan loops use (tuple parse on build, hash probe
-  // on probe), keeping events proportional to faults instead of rows.
-  std::vector<cluster::CpuCharger> parse;
-  std::vector<cluster::CpuCharger> lookup;
-  parse.reserve(JoinWorld::kAppNodes);
-  lookup.reserve(JoinWorld::kAppNodes);
-  for (std::size_t n = 0; n < JoinWorld::kAppNodes; ++n) {
-    cluster::Node& node = w.cl->node(static_cast<net::NodeId>(n));
-    parse.emplace_back(node, node.costs().per_tx_parse);
-    lookup.emplace_back(node, node.costs().per_probe);
-  }
-
-  // Build phase: insert R tuples, partitioned by key hash (each entry is
-  // {key, tagged row id} so entries within a line stay unique).
-  for (const Row& r : build) {
-    const auto placed = w.place(r.key);
-    co_await w.stores[placed.first]->insert(placed.second,
-                                            make_entry(r.key, r.row_id));
-    co_await parse[placed.first].add(1);
-  }
-  for (auto& c : parse) co_await c.flush();
-  for (auto& s : w.stores) s->set_phase(core::HashLineStore::Phase::kCount);
-
-  // Probe phase: count matches per S tuple (a counting join).
-  for (const Row& r : probe) {
-    const auto placed = w.place(r.key);
-    output += co_await w.stores[placed.first]->count_matches(placed.second,
-                                                             r.key);
-    co_await lookup[placed.first].add(1);
-  }
-  for (auto& c : lookup) co_await c.flush();
-  done = true;
-  // With a metrics sampler ticking forever, the event queue never drains;
-  // stop the loop explicitly (no-op difference otherwise, so only do it
-  // when observability asked for it — the default run stays untouched).
-  if (stop_sim) w.sim.request_stop();
-}
-
-std::vector<Row> make_rows(std::int64_t n, std::uint32_t keys,
-                           std::uint64_t seed) {
-  Pcg32 rng(seed);
-  std::vector<Row> rows;
-  rows.reserve(static_cast<std::size_t>(n));
-  for (std::int64_t i = 0; i < n; ++i) {
-    // Zipf-ish skew: a quarter of the rows hit a hot tenth of the keys.
-    const mining::Item key = rng.bernoulli(0.25)
-                                 ? rng.below(keys / 10 + 1)
-                                 : rng.below(keys);
-    rows.push_back(Row{key, static_cast<std::uint32_t>(i)});
-  }
-  return rows;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv,
@@ -186,88 +50,69 @@ int main(int argc, char** argv) {
     sampler = std::make_unique<obs::MetricsSampler>(msec(100));
   }
 
-  const std::vector<Row> build = make_rows(n_build, keys, 11);
-  const std::vector<Row> probe = make_rows(n_probe, keys, 22);
-
-  // In-memory reference.
-  std::unordered_map<mining::Item, std::uint64_t> ref_counts;
-  for (const Row& r : build) ++ref_counts[r.key];
-  std::uint64_t expected = 0;
-  for (const Row& r : probe) {
-    const auto it = ref_counts.find(r.key);
-    if (it != ref_counts.end()) expected += it->second;
-  }
-  std::printf("R ⋈ S reference cardinality: %llu (%lld x %lld rows, %u keys)\n",
-              static_cast<unsigned long long>(expected),
-              static_cast<long long>(n_build),
-              static_cast<long long>(n_probe), keys);
-
   obs::JsonWriter artifact;
   artifact.begin_object();
   artifact.kv("schema", "rmswap.hash_join/v1");
-  artifact.kv("reference_cardinality", static_cast<std::uint64_t>(expected));
+  bool wrote_reference = false;
   artifact.key("runs");
   artifact.begin_array();
 
+  int rc = 0;
   for (core::SwapPolicy policy :
        {core::SwapPolicy::kRemoteSwap, core::SwapPolicy::kDiskSwap,
         core::SwapPolicy::kTiered}) {
+    workloads::HashJoinConfig cfg;
+    cfg.build_rows = n_build;
+    cfg.probe_rows = n_probe;
+    cfg.keys = keys;
+    cfg.memory_limit_bytes = limit;
+    cfg.policy = policy;
     // The tiered run caps remote memory well below the spill volume so both
     // tiers (remote first, then disk past the budget) see traffic.
-    JoinWorld w(policy, limit,
-                policy == core::SwapPolicy::kTiered ? limit / 8 : -1,
-                trace.get());
+    cfg.tiered_remote_budget_bytes =
+        policy == core::SwapPolicy::kTiered ? limit / 8 : -1;
+    cfg.trace = trace.get();
+    cfg.metrics = sampler.get();
     if (trace) trace->begin_run(core::to_string(policy));
-    if (sampler) {
-      sampler->begin_run(core::to_string(policy));
-      for (std::size_t n = 0; n < JoinWorld::kAppNodes; ++n) {
-        core::HashLineStore& s = *w.stores[n];
-        const auto node = static_cast<std::int32_t>(n);
-        sampler->add_gauge("resident_bytes", node, [&s] {
-          return static_cast<double>(s.resident_bytes());
-        });
-        sampler->add_gauge("lines_remote", node, [&s] {
-          return static_cast<double>(s.remote_lines());
-        });
-        sampler->add_gauge("lines_disk", node, [&s] {
-          return static_cast<double>(s.disk_lines());
-        });
-      }
-      w.sim.spawn(obs::sample_process(w.sim, *sampler));
-    }
-    std::uint64_t output = 0;
-    bool done = false;
-    w.sim.spawn(run_join(w, build, probe, output, done, sampler != nullptr));
-    w.sim.run();
-    if (sampler) {
-      w.sim.shutdown();
-      sampler->clear_gauges();
-    }
-    RMS_CHECK_MSG(done, "join did not complete");
+    if (sampler) sampler->begin_run(core::to_string(policy));
 
-    std::int64_t faults = 0;
-    for (auto& s : w.stores) faults += s->pagefaults();
+    const workloads::HashJoinResult r = workloads::run_hash_join(cfg);
+    if (!wrote_reference) {
+      std::printf(
+          "R ⋈ S reference cardinality: %llu (%lld x %lld rows, %u keys)\n",
+          static_cast<unsigned long long>(r.expected),
+          static_cast<long long>(n_build), static_cast<long long>(n_probe),
+          keys);
+      wrote_reference = true;
+    }
     std::printf(
         "%-12s join output %llu (%s), %.1f virtual s, %lld pagefaults\n",
-        core::to_string(policy), static_cast<unsigned long long>(output),
-        output == expected ? "exact" : "MISMATCH!",
-        to_seconds(w.sim.now()), static_cast<long long>(faults));
+        core::to_string(policy), static_cast<unsigned long long>(r.output),
+        r.exact() ? "exact" : "MISMATCH!", to_seconds(r.total_time),
+        static_cast<long long>(r.pagefaults));
 
-    StatsRegistry merged;
-    for (std::size_t n = 0; n < JoinWorld::kAppNodes + JoinWorld::kMemNodes;
-         ++n) {
-      merged.merge(w.cl->node(static_cast<net::NodeId>(n)).stats());
-    }
     artifact.begin_object();
     artifact.kv("policy", core::to_string(policy));
-    artifact.kv("output", static_cast<std::uint64_t>(output));
-    artifact.kv("exact", output == expected);
-    artifact.kv("virtual_s", to_seconds(w.sim.now()));
-    artifact.kv("pagefaults", faults);
-    obs::stats_json(artifact, merged);
+    artifact.kv("output", static_cast<std::uint64_t>(r.output));
+    artifact.kv("reference_cardinality",
+                static_cast<std::uint64_t>(r.expected));
+    artifact.kv("exact", r.exact());
+    artifact.kv("virtual_s", to_seconds(r.total_time));
+    artifact.kv("pagefaults", r.pagefaults);
+    if (!r.passes.empty()) {
+      // Phase breakdown keyed by the runtime phase registry.
+      artifact.key("phases");
+      artifact.begin_object();
+      for (std::size_t p = 0; p < r.phase_names.size(); ++p) {
+        artifact.kv(r.phase_names[p] + "_s",
+                    to_seconds(r.passes.front().phase_time(p)));
+      }
+      artifact.end_object();
+    }
+    obs::stats_json(artifact, r.stats);
     artifact.end_object();
 
-    if (output != expected) return 1;
+    if (!r.exact()) rc = 1;
   }
   artifact.end_array();
   artifact.end_object();
@@ -287,10 +132,12 @@ int main(int argc, char** argv) {
                 obs::write_file(json_path, artifact.str()) ? "wrote" : "FAILED",
                 json_path.c_str());
   }
-  std::printf(
-      "\nthe build table spilled past %lld kB/node into remote memory (or "
-      "disk) and every probe still found exactly its matches -- the same "
-      "machinery, a different data-intensive application.\n",
-      static_cast<long long>(limit / 1000));
-  return 0;
+  if (rc == 0) {
+    std::printf(
+        "\nthe build table spilled past %lld kB/node into remote memory (or "
+        "disk) and every probe still found exactly its matches -- the same "
+        "machinery, a different data-intensive application.\n",
+        static_cast<long long>(limit / 1000));
+  }
+  return rc;
 }

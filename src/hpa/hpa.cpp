@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <memory>
 
-#include "cluster/cpu_charger.hpp"
 #include "cluster/fault.hpp"
 #include "core/availability.hpp"
 #include "core/hash_line_store.hpp"
@@ -11,6 +10,9 @@
 #include "core/protocol.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "runtime/cpu_charger.hpp"
+#include "runtime/runner.hpp"
+#include "runtime/workload.hpp"
 #include "sim/process.hpp"
 #include "sim/simulation.hpp"
 #include "sim/sync.hpp"
@@ -21,8 +23,8 @@
 namespace rms::hpa {
 namespace {
 
-using cluster::CpuCharger;
 using cluster::Node;
+using runtime::CpuCharger;
 using mining::Itemset;
 using net::NodeId;
 
@@ -46,9 +48,9 @@ struct LargeList {
   std::vector<mining::CountedItemset> larges;
 };
 
-class Runner {
+class HpaWorkload final : public runtime::Workload {
  public:
-  explicit Runner(const HpaConfig& cfg) : cfg_(cfg) {
+  explicit HpaWorkload(const HpaConfig& cfg) : cfg_(cfg) {
     RMS_CHECK(cfg_.app_nodes >= 1);
     RMS_CHECK(cfg_.hash_lines >= cfg_.app_nodes);
     RMS_CHECK(cfg_.min_support > 0 && cfg_.min_support <= 1.0);
@@ -64,6 +66,65 @@ class Runner {
   }
 
   HpaResult run();
+
+  // ---- runtime::Workload ----
+  void register_phases(runtime::PhaseRegistry& phases) override {
+    RMS_CHECK(phases.add("build") == kBuildPhase);
+    RMS_CHECK(phases.add("count") == kCountPhase);
+    RMS_CHECK(phases.add("determine") == kDeterminePhase);
+  }
+  bool has_prologue() const override { return true; }
+  sim::Task<> prologue(std::size_t idx) override { co_await pass1(idx); }
+  void end_prologue(const runtime::PassTiming& timing) override {
+    result_.passes.back().duration = timing.duration();
+  }
+  bool done(std::size_t /*pass*/) const override {
+    // Node 0 maintains the canonical state; all nodes see the same answer.
+    return global_large_prev_.empty();
+  }
+  void begin_pass(std::size_t k) override { generate_candidates(k); }
+  bool proceed(std::size_t /*pass*/) const override {
+    return total_candidates_ != 0;
+  }
+  void abort_pass(std::size_t /*pass*/) override {
+    // The sequential miner records nothing for a candidate-less pass;
+    // mirror that so results compare exactly.
+    result_.passes.pop_back();
+    global_large_prev_.clear();
+  }
+  sim::Task<> run_phase(std::size_t idx, runtime::PhaseId phase,
+                        std::size_t k) override {
+    switch (phase) {
+      case kBuildPhase:
+        co_await build_store(idx, k);
+        break;
+      case kCountPhase: {
+        stores_[idx]->set_phase(core::HashLineStore::Phase::kCount);
+        sim::Process sender = sim_.spawn(count_sender(idx, k));
+        sim::Process receiver = sim_.spawn(count_receiver(idx, k));
+        co_await sender;
+        co_await receiver;
+        break;
+      }
+      case kDeterminePhase:
+        co_await determine_large(idx, k);
+        break;
+      default:
+        RMS_CHECK(false);
+    }
+  }
+  void check_invariants(std::size_t idx) override {
+    if (stores_[idx]) stores_[idx]->check_invariants();
+  }
+  void end_pass(const runtime::PassTiming& timing) override {
+    finish_pass_report(timing);
+  }
+  void end_pass_local(std::size_t idx, std::size_t /*pass*/) override {
+    failover_total_.merge(stores_[idx]->failover());
+    integrity_total_.merge(stores_[idx]->integrity());
+    store_stats_total_.merge(stores_[idx]->stats());
+    stores_[idx].reset();
+  }
 
  private:
   // ---- topology helpers ----
@@ -129,35 +190,22 @@ class Runner {
     cuts_.back() = kWeightResolution;
   }
 
-  // ---- processes ----
-  sim::Process app_main(std::size_t idx);
+  // ---- phase bodies (the runner owns barriers, spans, and timing) ----
   sim::Process count_sender(std::size_t idx, std::size_t k);
   sim::Process count_receiver(std::size_t idx, std::size_t k);
-  sim::Process coordinator();
 
   sim::Task<> pass1(std::size_t idx);
   sim::Task<> build_store(std::size_t idx, std::size_t k);
   sim::Task<> determine_large(std::size_t idx, std::size_t k);
 
   void generate_candidates(std::size_t k);
-  void finish_pass_report(std::size_t k);
-  /// A kBarrier instant on this node's track as it arrives at a phase
-  /// barrier — the skew between the first and last arrival is the
-  /// load-imbalance the paper's Table 3/4 discussion is about.
-  void barrier_instant(std::size_t idx, std::size_t k) {
-    if (cfg_.trace != nullptr) {
-      cfg_.trace->instant(obs::EventKind::kBarrier,
-                          static_cast<std::int32_t>(app_id(idx)), sim_.now(),
-                          static_cast<std::int64_t>(k));
-    }
-  }
+  void finish_pass_report(const runtime::PassTiming& timing);
   void register_gauges();
 
   const HpaConfig& cfg_;
   std::vector<std::size_t> cuts_;  // weighted-partition residue cuts
   sim::Simulation sim_;
   std::unique_ptr<cluster::Cluster> cluster_;
-  std::unique_ptr<sim::Barrier> barrier_;
 
   mining::TransactionDb generated_db_;
   const mining::TransactionDb* db_ = nullptr;
@@ -182,19 +230,13 @@ class Runner {
   /// At-rest corruption draws (FaultPlan episodes); fixed stream so runs
   /// with identical configs corrupt identically.
   Pcg32 corrupt_rest_rng_{0xa27e57, 0x11};
-  Time pass_start_ = 0;
-  Time build_start_ = 0;
-  Time count_start_ = 0;
-  Time determine_start_ = 0;
-  Time determine_end_ = 0;
-  bool mining_done_ = false;
 };
 
 // ---------------------------------------------------------------------------
 // Pass 1: local item counting + all-to-all count exchange.
 // ---------------------------------------------------------------------------
 
-sim::Task<> Runner::pass1(std::size_t idx) {
+sim::Task<> HpaWorkload::pass1(std::size_t idx) {
   Node& node = cluster_->node(app_id(idx));
   const mining::TransactionDb& part = partitions_[idx];
   const cluster::CostModel& costs = cfg_.cluster.costs;
@@ -271,7 +313,7 @@ sim::Task<> Runner::pass1(std::size_t idx) {
 // Candidate generation (canonical) and store build (per node).
 // ---------------------------------------------------------------------------
 
-void Runner::generate_candidates(std::size_t k) {
+void HpaWorkload::generate_candidates(std::size_t k) {
   // Real HPA: every node scans the full candidate stream and keeps its own
   // share. The scan itself is identical on all nodes, so it is executed
   // once here; each node is charged the full scan in virtual time.
@@ -294,7 +336,7 @@ void Runner::generate_candidates(std::size_t k) {
   result_.passes.push_back(std::move(rep));
 }
 
-sim::Task<> Runner::build_store(std::size_t idx, std::size_t k) {
+sim::Task<> HpaWorkload::build_store(std::size_t idx, std::size_t k) {
   Node& node = cluster_->node(app_id(idx));
   const cluster::CostModel& costs = cfg_.cluster.costs;
 
@@ -339,7 +381,7 @@ sim::Task<> Runner::build_store(std::size_t idx, std::size_t k) {
 // Counting phase: sender scans and ships k-itemsets; receiver probes.
 // ---------------------------------------------------------------------------
 
-sim::Process Runner::count_sender(std::size_t idx, std::size_t k) {
+sim::Process HpaWorkload::count_sender(std::size_t idx, std::size_t k) {
   Node& node = cluster_->node(app_id(idx));
   const mining::TransactionDb& part = partitions_[idx];
   const cluster::CostModel& costs = cfg_.cluster.costs;
@@ -417,7 +459,7 @@ sim::Process Runner::count_sender(std::size_t idx, std::size_t k) {
   }
 }
 
-sim::Process Runner::count_receiver(std::size_t idx, std::size_t k) {
+sim::Process HpaWorkload::count_receiver(std::size_t idx, std::size_t k) {
   Node& node = cluster_->node(app_id(idx));
   const cluster::CostModel& costs = cfg_.cluster.costs;
   core::HashLineStore& store = *stores_[idx];
@@ -447,7 +489,7 @@ sim::Process Runner::count_receiver(std::size_t idx, std::size_t k) {
 // Large-itemset determination and exchange.
 // ---------------------------------------------------------------------------
 
-sim::Task<> Runner::determine_large(std::size_t idx, std::size_t k) {
+sim::Task<> HpaWorkload::determine_large(std::size_t idx, std::size_t k) {
   Node& node = cluster_->node(app_id(idx));
   const cluster::CostModel& costs = cfg_.cluster.costs;
   core::HashLineStore& store = *stores_[idx];
@@ -497,18 +539,19 @@ sim::Task<> Runner::determine_large(std::size_t idx, std::size_t k) {
 }
 
 // ---------------------------------------------------------------------------
-// Per-node main process and coordinator.
+// Per-pass report assembly (PhasedRunner end_pass hook).
 // ---------------------------------------------------------------------------
 
-void Runner::finish_pass_report(std::size_t k) {
+void HpaWorkload::finish_pass_report(const runtime::PassTiming& timing) {
   PassReport& rep = result_.passes.back();
-  RMS_CHECK(rep.k == k);
+  RMS_CHECK(rep.k == timing.pass);
   rep.large_global =
       static_cast<std::int64_t>(result_.mined.large_by_k.back().size());
-  rep.duration = sim_.now() - pass_start_;
-  rep.build_time = count_start_ - build_start_;
-  rep.count_time = determine_start_ - count_start_;
-  rep.determine_time = determine_end_ - determine_start_;
+  rep.duration = timing.duration();
+  rep.phase_time.resize(kNumPhases);
+  for (std::size_t p = 0; p < kNumPhases; ++p) {
+    rep.phase_time[p] = timing.phase_time(p);
+  }
   rep.pagefaults_per_node.resize(cfg_.app_nodes);
   rep.swap_outs_per_node.resize(cfg_.app_nodes);
   rep.updates_per_node.resize(cfg_.app_nodes);
@@ -517,108 +560,13 @@ void Runner::finish_pass_report(std::size_t k) {
     rep.swap_outs_per_node[i] = stores_[i]->swap_outs();
     rep.updates_per_node[i] = stores_[i]->updates_sent();
   }
-  if (cfg_.trace != nullptr) {
-    const auto kk = static_cast<std::int64_t>(k);
-    const auto t = obs::TraceRecorder::kPhaseTrack;
-    cfg_.trace->span(obs::EventKind::kPass, t, pass_start_, sim_.now(), kk);
-    cfg_.trace->span(obs::EventKind::kBuildPhase, t, build_start_,
-                     count_start_, kk);
-    cfg_.trace->span(obs::EventKind::kCountPhase, t, count_start_,
-                     determine_start_, kk);
-    cfg_.trace->span(obs::EventKind::kDeterminePhase, t, determine_start_,
-                     determine_end_, kk);
-  }
-}
-
-sim::Process Runner::app_main(std::size_t idx) {
-  // Let the first availability broadcasts land before any swap decision.
-  co_await sim_.timeout(msec(10));
-  co_await barrier_->arrive();
-
-  if (idx == 0) pass_start_ = sim_.now();
-  co_await pass1(idx);
-  co_await barrier_->arrive();
-  if (idx == 0) {
-    result_.passes.back().duration = sim_.now() - pass_start_;
-    if (cfg_.trace != nullptr) {
-      cfg_.trace->span(obs::EventKind::kPass, obs::TraceRecorder::kPhaseTrack,
-                       pass_start_, sim_.now(), 1);
-    }
-  }
-
-  for (std::size_t k = 2; k <= cfg_.max_k; ++k) {
-    // Node 0 checks global termination; all nodes see the same state.
-    if (global_large_prev_.empty()) break;
-
-    co_await barrier_->arrive();
-    if (idx == 0) {
-      pass_start_ = sim_.now();
-      generate_candidates(k);
-    }
-    co_await barrier_->arrive();
-    if (total_candidates_ == 0) {
-      // The sequential miner records nothing for a candidate-less pass;
-      // mirror that so results compare exactly.
-      if (idx == 0) {
-        result_.passes.pop_back();
-        global_large_prev_.clear();
-      }
-      co_await barrier_->arrive();
-      break;
-    }
-
-    if (idx == 0) build_start_ = sim_.now();
-    co_await build_store(idx, k);
-    barrier_instant(idx, k);
-    co_await barrier_->arrive();
-    if (cfg_.validate_invariants) stores_[idx]->check_invariants();
-
-    if (idx == 0) count_start_ = sim_.now();
-    stores_[idx]->set_phase(core::HashLineStore::Phase::kCount);
-    sim::Process sender = sim_.spawn(count_sender(idx, k));
-    sim::Process receiver = sim_.spawn(count_receiver(idx, k));
-    co_await sender;
-    co_await receiver;
-    barrier_instant(idx, k);
-    co_await barrier_->arrive();
-    if (cfg_.validate_invariants) stores_[idx]->check_invariants();
-
-    if (idx == 0) determine_start_ = sim_.now();
-    co_await determine_large(idx, k);
-    barrier_instant(idx, k);
-    co_await barrier_->arrive();
-    if (idx == 0) determine_end_ = sim_.now();
-
-    if (idx == 0) finish_pass_report(k);
-    co_await barrier_->arrive();
-    if (cfg_.validate_invariants) stores_[idx]->check_invariants();
-    failover_total_.merge(stores_[idx]->failover());
-    integrity_total_.merge(stores_[idx]->integrity());
-    store_stats_total_.merge(stores_[idx]->stats());
-    stores_[idx].reset();
-  }
-
-  co_await barrier_->arrive();
-  if (idx == 0) {
-    result_.total_time = sim_.now();
-    mining_done_ = true;
-  }
-}
-
-sim::Process Runner::coordinator() {
-  // Poll cheaply for completion, then halt the world (monitors and servers
-  // run forever by design).
-  while (!mining_done_) {
-    co_await sim_.timeout(msec(100));
-  }
-  sim_.request_stop();
 }
 
 // ---------------------------------------------------------------------------
 // Top-level run.
 // ---------------------------------------------------------------------------
 
-HpaResult Runner::run() {
+HpaResult HpaWorkload::run() {
   // World construction.
   build_partition_cuts();
   cluster::ClusterConfig ccfg = cfg_.cluster;
@@ -630,8 +578,6 @@ HpaResult Runner::run() {
           .set_profile_hook(cfg_.profiler);
     }
   }
-  barrier_ = std::make_unique<sim::Barrier>(sim_, cfg_.app_nodes);
-
   if (cfg_.shared_db != nullptr) {
     db_ = cfg_.shared_db;
   } else {
@@ -764,12 +710,25 @@ HpaResult Runner::run() {
     sim_.spawn(obs::sample_process(sim_, *cfg_.metrics));
   }
 
-  for (std::size_t i = 0; i < cfg_.app_nodes; ++i) {
-    sim_.spawn(app_main(i));
-  }
-  sim_.spawn(coordinator());
+  // Mining proper: the generic phased runner owns barriers, phase spans,
+  // invariant hooks, and per-pass report assembly; this class is the
+  // Workload it drives. first_pass is 2 because pass 1 is the prologue
+  // (no hash-line store, no phases — see pass1()).
+  runtime::RunnerConfig rcfg;
+  rcfg.participants = cfg_.app_nodes;
+  rcfg.first_pass = 2;
+  rcfg.max_pass = cfg_.max_k;
+  rcfg.validate_invariants = cfg_.validate_invariants;
+  // Let the first availability broadcasts land before any swap decision.
+  rcfg.warmup = msec(10);
+  rcfg.trace = cfg_.trace;
+  runtime::PhasedRunner runner(sim_, *this, rcfg);
+  runner.start();
   sim_.run();
-  RMS_CHECK_MSG(mining_done_, "simulation drained before mining finished");
+  RMS_CHECK_MSG(runner.finished(),
+                "simulation drained before mining finished");
+  result_.total_time = runner.total_time();
+  result_.phase_names = runner.phases().names();
 
   // Assemble mining metadata and merged statistics.
   for (std::size_t p = 0; p < result_.passes.size(); ++p) {
@@ -812,7 +771,7 @@ HpaResult Runner::run() {
   return result_;
 }
 
-void Runner::register_gauges() {
+void HpaWorkload::register_gauges() {
   obs::MetricsSampler& m = *cfg_.metrics;
   m.set_interval(cfg_.monitor_interval);
   // Per-application-node residency and RPC gauges. Stores are rebuilt each
@@ -866,8 +825,8 @@ void Runner::register_gauges() {
 }  // namespace
 
 HpaResult run_hpa(const HpaConfig& config) {
-  Runner runner(config);
-  return runner.run();
+  HpaWorkload workload(config);
+  return workload.run();
 }
 
 std::vector<double> paper_table3_weights() {

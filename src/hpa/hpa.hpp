@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "cluster/cluster.hpp"
@@ -159,26 +160,41 @@ struct HpaConfig {
   obs::ProfileHook* profiler = nullptr;
 };
 
+// HPA's phase ids in the runtime phase registry, in registration (and
+// execution) order. HpaResult::phase_names carries the matching names.
+inline constexpr std::size_t kBuildPhase = 0;      // candidate gen + store
+inline constexpr std::size_t kCountPhase = 1;      // scan + distributed probe
+inline constexpr std::size_t kDeterminePhase = 2;  // collect + large exchange
+inline constexpr std::size_t kNumPhases = 3;
+
 struct PassReport {
   std::size_t k = 0;
   std::int64_t candidates_global = 0;  // paper Table 2 "C"
   std::int64_t large_global = 0;       // paper Table 2 "L"
   Time duration = 0;                   // virtual pass time (max across nodes)
-  // Phase breakdown (barrier-to-barrier; zero for pass 1):
-  Time build_time = 0;      // candidate generation + store population
-  Time count_time = 0;      // transaction scan + distributed probing
-  Time determine_time = 0;  // collection + large-itemset exchange
+  /// Barrier-to-barrier phase breakdown, indexed by the runtime phase
+  /// registry (kBuildPhase/kCountPhase/kDeterminePhase); empty for pass 1.
+  std::vector<Time> phase_time;
   std::vector<std::int64_t> candidates_per_node;  // paper Table 3
   std::vector<std::int64_t> pagefaults_per_node;
   std::vector<std::int64_t> swap_outs_per_node;
   std::vector<std::int64_t> updates_per_node;
 
+  /// phase_time by registry id; 0 when the pass recorded no phases.
+  Time phase(std::size_t p) const {
+    return p < phase_time.size() ? phase_time[p] : 0;
+  }
   std::int64_t max_pagefaults() const;  // paper Table 4 "Max"
 };
 
 struct HpaResult {
   std::vector<PassReport> passes;
   Time total_time = 0;
+
+  /// Phase-registry names, indexed like PassReport::phase_time ("build",
+  /// "count", "determine") — report rendering and the artifact key their
+  /// phase tables off this so the layers cannot drift.
+  std::vector<std::string> phase_names;
 
   /// Mining output in the same shape as the sequential miner, for equality
   /// checks and rule derivation.

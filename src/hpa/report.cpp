@@ -68,9 +68,15 @@ void print_profile(const obs::RunProfile& profile) {
       for (std::size_t c = 0; c < obs::kProfileCategories; ++c) {
         if (seg.time[c] > seg.time[best]) best = c;
       }
+      // Phase label from the profile's registry snapshot (the same names
+      // the workload registered — the table and profiler cannot drift).
+      const auto phase = static_cast<std::size_t>(seg.phase);
+      const std::string label =
+          seg.phase >= 0 && phase < profile.phase_names.size()
+              ? profile.phase_names[phase]
+              : "phase" + std::to_string(seg.phase);
       std::printf(
-          " %s[node %d, %.2fs, %s]",
-          obs::TraceRecorder::kind_name(seg.phase), seg.node,
+          " %s[node %d, %.2fs, %s]", label.c_str(), seg.node,
           to_seconds(seg.end - seg.start),
           obs::category_name(static_cast<obs::ProfileCategory>(best)));
     }
@@ -81,20 +87,36 @@ void print_profile(const obs::RunProfile& profile) {
 }  // namespace
 
 void print_report(const HpaResult& result, const obs::RunProfile* profile) {
-  TablePrinter t("HPA run: per-pass summary",
-                 {"pass", "candidates C", "large L", "time [s]",
-                  "pagefaults(max node)", "swap-outs", "updates"});
+  // Phase columns come from the result's phase-name registry snapshot, so
+  // the table renders whatever phases the runtime actually ran — it cannot
+  // drift from the runner or the profiler when phases change.
+  std::vector<std::string> headers = {"pass", "candidates C", "large L",
+                                      "time [s]"};
+  for (const std::string& name : result.phase_names) {
+    headers.push_back(name + " [s]");
+  }
+  headers.insert(headers.end(),
+                 {"pagefaults(max node)", "swap-outs", "updates"});
+  TablePrinter t("HPA run: per-pass summary", headers);
   for (const PassReport& p : result.passes) {
     std::int64_t swaps = 0;
     std::int64_t updates = 0;
     for (std::int64_t v : p.swap_outs_per_node) swaps += v;
     for (std::int64_t v : p.updates_per_node) updates += v;
-    t.add_row({TablePrinter::integer(static_cast<std::int64_t>(p.k)),
-               TablePrinter::integer(p.candidates_global),
-               TablePrinter::integer(p.large_global),
-               TablePrinter::num(to_seconds(p.duration), 2),
-               TablePrinter::integer(p.max_pagefaults()),
-               TablePrinter::integer(swaps), TablePrinter::integer(updates)});
+    std::vector<std::string> row = {
+        TablePrinter::integer(static_cast<std::int64_t>(p.k)),
+        TablePrinter::integer(p.candidates_global),
+        TablePrinter::integer(p.large_global),
+        TablePrinter::num(to_seconds(p.duration), 2)};
+    for (std::size_t i = 0; i < result.phase_names.size(); ++i) {
+      row.push_back(p.phase_time.empty()
+                        ? "-"
+                        : TablePrinter::num(to_seconds(p.phase(i)), 2));
+    }
+    row.insert(row.end(), {TablePrinter::integer(p.max_pagefaults()),
+                           TablePrinter::integer(swaps),
+                           TablePrinter::integer(updates)});
+    t.add_row(row);
   }
   t.print();
   std::printf("total virtual time: %.2f s\n", to_seconds(result.total_time));

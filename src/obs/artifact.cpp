@@ -83,15 +83,26 @@ void per_node_json(JsonWriter& w, std::string_view key,
   w.end_array();
 }
 
-void pass_json(JsonWriter& w, const hpa::PassReport& p) {
+void pass_json(JsonWriter& w, const hpa::PassReport& p,
+               const std::vector<std::string>& phase_names) {
   w.begin_object();
   w.kv("k", static_cast<std::uint64_t>(p.k));
   w.kv("candidates", p.candidates_global);
   w.kv("large", p.large_global);
   w.kv("duration_s", to_seconds(p.duration));
-  w.kv("build_s", to_seconds(p.build_time));
-  w.kv("count_s", to_seconds(p.count_time));
-  w.kv("determine_s", to_seconds(p.determine_time));
+  if (!p.phase_time.empty()) {
+    // Keyed by the runtime phase registry so the artifact cannot drift
+    // from the phases the workload actually ran (empty for pass 1).
+    w.key("phases");
+    w.begin_object();
+    for (std::size_t i = 0; i < p.phase_time.size(); ++i) {
+      const std::string name =
+          i < phase_names.size() ? phase_names[i]
+                                 : "phase" + std::to_string(i);
+      w.kv(name + "_s", to_seconds(p.phase_time[i]));
+    }
+    w.end_object();
+  }
   w.kv("max_pagefaults", p.max_pagefaults());
   per_node_json(w, "candidates_per_node", p.candidates_per_node);
   per_node_json(w, "pagefaults_per_node", p.pagefaults_per_node);
@@ -208,6 +219,7 @@ void RunObserver::end_run(const hpa::HpaResult& result) {
   RunRecord& rec = runs_.back();
   rec.have_result = true;
   rec.passes = result.passes;
+  rec.phase_names = result.phase_names;
   rec.total_time = result.total_time;
   rec.stats = result.stats;
   rec.failover = result.failover;
@@ -224,14 +236,21 @@ std::string RunObserver::artifact_json() const {
     const RunRecord& rec = runs_[i];
     w.begin_object();
     w.kv("label", rec.label);
+    w.kv("workload", "hpa");
     w.key("config");
     config_json(w, rec.config);
     w.kv("completed", rec.have_result);
     if (rec.have_result) {
       w.kv("total_time_s", to_seconds(rec.total_time));
+      w.key("phase_names");
+      w.begin_array();
+      for (const std::string& name : rec.phase_names) w.value(name);
+      w.end_array();
       w.key("passes");
       w.begin_array();
-      for (const hpa::PassReport& p : rec.passes) pass_json(w, p);
+      for (const hpa::PassReport& p : rec.passes) {
+        pass_json(w, p, rec.phase_names);
+      }
       w.end_array();
       stats_json(w, rec.stats);
       w.key("failover");

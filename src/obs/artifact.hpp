@@ -10,10 +10,11 @@
 //   --trace-out    Chrome trace_event JSON (chrome://tracing / Perfetto)
 //   --metrics-out  per-node gauge time-series ("rmswap.metrics/v1")
 //   --json-out     run artifact ("rmswap.run_artifact/v2"): per-pass
-//                  reports, StatsRegistry counters / summaries / histogram
+//                  reports (phase breakdowns keyed by the runtime phase
+//                  registry), StatsRegistry counters / summaries / histogram
 //                  percentiles, failover stats, the sampled time-series,
 //                  and the per-pass attribution profile
-//   --profile-out  standalone attribution profile ("rmswap.profile/v1")
+//   --profile-out  standalone attribution profile ("rmswap.profile/v2")
 //
 // Unlike trace.hpp / metrics.hpp (which depend only on common/ and sim/),
 // this layer knows about hpa:: — it is sibling tooling over the application
@@ -85,6 +86,7 @@ class RunObserver {
     hpa::HpaConfig config;  // shared_db/trace/metrics pointers not serialized
     bool have_result = false;
     std::vector<hpa::PassReport> passes;
+    std::vector<std::string> phase_names;  // runtime phase registry order
     Time total_time = 0;
     StatsRegistry stats;
     core::FailoverStats failover;

@@ -166,6 +166,7 @@ void PassProfiler::begin_run(const std::string& label) {
     runs_.emplace_back();
   }
   runs_.back().label = label;
+  runs_.back().phase_names = phase_names_;
   events_.clear();
   pending_.clear();
   tail_busy_.clear();
@@ -177,6 +178,7 @@ void PassProfiler::end_run(std::uint64_t trace_dropped) {
   events_.clear();
   tail_busy_.clear();
   current().trace_dropped = trace_dropped;
+  current().phase_names = phase_names_;
 }
 
 void PassProfiler::buffer(const TraceEvent& ev) {
@@ -204,6 +206,13 @@ void PassProfiler::on_event(const TraceEvent& ev) {
     return;
   }
   buffer(ev);
+}
+
+void PassProfiler::on_phase(std::int64_t id, const std::string& name) {
+  const auto idx = static_cast<std::size_t>(id);
+  if (phase_names_.size() <= idx) phase_names_.resize(idx + 1);
+  phase_names_[idx] = name;
+  current().phase_names = phase_names_;
 }
 
 void PassProfiler::on_busy(std::int32_t track, EventKind kind, Time start,
@@ -256,10 +265,11 @@ void PassProfiler::analyze(const PendingPass& pass) {
   std::map<std::int32_t, std::vector<Time>> barriers;
   std::map<std::int32_t, std::map<std::int64_t, Time>> rpc_ops;
   struct Phase {
+    std::int64_t id = -1;
     Time start = -1;
     Time end = -1;
   };
-  Phase phases[3];  // build, count, determine
+  std::vector<Phase> phases;  // this pass's kPhase spans, registry-keyed
   std::vector<SlowOp> slow;
 
   for (const TraceEvent& ev : events_) {
@@ -272,12 +282,8 @@ void PassProfiler::analyze(const PendingPass& pass) {
     }
     if (ev.track == TraceRecorder::kPhaseTrack) {
       if (ev.arg0 != pass.k) continue;
-      if (ev.kind == EventKind::kBuildPhase) {
-        phases[0] = Phase{ev.start, ev.start + ev.duration};
-      } else if (ev.kind == EventKind::kCountPhase) {
-        phases[1] = Phase{ev.start, ev.start + ev.duration};
-      } else if (ev.kind == EventKind::kDeterminePhase) {
-        phases[2] = Phase{ev.start, ev.start + ev.duration};
+      if (ev.kind == EventKind::kPhase) {
+        phases.push_back(Phase{ev.arg1, ev.start, ev.start + ev.duration});
       }
       continue;
     }
@@ -352,14 +358,13 @@ void PassProfiler::analyze(const PendingPass& pass) {
   // ---- critical path ----
   // The chain of "who released each phase barrier": for every phase, the
   // straggler (last arrival) from phase start to its arrival, broken down
-  // by category. Needs one barrier group per phase and all three phase
-  // spans; pass 1 and degraded passes simply export an empty path.
-  if (barriers_consistent && groups == 3 && phases[0].start >= 0 &&
-      phases[1].start >= 0 && phases[2].start >= 0) {
-    static constexpr EventKind kPhaseKind[3] = {EventKind::kBuildPhase,
-                                                EventKind::kCountPhase,
-                                                EventKind::kDeterminePhase};
-    for (std::size_t g = 0; g < 3; ++g) {
+  // by category. Phases pair with barrier groups in execution (time) order,
+  // so the path needs exactly one barrier group per recorded phase span;
+  // pass 1 and degraded passes simply export an empty path.
+  std::sort(phases.begin(), phases.end(),
+            [](const Phase& x, const Phase& y) { return x.start < y.start; });
+  if (barriers_consistent && !phases.empty() && groups == phases.size()) {
+    for (std::size_t g = 0; g < phases.size(); ++g) {
       std::int32_t straggler = -1;
       Time arrival = -1;
       for (const auto& [track, arrivals] : barriers) {
@@ -369,7 +374,7 @@ void PassProfiler::analyze(const PendingPass& pass) {
         }
       }
       CriticalSegment seg;
-      seg.phase = kPhaseKind[g];
+      seg.phase = phases[g].id;
       seg.node = straggler;
       seg.start = phases[g].start;
       seg.end = arrival;
@@ -404,7 +409,15 @@ void categories_json(JsonWriter& w,
   }
 }
 
-void pass_profile_json(JsonWriter& w, const PassProfile& p) {
+std::string phase_label(const std::vector<std::string>& names,
+                        std::int64_t id) {
+  const auto idx = static_cast<std::size_t>(id);
+  if (id >= 0 && idx < names.size() && !names[idx].empty()) return names[idx];
+  return "phase" + std::to_string(id);
+}
+
+void pass_profile_json(JsonWriter& w, const PassProfile& p,
+                       const std::vector<std::string>& phase_names) {
   w.begin_object();
   w.kv("k", p.k);
   w.kv("start_s", to_seconds(p.start));
@@ -440,7 +453,7 @@ void pass_profile_json(JsonWriter& w, const PassProfile& p) {
   w.begin_array();
   for (const CriticalSegment& seg : p.critical_path) {
     w.begin_object();
-    w.kv("phase", TraceRecorder::kind_name(seg.phase));
+    w.kv("phase", phase_label(phase_names, seg.phase));
     w.kv("node", static_cast<std::int64_t>(seg.node));
     w.kv("start_s", to_seconds(seg.start));
     w.kv("end_s", to_seconds(seg.end));
@@ -469,9 +482,15 @@ void profile_body(JsonWriter& w, const RunProfile& run) {
   w.kv("trace_dropped", run.trace_dropped);
   w.kv("events_dropped", run.events_dropped);
   w.kv("complete", run.complete());
+  w.key("phases");
+  w.begin_array();
+  for (const std::string& name : run.phase_names) w.value(name);
+  w.end_array();
   w.key("passes");
   w.begin_array();
-  for (const PassProfile& p : run.passes) pass_profile_json(w, p);
+  for (const PassProfile& p : run.passes) {
+    pass_profile_json(w, p, run.phase_names);
+  }
   w.end_array();
 }
 
@@ -486,7 +505,7 @@ void profile_json(JsonWriter& w, const RunProfile& run) {
 std::string profile_file_json(const std::vector<RunProfile>& runs) {
   JsonWriter w;
   w.begin_object();
-  w.kv("schema", "rmswap.profile/v1");
+  w.kv("schema", "rmswap.profile/v2");
   w.key("runs");
   w.begin_array();
   for (const RunProfile& run : runs) {

@@ -101,8 +101,10 @@ struct Straggler {
 /// One hop of the critical path: the phase's straggler node from phase
 /// start to its barrier arrival, with its own category breakdown.
 struct CriticalSegment {
-  EventKind phase = EventKind::kBuildPhase;  // build / count / determine
-  std::int32_t node = 0;                     // last arrival at this barrier
+  /// Phase-registry id (TraceRecorder::register_phase); index into
+  /// RunProfile::phase_names for the human-readable name.
+  std::int64_t phase = -1;
+  std::int32_t node = 0;  // last arrival at this barrier
   Time start = 0;
   Time end = 0;  // the straggler's arrival == the barrier release
   std::array<Time, kProfileCategories> time{};
@@ -129,8 +131,8 @@ struct PassProfile {
   /// Ascending by barrier_wait: front() is the pass straggler. Empty when
   /// the pass had no instrumented barriers (pass 1).
   std::vector<Straggler> stragglers;
-  /// Build -> count -> determine segments; empty when barrier/phase data is
-  /// incomplete.
+  /// Phase segments in execution order (whatever phases the workload
+  /// registered); empty when barrier/phase data is incomplete.
   std::vector<CriticalSegment> critical_path;
   /// Slowest individual operations overlapping the window, descending.
   std::vector<SlowOp> slowest;
@@ -141,6 +143,9 @@ struct PassProfile {
 struct RunProfile {
   std::string label;
   std::vector<PassProfile> passes;
+  /// Phase-registry names (ProfileHook::on_phase), indexed by the id
+  /// CriticalSegment::phase carries.
+  std::vector<std::string> phase_names;
   /// TraceRecorder ring drops during this run: the exported Chrome trace is
   /// incomplete past this count. Attribution is NOT affected (the profiler
   /// taps events before the ring).
@@ -175,6 +180,7 @@ class PassProfiler final : public ProfileHook {
   void on_event(const TraceEvent& ev) override;
   void on_busy(std::int32_t track, EventKind kind, Time start,
                Time end) override;
+  void on_phase(std::int64_t id, const std::string& name) override;
 
   const std::vector<RunProfile>& runs() const { return runs_; }
   const Options& options() const { return options_; }
@@ -205,13 +211,16 @@ class PassProfiler final : public ProfileHook {
     Time end = -1;
   };
   std::map<std::int32_t, TailBusy> tail_busy_;
+  /// Phase-registry names seen so far; stamped onto every run (the registry
+  /// outlives run boundaries — ids are stable across a bench sweep).
+  std::vector<std::string> phase_names_;
 };
 
 /// Append one run's profile as the currently-open JSON object's content
 /// (the artifact's "profile" section).
 void profile_json(JsonWriter& w, const RunProfile& run);
 
-/// Standalone "rmswap.profile/v1" document for --profile-out.
+/// Standalone "rmswap.profile/v2" document for --profile-out.
 std::string profile_file_json(const std::vector<RunProfile>& runs);
 
 }  // namespace rms::obs

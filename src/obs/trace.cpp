@@ -25,9 +25,7 @@ const KindInfo& info(EventKind kind) {
       {"serve", "server", "kind", "owner"},
       {"migrate", "migration", "holder", "lines_moved"},
       {"pass", "phase", "k", ""},
-      {"build", "phase", "k", ""},
-      {"count", "phase", "k", ""},
-      {"determine", "phase", "k", ""},
+      {"phase", "phase", "k", "phase"},
       {"rpc_retry", "rpc", "peer", "retries"},
       {"rpc_failed", "rpc", "peer", "attempts"},
       {"suspicion", "failover", "peer", ""},
@@ -62,6 +60,24 @@ const char* TraceRecorder::kind_category(EventKind kind) {
 
 TraceRecorder::TraceRecorder(std::size_t capacity)
     : ring_(capacity == 0 ? 1 : capacity), run_labels_{""} {}
+
+void TraceRecorder::set_profile_hook(ProfileHook* hook) {
+  hook_ = hook;
+  if (hook_ == nullptr) return;
+  for (std::size_t id = 0; id < phase_names_.size(); ++id) {
+    hook_->on_phase(static_cast<std::int64_t>(id), phase_names_[id]);
+  }
+}
+
+std::int64_t TraceRecorder::register_phase(const std::string& name) {
+  for (std::size_t id = 0; id < phase_names_.size(); ++id) {
+    if (phase_names_[id] == name) return static_cast<std::int64_t>(id);
+  }
+  phase_names_.push_back(name);
+  const auto id = static_cast<std::int64_t>(phase_names_.size() - 1);
+  if (hook_ != nullptr) hook_->on_phase(id, name);
+  return id;
+}
 
 void TraceRecorder::begin_run(const std::string& label) {
   if (total_ == 0 && run_ == 0 && run_labels_.size() == 1) {
@@ -147,7 +163,14 @@ std::string TraceRecorder::chrome_trace_json() const {
     const TraceEvent& ev = event(i);
     const KindInfo& ki = info(ev.kind);
     w.begin_object();
-    w.kv("name", ki.name);
+    // Phase spans export under their registered name so the phase track
+    // reads build/count/... instead of a generic "phase" label.
+    const auto phase_id = static_cast<std::size_t>(ev.arg1);
+    if (ev.kind == EventKind::kPhase && phase_id < phase_names_.size()) {
+      w.kv("name", phase_names_[phase_id]);
+    } else {
+      w.kv("name", ki.name);
+    }
     w.kv("cat", ki.category);
     w.kv("ph", ev.duration < 0 ? "i" : "X");
     w.kv("ts", static_cast<double>(ev.start) / 1e3);  // ns -> us

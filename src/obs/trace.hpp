@@ -7,7 +7,8 @@
 // therefore record typed events against the virtual clock:
 //
 //   spans    — swap-out, fault-in, RPC call, memory-server request,
-//              migration, per-pass phases (build/count/determine)
+//              migration, per-pass workload phases (named via the phase
+//              registry: register_phase())
 //   instants — RPC retries/failures, suspicions, orphans, promotions,
 //              degraded evictions, tiered spills, update batches, barriers
 //
@@ -42,10 +43,10 @@ enum class EventKind : std::uint8_t {
   kRpc,            // deadline-bounded RPC (arg0 peer, arg1 attempts)
   kServe,          // memory-server request (arg0 request kind, arg1 owner)
   kMigrate,        // migrate_away directive (arg0 holder, arg1 lines moved)
-  kPass,           // one HPA pass (arg0 k)
-  kBuildPhase,     // candidate generation + store build (arg0 k)
-  kCountPhase,     // transaction scan + distributed probing (arg0 k)
-  kDeterminePhase, // collection + large-itemset exchange (arg0 k)
+  kPass,           // one workload pass (arg0 k)
+  kPhase,          // one named workload phase (arg0 k, arg1 phase id from
+                   // register_phase; replaces the v1 build/count/determine
+                   // kinds — kinds after this point renumbered vs /v1)
   // Instants.
   kRpcRetry,       // attempts beyond the first (arg0 peer, arg1 retries)
   kRpcFailed,      // every attempt timed out (arg0 peer, arg1 attempts)
@@ -62,8 +63,6 @@ enum class EventKind : std::uint8_t {
   kQuarantine,     // holder quarantined for corruption (arg0 node, arg1 strikes)
   kReReplicate,    // redundancy restored (arg0 line, arg1 new backup)
   kPlacement,      // broker destination decision (arg0 node or -1, arg1 bytes)
-  // Appended post-/v1 (existing kinds keep their values so traces stay
-  // comparable across versions).
   kStall,          // instant: sender blocked on a window credit (arg0 peer,
                    // arg1 in-flight)
   kCompute,        // span: CPU charge incl. queueing (profiler feed — too hot
@@ -100,6 +99,13 @@ class ProfileHook {
   /// A busy interval bypassing the ring. `kind` is kCompute or kDiskIo.
   virtual void on_busy(std::int32_t track, EventKind kind, Time start,
                        Time end) = 0;
+  /// A phase name registered with the recorder (`id` is the kPhase arg1).
+  /// Called once per distinct name, in id order; also replayed when the
+  /// hook attaches after registration.
+  virtual void on_phase(std::int64_t id, const std::string& name) {
+    (void)id;
+    (void)name;
+  }
 };
 
 class TraceRecorder {
@@ -128,9 +134,18 @@ class TraceRecorder {
   }
 
   /// Forward every subsequent event to `hook` at push time (before the ring,
-  /// so a full ring cannot lose it). Null detaches.
-  void set_profile_hook(ProfileHook* hook) { hook_ = hook; }
+  /// so a full ring cannot lose it). Already-registered phase names replay
+  /// to the new hook so attach order does not matter. Null detaches.
+  void set_profile_hook(ProfileHook* hook);
   ProfileHook* profile_hook() const { return hook_; }
+
+  /// Intern a workload phase name, returning the id kPhase spans carry in
+  /// arg1. Idempotent by name (re-registering returns the existing id), so
+  /// ids are stable across the runs of a bench sweep. Forwards new names to
+  /// the profile hook (ProfileHook::on_phase).
+  std::int64_t register_phase(const std::string& name);
+  /// Registered phase names, indexed by id.
+  const std::vector<std::string>& phase_names() const { return phase_names_; }
 
   // ---- Introspection / export ----
   /// Events currently held (<= capacity).
@@ -165,6 +180,7 @@ class TraceRecorder {
   std::uint64_t total_ = 0;
   std::int32_t run_ = 0;
   std::vector<std::string> run_labels_;
+  std::vector<std::string> phase_names_;
   ProfileHook* hook_ = nullptr;
 };
 

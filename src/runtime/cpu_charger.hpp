@@ -4,8 +4,8 @@
 // proportional to the dataset; accumulating logical operations and flushing
 // one compute await per `chunk` operations keeps it proportional to
 // messages/faults while preserving the total charged time exactly.
-// Previously a private copy lived in hpa.cpp's anonymous namespace with
-// sibling logic in examples/hash_join.cpp; this is the shared home.
+// It lives in runtime/ because every phased workload's kernel loops charge
+// CPU this way (HPA scan/probe, hash_join build/probe, hash_aggregate scan).
 #pragma once
 
 #include <cstdint>
@@ -13,14 +13,14 @@
 #include "cluster/cluster.hpp"
 #include "sim/task.hpp"
 
-namespace rms::cluster {
+namespace rms::runtime {
 
 /// Charge CPU in chunks: accumulates logical operations and converts them
 /// into one `compute` await per `chunk` operations, keeping the event count
 /// proportional to messages/faults instead of probes.
 class CpuCharger {
  public:
-  CpuCharger(Node& node, Time per_op, std::int64_t chunk = 8192)
+  CpuCharger(cluster::Node& node, Time per_op, std::int64_t chunk = 8192)
       : node_(node), per_op_(per_op), chunk_(chunk) {}
 
   sim::Task<> add(std::int64_t ops) {
@@ -37,10 +37,10 @@ class CpuCharger {
   }
 
  private:
-  Node& node_;
+  cluster::Node& node_;
   Time per_op_;
   std::int64_t chunk_;
   std::int64_t pending_ = 0;
 };
 
-}  // namespace rms::cluster
+}  // namespace rms::runtime

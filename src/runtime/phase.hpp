@@ -1,0 +1,52 @@
+// PhaseRegistry: the dynamic phase catalog of one workload.
+//
+// A workload declares its per-pass phases by name (HPA: build, count,
+// determine; hash_join: build, probe) instead of the fixed three-phase enum
+// the runner used to hard-code. Phase ids are dense indices in declaration
+// order — which is also execution order, since PhasedRunner runs phases in
+// registry order — so per-pass timings and reports can be stored in plain
+// vectors indexed by PhaseId.
+//
+// The registry is workload-local. TraceRecorder keeps its own process-wide
+// name table (TraceRecorder::register_phase) so traces from different
+// workloads sharing one recorder cannot collide; PhasedRunner maps local
+// ids to recorder ids when it emits phase spans.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace rms::runtime {
+
+/// Dense workload-local phase index (0 = first declared phase).
+using PhaseId = std::size_t;
+
+class PhaseRegistry {
+ public:
+  /// Declare the next phase. Names must be unique within one workload.
+  PhaseId add(std::string name) {
+    for (const std::string& existing : names_) {
+      RMS_CHECK_MSG(existing != name, "duplicate phase name");
+    }
+    names_.push_back(std::move(name));
+    return names_.size() - 1;
+  }
+
+  std::size_t size() const { return names_.size(); }
+
+  const std::string& name(PhaseId id) const {
+    RMS_CHECK(id < names_.size());
+    return names_[id];
+  }
+
+  /// All phase names in declaration (== execution) order.
+  const std::vector<std::string>& names() const { return names_; }
+
+ private:
+  std::vector<std::string> names_;
+};
+
+}  // namespace rms::runtime

@@ -1,0 +1,36 @@
+#include "runtime/registry.hpp"
+
+namespace rms::runtime {
+
+const std::vector<WorkloadInfo>& workload_catalog() {
+  static const std::vector<WorkloadInfo> kCatalog = {
+      {"hpa",
+       "Hash Partitioned Apriori mining over the transaction DB "
+       "(src/hpa; the paper's workload)"},
+      {"hash_join",
+       "distributed hash join: partitioned build + streamed probe "
+       "(src/workloads/hash_join)"},
+      {"hash_aggregate",
+       "remote-memory-backed group-by over the transaction DB "
+       "(src/workloads/hash_aggregate)"},
+  };
+  return kCatalog;
+}
+
+std::optional<WorkloadInfo> find_workload(const std::string& name) {
+  for (const WorkloadInfo& info : workload_catalog()) {
+    if (info.name == name) return info;
+  }
+  return std::nullopt;
+}
+
+std::string workload_names() {
+  std::string out;
+  for (const WorkloadInfo& info : workload_catalog()) {
+    if (!out.empty()) out += " | ";
+    out += info.name;
+  }
+  return out;
+}
+
+}  // namespace rms::runtime

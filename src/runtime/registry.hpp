@@ -1,0 +1,28 @@
+// Workload catalog: the named workloads a bench binary can select with
+// --workload. Kept as a static in-tree table (the workloads are all
+// library code; dynamic registration across translation units would be
+// dropped by the archiver for unreferenced objects).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rms::runtime {
+
+struct WorkloadInfo {
+  std::string name;
+  std::string description;
+};
+
+/// Every selectable workload, in presentation order.
+const std::vector<WorkloadInfo>& workload_catalog();
+
+/// The catalog entry for `name`, or nullopt (caller renders the friendly
+/// error; see workload_names()).
+std::optional<WorkloadInfo> find_workload(const std::string& name);
+
+/// "hpa | hash_join | hash_aggregate" — for usage/error strings.
+std::string workload_names();
+
+}  // namespace rms::runtime

@@ -1,0 +1,135 @@
+#include "runtime/runner.hpp"
+
+#include "common/check.hpp"
+
+namespace rms::runtime {
+
+PhasedRunner::PhasedRunner(sim::Simulation& sim, Workload& workload,
+                           const RunnerConfig& cfg)
+    : sim_(sim), workload_(workload), cfg_(cfg) {
+  RMS_CHECK(cfg_.participants >= 1);
+  RMS_CHECK_MSG(!workload_.has_prologue() || cfg_.first_pass >= 1,
+                "a prologue needs first_pass >= 1 to number itself");
+  workload_.register_phases(phases_);
+  RMS_CHECK_MSG(phases_.size() > 0, "a workload must register phases");
+  if (cfg_.trace != nullptr) {
+    trace_phase_ids_.reserve(phases_.size());
+    for (PhaseId p = 0; p < phases_.size(); ++p) {
+      trace_phase_ids_.push_back(cfg_.trace->register_phase(phases_.name(p)));
+    }
+  }
+  phase_start_.assign(phases_.size(), 0);
+  phase_end_.assign(phases_.size(), 0);
+  barrier_ = std::make_unique<sim::Barrier>(sim_, cfg_.participants);
+}
+
+void PhasedRunner::start() {
+  for (std::size_t i = 0; i < cfg_.participants; ++i) {
+    sim_.spawn(participant(i));
+  }
+  sim_.spawn(coordinator());
+}
+
+void PhasedRunner::barrier_instant(std::size_t idx, std::size_t pass) {
+  // A kBarrier instant on this participant's node track as it arrives at a
+  // phase barrier — the skew between the first and last arrival is the
+  // load-imbalance the paper's Table 3/4 discussion is about.
+  if (cfg_.trace != nullptr) {
+    cfg_.trace->instant(obs::EventKind::kBarrier,
+                        static_cast<std::int32_t>(idx), sim_.now(),
+                        static_cast<std::int64_t>(pass));
+  }
+}
+
+void PhasedRunner::record_pass(std::size_t pass) {
+  PassTiming t;
+  t.pass = pass;
+  t.start = pass_start_;
+  t.end = sim_.now();
+  t.phase_start = phase_start_;
+  t.phase_end = phase_end_;
+  if (cfg_.trace != nullptr) {
+    const auto k = static_cast<std::int64_t>(pass);
+    const auto track = obs::TraceRecorder::kPhaseTrack;
+    cfg_.trace->span(obs::EventKind::kPass, track, t.start, t.end, k);
+    for (PhaseId p = 0; p < phases_.size(); ++p) {
+      cfg_.trace->span(obs::EventKind::kPhase, track, phase_start_[p],
+                       phase_end_[p], k, trace_phase_ids_[p]);
+    }
+  }
+  workload_.end_pass(t);
+  passes_.push_back(std::move(t));
+}
+
+sim::Process PhasedRunner::participant(std::size_t idx) {
+  if (cfg_.warmup > 0) co_await sim_.timeout(cfg_.warmup);
+  co_await barrier_->arrive();
+
+  if (workload_.has_prologue()) {
+    if (idx == 0) pass_start_ = sim_.now();
+    co_await workload_.prologue(idx);
+    co_await barrier_->arrive();
+    if (idx == 0) {
+      PassTiming t;
+      t.pass = cfg_.first_pass - 1;
+      t.start = pass_start_;
+      t.end = sim_.now();
+      if (cfg_.trace != nullptr) {
+        cfg_.trace->span(obs::EventKind::kPass,
+                         obs::TraceRecorder::kPhaseTrack, t.start, t.end,
+                         static_cast<std::int64_t>(t.pass));
+      }
+      workload_.end_prologue(t);
+      passes_.push_back(std::move(t));
+    }
+  }
+
+  for (std::size_t pass = cfg_.first_pass; pass <= cfg_.max_pass; ++pass) {
+    // Participant 0 maintains the shared state this reads; every
+    // participant sees the same answer (Workload contract).
+    if (workload_.done(pass)) break;
+
+    co_await barrier_->arrive();
+    if (idx == 0) {
+      pass_start_ = sim_.now();
+      workload_.begin_pass(pass);
+    }
+    co_await barrier_->arrive();
+    if (!workload_.proceed(pass)) {
+      if (idx == 0) workload_.abort_pass(pass);
+      co_await barrier_->arrive();
+      break;
+    }
+
+    for (PhaseId p = 0; p < phases_.size(); ++p) {
+      if (idx == 0) phase_start_[p] = sim_.now();
+      co_await workload_.run_phase(idx, p, pass);
+      barrier_instant(idx, pass);
+      co_await barrier_->arrive();
+      if (idx == 0) phase_end_[p] = sim_.now();
+      if (cfg_.validate_invariants) workload_.check_invariants(idx);
+    }
+
+    if (idx == 0) record_pass(pass);
+    co_await barrier_->arrive();
+    if (cfg_.validate_invariants) workload_.check_invariants(idx);
+    workload_.end_pass_local(idx, pass);
+  }
+
+  co_await barrier_->arrive();
+  if (idx == 0) {
+    total_time_ = sim_.now();
+    finished_ = true;
+  }
+}
+
+sim::Process PhasedRunner::coordinator() {
+  // Poll cheaply for completion, then halt the world (monitors and servers
+  // run forever by design).
+  while (!finished_) {
+    co_await sim_.timeout(cfg_.poll_interval);
+  }
+  sim_.request_stop();
+}
+
+}  // namespace rms::runtime

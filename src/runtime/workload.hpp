@@ -1,0 +1,120 @@
+// Workload: what one SPMD phased algorithm must provide to PhasedRunner.
+//
+// The paper's HPA miner, the hash-join example, and the hash_aggregate
+// group-by all share one skeleton: N participants run passes of named
+// phases in lockstep, separated by barriers, over remote-memory-backed
+// partitioned state, until a convergence predicate fires. The skeleton —
+// barriers, phase timing, trace spans/instants, invariant hooks, the
+// completion coordinator — lives in PhasedRunner; the algorithm-specific
+// bodies live behind this interface.
+//
+// Hook order for one pass (every hook below runs at a barrier-aligned
+// instant; "node 0" hooks run on participant 0 only):
+//
+//   done(pass)            all    convergence check before the pass starts
+//   --- barrier ---
+//   begin_pass(pass)      node 0 serial setup (e.g. candidate generation)
+//   --- barrier ---
+//   proceed(pass)         all    false => abort_pass(pass) on node 0,
+//                                one barrier, and the run ends
+//   for each registered phase p:
+//     run_phase(i, p, k)  all    the phase body (may spawn/await)
+//     --- barrier ---             (instant traced per participant)
+//     check_invariants(i) all    only when RunnerConfig.validate_invariants
+//   end_pass(timing)      node 0 assemble the pass report
+//   --- barrier ---
+//   check_invariants(i)   all
+//   end_pass_local(i, k)  all    merge per-node stats, tear down pass state
+//
+// Purity contract: every hook except prologue() and run_phase() must be
+// virtual-time-pure — no awaits, no compute charges, no randomness that
+// differs across participants — because the runner calls them between
+// barrier release and the next await, where any charge would perturb the
+// lockstep schedule. The HPA port's bit-identical fig4 artifact is the
+// regression that enforces this.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/time.hpp"
+#include "runtime/phase.hpp"
+#include "sim/task.hpp"
+
+namespace rms::runtime {
+
+/// Barrier-aligned timing of one pass, assembled by the runner and handed
+/// to Workload::end_pass on participant 0.
+struct PassTiming {
+  std::size_t pass = 0;
+  Time start = 0;
+  Time end = 0;
+  /// Per-phase windows indexed by PhaseId: start is the previous barrier's
+  /// release, end is this phase's barrier release. Empty for the prologue.
+  std::vector<Time> phase_start;
+  std::vector<Time> phase_end;
+
+  Time duration() const { return end - start; }
+  Time phase_time(PhaseId p) const {
+    return p < phase_end.size() ? phase_end[p] - phase_start[p] : 0;
+  }
+};
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  /// Declare the per-pass phases, in execution order. Called once before
+  /// any participant runs.
+  virtual void register_phases(PhaseRegistry& phases) = 0;
+
+  /// Whether the run opens with a prologue pass (HPA's pass 1: a phase-less
+  /// pass that runs before the phased loop, numbered first_pass - 1).
+  virtual bool has_prologue() const { return false; }
+  /// One participant's prologue body.
+  virtual sim::Task<> prologue(std::size_t idx) {
+    (void)idx;
+    co_return;
+  }
+  /// Participant 0, after the prologue barrier: record the prologue pass.
+  virtual void end_prologue(const PassTiming& timing) { (void)timing; }
+
+  /// Convergence: true when pass `pass` should not run. Checked by every
+  /// participant against shared state — must agree across participants.
+  virtual bool done(std::size_t pass) const = 0;
+
+  /// Participant 0, between the pass's first two barriers: serial pass
+  /// setup against the canonical shared state.
+  virtual void begin_pass(std::size_t pass) { (void)pass; }
+
+  /// After the setup barrier: false aborts the whole run without running
+  /// this pass's phases. Must agree across participants.
+  virtual bool proceed(std::size_t pass) const {
+    (void)pass;
+    return true;
+  }
+  /// Participant 0, when proceed() returned false: undo begin_pass state.
+  virtual void abort_pass(std::size_t pass) { (void)pass; }
+
+  /// One participant's body for one phase of one pass. May await and spawn
+  /// sub-processes; the runner barriers after it returns.
+  virtual sim::Task<> run_phase(std::size_t idx, PhaseId phase,
+                                std::size_t pass) = 0;
+
+  /// Per-participant invariant assertions (RunnerConfig.validate_invariants
+  /// gates the calls). Must be pure: no virtual-time effects.
+  virtual void check_invariants(std::size_t idx) { (void)idx; }
+
+  /// Participant 0, after the last phase barrier: assemble the pass report
+  /// from the barrier-aligned timing.
+  virtual void end_pass(const PassTiming& timing) { (void)timing; }
+
+  /// Every participant, after the report barrier: merge per-node stats and
+  /// tear down per-pass state.
+  virtual void end_pass_local(std::size_t idx, std::size_t pass) {
+    (void)idx;
+    (void)pass;
+  }
+};
+
+}  // namespace rms::runtime

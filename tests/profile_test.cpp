@@ -128,16 +128,21 @@ TEST(PassProfiler, CriticalPathOnSyntheticThreeNodePass) {
   t.instant(EventKind::kBarrier, 2, 950, 2);
   // The build straggler spent its segment in fault-in wait.
   t.span(EventKind::kFaultIn, 1, 0, 300, 9, 64);
-  // Phase spans (recorded at pass end, on the phase track, arg0 = k).
-  t.span(EventKind::kBuildPhase, TraceRecorder::kPhaseTrack, 0, 300, 2);
-  t.span(EventKind::kCountPhase, TraceRecorder::kPhaseTrack, 300, 800, 2);
-  t.span(EventKind::kDeterminePhase, TraceRecorder::kPhaseTrack, 800, 1000, 2);
+  // Phase spans (recorded at pass end, on the phase track, arg0 = k,
+  // arg1 = the id the recorder's phase registry handed out).
+  const std::int64_t build = t.register_phase("build");
+  const std::int64_t count = t.register_phase("count");
+  const std::int64_t determine = t.register_phase("determine");
+  t.span(EventKind::kPhase, TraceRecorder::kPhaseTrack, 0, 300, 2, build);
+  t.span(EventKind::kPhase, TraceRecorder::kPhaseTrack, 300, 800, 2, count);
+  t.span(EventKind::kPhase, TraceRecorder::kPhaseTrack, 800, 1000, 2,
+         determine);
   close_pass(t, 2, 0, 1000);
   finish(p);
 
   const PassProfile& pass = p.runs()[0].passes[0];
   ASSERT_EQ(pass.critical_path.size(), 3u);
-  EXPECT_EQ(pass.critical_path[0].phase, EventKind::kBuildPhase);
+  EXPECT_EQ(pass.critical_path[0].phase, build);
   EXPECT_EQ(pass.critical_path[0].node, 1);
   EXPECT_EQ(pass.critical_path[0].start, 0);
   EXPECT_EQ(pass.critical_path[0].end, 300);
@@ -145,12 +150,16 @@ TEST(PassProfiler, CriticalPathOnSyntheticThreeNodePass) {
   EXPECT_EQ(pass.critical_path[0]
                 .time[static_cast<std::size_t>(ProfileCategory::kFaultIn)],
             300);
-  EXPECT_EQ(pass.critical_path[1].phase, EventKind::kCountPhase);
+  EXPECT_EQ(pass.critical_path[1].phase, count);
   EXPECT_EQ(pass.critical_path[1].node, 2);
   EXPECT_EQ(pass.critical_path[1].end, 800);
-  EXPECT_EQ(pass.critical_path[2].phase, EventKind::kDeterminePhase);
+  EXPECT_EQ(pass.critical_path[2].phase, determine);
   EXPECT_EQ(pass.critical_path[2].node, 0);
   EXPECT_EQ(pass.critical_path[2].end, 1000);
+  // The run carries the registry names for rendering.
+  ASSERT_EQ(p.runs()[0].phase_names.size(), 3u);
+  EXPECT_EQ(p.runs()[0].phase_names[static_cast<std::size_t>(build)],
+            "build");
 }
 
 TEST(PassProfiler, RpcByOpIsInclusiveAndKeyedByAnnotation) {
@@ -251,7 +260,7 @@ TEST(PassProfiler, ProfileJsonCarriesSchemaAndSections) {
   finish(p);
 
   const std::string json = profile_file_json(p.runs());
-  EXPECT_NE(json.find("rmswap.profile/v1"), std::string::npos);
+  EXPECT_NE(json.find("rmswap.profile/v2"), std::string::npos);
   EXPECT_NE(json.find("\"demo\""), std::string::npos);
   EXPECT_NE(json.find("\"fault_in_s\""), std::string::npos);
   EXPECT_NE(json.find("\"unattributed_s\""), std::string::npos);

@@ -44,6 +44,11 @@ RECIPES = {
     "fig5": ("bench_fig5_migration",
              ["--scale", "0.01", "--limit-mb", "12"]),
     "table3": ("bench_table3_partition_skew", ["--scale", "0.01"]),
+    # The non-mining workload on the phased runtime: a remote-swapped
+    # group-by whose single pass covers build/scan/collect (defaults:
+    # --scale 0.003, --limit-mb 0.02, --backend remote).
+    "hash_aggregate": ("bench_workloads",
+                       ["--workload", "hash_aggregate"]),
 }
 
 SCHEMA = "rmswap.bench_baseline/v1"

@@ -53,6 +53,12 @@ def check_profile_body(who, prof):
                f"{who}: profile.{key} missing or negative")
     expect(isinstance(prof.get("complete"), bool),
            f"{who}: profile.complete missing")
+    # v2: the workload's registered phase names, indexed by the ids the
+    # critical-path segments reference.
+    names = prof.get("phases")
+    expect(isinstance(names, list)
+           and all(isinstance(n, str) for n in names),
+           f"{who}: profile.phases missing or not a list of names")
     passes = prof.get("passes")
     if not expect(isinstance(passes, list) and passes,
                   f"{who}: profile.passes missing or empty"):
@@ -117,12 +123,39 @@ def check_run_artifact(path):
         expect(isinstance(run.get("total_time_s"), (int, float))
                and run["total_time_s"] > 0,
                f"{who}: total_time_s not positive")
+        phase_names = run.get("phase_names")
+        if phase_names is not None:
+            expect(isinstance(phase_names, list)
+                   and all(isinstance(n, str) for n in phase_names),
+                   f"{who}: phase_names not a list of names")
+        workload = run.get("workload")
+        if workload is not None:
+            expect(isinstance(workload, str) and workload,
+                   f"{who}: workload not a non-empty name")
         passes = run.get("passes")
         if expect(isinstance(passes, list) and passes,
                   f"{who}: 'passes' missing or empty"):
             for p in passes:
-                expect({"k", "candidates", "large", "duration_s"} <= set(p),
+                expect({"k", "duration_s"} <= set(p),
                        f"{who}: pass missing required keys")
+                # Phase breakdowns are keyed by registry name ("<name>_s");
+                # prologue passes omit the object entirely.
+                phases = p.get("phases")
+                if phases is None:
+                    continue
+                if not expect(isinstance(phases, dict) and phases,
+                              f"{who}: pass 'phases' not a non-empty "
+                              f"object"):
+                    continue
+                for name, v in phases.items():
+                    expect(name.endswith("_s"),
+                           f"{who}: phase key {name!r} not '<name>_s'")
+                    expect(isinstance(v, (int, float)) and v >= 0,
+                           f"{who}: phase {name} not a non-negative time")
+                if phase_names is not None:
+                    expect(set(phases) <= {n + "_s" for n in phase_names},
+                           f"{who}: phase keys {sorted(phases)} not from "
+                           f"phase_names {phase_names}")
         for section in ("counters", "summaries", "histograms", "failover"):
             expect(isinstance(run.get(section), dict),
                    f"{who}: '{section}' missing")
@@ -197,7 +230,7 @@ def check_profile(path):
     doc = load(path, "attribution profile")
     if doc is None:
         return
-    expect(doc.get("schema") == "rmswap.profile/v1",
+    expect(doc.get("schema") == "rmswap.profile/v2",
            f"{path}: schema is {doc.get('schema')!r}")
     runs = doc.get("runs")
     if not expect(isinstance(runs, list) and runs,
@@ -211,19 +244,120 @@ def check_profile(path):
     print(f"ok: {path}: {len(runs)} run(s)")
 
 
+def pass_digest(p):
+    """The virtual-time content of one pass, layout-independent.
+
+    Accepts both the v2 layout (a "phases" object keyed "<name>_s") and the
+    pre-refactor flat keys (build_s/count_s/determine_s at top level), so a
+    reference captured before the runtime port compares equal to an
+    artifact produced after it iff the simulation behaved identically.
+    """
+    phases = {k: v for k, v in (p.get("phases") or {}).items() if v}
+    if not phases:
+        for key in ("build_s", "count_s", "determine_s"):
+            if p.get(key):  # flat zeros mean "no phase loop ran"
+                phases[key] = p[key]
+    return {
+        "k": p.get("k"),
+        "candidates": p.get("candidates"),
+        "large": p.get("large"),
+        "duration_s": p.get("duration_s"),
+        "max_pagefaults": p.get("max_pagefaults"),
+        "pagefaults_per_node": p.get("pagefaults_per_node"),
+        "swap_outs_per_node": p.get("swap_outs_per_node"),
+        "updates_per_node": p.get("updates_per_node"),
+        "phases": phases,
+    }
+
+
+def run_digest(run):
+    return {
+        "label": run.get("label"),
+        "completed": run.get("completed"),
+        "total_time_s": run.get("total_time_s"),
+        "passes": [pass_digest(p) for p in run.get("passes", [])],
+    }
+
+
+def check_lockstep(artifact_path, ref_path):
+    """Compare an artifact's virtual-time digest against a reference.
+
+    The reference is either a full run artifact (old or new layout) or a
+    digest file previously written by --dump-digest. Any numeric drift —
+    one nanosecond in one phase of one run — fails.
+    """
+    doc = load(artifact_path, "run artifact")
+    ref = load(ref_path, "lockstep reference")
+    if doc is None or ref is None:
+        return
+    got = [run_digest(r) for r in doc.get("runs", [])]
+    want = [run_digest(r) for r in ref.get("runs", [])]
+    if not expect(len(got) == len(want),
+                  f"lockstep: {len(got)} run(s) vs reference's "
+                  f"{len(want)}"):
+        return
+    for g, w in zip(got, want):
+        who = f"lockstep run {w['label']!r}"
+        if not expect(g["label"] == w["label"],
+                      f"{who}: label is {g['label']!r}"):
+            continue
+        for key in ("completed", "total_time_s"):
+            expect(g[key] == w[key],
+                   f"{who}: {key} {g[key]!r} != reference {w[key]!r}")
+        if not expect(len(g["passes"]) == len(w["passes"]),
+                      f"{who}: {len(g['passes'])} pass(es) vs reference's "
+                      f"{len(w['passes'])}"):
+            continue
+        for gp, wp in zip(g["passes"], w["passes"]):
+            for key, wv in wp.items():
+                expect(gp.get(key) == wv,
+                       f"{who} pass k={wp['k']}: {key} {gp.get(key)!r} "
+                       f"!= reference {wv!r}")
+    if not _PROBLEMS:
+        print(f"ok: {artifact_path}: bit-identical to {ref_path} "
+              f"({len(got)} run(s))")
+
+
+def dump_digest(artifact_path, out_path):
+    doc = load(artifact_path, "run artifact")
+    if doc is None:
+        return
+    digest = {"schema": "rmswap.lockstep_digest/v1",
+              "runs": [run_digest(r) for r in doc.get("runs", [])]}
+    with open(out_path, "w", encoding="utf-8") as f:
+        json.dump(digest, f, indent=1)
+        f.write("\n")
+    print(f"ok: digest of {artifact_path} written to {out_path}")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--run-artifact", help="rmswap.run_artifact/v2 file")
     ap.add_argument("--trace", help="Chrome trace_event file")
     ap.add_argument("--metrics", help="rmswap.metrics/v1 file")
-    ap.add_argument("--profile", help="rmswap.profile/v1 file")
+    ap.add_argument("--profile", help="rmswap.profile/v2 file")
+    ap.add_argument("--lockstep", metavar="REF",
+                    help="with --run-artifact: require the artifact's "
+                         "virtual-time digest to equal this reference "
+                         "(a run artifact in the old or new layout, or a "
+                         "--dump-digest file)")
+    ap.add_argument("--dump-digest", metavar="OUT",
+                    help="with --run-artifact: write the artifact's "
+                         "lockstep digest here (for checking in as a "
+                         "reference)")
     args = ap.parse_args()
     if not (args.run_artifact or args.trace or args.metrics
             or args.profile):
         ap.error("pass at least one of --run-artifact / --trace / "
                  "--metrics / --profile")
+    if (args.lockstep or args.dump_digest) and not args.run_artifact:
+        ap.error("--lockstep/--dump-digest require --run-artifact")
     if args.run_artifact:
         check_run_artifact(args.run_artifact)
+        if args.lockstep:
+            check_lockstep(args.run_artifact, args.lockstep)
+        if args.dump_digest:
+            dump_digest(args.run_artifact, args.dump_digest)
     if args.trace:
         check_trace(args.trace)
     if args.metrics:
