@@ -21,6 +21,7 @@
 #include "mining/generator.hpp"
 #include "obs/artifact.hpp"
 #include "runtime/registry.hpp"
+#include "sched/arrivals.hpp"
 
 namespace rms::bench {
 
@@ -55,6 +56,44 @@ struct ExperimentEnv {
   void finish(const TablePrinter& table, const std::string& default_csv) const;
 };
 
+// ---- shared flag-value rejection ------------------------------------------
+//
+// Every enumerated flag (--workload, --placement, --backend,
+// --arrival-trace) rejects an unknown value the same way: exit 2 with a
+// "choose one of" listing built from the owning catalog, so the valid set
+// never drifts from the code.
+
+/// " | "-joined canonical names of every placement policy.
+inline std::string placement_names() {
+  std::string out;
+  for (placement::PolicyKind kind : placement::all_policies()) {
+    if (!out.empty()) out += " | ";
+    out += placement::policy_name(kind);
+  }
+  return out;
+}
+
+/// " | "-joined canonical names of every arrival-trace kind.
+inline std::string arrival_trace_names() {
+  std::string out;
+  for (sched::ArrivalTrace trace : sched::all_arrival_traces()) {
+    if (!out.empty()) out += " | ";
+    out += sched::arrival_trace_name(trace);
+  }
+  return out;
+}
+
+/// Uniform unknown-value rejection:
+///   unknown --<flag> '<value>' (choose one of: a | b | c)
+/// then exit 2.
+[[noreturn]] inline void reject_flag_value(const char* flag,
+                                           const std::string& value,
+                                           const std::string& choices) {
+  std::fprintf(stderr, "unknown --%s '%s' (choose one of: %s)\n", flag,
+               value.c_str(), choices.c_str());
+  std::exit(2);
+}
+
 inline std::map<std::string, std::string> with_common_flags(
     std::map<std::string, std::string> extra) {
   extra.emplace("scale",
@@ -70,8 +109,8 @@ inline std::map<std::string, std::string> with_common_flags(
                 "transport sliding-window size for swap/migration RPCs "
                 "(default 1: the paper's synchronous behaviour)");
   extra.emplace("placement",
-                "swap-destination policy: paper-rr | least-loaded | power2 "
-                "| affinity (default paper-rr: the paper's heuristic)");
+                "swap-destination policy: " + placement_names() +
+                    " (default paper-rr: the paper's heuristic)");
   extra.emplace("corrupt-rate",
                 "payload-corruption injection: per-message bit-flip "
                 "probability on the wire (default 0: no injection)");
@@ -125,11 +164,7 @@ inline ExperimentEnv::ExperimentEnv(
   if (const auto kind = placement::parse_policy(placement_name)) {
     base.placement = *kind;
   } else {
-    std::fprintf(stderr,
-                 "unknown --placement '%s' (expected paper-rr | least-loaded "
-                 "| power2 | affinity)\n",
-                 placement_name.c_str());
-    std::exit(2);
+    reject_flag_value("placement", placement_name, placement_names());
   }
 
   // Optional wire-corruption injection, for chaos benches and the
@@ -217,11 +252,7 @@ inline core::SwapPolicy backend_policy(const std::string& name) {
   if (name == "remote") return core::SwapPolicy::kRemoteSwap;
   if (name == "update") return core::SwapPolicy::kRemoteUpdate;
   if (name == "tiered") return core::SwapPolicy::kTiered;
-  std::fprintf(stderr,
-               "unknown --backend '%s' (expected disk | remote | update | "
-               "tiered)\n",
-               name.c_str());
-  std::exit(2);
+  reject_flag_value("backend", name, "disk | remote | update | tiered");
 }
 
 /// The parsed backend/limit selection of a single-policy bench.
@@ -280,11 +311,35 @@ inline std::string parse_workload_flag(const Flags& flags,
   }
   const std::string name = flags.get("workload", default_name);
   if (!runtime::find_workload(name)) {
-    std::fprintf(stderr, "unknown --workload '%s' (expected %s)\n",
-                 name.c_str(), runtime::workload_names().c_str());
-    std::exit(2);
+    reject_flag_value("workload", name, runtime::workload_names());
   }
   return name;
+}
+
+// ---- shared arrival-trace selection ---------------------------------------
+//
+// The multi-tenant bench selects its job arrival trace the same way the
+// other benches select their backend or workload.
+
+/// Register --arrival-trace / --arrival-mean-ms / --arrival-seed help text.
+inline std::map<std::string, std::string> with_arrival_flags(
+    std::map<std::string, std::string> extra = {}) {
+  extra.emplace("arrival-trace",
+                "job arrival trace: " + arrival_trace_names() +
+                    " (default fixed: the specs' own schedule)");
+  extra.emplace("arrival-mean-ms",
+                "poisson trace: mean interarrival in virtual ms "
+                "(default 2000)");
+  extra.emplace("arrival-seed", "poisson trace: arrival RNG seed (default 7)");
+  return extra;
+}
+
+/// Resolve --arrival-trace; an unknown value exits 2 with the catalog
+/// listing, like every other enumerated flag.
+inline sched::ArrivalTrace parse_arrival_trace_flag(const Flags& flags) {
+  const std::string name = flags.get("arrival-trace", "fixed");
+  if (const auto trace = sched::parse_arrival_trace(name)) return *trace;
+  reject_flag_value("arrival-trace", name, arrival_trace_names());
 }
 
 }  // namespace rms::bench

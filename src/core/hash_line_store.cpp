@@ -376,6 +376,11 @@ sim::Task<> HashLineStore::migrate_away(net::NodeId holder) {
   if (backend_) co_await backend_->migrate_away(holder);
 }
 
+sim::Task<std::int64_t> HashLineStore::reclaim(std::int64_t target_bytes) {
+  if (backend_ == nullptr) co_return 0;
+  co_return co_await backend_->reclaim(target_bytes);
+}
+
 sim::Task<> HashLineStore::handle_holder_failure(net::NodeId dead) {
   if (backend_) co_await backend_->on_holder_failure(dead);
 }

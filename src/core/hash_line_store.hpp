@@ -177,6 +177,12 @@ class HashLineStore {
   /// from `holder` to a destination chosen by the placement broker.
   sim::Task<> migrate_away(net::NodeId holder);
 
+  /// Scheduler-driven revocation: recall up to `target_bytes` of this
+  /// store's donated primary copies home and spill them to the local swap
+  /// disk, promptly freeing pool capacity for a higher-priority tenant.
+  /// Returns the bytes freed (0 without a remote backend).
+  sim::Task<std::int64_t> reclaim(std::int64_t target_bytes);
+
   /// Failure handling (failure detector callback, also invoked in-band when
   /// an RPC to a holder misses every deadline): declare `dead` dead, drop
   /// queued traffic towards it, and re-home every line it held — promoting

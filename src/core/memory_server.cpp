@@ -22,6 +22,30 @@ MemoryServer::MemoryServer(cluster::Node& node, Config config)
   node_.on_crash([this] { wipe_on_crash(); });
 }
 
+std::int64_t MemoryServer::release_owner(net::NodeId owner) {
+  std::int64_t released = 0;
+  const auto oit = store_.find(owner);
+  if (oit != store_.end()) {
+    for (const auto& [id, line] : oit->second) {
+      released += line.accounted_bytes;
+      --stored_lines_;
+    }
+    store_.erase(oit);
+  }
+  const auto rit = replicas_.find(owner);
+  if (rit != replicas_.end()) {
+    for (const auto& [id, line] : rit->second) {
+      released += line.accounted_bytes;
+      --replica_lines_;
+    }
+    replicas_.erase(rit);
+  }
+  stored_bytes_ -= released;
+  node_.memory().donated_bytes -= released;
+  if (released > 0) node_.stats().bump("server.owner_releases");
+  return released;
+}
+
 void MemoryServer::wipe_on_crash() {
   node_.memory().donated_bytes -= stored_bytes_;
   store_.clear();
@@ -110,6 +134,15 @@ void MemoryServer::drop_replica(net::NodeId owner, LineId id) {
 sim::Process MemoryServer::serve() {
   for (;;) {
     net::Message msg = co_await inbox_.recv();
+    if (msg.as<MemRequest>().kind == MemRequest::Kind::kMigrateDirective) {
+      // Detached: the directive's pushes await the destination server's
+      // acks, and that server may be executing a directive of its own
+      // pointed back here. Serving it inline would park this loop — and
+      // every queued swap-in — behind a cross-server cycle that only push
+      // deadlines can break (see the class comment).
+      node_.sim().spawn(run_migrate_directive(std::move(msg), node_.epoch()));
+      continue;
+    }
     if (config_.trace == nullptr) {
       co_await handle(std::move(msg), node_.epoch());
       continue;
@@ -121,6 +154,21 @@ sim::Process MemoryServer::serve() {
     co_await handle(std::move(msg), node_.epoch());
     config_.trace->span(obs::EventKind::kServe, node_.id(), started,
                         node_.sim().now(), kind, owner);
+  }
+}
+
+sim::Process MemoryServer::run_migrate_directive(net::Message msg,
+                                                 std::uint64_t epoch) {
+  // A crash ordered between the spawn and this first step wiped the store;
+  // the directive belongs to the dead incarnation.
+  if (node_.epoch() != epoch) co_return;
+  const std::int64_t owner = msg.as<MemRequest>().owner;
+  const Time started = node_.sim().now();
+  co_await handle_migrate_directive(msg, epoch);
+  if (config_.trace != nullptr && node_.epoch() == epoch) {
+    config_.trace->span(
+        obs::EventKind::kServe, node_.id(), started, node_.sim().now(),
+        static_cast<std::int64_t>(MemRequest::Kind::kMigrateDirective), owner);
   }
 }
 

@@ -12,6 +12,12 @@
 //
 // Requests are handled strictly one at a time — the single 200 MHz CPU — so
 // a small memory-node pool saturates exactly like the paper's Figure 3.
+// The one exception is kMigrateDirective: its data pushes block on another
+// *server's* acks, so it runs as a detached process. Two donors migrating
+// toward each other (routine when a multi-tenant shortage hits several
+// stores at once) would otherwise deadlock the sequential loops — each ack
+// stuck in an inbox behind the peer's busy push — until the push deadlines
+// expire, stalling swap-ins long enough to read as donor death.
 //
 // Failure semantics: the server registers a crash hook with its node; a
 // crash-stop wipes every stored line and replica (volatile RAM) and drains
@@ -81,12 +87,22 @@ class MemoryServer {
   /// data is never shipped). Returns the number of copies dropped.
   int verify_stored();
 
+  /// Drop every primary and replica stored for `owner`, returning the
+  /// accounted bytes released. The scheduler calls this when a job
+  /// completes or is torn down so any straggler copies (a line the owner
+  /// died before fetching, a replica whose drop message was lost) return
+  /// to the donor pool immediately instead of leaking for the rest of the
+  /// simulation. A completed job has already fetched everything home, so
+  /// this is normally a no-op.
+  std::int64_t release_owner(net::NodeId owner);
+
  private:
   // Per-owner line maps: the (owner, line) key is the pair itself, so line
   // ids with bits >= 40 can never collide across owners.
   using OwnerLines = std::unordered_map<LineId, LinePayload>;
 
   sim::Task<> handle(net::Message msg, std::uint64_t epoch);
+  sim::Process run_migrate_directive(net::Message msg, std::uint64_t epoch);
   sim::Task<> handle_migrate_directive(const net::Message& msg,
                                        std::uint64_t epoch);
   sim::Task<> handle_replica_sync(const net::Message& msg,

@@ -68,6 +68,10 @@ std::int64_t RemoteBackend::outstanding_rpcs() const {
 void RemoteBackend::hold_insert(net::NodeId holder, LineId id) {
   if (lines_by_holder_[holder].insert(id).second) {
     remote_bytes_ += store_.line(id).bytes;
+    // Tenant arbitration: the donated footprint grows exactly when a
+    // primary copy lands on a donor. Migration nets to zero (erase + insert
+    // of the same bytes), so the ledger tracks real occupancy.
+    broker_->tenant_charge(store_.line(id).bytes);
   }
 }
 
@@ -75,6 +79,7 @@ void RemoteBackend::hold_erase(net::NodeId holder, LineId id) {
   const auto it = lines_by_holder_.find(holder);
   if (it != lines_by_holder_.end() && it->second.erase(id) > 0) {
     remote_bytes_ -= store_.line(id).bytes;
+    broker_->tenant_release(store_.line(id).bytes);
   }
 }
 
@@ -555,13 +560,22 @@ sim::Task<bool> RemoteBackend::collect_fetch() {
     auto& held = lines_by_holder_[holder];
     if (held.empty()) continue;
     // Snapshot and pin: kFaulting keeps the concurrent failure handler off
-    // these lines — whatever happens, this loop re-homes them.
-    std::vector<LineId> ids(held.begin(), held.end());
-    std::sort(ids.begin(), ids.end());
-    for (LineId id : ids) {
-      RMS_CHECK(store_.line(id).where == Where::kRemote);
+    // these lines — whatever happens, this loop re-homes them. Lines a
+    // concurrent migrate/reclaim parked (kMigrating) after the caller's
+    // settle scan stay with that coroutine; it fires their triggers when it
+    // settles them and the caller re-scans.
+    std::vector<LineId> candidates(held.begin(), held.end());
+    std::sort(candidates.begin(), candidates.end());
+    std::vector<LineId> ids;
+    for (LineId id : candidates) {
+      if (store_.line(id).where != Where::kRemote) {
+        node_.stats().bump("store.collect_skipped_inflight");
+        continue;
+      }
       store_.line(id).where = Where::kFaulting;
+      ids.push_back(id);
     }
+    if (ids.empty()) continue;
     for (LineId id : ids) hold_erase(holder, id);
 
     std::unordered_set<LineId> got;
@@ -621,11 +635,18 @@ sim::Task<> RemoteBackend::collect_fetch_pipelined(
   std::vector<std::vector<LineId>> pinned(holders.size());
   for (std::size_t h = 0; h < holders.size(); ++h) {
     auto& held = lines_by_holder_[holders[h]];
-    std::vector<LineId> ids(held.begin(), held.end());
-    std::sort(ids.begin(), ids.end());
-    for (LineId id : ids) {
-      RMS_CHECK(store_.line(id).where == Where::kRemote);
+    std::vector<LineId> candidates(held.begin(), held.end());
+    std::sort(candidates.begin(), candidates.end());
+    std::vector<LineId> ids;
+    for (LineId id : candidates) {
+      if (store_.line(id).where != Where::kRemote) {
+        // Parked by a concurrent migrate/reclaim; that coroutine settles it
+        // and fires its trigger, and the caller re-scans.
+        node_.stats().bump("store.collect_skipped_inflight");
+        continue;
+      }
       store_.line(id).where = Where::kFaulting;
+      ids.push_back(id);
     }
     for (LineId id : ids) hold_erase(holders[h], id);
     pinned[h] = std::move(ids);
@@ -851,6 +872,155 @@ sim::Task<> RemoteBackend::migrate_away(net::NodeId holder) {
     }
     store_.fire_migration_trigger(id);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Reclamation (scheduler-driven revocation)
+// ---------------------------------------------------------------------------
+
+sim::Task<std::int64_t> RemoteBackend::reclaim(std::int64_t target_bytes) {
+  if (target_bytes <= 0) co_return 0;
+  // Holders in sorted order for determinism; snapshot the keys — the
+  // recall mutates lines_by_holder_ underneath us.
+  std::vector<net::NodeId> holders;
+  for (const auto& [holder, ids] : lines_by_holder_) {
+    if (!ids.empty()) holders.push_back(holder);
+  }
+  std::sort(holders.begin(), holders.end());
+  std::int64_t freed = 0;
+  for (net::NodeId holder : holders) {
+    if (freed >= target_bytes) break;
+    freed += co_await reclaim_from(holder, target_bytes - freed);
+  }
+  co_return freed;
+}
+
+sim::Task<std::int64_t> RemoteBackend::reclaim_from(net::NodeId holder,
+                                                    std::int64_t target_bytes) {
+  if (holder_suspect(holder)) co_return 0;  // failure handling owns its lines
+  const auto held = lines_by_holder_.find(holder);
+  if (held == lines_by_holder_.end() || held->second.empty()) co_return 0;
+
+  // Park the recalled lines kMigrating first (sorted ids for determinism):
+  // from here on probes buffer their ops (update mode) or wait on the line
+  // trigger (simple swapping), so the recall owns the lines for its whole
+  // duration — exactly migrate_away's discipline.
+  std::vector<LineId> candidates(held->second.begin(), held->second.end());
+  std::sort(candidates.begin(), candidates.end());
+  std::vector<LineId> marked;
+  std::int64_t marked_bytes = 0;
+  for (LineId id : candidates) {
+    if (marked_bytes >= target_bytes) break;
+    auto& l = store_.line(id);
+    // kFaulting lines come home by themselves (the holder answers the
+    // in-flight swap-in first, same-pair FIFO); nothing else is recallable.
+    if (l.where != Where::kRemote) continue;
+    l.where = Where::kMigrating;
+    marked.push_back(id);
+    marked_bytes += l.bytes;
+  }
+  if (marked.empty()) co_return 0;
+  const Time started = node_.sim().now();
+
+  // Updates already queued for the holder must land before the per-line
+  // fetches (same-pair FIFO keeps them ahead on the wire), so the recalled
+  // contents include every op sent so far.
+  co_await send_update_batch(holder);
+
+  std::int64_t freed = 0;
+  for (LineId id : marked) {
+    auto& l = store_.line(id);
+    RMS_CHECK(l.where == Where::kMigrating);
+    bool lost = false;
+    bool corrupt = false;
+    if (holder_suspect(holder)) {
+      lost = true;
+    } else {
+      MemRequest req;
+      req.kind = MemRequest::Kind::kSwapIn;
+      req.owner = node_.id();
+      req.line_id = id;
+      cluster::RpcResult res = co_await rpc(net::Message::make(
+          node_.id(), holder, kMemService, 32, std::move(req)));
+      if (!res.ok()) {
+        // The holder went silent: re-home everything it held. Our marked
+        // lines are kMigrating, so the handler skips them and leaves them
+        // to the recovery below.
+        co_await on_holder_failure(holder);
+        lost = true;
+      } else {
+        const auto& rep = res.reply->as<MemReply>();
+        co_await node_.compute(node_.costs().per_message_cpu);
+        if (rep.ok) {
+          RMS_CHECK(rep.lines.size() == 1 && rep.lines[0].line_id == id);
+          if (!verify_payload(rep.lines[0], holder)) {
+            corrupt = true;
+            lost = true;
+          } else {
+            l.entries = rep.lines[0].entries;
+            hold_erase(holder, id);
+            drop_backup(id);
+            unreplicated_.erase(id);
+            unmirrored_shadow_.erase(id);  // home again; snapshot is garbage
+            // Ops buffered while the line was parked apply locally now:
+            // the recalled contents already include everything flushed
+            // before the fetch, and the line has no remote copy left.
+            const auto pend = pending_updates_.find(id);
+            if (pend != pending_updates_.end()) {
+              for (const mining::Itemset& s : pend->second) {
+                --*updates_sent_;  // applied locally, not sent after all
+                node_.stats().bump("store.reclaim_updates_applied");
+                for (mining::CountedItemset& e : l.entries) {
+                  if (e.items == s) {
+                    ++e.count;
+                    break;
+                  }
+                }
+              }
+              pending_updates_.erase(pend);
+            }
+            // The existing spill path: entries move to the local swap disk
+            // and the line settles kDisk until a probe faults it back.
+            co_await fallback_->swap_out(id);
+            freed += l.bytes;
+            node_.stats().bump("store.reclaimed_lines");
+          }
+        } else {
+          // The holder answered but crashed and restarted in between; the
+          // line's primary copy is gone.
+          node_.stats().bump("store.swap_in_lost");
+          lost = true;
+        }
+      }
+    }
+    if (lost) {
+      hold_erase(holder, id);
+      co_await recover_lost_line(
+          id, corrupt ? RecoverCause::kCorrupt : RecoverCause::kLost);
+      // Promoted lines settle kRemote at the surviving backup (still
+      // donated, just elsewhere); repaired or orphaned lines are resident.
+      // Requeue any ops buffered while the line was parked.
+      if (l.where == Where::kRemote) {
+        const auto pend = pending_updates_.find(id);
+        if (pend != pending_updates_.end()) {
+          for (const mining::Itemset& s : pend->second) {
+            --*updates_sent_;  // queue_update counts it again
+            queue_update(id, s);
+          }
+          pending_updates_.erase(pend);
+          co_await maybe_flush_batch(l.holder);
+          co_await maybe_flush_batch(l.backup);
+        }
+      }
+    }
+    store_.fire_migration_trigger(id);
+  }
+  node_.stats().bump("store.reclaim_recalls");
+  if (obs::TraceRecorder* trace = store_.config().trace) {
+    trace->span(obs::EventKind::kReclaim, node_.id(), started,
+                node_.sim().now(), holder, freed);
+  }
+  co_return freed;
 }
 
 // ---------------------------------------------------------------------------

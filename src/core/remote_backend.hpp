@@ -54,6 +54,7 @@ class RemoteBackend : public SwapBackend {
   sim::Task<bool> collect_fetch() override;
   sim::Task<> collect_finish() override;
   sim::Task<> migrate_away(net::NodeId holder) override;
+  sim::Task<std::int64_t> reclaim(std::int64_t target_bytes) override;
   sim::Task<> on_holder_failure(net::NodeId dead) override;
 
   std::size_t lines_at(net::NodeId holder) const override;
@@ -119,6 +120,12 @@ class RemoteBackend : public SwapBackend {
   void queue_update(LineId id, const mining::Itemset& itemset);
   sim::Task<> send_update_batch(net::NodeId holder);
   sim::Task<> maybe_flush_batch(net::NodeId holder);
+  /// One holder's share of reclaim(): park up to `target_bytes` of this
+  /// store's lines there kMigrating, fetch them home one kSwapIn at a time
+  /// (the holder releases each line immediately, so donated bytes drop as
+  /// the recall progresses), and spill each through the disk fallback.
+  sim::Task<std::int64_t> reclaim_from(net::NodeId holder,
+                                       std::int64_t target_bytes);
   /// collect_fetch with rpc_window >= 2: pin every holder's lines, issue
   /// the fetch RPCs through Transport::pipeline so their round-trips
   /// overlap, then post-process replies in holder order.

@@ -29,6 +29,10 @@ sim::Task<> SwapBackend::collect_finish() { co_return; }
 
 sim::Task<> SwapBackend::migrate_away(net::NodeId /*holder*/) { co_return; }
 
+sim::Task<std::int64_t> SwapBackend::reclaim(std::int64_t /*target_bytes*/) {
+  co_return 0;
+}
+
 sim::Task<> SwapBackend::on_holder_failure(net::NodeId /*dead*/) { co_return; }
 
 std::size_t SwapBackend::lines_at(net::NodeId /*holder*/) const { return 0; }

@@ -85,6 +85,12 @@ class SwapBackend {
   /// holder that ran short of memory (§4.2).
   virtual sim::Task<> migrate_away(net::NodeId holder);
 
+  /// Scheduler-driven revocation: recall up to `target_bytes` of primary
+  /// copies parked in remote memory and spill them to the local swap disk,
+  /// promptly freeing donated capacity for a higher-priority tenant.
+  /// Returns the bytes actually freed (0 for backends with no remote tier).
+  virtual sim::Task<std::int64_t> reclaim(std::int64_t target_bytes);
+
   /// Failure-detector callback (also fired in-band on RPC exhaustion):
   /// `dead` is gone — drop queued traffic towards it and re-home every line
   /// it held. Idempotent.

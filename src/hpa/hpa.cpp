@@ -67,6 +67,12 @@ class HpaWorkload final : public runtime::Workload {
 
   HpaResult run();
 
+  // ---- sched job mode (shared world; see sched/job.hpp) ----
+  void launch(const sched::JobEnv& env, std::function<void()> on_done);
+  sim::Task<std::int64_t> reclaim(std::int64_t target_bytes);
+  std::int64_t donated_bytes() const;
+  sched::JobReport harvest();
+
   // ---- runtime::Workload ----
   void register_phases(runtime::PhaseRegistry& phases) override {
     RMS_CHECK(phases.add("build") == kBuildPhase);
@@ -100,8 +106,8 @@ class HpaWorkload final : public runtime::Workload {
         break;
       case kCountPhase: {
         stores_[idx]->set_phase(core::HashLineStore::Phase::kCount);
-        sim::Process sender = sim_.spawn(count_sender(idx, k));
-        sim::Process receiver = sim_.spawn(count_receiver(idx, k));
+        sim::Process sender = sim_->spawn(count_sender(idx, k));
+        sim::Process receiver = sim_->spawn(count_receiver(idx, k));
         co_await sender;
         co_await receiver;
         break;
@@ -128,7 +134,12 @@ class HpaWorkload final : public runtime::Workload {
 
  private:
   // ---- topology helpers ----
-  NodeId app_id(std::size_t idx) const { return static_cast<NodeId>(idx); }
+  // Scheduled jobs execute on world-assigned slot nodes (ext_app_ids_);
+  // the single-run world uses the identity layout.
+  NodeId app_id(std::size_t idx) const {
+    return ext_app_ids_.empty() ? static_cast<NodeId>(idx)
+                                : ext_app_ids_[idx];
+  }
   NodeId mem_id(std::size_t idx) const {
     return static_cast<NodeId>(cfg_.app_nodes + idx);
   }
@@ -201,18 +212,30 @@ class HpaWorkload final : public runtime::Workload {
   void generate_candidates(std::size_t k);
   void finish_pass_report(const runtime::PassTiming& timing);
   void register_gauges();
+  /// Database/partition/threshold preparation shared by both entry modes.
+  void prepare_inputs();
+  /// result_.mined equals the sequential miner over the same database.
+  bool check_exactness() const;
 
   const HpaConfig& cfg_;
   std::vector<std::size_t> cuts_;  // weighted-partition residue cuts
-  sim::Simulation sim_;
-  std::unique_ptr<cluster::Cluster> cluster_;
+  // Single-run mode owns its simulation and world; a scheduled job borrows
+  // the shared ones and the owning members stay empty.
+  sim::Simulation own_sim_;
+  sim::Simulation* sim_ = &own_sim_;
+  std::unique_ptr<cluster::Cluster> own_cluster_;
+  cluster::Cluster* cluster_ = nullptr;
+  std::vector<NodeId> ext_app_ids_;  // world slot ids (job mode)
+  sched::SlotTable* slots_ = nullptr;
+  std::unique_ptr<runtime::PhasedRunner> runner_;  // job mode only
 
   mining::TransactionDb generated_db_;
   const mining::TransactionDb* db_ = nullptr;
   std::vector<mining::TransactionDb> partitions_;
   std::uint32_t min_count_ = 1;
 
-  std::vector<std::unique_ptr<placement::MemoryBroker>> brokers_;
+  std::vector<placement::MemoryBroker*> brokers_;
+  std::vector<std::unique_ptr<placement::MemoryBroker>> own_brokers_;
   std::vector<std::unique_ptr<core::HashLineStore>> stores_;
   std::vector<std::unique_ptr<core::MemoryServer>> servers_;
 
@@ -239,7 +262,7 @@ class HpaWorkload final : public runtime::Workload {
 sim::Task<> HpaWorkload::pass1(std::size_t idx) {
   Node& node = cluster_->node(app_id(idx));
   const mining::TransactionDb& part = partitions_[idx];
-  const cluster::CostModel& costs = cfg_.cluster.costs;
+  const cluster::CostModel& costs = node.costs();
 
   std::vector<std::uint32_t> counts(cfg_.workload.num_items, 0);
 
@@ -338,7 +361,7 @@ void HpaWorkload::generate_candidates(std::size_t k) {
 
 sim::Task<> HpaWorkload::build_store(std::size_t idx, std::size_t k) {
   Node& node = cluster_->node(app_id(idx));
-  const cluster::CostModel& costs = cfg_.cluster.costs;
+  const cluster::CostModel& costs = node.costs();
 
   core::HashLineStore::Config scfg;
   scfg.num_lines = local_line_count(idx);
@@ -357,7 +380,7 @@ sim::Task<> HpaWorkload::build_store(std::size_t idx, std::size_t k) {
   scfg.rpc_window = cfg_.rpc_window;
   scfg.trace = cfg_.trace;
   stores_[idx] = std::make_unique<core::HashLineStore>(node, scfg,
-                                                       brokers_[idx].get());
+                                                       brokers_[idx]);
 
   // Full candidate-stream scan (hash + destination test for every
   // candidate, §2.2 step 1).
@@ -384,7 +407,7 @@ sim::Task<> HpaWorkload::build_store(std::size_t idx, std::size_t k) {
 sim::Process HpaWorkload::count_sender(std::size_t idx, std::size_t k) {
   Node& node = cluster_->node(app_id(idx));
   const mining::TransactionDb& part = partitions_[idx];
-  const cluster::CostModel& costs = cfg_.cluster.costs;
+  const cluster::CostModel& costs = node.costs();
 
   // One byte-budgeted stream per destination. The budget rounds the 4 KB
   // wire block down to a whole number of itemsets, so a stream comes due at
@@ -461,7 +484,7 @@ sim::Process HpaWorkload::count_sender(std::size_t idx, std::size_t k) {
 
 sim::Process HpaWorkload::count_receiver(std::size_t idx, std::size_t k) {
   Node& node = cluster_->node(app_id(idx));
-  const cluster::CostModel& costs = cfg_.cluster.costs;
+  const cluster::CostModel& costs = node.costs();
   core::HashLineStore& store = *stores_[idx];
 
   std::size_t eos_seen = 0;
@@ -491,7 +514,7 @@ sim::Process HpaWorkload::count_receiver(std::size_t idx, std::size_t k) {
 
 sim::Task<> HpaWorkload::determine_large(std::size_t idx, std::size_t k) {
   Node& node = cluster_->node(app_id(idx));
-  const cluster::CostModel& costs = cfg_.cluster.costs;
+  const cluster::CostModel& costs = node.costs();
   core::HashLineStore& store = *stores_[idx];
 
   // Bring every line home and pick local large itemsets.
@@ -566,18 +589,7 @@ void HpaWorkload::finish_pass_report(const runtime::PassTiming& timing) {
 // Top-level run.
 // ---------------------------------------------------------------------------
 
-HpaResult HpaWorkload::run() {
-  // World construction.
-  build_partition_cuts();
-  cluster::ClusterConfig ccfg = cfg_.cluster;
-  ccfg.num_nodes = cfg_.app_nodes + cfg_.memory_nodes;
-  cluster_ = std::make_unique<cluster::Cluster>(sim_, ccfg);
-  if (cfg_.profiler != nullptr) {
-    for (std::size_t i = 0; i < cluster_->size(); ++i) {
-      cluster_->node(static_cast<cluster::NodeId>(i))
-          .set_profile_hook(cfg_.profiler);
-    }
-  }
+void HpaWorkload::prepare_inputs() {
   if (cfg_.shared_db != nullptr) {
     db_ = cfg_.shared_db;
   } else {
@@ -594,6 +606,36 @@ HpaResult HpaWorkload::run() {
                                 0.5)));
   result_.mined.num_transactions = static_cast<std::int64_t>(db_->size());
   result_.mined.min_count = min_count_;
+}
+
+bool HpaWorkload::check_exactness() const {
+  // Re-mine sequentially (the reference path the unit tests compare
+  // against) and require an identical support table.
+  const mining::AprioriResult seq = mining::apriori(*db_, cfg_.min_support);
+  if (seq.support.size() != result_.mined.support.size()) return false;
+  for (const auto& [itemset, count] : seq.support) {
+    const auto it = result_.mined.support.find(itemset);
+    if (it == result_.mined.support.end() || it->second != count) {
+      return false;
+    }
+  }
+  return true;
+}
+
+HpaResult HpaWorkload::run() {
+  // World construction.
+  build_partition_cuts();
+  cluster::ClusterConfig ccfg = cfg_.cluster;
+  ccfg.num_nodes = cfg_.app_nodes + cfg_.memory_nodes;
+  own_cluster_ = std::make_unique<cluster::Cluster>(*sim_, ccfg);
+  cluster_ = own_cluster_.get();
+  if (cfg_.profiler != nullptr) {
+    for (std::size_t i = 0; i < cluster_->size(); ++i) {
+      cluster_->node(static_cast<cluster::NodeId>(i))
+          .set_profile_hook(cfg_.profiler);
+    }
+  }
+  prepare_inputs();
 
   // Memory-available nodes: servers + monitors.
   std::vector<NodeId> memory_ids;
@@ -610,8 +652,8 @@ HpaResult HpaWorkload::run() {
     mscfg.rpc_window = cfg_.rpc_window;
     mscfg.trace = cfg_.trace;
     servers_[i] = std::make_unique<core::MemoryServer>(node, mscfg);
-    sim_.spawn(servers_[i]->serve());
-    sim_.spawn(core::availability_monitor(
+    sim_->spawn(servers_[i]->serve());
+    sim_->spawn(core::availability_monitor(
         node, core::MonitorConfig{cfg_.monitor_interval, app_ids}));
   }
 
@@ -619,11 +661,13 @@ HpaResult HpaWorkload::run() {
   // + destination policy), an availability client feeding it with the
   // migration hook, plus a failure detector whose verdicts re-home lines
   // off dead holders.
+  own_brokers_.resize(cfg_.app_nodes);
   brokers_.resize(cfg_.app_nodes);
   stores_.resize(cfg_.app_nodes);
   for (std::size_t i = 0; i < cfg_.app_nodes; ++i) {
-    brokers_[i] = std::make_unique<placement::MemoryBroker>(
+    own_brokers_[i] = std::make_unique<placement::MemoryBroker>(
         memory_ids, cfg_.placement, static_cast<std::uint64_t>(app_id(i)));
+    brokers_[i] = own_brokers_[i].get();
     if (cfg_.stale_after_intervals > 0) {
       brokers_[i]->set_max_age(cfg_.monitor_interval *
                                cfg_.stale_after_intervals);
@@ -633,7 +677,7 @@ HpaResult HpaWorkload::run() {
     }
     core::ClientConfig clcfg;
     clcfg.shortage_threshold_bytes = cfg_.shortage_threshold_bytes;
-    sim_.spawn(core::availability_client(
+    sim_->spawn(core::availability_client(
         cluster_->node(app_id(i)), *brokers_[i], clcfg,
         [this, i](NodeId holder) -> sim::Task<> {
           if (stores_[i]) co_await stores_[i]->migrate_away(holder);
@@ -642,7 +686,7 @@ HpaResult HpaWorkload::run() {
       core::DetectorConfig dcfg;
       dcfg.expected_interval = cfg_.monitor_interval;
       dcfg.miss_threshold = cfg_.suspect_after_misses;
-      sim_.spawn(core::failure_detector(
+      sim_->spawn(core::failure_detector(
           cluster_->node(app_id(i)), *brokers_[i], dcfg,
           [this, i](NodeId suspect) -> sim::Task<> {
             if (stores_[i]) co_await stores_[i]->handle_holder_failure(suspect);
@@ -654,7 +698,7 @@ HpaResult HpaWorkload::run() {
   for (const HpaConfig::Withdrawal& w : cfg_.withdrawals) {
     RMS_CHECK(w.memory_node_index < cfg_.memory_nodes);
     Node& victim = cluster_->node(mem_id(w.memory_node_index));
-    sim_.call_at(w.at, [&victim] {
+    sim_->call_at(w.at, [&victim] {
       victim.memory().external_bytes = victim.memory().total_bytes;
     });
   }
@@ -707,7 +751,7 @@ HpaResult HpaWorkload::run() {
 
   if (cfg_.metrics != nullptr) {
     register_gauges();
-    sim_.spawn(obs::sample_process(sim_, *cfg_.metrics));
+    sim_->spawn(obs::sample_process(*sim_, *cfg_.metrics));
   }
 
   // Mining proper: the generic phased runner owns barriers, phase spans,
@@ -722,9 +766,9 @@ HpaResult HpaWorkload::run() {
   // Let the first availability broadcasts land before any swap decision.
   rcfg.warmup = msec(10);
   rcfg.trace = cfg_.trace;
-  runtime::PhasedRunner runner(sim_, *this, rcfg);
+  runtime::PhasedRunner runner(*sim_, *this, rcfg);
   runner.start();
-  sim_.run();
+  sim_->run();
   RMS_CHECK_MSG(runner.finished(),
                 "simulation drained before mining finished");
   result_.total_time = runner.total_time();
@@ -764,7 +808,7 @@ HpaResult HpaWorkload::run() {
 
   // Destroy still-suspended daemon frames (monitors, servers) while the
   // cluster objects their locals reference are alive.
-  sim_.shutdown();
+  sim_->shutdown();
   // The gauges registered above capture this Runner; drop them before the
   // captured state dies with us (the recorded series stays).
   if (cfg_.metrics != nullptr) cfg_.metrics->clear_gauges();
@@ -805,7 +849,7 @@ void HpaWorkload::register_gauges() {
       return static_cast<double>(s.rpc_window());
     }));
     m.add_gauge("heartbeat_staleness_s", node, [this, i]() -> double {
-      return to_seconds(brokers_[i]->oldest_report_age(sim_.now()));
+      return to_seconds(brokers_[i]->oldest_report_age(sim_->now()));
     });
   }
   // Per-memory-node donation (how much RAM the node is lending out).
@@ -818,15 +862,140 @@ void HpaWorkload::register_gauges() {
   }
   // Cluster-wide: kernel event throughput (a cheap progress heartbeat).
   m.add_gauge("executed_events", -1, [this]() -> double {
-    return static_cast<double>(sim_.executed_events());
+    return static_cast<double>(sim_->executed_events());
   });
 }
+
+// ---------------------------------------------------------------------------
+// Scheduled-job mode: run inside a shared sched::World.
+// ---------------------------------------------------------------------------
+
+void HpaWorkload::launch(const sched::JobEnv& env,
+                         std::function<void()> on_done) {
+  RMS_CHECK_MSG(cfg_.metrics == nullptr && cfg_.profiler == nullptr,
+                "scheduled jobs do not own observability sinks");
+  RMS_CHECK_MSG(cfg_.withdrawals.empty() && cfg_.crashes.empty() &&
+                    cfg_.loss_bursts.empty() && cfg_.corruption.empty(),
+                "fault injection belongs to the world, not a scheduled job");
+  RMS_CHECK(env.sim != nullptr && env.cluster != nullptr);
+  RMS_CHECK_MSG(env.app_nodes.size() == cfg_.app_nodes,
+                "slot lease must match the job's participant count");
+  RMS_CHECK(env.brokers.size() == cfg_.app_nodes);
+  sim_ = env.sim;
+  cluster_ = env.cluster;
+  ext_app_ids_ = env.app_nodes;
+  brokers_ = env.brokers;
+  slots_ = env.slots;
+
+  build_partition_cuts();
+  prepare_inputs();
+
+  // Stores are rebuilt each pass; bind the slots to getters so world
+  // daemons always reach whatever store the slot carries right now.
+  stores_.resize(cfg_.app_nodes);
+  if (slots_ != nullptr) {
+    for (std::size_t i = 0; i < cfg_.app_nodes; ++i) {
+      slots_->bind(app_id(i), [this, i]() -> core::HashLineStore* {
+        return stores_[i].get();
+      });
+    }
+  }
+
+  runtime::RunnerConfig rcfg;
+  rcfg.participants = cfg_.app_nodes;
+  rcfg.first_pass = 2;
+  rcfg.max_pass = cfg_.max_k;
+  rcfg.validate_invariants = cfg_.validate_invariants;
+  // Availability broadcasts are already flowing in a long-lived world, but
+  // keep the single-run warmup so a job admitted at t=0 behaves alike.
+  rcfg.warmup = msec(10);
+  rcfg.trace = cfg_.trace;
+  rcfg.tracks.reserve(cfg_.app_nodes);
+  for (NodeId id : ext_app_ids_) {
+    rcfg.tracks.push_back(static_cast<std::int32_t>(id));
+  }
+  rcfg.on_finished = std::move(on_done);
+  runner_ = std::make_unique<runtime::PhasedRunner>(*sim_, *this, rcfg);
+  runner_->start();
+}
+
+sim::Task<std::int64_t> HpaWorkload::reclaim(std::int64_t target_bytes) {
+  std::int64_t freed = 0;
+  for (auto& store : stores_) {
+    if (freed >= target_bytes) break;
+    if (store) freed += co_await store->reclaim(target_bytes - freed);
+  }
+  co_return freed;
+}
+
+std::int64_t HpaWorkload::donated_bytes() const {
+  std::int64_t sum = 0;
+  for (const auto& store : stores_) {
+    if (store) sum += store->remote_held_bytes();
+  }
+  return sum;
+}
+
+sched::JobReport HpaWorkload::harvest() {
+  sched::JobReport rep;
+  rep.completed = runner_ != nullptr && runner_->finished();
+  if (runner_ != nullptr) {
+    rep.total_time = runner_->total_time();
+    rep.passes = runner_->passes();
+    rep.phase_names = runner_->phases().names();
+  }
+  // Stores are torn down at every pass end; the per-pass reports carry the
+  // counters.
+  for (const PassReport& p : result_.passes) {
+    for (std::int64_t v : p.pagefaults_per_node) rep.pagefaults += v;
+    for (std::int64_t v : p.swap_outs_per_node) rep.swap_outs += v;
+    for (std::int64_t v : p.updates_per_node) rep.updates_sent += v;
+  }
+  rep.degraded_evictions = failover_total_.degraded_evictions;
+  if (rep.completed) {
+    rep.exact = check_exactness();
+    rep.summary = "large=" + std::to_string(result_.mined.support.size());
+  }
+  if (slots_ != nullptr) {
+    for (std::size_t i = 0; i < cfg_.app_nodes; ++i) {
+      slots_->unbind(app_id(i));
+    }
+  }
+  return rep;
+}
+
+/// Owns the config copy and the workload it parameterizes.
+class HpaJob final : public sched::JobRuntime {
+ public:
+  explicit HpaJob(HpaConfig cfg) : cfg_(std::move(cfg)), workload_(cfg_) {}
+
+  const char* workload_name() const override { return "hpa"; }
+  void launch(const sched::JobEnv& env,
+              std::function<void()> on_done) override {
+    workload_.launch(env, std::move(on_done));
+  }
+  sim::Task<std::int64_t> reclaim(std::int64_t target_bytes) override {
+    return workload_.reclaim(target_bytes);
+  }
+  std::int64_t donated_bytes() const override {
+    return workload_.donated_bytes();
+  }
+  sched::JobReport harvest() override { return workload_.harvest(); }
+
+ private:
+  HpaConfig cfg_;
+  HpaWorkload workload_;
+};
 
 }  // namespace
 
 HpaResult run_hpa(const HpaConfig& config) {
   HpaWorkload workload(config);
   return workload.run();
+}
+
+sched::JobRuntimePtr make_hpa_job(HpaConfig config) {
+  return std::make_unique<HpaJob>(std::move(config));
 }
 
 std::vector<double> paper_table3_weights() {

@@ -27,6 +27,7 @@
 #include "mining/apriori.hpp"
 #include "mining/generator.hpp"
 #include "placement/placement.hpp"
+#include "sched/job.hpp"
 
 namespace rms::obs {
 class TraceRecorder;
@@ -215,6 +216,14 @@ struct HpaResult {
 };
 
 HpaResult run_hpa(const HpaConfig& config);
+
+/// Scheduled-job mode: the same miner parameterized by `config`, run inside
+/// a shared sched::World on scheduler-leased slots. config.metrics and
+/// config.profiler must be null and every fault-injection list empty (the
+/// world owns the cluster); config.memory_nodes is ignored — the world
+/// supplies the donor pool. config.trace may point at the world's shared
+/// recorder.
+sched::JobRuntimePtr make_hpa_job(HpaConfig config);
 
 /// The candidate-partition proportions the paper observed across its 8
 /// application nodes (Table 3: 602,559 ... 607,629 of 4,871,881).

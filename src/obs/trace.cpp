@@ -43,6 +43,10 @@ const KindInfo& info(EventKind kind) {
       {"stall", "rpc", "peer", "in_flight"},
       {"compute", "cpu", "", ""},
       {"disk_io", "disk", "bytes", ""},
+      {"reclaim", "sched", "holder", "bytes"},
+      {"job_admit", "sched", "job", "tenant"},
+      {"job_done", "sched", "job", "tenant"},
+      {"job_shed", "sched", "job", "tenant"},
   };
   const auto idx = static_cast<std::size_t>(kind);
   RMS_CHECK(idx < sizeof(kTable) / sizeof(kTable[0]));

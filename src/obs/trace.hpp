@@ -69,6 +69,13 @@ enum class EventKind : std::uint8_t {
                    // for the ring, delivered via ProfileHook::on_busy)
   kDiskIo,         // span: disk access incl. arm queueing (profiler feed,
                    // arg0 bytes)
+  kReclaim,        // span: scheduler-driven recall of donated capacity from
+                   // one holder (arg0 holder, arg1 bytes freed); recorded on
+                   // the victim tenant's app-node track
+  kJobAdmit,       // instant: scheduler admitted a job (arg0 job, arg1 tenant)
+  kJobDone,        // instant: job completed (arg0 job, arg1 tenant)
+  kJobShed,        // instant: job shed past its admission deadline
+                   // (arg0 job, arg1 tenant)
 };
 
 struct TraceEvent {

@@ -201,6 +201,22 @@ PlacementDecision MemoryBroker::choose(const PlacementRequest& req) {
   // max age configured, every decision must carry the simulation time.
   RMS_CHECK_MSG(max_age_ <= 0 || req.now >= 0,
                 "placement with a max age needs the simulation clock");
+  // Tenant arbitration: a swap-out that would push the tenant's donated
+  // footprint past its quota is denied outright — the caller's existing
+  // degrade-to-disk path absorbs the eviction. Migration stays exempt (it
+  // moves bytes that are already charged), as do replica purposes (mirrors
+  // are not charged to the ledger).
+  if (ledger_ != nullptr && req.purpose == Purpose::kSwapOut &&
+      ledger_->would_exceed(req.bytes)) {
+    ++ledger_->quota_denied;
+    ++*denied_;
+    note("quota_denied");
+    if (trace_ != nullptr) {
+      trace_->instant(obs::EventKind::kPlacement, track_,
+                      req.now >= 0 ? req.now : 0, -1, req.bytes);
+    }
+    return {};
+  }
   const std::int64_t threshold = req.bytes + req.headroom;
   for (std::size_t i = 0; i < memory_nodes_.size(); ++i) {
     const net::NodeId n = memory_nodes_[i];

@@ -46,6 +46,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/check.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/time.hpp"
@@ -116,6 +117,33 @@ struct PlacementDecision {
   bool ok() const { return node >= 0; }
 };
 
+/// Per-tenant accounting of donated remote-memory bytes, shared by every
+/// broker of one job's application nodes (the scheduler attaches one ledger
+/// per running job). The remote backend charges it as primary copies land on
+/// donors and releases them as lines come home, so `charged_bytes` tracks
+/// the tenant's actual donated footprint at all times. choose() denies
+/// kSwapOut placements that would push the charge past the quota — the
+/// caller's existing degrade-to-disk path absorbs the eviction, so one
+/// tenant's swap-out storm cannot starve another tenant's pool share.
+/// Migration is exempt (it moves bytes that are already charged), and
+/// replica mirrors are not counted: like the tiered budget, the quota
+/// bounds the primary working set.
+struct TenantLedger {
+  std::int64_t tenant = -1;
+  std::int64_t quota_bytes = -1;  // -1: unlimited
+  std::int64_t charged_bytes = 0;
+  std::int64_t quota_denied = 0;  // choose() denials against this ledger
+
+  bool would_exceed(std::int64_t bytes) const {
+    return quota_bytes >= 0 && charged_bytes + bytes > quota_bytes;
+  }
+  void charge(std::int64_t bytes) { charged_bytes += bytes; }
+  void release(std::int64_t bytes) {
+    charged_bytes -= bytes;
+    RMS_CHECK_MSG(charged_bytes >= 0, "tenant ledger released uncharged bytes");
+  }
+};
+
 class MemoryBroker;
 
 /// Pluggable destination strategy. pick() runs after the broker has
@@ -167,6 +195,25 @@ class MemoryBroker {
   /// A denied swap-out that degraded to the local disk; counted under
   /// "placement.<policy>.fallback_disk" next to the decisions themselves.
   void note_fallback_disk();
+
+  // ---- Tenant arbitration (multi-job scheduling) ----
+
+  /// Attach the owning tenant's ledger: kSwapOut requests that would push
+  /// its charged bytes past the quota are denied before any candidate is
+  /// considered (counted under "placement.<policy>.quota_denied"). Detach
+  /// with nullptr; the ledger must outlive the attachment. Single-job runs
+  /// never attach one, so the default path is untouched.
+  void set_tenant_ledger(TenantLedger* ledger) { ledger_ = ledger; }
+  TenantLedger* tenant_ledger() const { return ledger_; }
+  /// Donated-footprint accounting, forwarded to the attached ledger (no-op
+  /// without one). Called by the remote backend as primary copies land on
+  /// (tenant_charge) and leave (tenant_release) donor nodes.
+  void tenant_charge(std::int64_t bytes) {
+    if (ledger_ != nullptr) ledger_->charge(bytes);
+  }
+  void tenant_release(std::int64_t bytes) {
+    if (ledger_ != nullptr) ledger_->release(bytes);
+  }
 
   // ---- Availability view (fed by the availability client) ----
 
@@ -256,6 +303,7 @@ class MemoryBroker {
   Time max_age_ = 0;  // <= 0: reports never expire
 
   std::unique_ptr<PlacementPolicy> policy_;
+  TenantLedger* ledger_ = nullptr;  // attached while a scheduled job runs
   std::vector<char> candidate_ok_;  // scratch, sized like memory_nodes_
   Pcg32 rng_;
 

@@ -18,6 +18,8 @@ PhasedRunner::PhasedRunner(sim::Simulation& sim, Workload& workload,
       trace_phase_ids_.push_back(cfg_.trace->register_phase(phases_.name(p)));
     }
   }
+  RMS_CHECK_MSG(cfg_.tracks.empty() || cfg_.tracks.size() == cfg_.participants,
+                "participant track mapping must cover every participant");
   phase_start_.assign(phases_.size(), 0);
   phase_end_.assign(phases_.size(), 0);
   barrier_ = std::make_unique<sim::Barrier>(sim_, cfg_.participants);
@@ -35,8 +37,10 @@ void PhasedRunner::barrier_instant(std::size_t idx, std::size_t pass) {
   // phase barrier — the skew between the first and last arrival is the
   // load-imbalance the paper's Table 3/4 discussion is about.
   if (cfg_.trace != nullptr) {
-    cfg_.trace->instant(obs::EventKind::kBarrier,
-                        static_cast<std::int32_t>(idx), sim_.now(),
+    const std::int32_t track = cfg_.tracks.empty()
+                                   ? static_cast<std::int32_t>(idx)
+                                   : cfg_.tracks[idx];
+    cfg_.trace->instant(obs::EventKind::kBarrier, track, sim_.now(),
                         static_cast<std::int64_t>(pass));
   }
 }
@@ -125,11 +129,16 @@ sim::Process PhasedRunner::participant(std::size_t idx) {
 
 sim::Process PhasedRunner::coordinator() {
   // Poll cheaply for completion, then halt the world (monitors and servers
-  // run forever by design).
+  // run forever by design) — or, for a scheduled job sharing its simulation
+  // with other tenants, hand completion to the scheduler instead.
   while (!finished_) {
     co_await sim_.timeout(cfg_.poll_interval);
   }
-  sim_.request_stop();
+  if (cfg_.on_finished) {
+    cfg_.on_finished();
+  } else {
+    sim_.request_stop();
+  }
 }
 
 }  // namespace rms::runtime

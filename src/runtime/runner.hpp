@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -30,8 +31,13 @@
 namespace rms::runtime {
 
 struct RunnerConfig {
-  /// SPMD participants; participant i's trace track is node id i.
+  /// SPMD participants; participant i's trace track is node id i (or
+  /// tracks[i] when a mapping is set).
   std::size_t participants = 1;
+  /// Participant -> trace-track (node id) mapping for runs whose
+  /// participants do not execute on nodes 0..N-1 (scheduled jobs on slot
+  /// nodes). Empty: participant i uses track i, the single-job default.
+  std::vector<std::int32_t> tracks;
   /// First phased pass number (HPA: 2 — pass 1 is the prologue). The
   /// prologue, when the workload has one, is numbered first_pass - 1.
   std::size_t first_pass = 1;
@@ -46,6 +52,11 @@ struct RunnerConfig {
   Time poll_interval = msec(100);
   /// Optional event sink for pass/phase spans and barrier instants.
   obs::TraceRecorder* trace = nullptr;
+  /// Completion hook. Unset (the single-job default): the coordinator
+  /// halts the simulation once the final barrier releases. Set (scheduled
+  /// jobs sharing one simulation): the coordinator calls it instead — the
+  /// world must keep running for the other tenants.
+  std::function<void()> on_finished;
 };
 
 class PhasedRunner {

@@ -1,0 +1,52 @@
+#include "sched/arrivals.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace rms::sched {
+
+const char* arrival_trace_name(ArrivalTrace trace) {
+  switch (trace) {
+    case ArrivalTrace::kFixed:
+      return "fixed";
+    case ArrivalTrace::kPoisson:
+      return "poisson";
+  }
+  RMS_CHECK(false);
+  return "";
+}
+
+std::optional<ArrivalTrace> parse_arrival_trace(const std::string& name) {
+  for (ArrivalTrace trace : all_arrival_traces()) {
+    if (name == arrival_trace_name(trace)) return trace;
+  }
+  return std::nullopt;
+}
+
+std::vector<ArrivalTrace> all_arrival_traces() {
+  return {ArrivalTrace::kFixed, ArrivalTrace::kPoisson};
+}
+
+std::vector<Time> poisson_arrivals(std::size_t count, Time mean_interarrival,
+                                   std::uint64_t seed, Time start) {
+  RMS_CHECK(mean_interarrival > 0);
+  // A dedicated stream constant so the trace never correlates with the
+  // generator/disk/corruption streams seeded from the same experiment seed.
+  Pcg32 rng(seed, /*stream=*/0x5c4ed01eULL);
+  std::vector<Time> arrivals;
+  arrivals.reserve(count);
+  Time at = start;
+  for (std::size_t i = 0; i < count; ++i) {
+    const double gap =
+        rng.exponential(static_cast<double>(mean_interarrival));
+    // Round to whole microseconds-of-Time; never zero, so two generated
+    // arrivals keep their submission order at distinct instants.
+    at += std::max<Time>(1, static_cast<Time>(gap));
+    arrivals.push_back(at);
+  }
+  return arrivals;
+}
+
+}  // namespace rms::sched

@@ -1,0 +1,39 @@
+// Arrival traces for the multi-tenant scheduler's job queue.
+//
+// Two generators feed JobSpec::arrival:
+//   fixed   — keep the arrival times already on the specs (a hand-written
+//             schedule; the bench's deterministic headline scenario).
+//   poisson — seeded open-loop arrivals: exponential interarrival times
+//             with a configurable mean, applied to the specs in submission
+//             order. Same seed, same trace — determinism replay compares
+//             artifacts byte for byte.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace rms::sched {
+
+enum class ArrivalTrace {
+  kFixed,
+  kPoisson,
+};
+
+/// Canonical flag spelling ("fixed", "poisson") — the --arrival-trace value.
+const char* arrival_trace_name(ArrivalTrace trace);
+/// Parse an --arrival-trace value; nullopt for an unknown spelling.
+std::optional<ArrivalTrace> parse_arrival_trace(const std::string& name);
+/// Every trace kind, in declaration order (flag listings, test matrices).
+std::vector<ArrivalTrace> all_arrival_traces();
+
+/// `count` arrival times with exponentially distributed interarrivals of
+/// the given mean, sorted ascending, starting at `start`. Deterministic in
+/// (seed, count, mean, start).
+std::vector<Time> poisson_arrivals(std::size_t count, Time mean_interarrival,
+                                   std::uint64_t seed, Time start = 0);
+
+}  // namespace rms::sched

@@ -1,0 +1,103 @@
+#include "sched/world.hpp"
+
+#include "core/availability.hpp"
+#include "core/hash_line_store.hpp"
+#include "core/memory_server.hpp"
+#include "obs/trace.hpp"
+
+namespace rms::sched {
+
+World::World(sim::Simulation& sim, WorldConfig cfg)
+    : sim_(sim), cfg_(std::move(cfg)) {
+  RMS_CHECK(cfg_.app_nodes >= 1);
+  RMS_CHECK(cfg_.memory_nodes >= 1);
+  cluster::ClusterConfig ccfg;
+  ccfg.num_nodes = 1 + cfg_.app_nodes + cfg_.memory_nodes;
+  ccfg.costs = cfg_.costs;
+  ccfg.seed = cfg_.seed;
+  cluster_ = std::make_unique<cluster::Cluster>(sim_, ccfg);
+
+  for (std::size_t i = 0; i < cfg_.memory_nodes; ++i) {
+    memory_ids_.push_back(memory_node(i));
+  }
+  for (std::size_t s = 0; s < cfg_.app_nodes; ++s) {
+    slot_ids_.push_back(app_node(s));
+  }
+
+  // Persistent per-slot brokers; rng streams keyed by node id like the
+  // single-job workloads do.
+  brokers_.resize(cfg_.app_nodes);
+  for (std::size_t s = 0; s < cfg_.app_nodes; ++s) {
+    brokers_[s] = std::make_unique<placement::MemoryBroker>(
+        memory_ids_, cfg_.placement,
+        static_cast<std::uint64_t>(app_node(s)));
+    if (cfg_.trace != nullptr) {
+      brokers_[s]->set_trace(cfg_.trace,
+                             static_cast<std::int32_t>(app_node(s)));
+    }
+  }
+  sched_broker_ = std::make_unique<placement::MemoryBroker>(
+      memory_ids_, cfg_.placement,
+      static_cast<std::uint64_t>(scheduler_node()));
+}
+
+World::~World() = default;
+
+void World::start() {
+  RMS_CHECK_MSG(!started_, "World::start is once-only");
+  started_ = true;
+
+  // Every slot and the scheduler subscribe to the monitors' broadcasts.
+  std::vector<net::NodeId> subscribers = slot_ids_;
+  subscribers.push_back(scheduler_node());
+
+  servers_.resize(cfg_.memory_nodes);
+  for (std::size_t i = 0; i < cfg_.memory_nodes; ++i) {
+    cluster::Node& node = cluster_->node(memory_node(i));
+    core::MemoryServer::Config mscfg;
+    mscfg.message_block_bytes = cfg_.message_block_bytes;
+    mscfg.trace = cfg_.trace;
+    servers_[i] = std::make_unique<core::MemoryServer>(node, mscfg);
+    sim_.spawn(servers_[i]->serve());
+    sim_.spawn(core::availability_monitor(
+        node, core::MonitorConfig{cfg_.monitor_interval, subscribers}));
+  }
+
+  // One availability client per slot: refresh the slot's broker, dispatch
+  // shortages to whatever store currently runs there.
+  for (std::size_t s = 0; s < cfg_.app_nodes; ++s) {
+    core::ClientConfig clcfg;
+    clcfg.shortage_threshold_bytes = cfg_.shortage_threshold_bytes;
+    const net::NodeId slot = app_node(s);
+    sim_.spawn(core::availability_client(
+        cluster_->node(slot), *brokers_[s], clcfg,
+        [this, slot](net::NodeId holder) -> sim::Task<> {
+          if (core::HashLineStore* store = slots_.store_at(slot)) {
+            co_await store->migrate_away(holder);
+          }
+        }));
+  }
+
+  // The scheduler's own view on node 0; shortages are the slots' problem.
+  core::ClientConfig clcfg;
+  clcfg.shortage_threshold_bytes = 0;  // available() is never negative
+  sim_.spawn(core::availability_client(
+      cluster_->node(scheduler_node()), *sched_broker_, clcfg,
+      [](net::NodeId) -> sim::Task<> { co_return; }));
+}
+
+std::int64_t World::pool_free_bytes() const {
+  std::int64_t sum = 0;
+  for (net::NodeId id : memory_ids_) sum += sched_broker_->available(id);
+  return sum;
+}
+
+std::int64_t World::pool_donated_bytes() {
+  std::int64_t sum = 0;
+  for (net::NodeId id : memory_ids_) {
+    sum += cluster_->node(id).memory().donated_bytes;
+  }
+  return sum;
+}
+
+}  // namespace rms::sched

@@ -1,0 +1,118 @@
+// sched::World — the shared multi-tenant cluster.
+//
+// One simulation, one cluster, one donor pool, many jobs. Node layout:
+//
+//   node 0                      — the scheduler (admission broker lives here)
+//   nodes 1 .. app_nodes        — application execution slots, leased to
+//                                 jobs at admission
+//   nodes app_nodes+1 .. +mem   — memory-available nodes (the donor pool),
+//                                 shared by every running job
+//
+// The world owns everything that outlives a job: the memory servers and
+// their availability monitors, one placement broker + availability client
+// per slot (brokers persist across jobs; the scheduler attaches the running
+// tenant's ledger at admission and detaches it at completion), and the
+// scheduler's own broker on node 0 — its availability view is the admission
+// gate's estimate of free donor memory, refreshed by the same broadcasts
+// the slots see. Shortage broadcasts dispatch through the SlotTable to
+// whatever store currently runs on the slot.
+//
+// No failure detectors: the multi-tenant world runs fault-free in this
+// iteration (docs/SCHEDULER.md discusses composing the two subsystems).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "common/time.hpp"
+#include "placement/placement.hpp"
+#include "sched/job.hpp"
+
+namespace rms::core {
+class MemoryServer;
+}
+namespace rms::obs {
+class TraceRecorder;
+}
+
+namespace rms::sched {
+
+struct WorldConfig {
+  std::size_t app_nodes = 8;    // leasable execution slots
+  std::size_t memory_nodes = 8; // shared donor pool
+
+  std::int64_t message_block_bytes = 4096;
+  Time monitor_interval = sec(3);
+  std::int64_t shortage_threshold_bytes = 256 << 10;
+  placement::PolicyKind placement = placement::PolicyKind::kPaperRoundRobin;
+
+  cluster::CostModel costs;
+  std::uint64_t seed = 1;
+
+  /// Shared event sink for every world daemon and job (null: tracing off).
+  obs::TraceRecorder* trace = nullptr;
+};
+
+class World {
+ public:
+  World(sim::Simulation& sim, WorldConfig cfg);
+  ~World();
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  /// Spawn the world daemons (servers, monitors, clients). Call once,
+  /// before the scheduler runs.
+  void start();
+
+  // ---- topology ----
+  net::NodeId scheduler_node() const { return 0; }
+  net::NodeId app_node(std::size_t slot) const {
+    return static_cast<net::NodeId>(1 + slot);
+  }
+  net::NodeId memory_node(std::size_t i) const {
+    return static_cast<net::NodeId>(1 + cfg_.app_nodes + i);
+  }
+  std::size_t num_slots() const { return cfg_.app_nodes; }
+  const std::vector<net::NodeId>& memory_ids() const { return memory_ids_; }
+
+  sim::Simulation& sim() { return sim_; }
+  cluster::Cluster& cluster() { return *cluster_; }
+  const WorldConfig& config() const { return cfg_; }
+  SlotTable& slots() { return slots_; }
+
+  /// The slot's persistent placement broker (tenant ledgers attach here).
+  placement::MemoryBroker& broker_at(std::size_t slot) {
+    return *brokers_[slot];
+  }
+  /// The scheduler's availability view on node 0.
+  placement::MemoryBroker& scheduler_broker() { return *sched_broker_; }
+
+  core::MemoryServer& server_at(std::size_t i) { return *servers_[i]; }
+
+  /// Admission estimate: free donor bytes as the scheduler currently sees
+  /// them (sum of the last availability reports; 0 until the first
+  /// broadcasts land, ~one monitor interval after start()).
+  std::int64_t pool_free_bytes() const;
+
+  /// Actual donated bytes currently parked on the servers (exact, not
+  /// broadcast-delayed; reports and tests).
+  std::int64_t pool_donated_bytes();
+
+ private:
+  sim::Simulation& sim_;
+  WorldConfig cfg_;
+  std::unique_ptr<cluster::Cluster> cluster_;
+  std::vector<net::NodeId> memory_ids_;
+  std::vector<net::NodeId> slot_ids_;
+
+  std::vector<std::unique_ptr<core::MemoryServer>> servers_;
+  std::vector<std::unique_ptr<placement::MemoryBroker>> brokers_;
+  std::unique_ptr<placement::MemoryBroker> sched_broker_;
+  SlotTable slots_;
+  bool started_ = false;
+};
+
+}  // namespace rms::sched

@@ -11,6 +11,7 @@
 #include "obs/metrics.hpp"
 #include "runtime/cpu_charger.hpp"
 #include "runtime/runner.hpp"
+#include "sched/job.hpp"
 #include "sim/process.hpp"
 #include "sim/simulation.hpp"
 #include "transport/stream.hpp"
@@ -61,6 +62,12 @@ class HashAggregateWorkload final : public runtime::Workload {
 
   HashAggregateResult run();
 
+  // ---- sched job mode (shared world; see sched/job.hpp) ----
+  void launch(const sched::JobEnv& env, std::function<void()> on_done);
+  sim::Task<std::int64_t> reclaim(std::int64_t target_bytes);
+  std::int64_t donated_bytes() const;
+  sched::JobReport harvest();
+
   // ---- runtime::Workload ----
   void register_phases(runtime::PhaseRegistry& phases) override {
     RMS_CHECK(phases.add("build") == kAggBuildPhase);
@@ -76,8 +83,8 @@ class HashAggregateWorkload final : public runtime::Workload {
         break;
       case kAggScanPhase: {
         stores_[idx]->set_phase(core::HashLineStore::Phase::kCount);
-        sim::Process sender = sim_.spawn(scan_sender(idx));
-        sim::Process receiver = sim_.spawn(scan_receiver(idx));
+        sim::Process sender = sim_->spawn(scan_sender(idx));
+        sim::Process receiver = sim_->spawn(scan_receiver(idx));
         co_await sender;
         co_await receiver;
         break;
@@ -96,7 +103,12 @@ class HashAggregateWorkload final : public runtime::Workload {
 
  private:
   // ---- topology helpers (uniform partition: line mod app_nodes) ----
-  NodeId app_id(std::size_t idx) const { return static_cast<NodeId>(idx); }
+  // Scheduled jobs execute on world-assigned slot nodes (ext_app_ids_);
+  // the single-run world uses the identity layout.
+  NodeId app_id(std::size_t idx) const {
+    return ext_app_ids_.empty() ? static_cast<NodeId>(idx)
+                                : ext_app_ids_[idx];
+  }
   NodeId mem_id(std::size_t idx) const {
     return static_cast<NodeId>(cfg_.app_nodes + idx);
   }
@@ -117,16 +129,28 @@ class HashAggregateWorkload final : public runtime::Workload {
   sim::Process scan_sender(std::size_t idx);
   sim::Process scan_receiver(std::size_t idx);
   sim::Task<> collect(std::size_t idx);
+  /// Database/partition/group-key preparation shared by both entry modes.
+  void prepare_inputs();
+  /// result_.exact: compare result_.groups to a scalar one-pass reference.
+  void check_exactness();
 
   const HashAggregateConfig& cfg_;
-  sim::Simulation sim_;
-  std::unique_ptr<cluster::Cluster> cluster_;
+  // Single-run mode owns its simulation and world; a scheduled job borrows
+  // the shared ones and the owning members stay empty.
+  sim::Simulation own_sim_;
+  sim::Simulation* sim_ = &own_sim_;
+  std::unique_ptr<cluster::Cluster> own_cluster_;
+  cluster::Cluster* cluster_ = nullptr;
+  std::vector<NodeId> ext_app_ids_;  // world slot ids (job mode)
+  sched::SlotTable* slots_ = nullptr;
+  std::unique_ptr<runtime::PhasedRunner> runner_;  // job mode only
 
   mining::TransactionDb generated_db_;
   const mining::TransactionDb* db_ = nullptr;
   std::vector<mining::TransactionDb> partitions_;
 
-  std::vector<std::unique_ptr<placement::MemoryBroker>> brokers_;
+  std::vector<placement::MemoryBroker*> brokers_;
+  std::vector<std::unique_ptr<placement::MemoryBroker>> own_brokers_;
   std::vector<std::unique_ptr<core::HashLineStore>> stores_;
   std::vector<std::unique_ptr<core::MemoryServer>> servers_;
 
@@ -158,7 +182,7 @@ sim::Task<> HashAggregateWorkload::build(std::size_t idx) {
   scfg.message_block_bytes = cfg_.message_block_bytes;
   scfg.trace = cfg_.trace;
   stores_[idx] = std::make_unique<core::HashLineStore>(node, scfg,
-                                                       brokers_[idx].get());
+                                                       brokers_[idx]);
 
   core::HashLineStore& store = *stores_[idx];
   CpuCharger charge(node, costs.per_probe);
@@ -309,21 +333,7 @@ sim::Task<> HashAggregateWorkload::collect(std::size_t idx) {
 // Top-level run.
 // ---------------------------------------------------------------------------
 
-HashAggregateResult HashAggregateWorkload::run() {
-  // World construction: the full HPA-style topology — memory servers and
-  // availability monitors on memory nodes, a placement broker and
-  // availability client per application node.
-  cluster::ClusterConfig ccfg;
-  ccfg.num_nodes = cfg_.app_nodes + cfg_.memory_nodes;
-  cluster_ = std::make_unique<cluster::Cluster>(sim_, ccfg);
-  if (cfg_.profiler != nullptr) {
-    for (std::size_t i = 0; i < cluster_->size(); ++i) {
-      cluster_->node(static_cast<NodeId>(i)).set_profile_hook(cfg_.profiler);
-    }
-  }
-  tuple_tag_ = transport::TagRegistry::global().register_service("agg_tuples");
-  gather_tag_ = transport::TagRegistry::global().register_service("agg_gather");
-
+void HashAggregateWorkload::prepare_inputs() {
   if (cfg_.shared_db != nullptr) {
     db_ = cfg_.shared_db;
   } else {
@@ -341,6 +351,48 @@ HashAggregateResult HashAggregateWorkload::run() {
     groups_by_owner_[owner_of_line(gline)].emplace_back(local_line(gline),
                                                         item);
   }
+}
+
+void HashAggregateWorkload::check_exactness() {
+  // Scalar reference: one in-memory pass over the same database.
+  std::vector<std::uint32_t> ref(cfg_.workload.num_items, 0);
+  for (std::size_t t = 0; t < db_->size(); ++t) {
+    for (mining::Item item : db_->tx(t)) {
+      RMS_CHECK(item < ref.size());
+      ++ref[item];
+    }
+  }
+  result_.exact = [&] {
+    std::size_t nonzero = 0;
+    for (std::uint32_t c : ref) nonzero += c > 0;
+    if (result_.groups.size() != nonzero) return false;
+    for (const mining::CountedItemset& g : result_.groups) {
+      if (g.items.size() != 1 || g.items[0] >= ref.size() ||
+          g.count != ref[g.items[0]]) {
+        return false;
+      }
+    }
+    return true;
+  }();
+}
+
+HashAggregateResult HashAggregateWorkload::run() {
+  // World construction: the full HPA-style topology — memory servers and
+  // availability monitors on memory nodes, a placement broker and
+  // availability client per application node.
+  cluster::ClusterConfig ccfg;
+  ccfg.num_nodes = cfg_.app_nodes + cfg_.memory_nodes;
+  own_cluster_ = std::make_unique<cluster::Cluster>(*sim_, ccfg);
+  cluster_ = own_cluster_.get();
+  if (cfg_.profiler != nullptr) {
+    for (std::size_t i = 0; i < cluster_->size(); ++i) {
+      cluster_->node(static_cast<NodeId>(i)).set_profile_hook(cfg_.profiler);
+    }
+  }
+  tuple_tag_ = transport::TagRegistry::global().register_service("agg_tuples");
+  gather_tag_ = transport::TagRegistry::global().register_service("agg_gather");
+
+  prepare_inputs();
 
   std::vector<NodeId> memory_ids;
   std::vector<NodeId> app_ids;
@@ -355,21 +407,23 @@ HashAggregateResult HashAggregateWorkload::run() {
     mscfg.message_block_bytes = cfg_.message_block_bytes;
     mscfg.trace = cfg_.trace;
     servers_[i] = std::make_unique<core::MemoryServer>(node, mscfg);
-    sim_.spawn(servers_[i]->serve());
-    sim_.spawn(core::availability_monitor(
+    sim_->spawn(servers_[i]->serve());
+    sim_->spawn(core::availability_monitor(
         node, core::MonitorConfig{cfg_.monitor_interval, app_ids}));
   }
+  own_brokers_.resize(cfg_.app_nodes);
   brokers_.resize(cfg_.app_nodes);
   stores_.resize(cfg_.app_nodes);
   for (std::size_t i = 0; i < cfg_.app_nodes; ++i) {
-    brokers_[i] = std::make_unique<placement::MemoryBroker>(
+    own_brokers_[i] = std::make_unique<placement::MemoryBroker>(
         memory_ids, cfg_.placement, static_cast<std::uint64_t>(app_id(i)));
+    brokers_[i] = own_brokers_[i].get();
     if (cfg_.trace != nullptr) {
       brokers_[i]->set_trace(cfg_.trace, static_cast<std::int32_t>(app_id(i)));
     }
     core::ClientConfig clcfg;
     clcfg.shortage_threshold_bytes = cfg_.shortage_threshold_bytes;
-    sim_.spawn(core::availability_client(
+    sim_->spawn(core::availability_client(
         cluster_->node(app_id(i)), *brokers_[i], clcfg,
         [this, i](NodeId holder) -> sim::Task<> {
           if (stores_[i]) co_await stores_[i]->migrate_away(holder);
@@ -392,7 +446,7 @@ HashAggregateResult HashAggregateWorkload::run() {
                           : 0.0;
       });
     }
-    sim_.spawn(obs::sample_process(sim_, *cfg_.metrics));
+    sim_->spawn(obs::sample_process(*sim_, *cfg_.metrics));
   }
 
   // One pass of build/scan/collect under the generic phased runner.
@@ -404,9 +458,9 @@ HashAggregateResult HashAggregateWorkload::run() {
   // Let the first availability broadcasts land before any swap decision.
   rcfg.warmup = msec(10);
   rcfg.trace = cfg_.trace;
-  runtime::PhasedRunner runner(sim_, *this, rcfg);
+  runtime::PhasedRunner runner(*sim_, *this, rcfg);
   runner.start();
-  sim_.run();
+  sim_->run();
   RMS_CHECK_MSG(runner.finished(),
                 "simulation drained before the aggregation finished");
 
@@ -426,40 +480,146 @@ HashAggregateResult HashAggregateWorkload::run() {
   }
   result_.stats.merge(cluster_->network().stats());
 
-  // Scalar reference: one in-memory pass over the same database.
-  std::vector<std::uint32_t> ref(cfg_.workload.num_items, 0);
-  for (std::size_t t = 0; t < db_->size(); ++t) {
-    for (mining::Item item : db_->tx(t)) {
-      RMS_CHECK(item < ref.size());
-      ++ref[item];
-    }
-  }
-  result_.exact = [&] {
-    std::size_t nonzero = 0;
-    for (std::uint32_t c : ref) nonzero += c > 0;
-    if (result_.groups.size() != nonzero) return false;
-    for (const mining::CountedItemset& g : result_.groups) {
-      if (g.items.size() != 1 || g.items[0] >= ref.size() ||
-          g.count != ref[g.items[0]]) {
-        return false;
-      }
-    }
-    return true;
-  }();
+  check_exactness();
 
   // Destroy still-suspended daemon frames (monitors, servers) while the
   // cluster objects their locals reference are alive; drop gauges that
   // capture this workload before it dies (the recorded series stays).
-  sim_.shutdown();
+  sim_->shutdown();
   if (cfg_.metrics != nullptr) cfg_.metrics->clear_gauges();
   return result_;
 }
+
+// ---------------------------------------------------------------------------
+// Scheduled-job mode: run inside a shared sched::World.
+// ---------------------------------------------------------------------------
+
+void HashAggregateWorkload::launch(const sched::JobEnv& env,
+                                   std::function<void()> on_done) {
+  RMS_CHECK_MSG(cfg_.metrics == nullptr && cfg_.profiler == nullptr,
+                "scheduled jobs do not own observability sinks");
+  RMS_CHECK(env.sim != nullptr && env.cluster != nullptr);
+  RMS_CHECK_MSG(env.app_nodes.size() == cfg_.app_nodes,
+                "slot lease must match the job's participant count");
+  RMS_CHECK(env.brokers.size() == cfg_.app_nodes);
+  sim_ = env.sim;
+  cluster_ = env.cluster;
+  ext_app_ids_ = env.app_nodes;
+  brokers_ = env.brokers;
+  slots_ = env.slots;
+
+  tuple_tag_ = transport::TagRegistry::global().register_service("agg_tuples");
+  gather_tag_ = transport::TagRegistry::global().register_service("agg_gather");
+  prepare_inputs();
+
+  // Stores are created lazily in the build phase; bind the slots now so
+  // world daemons can reach whatever store the slot carries at that point.
+  stores_.resize(cfg_.app_nodes);
+  if (slots_ != nullptr) {
+    for (std::size_t i = 0; i < cfg_.app_nodes; ++i) {
+      slots_->bind(app_id(i), [this, i]() -> core::HashLineStore* {
+        return stores_[i].get();
+      });
+    }
+  }
+
+  runtime::RunnerConfig rcfg;
+  rcfg.participants = cfg_.app_nodes;
+  rcfg.first_pass = 1;
+  rcfg.max_pass = 1;
+  rcfg.validate_invariants = cfg_.validate_invariants;
+  // Availability broadcasts are already flowing in a long-lived world, but
+  // keep the single-run warmup so a job admitted at t=0 behaves alike.
+  rcfg.warmup = msec(10);
+  rcfg.trace = cfg_.trace;
+  rcfg.tracks.reserve(cfg_.app_nodes);
+  for (NodeId id : ext_app_ids_) {
+    rcfg.tracks.push_back(static_cast<std::int32_t>(id));
+  }
+  rcfg.on_finished = std::move(on_done);
+  runner_ = std::make_unique<runtime::PhasedRunner>(*sim_, *this, rcfg);
+  runner_->start();
+}
+
+sim::Task<std::int64_t> HashAggregateWorkload::reclaim(
+    std::int64_t target_bytes) {
+  std::int64_t freed = 0;
+  for (auto& store : stores_) {
+    if (freed >= target_bytes) break;
+    if (store) freed += co_await store->reclaim(target_bytes - freed);
+  }
+  co_return freed;
+}
+
+std::int64_t HashAggregateWorkload::donated_bytes() const {
+  std::int64_t sum = 0;
+  for (const auto& store : stores_) {
+    if (store) sum += store->remote_held_bytes();
+  }
+  return sum;
+}
+
+sched::JobReport HashAggregateWorkload::harvest() {
+  sched::JobReport rep;
+  rep.completed = runner_ != nullptr && runner_->finished();
+  if (runner_ != nullptr) {
+    rep.total_time = runner_->total_time();
+    rep.passes = runner_->passes();
+    rep.phase_names = runner_->phases().names();
+  }
+  for (const auto& store : stores_) {
+    if (!store) continue;
+    rep.pagefaults += store->pagefaults();
+    rep.swap_outs += store->swap_outs();
+    rep.updates_sent += store->updates_sent();
+    rep.degraded_evictions += store->failover().degraded_evictions;
+  }
+  if (rep.completed) {
+    check_exactness();
+    rep.exact = result_.exact;
+    rep.summary = "groups=" + std::to_string(result_.groups.size());
+  }
+  if (slots_ != nullptr) {
+    for (std::size_t i = 0; i < cfg_.app_nodes; ++i) {
+      slots_->unbind(app_id(i));
+    }
+  }
+  return rep;
+}
+
+/// Owns the config copy and the workload it parameterizes.
+class HashAggregateJob final : public sched::JobRuntime {
+ public:
+  explicit HashAggregateJob(HashAggregateConfig cfg)
+      : cfg_(std::move(cfg)), workload_(cfg_) {}
+
+  const char* workload_name() const override { return "hash_aggregate"; }
+  void launch(const sched::JobEnv& env,
+              std::function<void()> on_done) override {
+    workload_.launch(env, std::move(on_done));
+  }
+  sim::Task<std::int64_t> reclaim(std::int64_t target_bytes) override {
+    return workload_.reclaim(target_bytes);
+  }
+  std::int64_t donated_bytes() const override {
+    return workload_.donated_bytes();
+  }
+  sched::JobReport harvest() override { return workload_.harvest(); }
+
+ private:
+  HashAggregateConfig cfg_;
+  HashAggregateWorkload workload_;
+};
 
 }  // namespace
 
 HashAggregateResult run_hash_aggregate(const HashAggregateConfig& config) {
   HashAggregateWorkload workload(config);
   return workload.run();
+}
+
+sched::JobRuntimePtr make_hash_aggregate_job(HashAggregateConfig config) {
+  return std::make_unique<HashAggregateJob>(std::move(config));
 }
 
 }  // namespace rms::workloads

@@ -31,6 +31,7 @@
 #include "mining/transaction_db.hpp"
 #include "placement/placement.hpp"
 #include "runtime/workload.hpp"
+#include "sched/job.hpp"
 
 namespace rms::obs {
 class TraceRecorder;
@@ -96,5 +97,11 @@ struct HashAggregateResult {
 };
 
 HashAggregateResult run_hash_aggregate(const HashAggregateConfig& config);
+
+/// Scheduled-job mode: the same workload parameterized by `config`, run
+/// inside a shared sched::World on scheduler-leased slots. config.metrics
+/// and config.profiler must be null (the shared world cannot attribute
+/// them per job); config.trace may point at the world's shared recorder.
+sched::JobRuntimePtr make_hash_aggregate_job(HashAggregateConfig config);
 
 }  // namespace rms::workloads

@@ -21,6 +21,7 @@
 #include "common/time.hpp"
 #include "core/policy.hpp"
 #include "runtime/workload.hpp"
+#include "sched/job.hpp"
 
 namespace rms::obs {
 class TraceRecorder;
@@ -76,5 +77,12 @@ struct HashJoinResult {
 };
 
 HashJoinResult run_hash_join(const HashJoinConfig& config);
+
+/// Scheduled-job mode: the same join parameterized by `config`, run inside
+/// a shared sched::World on scheduler-leased slots. config.metrics and
+/// config.profiler must be null; config.memory_nodes is ignored — the
+/// world supplies the donor pool (and its brokers, fed by live
+/// availability broadcasts rather than this module's pre-seeded view).
+sched::JobRuntimePtr make_hash_join_job(HashJoinConfig config);
 
 }  // namespace rms::workloads

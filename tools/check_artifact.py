@@ -102,12 +102,93 @@ def check_profile_body(who, prof):
                f"{pw}: slowest ops not sorted by descending duration")
 
 
+_JOB_STATES = {"queued", "running", "completed", "shed"}
+
+_SCHEDULER_COUNTERS = [
+    "admitted", "completed", "shed", "reclaim_events", "reclaimed_bytes",
+    "admission_waits", "peak_queue_depth", "peak_running",
+]
+
+
+def check_scheduler(path, doc):
+    """Validate the multi-tenant 'scheduler' section (bench_ext_multitenant).
+
+    Beyond types, the counts must be internally consistent: every job in a
+    terminal state, stats matching the per-job records, and each completed
+    job's timeline ordered arrival <= admitted <= finished.
+    """
+    sched = doc["scheduler"]
+    who = f"{path} scheduler"
+    if not expect(isinstance(sched, dict), f"{who}: not an object"):
+        return
+    for key in _SCHEDULER_COUNTERS:
+        expect(isinstance(sched.get(key), int) and sched[key] >= 0,
+               f"{who}: {key} missing or negative")
+    jobs = sched.get("jobs")
+    if not expect(isinstance(jobs, list) and jobs,
+                  f"{who}: 'jobs' missing or empty"):
+        return
+    states = []
+    reclaimed = 0
+    for i, job in enumerate(jobs):
+        jw = f"{who} jobs[{i}]"
+        expect(job.get("id") == i, f"{jw}: id {job.get('id')!r} != index")
+        for key in ("name", "workload", "state"):
+            expect(isinstance(job.get(key), str) and job[key],
+                   f"{jw}: {key} missing")
+        state = job.get("state")
+        expect(state in _JOB_STATES, f"{jw}: unknown state {state!r}")
+        expect(state not in ("queued", "running"),
+               f"{jw}: non-terminal state {state!r} after the run drained")
+        states.append(state)
+        reclaimed += job.get("reclaimed_bytes", 0)
+        if state == "completed":
+            arrival = job.get("arrival_s", -1)
+            admitted = job.get("admitted_s", -1)
+            finished = job.get("finished_s", -1)
+            expect(0 <= arrival <= admitted <= finished,
+                   f"{jw}: timeline {arrival}/{admitted}/{finished} not "
+                   f"ordered arrival <= admitted <= finished")
+        elif state == "shed":
+            expect(job.get("admitted_s", -1) < 0,
+                   f"{jw}: shed job has an admission time")
+    expect(sched.get("completed") == states.count("completed"),
+           f"{who}: completed={sched.get('completed')} but "
+           f"{states.count('completed')} job(s) completed")
+    expect(sched.get("shed") == states.count("shed"),
+           f"{who}: shed={sched.get('shed')} but "
+           f"{states.count('shed')} job(s) shed")
+    expect(sched.get("admitted", 0) >= states.count("completed"),
+           f"{who}: fewer admissions than completions")
+    expect(sched.get("reclaimed_bytes") == reclaimed,
+           f"{who}: reclaimed_bytes={sched.get('reclaimed_bytes')} but "
+           f"per-job records sum to {reclaimed}")
+    # Every job must have a matching run section carrying the marker.
+    by_job = {run.get("job"): run for run in doc.get("runs", [])
+              if "job" in run}
+    for i, job in enumerate(jobs):
+        run = by_job.get(i)
+        if not expect(run is not None,
+                      f"{who}: job {i} has no marked run section"):
+            continue
+        expect(run.get("label") == job.get("name"),
+               f"{who}: job {i} run label {run.get('label')!r} != "
+               f"name {job.get('name')!r}")
+        expect(run.get("tenant") == job.get("tenant"),
+               f"{who}: job {i} run tenant mismatch")
+        expect(bool(run.get("completed")) == (job["state"] == "completed"),
+               f"{who}: job {i} run completed={run.get('completed')!r} "
+               f"but state is {job['state']!r}")
+
+
 def check_run_artifact(path):
     doc = load(path, "run artifact")
     if doc is None:
         return
     expect(doc.get("schema") == "rmswap.run_artifact/v2",
            f"{path}: schema is {doc.get('schema')!r}")
+    if "scheduler" in doc:
+        check_scheduler(path, doc)
     runs = doc.get("runs")
     if not expect(isinstance(runs, list) and runs,
                   f"{path}: 'runs' missing or empty"):
@@ -163,8 +244,13 @@ def check_run_artifact(path):
             expect(h.get("p50", 0) <= h.get("p95", 0) <= h.get("p99", 0),
                    f"{who}: histogram {name} percentiles not monotone")
         prof = run.get("profile")
-        if expect(isinstance(prof, dict),
-                  f"{who}: completed run has no 'profile' section"):
+        if prof is None and "job" in run:
+            # Scheduler-run jobs share the world's clock with every other
+            # tenant, so no per-job attribution profile exists; the
+            # "job"/"tenant" markers opt the run out of the requirement.
+            pass
+        elif expect(isinstance(prof, dict),
+                    f"{who}: completed run has no 'profile' section"):
             check_profile_body(who, prof)
         metrics = run.get("metrics")
         if metrics is not None:
